@@ -1,0 +1,52 @@
+//! Extension bench: the scheduler-discipline ablation (DESIGN.md's main
+//! known deviation). Prints the FIFO-vs-DRR congestion-gap table, then
+//! times the DRR queue's enqueue/dequeue hot path against the classic
+//! drop-tail queue.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use tlc_net::fair::FairQueue;
+use tlc_net::packet::{Direction, FlowId, Packet, Qci};
+use tlc_net::queue::{Discipline, PacketQueue};
+use tlc_net::time::SimTime;
+use tlc_sim::experiments::{ablation, RunScale};
+
+fn pkt(id: u64, flow: u32, size: u32) -> Packet {
+    Packet::new(id, FlowId(flow), Direction::Downlink, size, Qci::DEFAULT, SimTime::ZERO)
+}
+
+fn bench(c: &mut Criterion) {
+    ablation::print(&ablation::run(RunScale::Quick));
+
+    const N: u64 = 1000;
+    let mut g = c.benchmark_group("scheduler");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("drop_tail_churn_1k", |b| {
+        b.iter(|| {
+            let mut q = PacketQueue::new(Discipline::QciPriority, 256 * 1024);
+            for i in 0..N {
+                q.enqueue(black_box(pkt(i, (i % 8) as u32, 1000 + (i % 500) as u32)));
+                if i % 2 == 0 {
+                    q.dequeue();
+                }
+            }
+            q.flush().len()
+        })
+    });
+    g.bench_function("drr_fair_churn_1k", |b| {
+        b.iter(|| {
+            let mut q = FairQueue::new(256 * 1024);
+            for i in 0..N {
+                q.enqueue(black_box(pkt(i, (i % 8) as u32, 1000 + (i % 500) as u32)));
+                if i % 2 == 0 {
+                    q.dequeue();
+                }
+            }
+            q.flush().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Extension bench: the handover (mobility) gap sweep of §3.1 cause 2.
+//! Prints the sweep, then times one mobile VR cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tlc_net::time::SimDuration;
+use tlc_sim::experiments::{mobility, RunScale};
+use tlc_sim::scenario::{run_scenario, AppKind, ScenarioConfig};
+
+fn bench(c: &mut Criterion) {
+    mobility::print(&mobility::run(RunScale::Quick));
+
+    let mut g = c.benchmark_group("mobility");
+    g.sample_size(10);
+    g.bench_function("vr_cycle_20s_12ho_per_min", |b| {
+        b.iter(|| {
+            let mut cfg = ScenarioConfig::new(
+                black_box(AppKind::Vr),
+                13,
+                SimDuration::from_secs(20),
+            )
+            .with_handovers_per_minute(12.0);
+            cfg.datapath.dl_capacity_bps = 12_000_000;
+            run_scenario(&cfg)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

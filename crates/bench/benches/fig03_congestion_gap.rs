@@ -1,0 +1,35 @@
+//! Bench + regeneration for Fig. 3: the raw charging gap vs congestion.
+//!
+//! Prints the figure's series, then times one congestion-scenario cycle
+//! (the unit of work behind every point in the figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tlc_core::plan::DataPlan;
+use tlc_net::time::SimDuration;
+use tlc_sim::experiments::{fig03, sweep, RunScale};
+use tlc_sim::scenario::AppKind;
+
+fn bench(c: &mut Criterion) {
+    let rows = fig03::run(RunScale::Quick);
+    fig03::print(&rows);
+
+    let plan = DataPlan::paper_default();
+    let mut g = c.benchmark_group("fig03");
+    g.sample_size(10);
+    g.bench_function("webcam_udp_cycle_20s_bg120", |b| {
+        b.iter(|| {
+            sweep::run_one(
+                black_box(AppKind::WebcamUdp),
+                120.0,
+                7,
+                SimDuration::from_secs(20),
+                &plan,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

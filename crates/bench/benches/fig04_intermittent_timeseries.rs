@@ -1,0 +1,46 @@
+//! Bench + regeneration for Fig. 4: the intermittent-connectivity gap
+//! timeline. Prints the three stacked series, then times the radio
+//! timeline generation and one outage-heavy cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tlc_net::radio::RadioTimeline;
+use tlc_net::rng::SimRng;
+use tlc_net::time::SimDuration;
+use tlc_sim::experiments::{fig04, RunScale};
+use tlc_sim::scenario::{run_scenario, AppKind, RadioSpec, ScenarioConfig};
+
+fn bench(c: &mut Criterion) {
+    let (rows, summary) = fig04::run(RunScale::Quick);
+    fig04::print(&rows, &summary);
+
+    let mut g = c.benchmark_group("fig04");
+    g.sample_size(10);
+    g.bench_function("radio_timeline_1hr", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(black_box(1));
+            RadioTimeline::intermittent(
+                SimDuration::from_secs(3600),
+                -85.0,
+                0.10,
+                SimDuration::from_millis(1930),
+                &mut rng,
+            )
+        })
+    });
+    g.bench_function("intermittent_webcam_cycle_30s", |b| {
+        b.iter(|| {
+            let cfg = ScenarioConfig::new(
+                black_box(AppKind::WebcamUdpDownlink),
+                9,
+                SimDuration::from_secs(30),
+            )
+            .with_radio(RadioSpec::Intermittent { eta: 0.10 });
+            run_scenario(&cfg)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench + regeneration for Fig. 12: per-scheme charging-gap CDFs.
+//! Prints the curves from a reduced sweep, then times the scheme-pricing
+//! step (three negotiations on one cycle's records).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tlc_core::plan::DataPlan;
+use tlc_net::time::SimDuration;
+use tlc_sim::experiments::{fig12, sweep, RunScale};
+use tlc_sim::measure::compare_schemes;
+use tlc_sim::scenario::AppKind;
+
+fn bench(c: &mut Criterion) {
+    let samples = sweep::sweep_over(
+        RunScale::Quick,
+        &[AppKind::WebcamUdp, AppKind::Vr, AppKind::Gaming],
+        &[0.0, 160.0],
+    );
+    let mut curves = fig12::from_samples(&samples);
+    fig12::print(&mut curves);
+
+    let records = samples[0].records;
+    let plan = DataPlan::paper_default();
+    c.bench_function("fig12/price_all_schemes_one_cycle", |b| {
+        b.iter(|| compare_schemes(black_box(&records), &plan, 42).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

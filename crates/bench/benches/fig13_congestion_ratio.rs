@@ -1,0 +1,40 @@
+//! Bench + regeneration for Fig. 13: gap ratio vs congestion per scheme.
+//! Prints the series from a reduced sweep, then times the full
+//! simulate-and-price pipeline for one congested point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tlc_core::plan::DataPlan;
+use tlc_net::time::SimDuration;
+use tlc_sim::experiments::{fig13, sweep, RunScale};
+use tlc_sim::measure::evaluate;
+use tlc_sim::scenario::{run_scenario, AppKind, ScenarioConfig};
+
+fn bench(c: &mut Criterion) {
+    let samples = sweep::sweep_over(
+        RunScale::Quick,
+        &[AppKind::WebcamUdp, AppKind::Gaming],
+        &[0.0, 160.0],
+    );
+    fig13::print(&fig13::from_samples(&samples));
+
+    let plan = DataPlan::paper_default();
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("gaming_congested_point", |b| {
+        b.iter(|| {
+            let cfg = ScenarioConfig::new(
+                black_box(AppKind::Gaming),
+                5,
+                SimDuration::from_secs(20),
+            )
+            .with_background(160.0);
+            let r = run_scenario(&cfg);
+            evaluate(&r, &plan, 5).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Bench + regeneration for Fig. 14: gap ratio vs disconnectivity η.
+//! Prints the series, then times the η-targeted channel construction and
+//! its disconnectivity accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tlc_net::radio::RadioTimeline;
+use tlc_net::rng::SimRng;
+use tlc_net::time::SimDuration;
+use tlc_sim::experiments::{fig14, RunScale};
+
+fn bench(c: &mut Criterion) {
+    fig14::print(&fig14::run(RunScale::Quick));
+
+    c.bench_function("fig14/eta_channel_and_accounting", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(black_box(11));
+            let tl = RadioTimeline::intermittent(
+                SimDuration::from_secs(3600),
+                -85.0,
+                0.12,
+                SimDuration::from_millis(1930),
+                &mut rng,
+            );
+            (tl.disconnectivity_ratio(), tl.mean_outage_secs())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

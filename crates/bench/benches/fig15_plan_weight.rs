@@ -1,0 +1,28 @@
+//! Bench + regeneration for Fig. 15: gap reduction under plan weights c.
+//! Prints the reduction CDFs, then times re-pricing one cycle's records
+//! across all five plan weights (the figure's inner loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tlc_core::plan::LossWeight;
+use tlc_sim::experiments::{fig15, sweep, RunScale};
+use tlc_sim::scenario::AppKind;
+
+fn bench(c: &mut Criterion) {
+    let samples = sweep::sweep_over(RunScale::Quick, &[AppKind::Vr], &[120.0, 160.0]);
+    let mut curves = fig15::from_samples(&samples);
+    fig15::print(&mut curves);
+
+    let sample = &samples[0];
+    c.bench_function("fig15/reprice_five_weights", |b| {
+        b.iter(|| {
+            fig15::C_VALUES
+                .iter()
+                .map(|&w| sample.reprice(black_box(LossWeight::from_f64(w))).intended)
+                .sum::<u64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench + regeneration for Fig. 16: latency friendliness.
+//! Prints RTT with/without TLC and the negotiation round counts, then
+//! times the simulated ping path and one wire negotiation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tlc_sim::experiments::devices::EL20;
+use tlc_sim::experiments::{fig16, sweep, RunScale};
+use tlc_sim::scenario::AppKind;
+
+fn bench(c: &mut Criterion) {
+    let rtt = fig16::run_rtt(RunScale::Quick);
+    let samples = sweep::sweep_over(RunScale::Quick, &[AppKind::WebcamUdp], &[0.0, 140.0]);
+    let rounds = fig16::rounds_from_samples(&samples);
+    fig16::print(&rtt, &rounds);
+
+    let mut g = c.benchmark_group("fig16");
+    g.sample_size(10);
+    g.bench_function("ping_50_rounds", |b| {
+        b.iter(|| fig16::ping_rtt_ms(black_box(&EL20), 50, false, 3))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Bench + regeneration for Fig. 17: Proof-of-Charging cost.
+//! Prints the cost report (sizes, per-device times, verifier throughput),
+//! then times the real cryptographic steps: the three-message negotiation
+//! and a single PoC verification — the figure's primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tlc_core::messages::NONCE_LEN;
+use tlc_core::plan::DataPlan;
+use tlc_core::protocol::{run_negotiation, Endpoint};
+use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
+use tlc_core::verify::verify_poc;
+use tlc_crypto::KeyPair;
+use tlc_sim::experiments::fig17;
+
+fn bench(c: &mut Criterion) {
+    fig17::print(&fig17::run(5));
+
+    let plan = DataPlan::paper_default();
+    let ek = KeyPair::generate_for_seed(1024, 171).unwrap();
+    let ok = KeyPair::generate_for_seed(1024, 172).unwrap();
+    let endpoints = || {
+        (
+            Endpoint::new(
+                Role::Edge,
+                plan,
+                Knowledge { role: Role::Edge, own_truth: 1_000_000, inferred_peer_truth: 900_000 },
+                Box::new(OptimalStrategy),
+                ek.private.clone(),
+                ok.public.clone(),
+                [1; NONCE_LEN],
+                16,
+            ),
+            Endpoint::new(
+                Role::Operator,
+                plan,
+                Knowledge {
+                    role: Role::Operator,
+                    own_truth: 900_000,
+                    inferred_peer_truth: 1_000_000,
+                },
+                Box::new(OptimalStrategy),
+                ok.private.clone(),
+                ek.public.clone(),
+                [2; NONCE_LEN],
+                16,
+            ),
+        )
+    };
+    c.bench_function("fig17/poc_negotiation_3msgs", |b| {
+        b.iter(|| {
+            let (mut e, mut o) = endpoints();
+            run_negotiation(black_box(&mut o), &mut e).unwrap()
+        })
+    });
+    let (mut e, mut o) = endpoints();
+    let (poc, _) = run_negotiation(&mut o, &mut e).unwrap();
+    c.bench_function("fig17/poc_verification", |b| {
+        b.iter(|| verify_poc(black_box(&poc), &plan, &ek.public, &ok.public).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

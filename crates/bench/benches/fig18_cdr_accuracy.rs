@@ -1,0 +1,30 @@
+//! Bench + regeneration for Fig. 18: tamper-resilient CDR accuracy.
+//! Prints both error CDFs, then times the skewed-clock counter read that
+//! produces each record.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tlc_net::time::{SimDuration, SimTime};
+use tlc_sim::experiments::{fig18, RunScale};
+use tlc_sim::scenario::{run_scenario, AppKind, ScenarioConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut curves = fig18::run(RunScale::Quick);
+    fig18::print(&mut curves);
+
+    let r = run_scenario(&ScenarioConfig::new(
+        AppKind::Vr,
+        18,
+        SimDuration::from_secs(60),
+    ));
+    c.bench_function("fig18/skewed_counter_read", |b| {
+        b.iter(|| {
+            r.app
+                .gateway_downlink
+                .bytes_until(black_box(SimTime::from_millis(59_850)))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

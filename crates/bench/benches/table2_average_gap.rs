@@ -1,0 +1,31 @@
+//! Bench + regeneration for Table 2: average gap per app and scheme.
+//! Prints the table from a reduced sweep, then times record extraction
+//! from a finished cycle (the end-of-cycle measurement step).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tlc_net::time::SimDuration;
+use tlc_sim::experiments::{sweep, table2, RunScale};
+use tlc_sim::measure::cycle_records;
+use tlc_sim::scenario::{run_scenario, AppKind, ScenarioConfig};
+
+fn bench(c: &mut Criterion) {
+    let samples = sweep::sweep_over(
+        RunScale::Quick,
+        &[AppKind::WebcamRtsp, AppKind::Vr],
+        &[0.0, 160.0],
+    );
+    table2::print(&table2::from_samples(&samples));
+
+    let r = run_scenario(&ScenarioConfig::new(
+        AppKind::Vr,
+        3,
+        SimDuration::from_secs(30),
+    ));
+    c.bench_function("table2/extract_cycle_records", |b| {
+        b.iter(|| cycle_records(black_box(&r)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Verifier scalability (the paper's "230K PoCs/hour on one Z840"):
+//! single-thread verification cost and multi-threaded throughput via a
+//! crossbeam work queue.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use crossbeam::channel;
+use std::hint::black_box;
+use tlc_core::messages::{Nonce, PocMsg, NONCE_LEN};
+use tlc_core::plan::DataPlan;
+use tlc_core::protocol::{run_negotiation, Endpoint};
+use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
+use tlc_core::verify::verify_poc;
+use tlc_crypto::KeyPair;
+
+fn make_proofs(n: usize, ek: &KeyPair, ok: &KeyPair, plan: &DataPlan) -> Vec<PocMsg> {
+    (0..n)
+        .map(|i| {
+            let mut ne: Nonce = [0; NONCE_LEN];
+            ne[..8].copy_from_slice(&(i as u64).to_be_bytes());
+            let mut no = ne;
+            no[15] = 1;
+            let mut e = Endpoint::new(
+                Role::Edge,
+                *plan,
+                Knowledge {
+                    role: Role::Edge,
+                    own_truth: 1_000_000 + i as u64,
+                    inferred_peer_truth: 900_000,
+                },
+                Box::new(OptimalStrategy),
+                ek.private.clone(),
+                ok.public.clone(),
+                ne,
+                16,
+            );
+            let mut o = Endpoint::new(
+                Role::Operator,
+                *plan,
+                Knowledge {
+                    role: Role::Operator,
+                    own_truth: 900_000,
+                    inferred_peer_truth: 1_000_000 + i as u64,
+                },
+                Box::new(OptimalStrategy),
+                ok.private.clone(),
+                ek.public.clone(),
+                no,
+                16,
+            );
+            run_negotiation(&mut o, &mut e).unwrap().0
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let plan = DataPlan::paper_default();
+    let ek = KeyPair::generate_for_seed(1024, 201).unwrap();
+    let ok = KeyPair::generate_for_seed(1024, 202).unwrap();
+    let proofs = make_proofs(64, &ek, &ok, &plan);
+
+    let mut g = c.benchmark_group("verifier");
+    g.throughput(Throughput::Elements(proofs.len() as u64));
+    g.sample_size(10);
+    g.bench_function("single_thread_batch64", |b| {
+        b.iter(|| {
+            for p in &proofs {
+                verify_poc(black_box(p), &plan, &ek.public, &ok.public).unwrap();
+            }
+        })
+    });
+    for workers in [2usize, 4] {
+        g.bench_function(format!("{workers}_threads_batch64"), |b| {
+            b.iter(|| {
+                let (tx, rx) = channel::unbounded::<&PocMsg>();
+                for p in &proofs {
+                    tx.send(p).unwrap();
+                }
+                drop(tx);
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        let rx = rx.clone();
+                        let (ek, ok, plan) = (&ek, &ok, &plan);
+                        s.spawn(move || {
+                            while let Ok(p) = rx.recv() {
+                                verify_poc(p, plan, &ek.public, &ok.public).unwrap();
+                            }
+                        });
+                    }
+                });
+            })
+        });
+    }
+    g.finish();
+
+    // Report the headline number the paper quotes.
+    let t0 = std::time::Instant::now();
+    for p in &proofs {
+        verify_poc(p, &plan, &ek.public, &ok.public).unwrap();
+    }
+    let per_hour = proofs.len() as f64 / t0.elapsed().as_secs_f64() * 3600.0;
+    println!("single-thread verifier throughput: {per_hour:.0} PoCs/hour (paper: 230K/hour)");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

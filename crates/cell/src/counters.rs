@@ -1,0 +1,133 @@
+//! Counting vantage points along the charging pipeline.
+//!
+//! The charging gap is, by definition, a disagreement between byte counters
+//! placed at different points of the same datapath. This module names those
+//! points and couples each to a cumulative counter plus a time series, so
+//! any vantage can be read both "in total" and "as of instant t" (needed
+//! for clock-skew effects and Fig. 4-style timelines).
+
+use serde::{Deserialize, Serialize};
+use tlc_net::stats::{ByteCounter, UsageSeries};
+use tlc_net::time::{SimDuration, SimTime};
+
+/// Where along the pipeline a counter sits.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Vantage {
+    /// Device application's sent bytes (uplink `x̂_e`): Android
+    /// `TrafficStats` / in-app counting.
+    DeviceAppSent,
+    /// Device application's received bytes (edge's view of downlink
+    /// delivery).
+    DeviceAppReceived,
+    /// Hardware modem's received downlink bytes — the tamper-resilient
+    /// source behind RRC COUNTER CHECK.
+    ModemReceived,
+    /// Gateway-metered uplink bytes (operator's legacy uplink CDR and
+    /// TLC's uplink `x̂_o`).
+    GatewayUplink,
+    /// Gateway-metered downlink bytes at ingress from the server
+    /// (operator's *legacy* downlink CDR — counted before radio loss).
+    GatewayDownlink,
+    /// Edge server's sent bytes (downlink `x̂_e`): `/proc/net` monitor.
+    ServerSent,
+    /// Edge server's received uplink bytes.
+    ServerReceived,
+}
+
+/// All vantages, for iteration in reports.
+pub const ALL_VANTAGES: [Vantage; 7] = [
+    Vantage::DeviceAppSent,
+    Vantage::DeviceAppReceived,
+    Vantage::ModemReceived,
+    Vantage::GatewayUplink,
+    Vantage::GatewayDownlink,
+    Vantage::ServerSent,
+    Vantage::ServerReceived,
+];
+
+/// A counter plus its history at one vantage.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CountingPoint {
+    counter: ByteCounter,
+    series: UsageSeries,
+}
+
+/// Resolution of the usage history. 100 ms is fine enough for the paper's
+/// clock-skew effects (which span tens of ms to seconds) while keeping an
+/// hour-long run to ~36k buckets.
+pub const SERIES_BUCKET: SimDuration = SimDuration(100_000);
+
+impl Default for CountingPoint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CountingPoint {
+    /// Fresh zeroed point.
+    pub fn new() -> Self {
+        CountingPoint {
+            counter: ByteCounter::new(),
+            series: UsageSeries::new(SERIES_BUCKET),
+        }
+    }
+
+    /// Records one packet observed at this vantage.
+    pub fn record(&mut self, t: SimTime, size: u32) {
+        self.counter.record(size);
+        self.series.record(t, size as u64);
+    }
+
+    /// Total bytes observed.
+    pub fn bytes(&self) -> u64 {
+        self.counter.bytes
+    }
+
+    /// Total packets observed.
+    pub fn packets(&self) -> u64 {
+        self.counter.packets
+    }
+
+    /// Bytes observed strictly before `t` (pro-rated within a bucket) —
+    /// what a reader whose clock says "cycle end" at true time `t` sees.
+    pub fn bytes_until(&self, t: SimTime) -> u64 {
+        self.series.cumulative_until(t)
+    }
+
+    /// The underlying history, for timeline plots.
+    pub fn series(&self) -> &UsageSeries {
+        &self.series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_updates_counter_and_series() {
+        let mut p = CountingPoint::new();
+        p.record(SimTime::from_secs(1), 500);
+        p.record(SimTime::from_secs(2), 700);
+        assert_eq!(p.bytes(), 1200);
+        assert_eq!(p.packets(), 2);
+        assert_eq!(p.bytes_until(SimTime::from_millis(1500)), 500);
+        assert_eq!(p.bytes_until(SimTime::from_secs(10)), 1200);
+    }
+
+    #[test]
+    fn bytes_until_zero_at_start() {
+        let mut p = CountingPoint::new();
+        p.record(SimTime::from_secs(5), 100);
+        assert_eq!(p.bytes_until(SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn vantage_list_is_exhaustive_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for v in ALL_VANTAGES {
+            assert!(seen.insert(v), "duplicate vantage {v:?}");
+        }
+        assert_eq!(seen.len(), 7);
+    }
+}

@@ -1,0 +1,244 @@
+//! The Offline Charging System (OFCS) — CDRs to bills (§2.1).
+//!
+//! "The charging function converts the CDRs to the bills, and may apply
+//! policy-driven actions (e.g., high-QoS for low-latency edge traffic,
+//! service degrade or network speed limit). ... Some offer the
+//! 'unlimited' data plan, but throttle the speed if the usage exceeds
+//! some quota (e.g. 128 Kbps after 15 GB)."
+//!
+//! TLC deliberately does not assume any particular policy; this module
+//! supplies the policy layer so end-to-end billing can be exercised —
+//! the negotiated TLC volume feeds the same tariff as a legacy CDR
+//! volume would.
+
+use crate::cdr::ChargingDataRecord;
+use serde::{Deserialize, Serialize};
+
+/// A volume tariff with optional quota semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Tariff {
+    /// Price per megabyte in micro-currency units (e.g. µ$).
+    pub price_per_mb_micro: u64,
+    /// Pre-paid volume included in the base fee.
+    pub included_bytes: u64,
+    /// Base fee in micro-currency units.
+    pub base_fee_micro: u64,
+    /// Quota handling once `included_bytes` is exhausted.
+    pub overage: OveragePolicy,
+}
+
+/// What happens past the included volume.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum OveragePolicy {
+    /// Metered: every byte past the quota is charged at the tariff rate.
+    Metered,
+    /// "Unlimited": no overage charges, but the speed is throttled (the
+    /// paper's 128 Kbps-after-15 GB example).
+    Throttle {
+        /// Rate limit applied after the quota, bits/second.
+        limit_bps: u64,
+    },
+    /// Service cut off at the quota.
+    Cutoff,
+}
+
+impl Tariff {
+    /// The AT&T-style plan the paper cites: unlimited with a 15 GB quota
+    /// and a 128 Kbps throttle.
+    pub fn unlimited_throttled() -> Self {
+        Tariff {
+            price_per_mb_micro: 0,
+            included_bytes: 15 * 1_000_000_000,
+            base_fee_micro: 40_000_000, // $40 base
+            overage: OveragePolicy::Throttle { limit_bps: 128_000 },
+        }
+    }
+
+    /// A metered edge plan: $10 base + 1¢/MB, no included volume.
+    pub fn metered_edge() -> Self {
+        Tariff {
+            price_per_mb_micro: 10_000,
+            included_bytes: 0,
+            base_fee_micro: 10_000_000,
+            overage: OveragePolicy::Metered,
+        }
+    }
+}
+
+/// A rendered bill for one charging cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bill {
+    /// Volume billed, bytes.
+    pub volume_bytes: u64,
+    /// Amount due in micro-currency units.
+    pub amount_micro: u64,
+    /// Whether the subscriber ends the cycle throttled.
+    pub throttled: bool,
+    /// Whether service was cut off during the cycle.
+    pub cut_off: bool,
+}
+
+/// Per-subscriber OFCS state across a billing cycle.
+#[derive(Clone, Debug)]
+pub struct Ofcs {
+    tariff: Tariff,
+    cycle_usage: u64,
+    records: Vec<ChargingDataRecord>,
+}
+
+impl Ofcs {
+    /// Fresh cycle state under a tariff.
+    pub fn new(tariff: Tariff) -> Self {
+        Ofcs {
+            tariff,
+            cycle_usage: 0,
+            records: Vec::new(),
+        }
+    }
+
+    /// Ingests one gateway CDR, accumulating its volume.
+    pub fn ingest_cdr(&mut self, cdr: ChargingDataRecord) {
+        self.cycle_usage += cdr.total_volume();
+        self.records.push(cdr);
+    }
+
+    /// Ingests a TLC-negotiated volume directly (the PoC's `x` replaces
+    /// the unilateral CDR volume in the same tariff pipeline).
+    pub fn ingest_negotiated(&mut self, volume_bytes: u64) {
+        self.cycle_usage += volume_bytes;
+    }
+
+    /// Usage accumulated this cycle.
+    pub fn cycle_usage(&self) -> u64 {
+        self.cycle_usage
+    }
+
+    /// The rate limit currently in force, if any (policy-driven action).
+    pub fn current_rate_limit(&self) -> Option<u64> {
+        if self.cycle_usage <= self.tariff.included_bytes {
+            return None;
+        }
+        match self.tariff.overage {
+            OveragePolicy::Throttle { limit_bps } => Some(limit_bps),
+            OveragePolicy::Cutoff => Some(0),
+            OveragePolicy::Metered => None,
+        }
+    }
+
+    /// Renders the cycle's bill.
+    pub fn bill(&self) -> Bill {
+        let over = self.cycle_usage.saturating_sub(self.tariff.included_bytes);
+        let (amount, throttled, cut_off) = match self.tariff.overage {
+            OveragePolicy::Metered => {
+                // Round up to the next whole MB like real tariffs do.
+                let mb = over.div_ceil(1_000_000);
+                (
+                    self.tariff.base_fee_micro + mb * self.tariff.price_per_mb_micro,
+                    false,
+                    false,
+                )
+            }
+            OveragePolicy::Throttle { .. } => (self.tariff.base_fee_micro, over > 0, false),
+            OveragePolicy::Cutoff => (self.tariff.base_fee_micro, false, over > 0),
+        };
+        Bill {
+            volume_bytes: self.cycle_usage,
+            amount_micro: amount,
+            throttled,
+            cut_off,
+        }
+    }
+
+    /// Ingested CDRs, in arrival order.
+    pub fn records(&self) -> &[ChargingDataRecord] {
+        &self.records
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdr::Imsi;
+    use tlc_net::time::SimTime;
+
+    fn cdr(ul: u64, dl: u64, seq: u64) -> ChargingDataRecord {
+        ChargingDataRecord {
+            served_imsi: Imsi(1),
+            gateway_address: "192.168.2.11".into(),
+            charging_id: 0,
+            sequence_number: seq,
+            time_of_first_usage: SimTime::ZERO,
+            time_of_last_usage: SimTime::from_secs(3600),
+            datavolume_uplink: ul,
+            datavolume_downlink: dl,
+        }
+    }
+
+    #[test]
+    fn metered_bill_rounds_up_to_mb() {
+        let mut o = Ofcs::new(Tariff::metered_edge());
+        o.ingest_cdr(cdr(274_841, 33_604_032, 1001)); // Trace 1's volumes
+        let b = o.bill();
+        assert_eq!(b.volume_bytes, 33_878_873);
+        // 34 MB (rounded up) at 1¢ + $10 base.
+        assert_eq!(b.amount_micro, 10_000_000 + 34 * 10_000);
+        assert!(!b.throttled && !b.cut_off);
+    }
+
+    #[test]
+    fn unlimited_plan_throttles_after_quota() {
+        let mut o = Ofcs::new(Tariff::unlimited_throttled());
+        assert_eq!(o.current_rate_limit(), None);
+        o.ingest_negotiated(14 * 1_000_000_000);
+        assert_eq!(o.current_rate_limit(), None, "under quota: full speed");
+        o.ingest_negotiated(2 * 1_000_000_000); // crosses 15 GB
+        assert_eq!(o.current_rate_limit(), Some(128_000), "throttled to 128 Kbps");
+        let b = o.bill();
+        assert!(b.throttled);
+        assert_eq!(b.amount_micro, 40_000_000, "no overage charges on unlimited");
+    }
+
+    #[test]
+    fn cutoff_policy_stops_service() {
+        let t = Tariff {
+            overage: OveragePolicy::Cutoff,
+            included_bytes: 1_000_000,
+            price_per_mb_micro: 0,
+            base_fee_micro: 0,
+        };
+        let mut o = Ofcs::new(t);
+        o.ingest_negotiated(999_999);
+        assert_eq!(o.current_rate_limit(), None);
+        o.ingest_negotiated(2);
+        assert_eq!(o.current_rate_limit(), Some(0));
+        assert!(o.bill().cut_off);
+    }
+
+    #[test]
+    fn cdrs_accumulate_and_are_retained() {
+        let mut o = Ofcs::new(Tariff::metered_edge());
+        o.ingest_cdr(cdr(1000, 2000, 1));
+        o.ingest_cdr(cdr(500, 500, 2));
+        assert_eq!(o.cycle_usage(), 4000);
+        assert_eq!(o.records().len(), 2);
+        assert_eq!(o.records()[1].sequence_number, 2);
+    }
+
+    #[test]
+    fn negotiated_volume_feeds_the_same_tariff() {
+        // A TLC PoC's x and a legacy CDR of the same volume bill equally.
+        let mut legacy = Ofcs::new(Tariff::metered_edge());
+        legacy.ingest_cdr(cdr(0, 50_000_000, 1));
+        let mut tlc = Ofcs::new(Tariff::metered_edge());
+        tlc.ingest_negotiated(50_000_000);
+        assert_eq!(legacy.bill().amount_micro, tlc.bill().amount_micro);
+    }
+
+    #[test]
+    fn zero_usage_bills_base_fee_only() {
+        let o = Ofcs::new(Tariff::metered_edge());
+        let b = o.bill();
+        assert_eq!(b.amount_micro, 10_000_000);
+        assert_eq!(b.volume_bytes, 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! RRC connection management and the COUNTER CHECK procedure (§5.4).
+//!
+//! In 4G/5G the base station releases a device's radio connection after an
+//! inactivity period, and — when the operator enables it — first runs
+//! RRC COUNTER CHECK to query the hardware modem's received-byte count.
+//! TLC builds the operator's tamper-resilient *downlink* record from these
+//! check responses: the operator's view at any instant is the modem count
+//! as of the most recent completed check.
+//!
+//! Two inaccuracies follow, reproduced here and measured in Fig. 18:
+//! traffic since the last check is invisible until the next release, and
+//! the operator snapshots "cycle end" on its own (skewed) clock.
+
+use tlc_net::time::{SimDuration, SimTime};
+
+/// Default RRC inactivity timeout before the base station releases the
+/// connection (typical operator configuration ~10 s).
+pub const DEFAULT_INACTIVITY: SimDuration = SimDuration(10_000_000);
+
+/// One completed COUNTER CHECK exchange.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterCheck {
+    /// When the check completed (connection release instant).
+    pub at: SimTime,
+    /// Cumulative downlink bytes the modem reported.
+    pub modem_bytes: u64,
+}
+
+/// Default period for in-connection COUNTER CHECKs on long-lived
+/// connections (without these, a 24×7 stream that never goes idle would
+/// never report; TS 36.331 allows the check at any time on a live
+/// connection).
+pub const DEFAULT_PERIODIC_CHECK: SimDuration = SimDuration(30_000_000);
+
+/// Tracks one device's RRC connection and the operator's check history.
+#[derive(Clone, Debug)]
+pub struct RrcMonitor {
+    inactivity: SimDuration,
+    /// Optional in-connection periodic check interval.
+    periodic: Option<SimDuration>,
+    last_check: SimTime,
+    connected: bool,
+    last_activity: SimTime,
+    checks: Vec<CounterCheck>,
+    connection_setups: u64,
+    counter_check_msgs: u64,
+}
+
+impl RrcMonitor {
+    /// New monitor; the device starts idle. Release-triggered checks only.
+    pub fn new(inactivity: SimDuration) -> Self {
+        assert!(inactivity > SimDuration::ZERO);
+        RrcMonitor {
+            inactivity,
+            periodic: None,
+            last_check: SimTime::ZERO,
+            connected: false,
+            last_activity: SimTime::ZERO,
+            checks: Vec::new(),
+            connection_setups: 0,
+            counter_check_msgs: 0,
+        }
+    }
+
+    /// Adds an in-connection periodic COUNTER CHECK every `period`, so
+    /// continuously streaming devices still produce fresh records.
+    pub fn with_periodic(mut self, period: SimDuration) -> Self {
+        assert!(period > SimDuration::ZERO);
+        self.periodic = Some(period);
+        self
+    }
+
+    /// Packet activity on the bearer at `now`: establishes the connection
+    /// if idle and restarts the inactivity timer.
+    pub fn on_activity(&mut self, now: SimTime) {
+        if !self.connected {
+            self.connected = true;
+            self.connection_setups += 1;
+            // The periodic-check timer starts at connection setup.
+            self.last_check = now;
+        }
+        self.last_activity = self.last_activity.max(now);
+    }
+
+    /// Radio coverage lost at `now`: the connection drops *without* a
+    /// counter check (the base station cannot reach the device). Counts
+    /// since the last check are not lost — the modem counter is
+    /// cumulative, so the next successful check reports them.
+    pub fn on_outage(&mut self, now: SimTime) {
+        let _ = now;
+        self.connected = false;
+    }
+
+    /// The instant the inactivity timer will fire, if connected.
+    pub fn release_due(&self) -> Option<SimTime> {
+        self.connected
+            .then(|| self.last_activity + self.inactivity)
+    }
+
+    /// The instant the next periodic check is due, if enabled and
+    /// connected.
+    pub fn periodic_due(&self) -> Option<SimTime> {
+        let p = self.periodic?;
+        self.connected.then(|| self.last_check + p)
+    }
+
+    /// Runs the periodic in-connection COUNTER CHECK if it is due by
+    /// `now`, recording the modem's cumulative count.
+    pub fn poll_periodic(&mut self, now: SimTime, modem_bytes: u64) -> Option<SimTime> {
+        let due = self.periodic_due()?;
+        if now < due {
+            return None;
+        }
+        self.checks.push(CounterCheck { at: due, modem_bytes });
+        self.counter_check_msgs += 2;
+        self.last_check = due;
+        Some(due)
+    }
+
+    /// Drives the inactivity release: if the timer has expired by `now`,
+    /// the base station runs COUNTER CHECK (recording `modem_bytes`, the
+    /// modem's cumulative count — unchanged since `last_activity` because
+    /// there was no traffic) and releases the connection.
+    ///
+    /// Returns the release instant when a release happened.
+    pub fn poll_release(&mut self, now: SimTime, modem_bytes: u64) -> Option<SimTime> {
+        let due = self.release_due()?;
+        if now < due {
+            return None;
+        }
+        self.checks.push(CounterCheck {
+            at: due,
+            modem_bytes,
+        });
+        // One COUNTER CHECK + one COUNTER CHECK RESPONSE.
+        self.counter_check_msgs += 2;
+        self.connected = false;
+        Some(due)
+    }
+
+    /// The operator's tamper-resilient downlink record as of true instant
+    /// `t`: the modem count from the latest check completed by then.
+    pub fn operator_view_at(&self, t: SimTime) -> u64 {
+        self.checks
+            .iter()
+            .rev()
+            .find(|c| c.at <= t)
+            .map(|c| c.modem_bytes)
+            .unwrap_or(0)
+    }
+
+    /// Whether the device currently holds an RRC connection.
+    pub fn is_connected(&self) -> bool {
+        self.connected
+    }
+
+    /// Completed checks, oldest first.
+    pub fn checks(&self) -> &[CounterCheck] {
+        &self.checks
+    }
+
+    /// RRC COUNTER CHECK / RESPONSE messages exchanged so far — the
+    /// paper's bound: "bounded by the number of RRC connection releases".
+    pub fn counter_check_msgs(&self) -> u64 {
+        self.counter_check_msgs
+    }
+
+    /// Connection setups so far.
+    pub fn connection_setups(&self) -> u64 {
+        self.connection_setups
+    }
+}
+
+impl Default for RrcMonitor {
+    fn default() -> Self {
+        Self::new(DEFAULT_INACTIVITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn activity_connects_and_release_fires_after_timeout() {
+        let mut rrc = RrcMonitor::new(SimDuration::from_secs(10));
+        assert!(!rrc.is_connected());
+        rrc.on_activity(secs(5));
+        assert!(rrc.is_connected());
+        assert_eq!(rrc.release_due(), Some(secs(15)));
+        // Not yet due.
+        assert_eq!(rrc.poll_release(secs(14), 1000), None);
+        // Due: check recorded at the exact timer expiry.
+        assert_eq!(rrc.poll_release(secs(20), 1000), Some(secs(15)));
+        assert!(!rrc.is_connected());
+        assert_eq!(rrc.checks(), &[CounterCheck { at: secs(15), modem_bytes: 1000 }]);
+        assert_eq!(rrc.counter_check_msgs(), 2);
+    }
+
+    #[test]
+    fn activity_extends_timer() {
+        let mut rrc = RrcMonitor::new(SimDuration::from_secs(10));
+        rrc.on_activity(secs(0));
+        rrc.on_activity(secs(8));
+        assert_eq!(rrc.release_due(), Some(secs(18)));
+        assert_eq!(rrc.poll_release(secs(12), 500), None);
+    }
+
+    #[test]
+    fn outage_drops_connection_without_check() {
+        let mut rrc = RrcMonitor::new(SimDuration::from_secs(10));
+        rrc.on_activity(secs(0));
+        rrc.on_outage(secs(2));
+        assert!(!rrc.is_connected());
+        assert!(rrc.checks().is_empty());
+        assert_eq!(rrc.counter_check_msgs(), 0);
+        // No release pending while idle.
+        assert_eq!(rrc.poll_release(secs(100), 999), None);
+    }
+
+    #[test]
+    fn cumulative_counts_survive_outage_drops() {
+        let mut rrc = RrcMonitor::new(SimDuration::from_secs(10));
+        rrc.on_activity(secs(0));
+        rrc.on_outage(secs(2)); // 1000 bytes so far, unreported
+        rrc.on_activity(secs(5)); // reconnect, more traffic
+        rrc.poll_release(secs(20), 2500); // check reports cumulative 2500
+        assert_eq!(rrc.operator_view_at(secs(20)), 2500);
+    }
+
+    #[test]
+    fn operator_view_lags_until_check() {
+        let mut rrc = RrcMonitor::new(SimDuration::from_secs(10));
+        rrc.on_activity(secs(0));
+        // Cycle "ends" at t=5 while still connected: operator sees nothing.
+        assert_eq!(rrc.operator_view_at(secs(5)), 0);
+        rrc.poll_release(secs(10), 4000);
+        assert_eq!(rrc.operator_view_at(secs(9)), 0);
+        assert_eq!(rrc.operator_view_at(secs(10)), 4000);
+        assert_eq!(rrc.operator_view_at(secs(100)), 4000);
+    }
+
+    #[test]
+    fn multiple_checks_latest_wins() {
+        let mut rrc = RrcMonitor::new(SimDuration::from_secs(1));
+        rrc.on_activity(secs(0));
+        rrc.poll_release(secs(1), 100);
+        rrc.on_activity(secs(10));
+        rrc.poll_release(secs(11), 300);
+        assert_eq!(rrc.operator_view_at(secs(5)), 100);
+        assert_eq!(rrc.operator_view_at(secs(12)), 300);
+        assert_eq!(rrc.connection_setups(), 2);
+        assert_eq!(rrc.counter_check_msgs(), 4);
+    }
+}

@@ -1,0 +1,74 @@
+//! # tlc-core
+//!
+//! TLC — **T**rusted, **L**oss-tolerant **C**harging for the cellular edge:
+//! the primary contribution of *"Bridging the Data Charging Gap in the
+//! Cellular Edge"* (Li, Kim, Vlachou, Xie — SIGCOMM '19), reimplemented as
+//! a Rust library.
+//!
+//! TLC bridges the charging gap between a cellular operator and an edge
+//! application vendor by letting data loss and selfish claims *cancel out*:
+//!
+//! * [`plan`] — the data plan `(c, T)` and the charging formula
+//!   `x = x_o + c·(x_e − x_o)` (Eq. 1),
+//! * [`cancellation`] — Algorithm 1, the loss–selfishness cancellation
+//!   negotiation with tightening bounds,
+//! * [`strategy`] — honest, rational-optimal (minimax, Theorem 3),
+//!   random-selfish, and misbehaving party behaviours,
+//! * [`messages`] — RSA-signed CDR / CDA / PoC wire messages (§5.3.2),
+//! * [`protocol`] — the Fig. 7 endpoint state machines and an in-memory
+//!   negotiation driver,
+//! * [`verify`] — Algorithm 2 public verification with replay defence,
+//! * [`legacy`] — the legacy 4G/5G baseline and the gap metrics
+//!   (Δ, ε, µ) used throughout the evaluation,
+//! * [`game`] — numeric minimax/maximin machinery behind Theorems 2–4 and
+//!   Appendix D's generic-charging bound.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tlc_core::plan::DataPlan;
+//! use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
+//! use tlc_core::cancellation::{negotiate, DEFAULT_MAX_ROUNDS};
+//!
+//! // Ground truth: the edge sent 1 GB, the network delivered 0.9 GB.
+//! let sent = 1_000_000_000u64;
+//! let received = 900_000_000u64;
+//! let plan = DataPlan::paper_default(); // c = 0.5, 1-hour cycle
+//!
+//! let edge_knowledge = Knowledge {
+//!     role: Role::Edge, own_truth: sent, inferred_peer_truth: received,
+//! };
+//! let operator_knowledge = Knowledge {
+//!     role: Role::Operator, own_truth: received, inferred_peer_truth: sent,
+//! };
+//! let out = negotiate(
+//!     &plan,
+//!     &mut OptimalStrategy, &edge_knowledge,
+//!     &mut OptimalStrategy, &operator_knowledge,
+//!     DEFAULT_MAX_ROUNDS,
+//! ).unwrap();
+//! // Rational parties converge in one round to the plan-intended charge.
+//! assert_eq!(out.rounds, 1);
+//! assert_eq!(out.charge, 950_000_000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cancellation;
+pub mod game;
+pub mod legacy;
+pub mod messages;
+pub mod plan;
+pub mod protocol;
+pub mod strategy;
+pub mod verify;
+
+pub use cancellation::{negotiate, Bounds, NegotiationError, NegotiationOutcome, DEFAULT_MAX_ROUNDS};
+pub use messages::{CdaMsg, CdrMsg, MessageError, Nonce, PocMsg, NONCE_LEN};
+pub use plan::{charge_for, intended_charge, ChargingCycle, DataPlan, LossWeight, UsagePair};
+pub use protocol::{run_negotiation, Endpoint, Message, ProtocolError, State};
+pub use strategy::{
+    BoundViolatorStrategy, Decision, HonestStrategy, InsistStrategy, Knowledge, OptimalStrategy,
+    RandomSelfishStrategy, RejectAllStrategy, Role, Strategy,
+};
+pub use verify::{verify_poc, Verdict, Verifier, VerifyError};

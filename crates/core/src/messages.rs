@@ -1,0 +1,681 @@
+//! Signed TLC protocol messages: CDR, CDA, and PoC (§5.3.2).
+//!
+//! ```text
+//! CDR_p = {T, c, s_p, n_p, x_p}K⁻_p
+//! CDA_p = {T, c, s_p, n_p, x_p, CDR_peer}K⁻_p
+//! PoC   = {T, c, x, CDA_peer}K⁻_p || n_e || n_o
+//! ```
+//!
+//! Every message carries an RSA-1024 PKCS#1-v1.5/SHA-256 signature over its
+//! canonical encoding, so a PoC embeds a CDA which embeds a CDR — giving
+//! the verifier both parties' signatures over the final claims. Wire sizes
+//! land where the paper's Fig. 17 table puts them (199 B CDR / 398 B CDA /
+//! 796 B PoC with RSA-1024).
+
+use crate::plan::DataPlan;
+use crate::strategy::Role;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use tlc_crypto::pkcs1;
+use tlc_crypto::{CryptoError, PrivateKey, PublicKey};
+
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 16;
+
+/// A per-negotiation random nonce.
+pub type Nonce = [u8; NONCE_LEN];
+
+/// Message type tags on the wire.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MsgType {
+    /// Charging Data Record.
+    Cdr = 1,
+    /// Charging Data Acceptance.
+    Cda = 2,
+    /// Proof of Charging.
+    Poc = 3,
+}
+
+/// Errors when decoding or authenticating a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MessageError {
+    /// Byte-level decoding failed.
+    Malformed(&'static str),
+    /// A signature did not verify.
+    BadSignature,
+    /// Crypto-layer failure.
+    Crypto(CryptoError),
+}
+
+impl From<CryptoError> for MessageError {
+    fn from(e: CryptoError) -> Self {
+        match e {
+            CryptoError::BadSignature => MessageError::BadSignature,
+            other => MessageError::Crypto(other),
+        }
+    }
+}
+
+impl std::fmt::Display for MessageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MessageError::Malformed(what) => write!(f, "malformed message: {what}"),
+            MessageError::BadSignature => write!(f, "message signature invalid"),
+            MessageError::Crypto(e) => write!(f, "crypto failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MessageError {}
+
+fn put_role(buf: &mut BytesMut, role: Role) {
+    buf.put_u8(match role {
+        Role::Edge => 0,
+        Role::Operator => 1,
+    });
+}
+
+fn get_role(buf: &mut Bytes) -> Result<Role, MessageError> {
+    if !buf.has_remaining() {
+        return Err(MessageError::Malformed("missing role"));
+    }
+    match buf.get_u8() {
+        0 => Ok(Role::Edge),
+        1 => Ok(Role::Operator),
+        _ => Err(MessageError::Malformed("unknown role")),
+    }
+}
+
+fn put_plan(buf: &mut BytesMut, plan: &DataPlan) {
+    buf.put_u64(plan.cycle.start_secs);
+    buf.put_u64(plan.cycle.end_secs);
+    // The loss weight as its exact rational, 1e-4 resolution.
+    buf.put_u32((plan.loss_weight.as_f64() * 10_000.0).round() as u32);
+}
+
+fn get_plan(buf: &mut Bytes) -> Result<DataPlan, MessageError> {
+    if buf.remaining() < 20 {
+        return Err(MessageError::Malformed("truncated plan"));
+    }
+    let start = buf.get_u64();
+    let end = buf.get_u64();
+    let c_e4 = buf.get_u32();
+    if end <= start || c_e4 > 10_000 {
+        return Err(MessageError::Malformed("invalid plan fields"));
+    }
+    Ok(DataPlan {
+        cycle: crate::plan::ChargingCycle::new(start, end),
+        loss_weight: crate::plan::LossWeight::new(c_e4, 10_000),
+    })
+}
+
+fn get_nonce(buf: &mut Bytes) -> Result<Nonce, MessageError> {
+    if buf.remaining() < NONCE_LEN {
+        return Err(MessageError::Malformed("truncated nonce"));
+    }
+    let mut n = [0u8; NONCE_LEN];
+    buf.copy_to_slice(&mut n);
+    Ok(n)
+}
+
+fn get_signature(buf: &mut Bytes) -> Result<Vec<u8>, MessageError> {
+    if buf.remaining() < 2 {
+        return Err(MessageError::Malformed("truncated signature header"));
+    }
+    let len = buf.get_u16() as usize;
+    if buf.remaining() < len {
+        return Err(MessageError::Malformed("truncated signature"));
+    }
+    Ok(buf.copy_to_bytes(len).to_vec())
+}
+
+fn put_signature(buf: &mut BytesMut, sig: &[u8]) {
+    buf.put_u16(sig.len() as u16);
+    buf.put_slice(sig);
+}
+
+/// A signed Charging Data Record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CdrMsg {
+    /// Sender's role.
+    pub role: Role,
+    /// The data plan the claim is made under.
+    pub plan: DataPlan,
+    /// Sender's message sequence number (negotiation round of the claim).
+    pub seq: u64,
+    /// Sender's nonce for this negotiation.
+    pub nonce: Nonce,
+    /// Claimed usage in bytes (`x_e` or `x_o`).
+    pub usage: u64,
+    /// RSA signature over the canonical body.
+    pub signature: Vec<u8>,
+}
+
+impl CdrMsg {
+    fn body(&self) -> BytesMut {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u8(MsgType::Cdr as u8);
+        put_role(&mut b, self.role);
+        put_plan(&mut b, &self.plan);
+        b.put_u64(self.seq);
+        b.put_slice(&self.nonce);
+        b.put_u64(self.usage);
+        b
+    }
+
+    /// Builds and signs a CDR.
+    pub fn sign(
+        role: Role,
+        plan: DataPlan,
+        seq: u64,
+        nonce: Nonce,
+        usage: u64,
+        key: &PrivateKey,
+    ) -> Result<Self, CryptoError> {
+        let mut msg = CdrMsg {
+            role,
+            plan,
+            seq,
+            nonce,
+            usage,
+            signature: Vec::new(),
+        };
+        msg.signature = pkcs1::sign(key, &msg.body())?;
+        Ok(msg)
+    }
+
+    /// Verifies the signature against the sender's public key.
+    pub fn verify(&self, key: &PublicKey) -> Result<(), MessageError> {
+        pkcs1::verify(key, &self.body(), &self.signature)?;
+        Ok(())
+    }
+
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = self.body();
+        put_signature(&mut b, &self.signature);
+        b.to_vec()
+    }
+
+    /// Parses from wire bytes (does not verify the signature).
+    pub fn decode(data: &[u8]) -> Result<Self, MessageError> {
+        let mut buf = Bytes::copy_from_slice(data);
+        let msg = Self::decode_from(&mut buf)?;
+        if buf.has_remaining() {
+            return Err(MessageError::Malformed("trailing bytes after CDR"));
+        }
+        Ok(msg)
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self, MessageError> {
+        if !buf.has_remaining() || buf.get_u8() != MsgType::Cdr as u8 {
+            return Err(MessageError::Malformed("not a CDR"));
+        }
+        let role = get_role(buf)?;
+        let plan = get_plan(buf)?;
+        if buf.remaining() < 8 {
+            return Err(MessageError::Malformed("truncated CDR seq"));
+        }
+        let seq = buf.get_u64();
+        let nonce = get_nonce(buf)?;
+        if buf.remaining() < 8 {
+            return Err(MessageError::Malformed("truncated CDR usage"));
+        }
+        let usage = buf.get_u64();
+        let signature = get_signature(buf)?;
+        Ok(CdrMsg {
+            role,
+            plan,
+            seq,
+            nonce,
+            usage,
+            signature,
+        })
+    }
+}
+
+/// A signed Charging Data Acceptance: the sender's own claim plus a copy
+/// of the peer CDR it accepts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CdaMsg {
+    /// Sender's role.
+    pub role: Role,
+    /// The data plan.
+    pub plan: DataPlan,
+    /// Sender's sequence number — echoes the accepted CDR's round.
+    pub seq: u64,
+    /// Sender's nonce.
+    pub nonce: Nonce,
+    /// Sender's own claimed usage.
+    pub usage: u64,
+    /// The peer CDR being accepted (embedded verbatim).
+    pub peer_cdr: CdrMsg,
+    /// RSA signature over the canonical body.
+    pub signature: Vec<u8>,
+}
+
+impl CdaMsg {
+    fn body(&self) -> BytesMut {
+        let mut b = BytesMut::with_capacity(256);
+        b.put_u8(MsgType::Cda as u8);
+        put_role(&mut b, self.role);
+        put_plan(&mut b, &self.plan);
+        b.put_u64(self.seq);
+        b.put_slice(&self.nonce);
+        b.put_u64(self.usage);
+        let peer = self.peer_cdr.encode();
+        b.put_u16(peer.len() as u16);
+        b.put_slice(&peer);
+        b
+    }
+
+    /// Builds and signs a CDA accepting `peer_cdr`.
+    pub fn sign(
+        role: Role,
+        plan: DataPlan,
+        nonce: Nonce,
+        usage: u64,
+        peer_cdr: CdrMsg,
+        key: &PrivateKey,
+    ) -> Result<Self, CryptoError> {
+        let seq = peer_cdr.seq; // echo the accepted round
+        let mut msg = CdaMsg {
+            role,
+            plan,
+            seq,
+            nonce,
+            usage,
+            peer_cdr,
+            signature: Vec::new(),
+        };
+        msg.signature = pkcs1::sign(key, &msg.body())?;
+        Ok(msg)
+    }
+
+    /// Verifies the CDA signature *and* the embedded CDR's signature.
+    pub fn verify(
+        &self,
+        sender_key: &PublicKey,
+        peer_key: &PublicKey,
+    ) -> Result<(), MessageError> {
+        pkcs1::verify(sender_key, &self.body(), &self.signature)?;
+        self.peer_cdr.verify(peer_key)
+    }
+
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = self.body();
+        put_signature(&mut b, &self.signature);
+        b.to_vec()
+    }
+
+    /// Parses from wire bytes (does not verify signatures).
+    pub fn decode(data: &[u8]) -> Result<Self, MessageError> {
+        let mut buf = Bytes::copy_from_slice(data);
+        let msg = Self::decode_from(&mut buf)?;
+        if buf.has_remaining() {
+            return Err(MessageError::Malformed("trailing bytes after CDA"));
+        }
+        Ok(msg)
+    }
+
+    fn decode_from(buf: &mut Bytes) -> Result<Self, MessageError> {
+        if !buf.has_remaining() || buf.get_u8() != MsgType::Cda as u8 {
+            return Err(MessageError::Malformed("not a CDA"));
+        }
+        let role = get_role(buf)?;
+        let plan = get_plan(buf)?;
+        if buf.remaining() < 8 {
+            return Err(MessageError::Malformed("truncated CDA seq"));
+        }
+        let seq = buf.get_u64();
+        let nonce = get_nonce(buf)?;
+        if buf.remaining() < 8 {
+            return Err(MessageError::Malformed("truncated CDA usage"));
+        }
+        let usage = buf.get_u64();
+        if buf.remaining() < 2 {
+            return Err(MessageError::Malformed("truncated embedded CDR header"));
+        }
+        let peer_len = buf.get_u16() as usize;
+        if buf.remaining() < peer_len {
+            return Err(MessageError::Malformed("truncated embedded CDR"));
+        }
+        let peer_bytes = buf.copy_to_bytes(peer_len);
+        let peer_cdr = CdrMsg::decode(&peer_bytes)?;
+        let signature = get_signature(buf)?;
+        Ok(CdaMsg {
+            role,
+            plan,
+            seq,
+            nonce,
+            usage,
+            peer_cdr,
+            signature,
+        })
+    }
+}
+
+/// A Proof-of-Charging: the finalizer's signature over the plan, the
+/// negotiated volume, and the accepted CDA — which itself carries the
+/// other party's signature. Unforgeable and undeniable by either side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PocMsg {
+    /// Role of the party that finalized (received the CDA and accepted).
+    pub role: Role,
+    /// The data plan.
+    pub plan: DataPlan,
+    /// The negotiated charging volume `x`.
+    pub charge: u64,
+    /// The accepted CDA (embedded verbatim).
+    pub cda: CdaMsg,
+    /// Edge nonce, carried in the clear per the paper's construction.
+    pub nonce_e: Nonce,
+    /// Operator nonce, carried in the clear.
+    pub nonce_o: Nonce,
+    /// RSA signature over the canonical body.
+    pub signature: Vec<u8>,
+}
+
+impl PocMsg {
+    fn body(&self) -> BytesMut {
+        let mut b = BytesMut::with_capacity(512);
+        b.put_u8(MsgType::Poc as u8);
+        put_role(&mut b, self.role);
+        put_plan(&mut b, &self.plan);
+        b.put_u64(self.charge);
+        let cda = self.cda.encode();
+        b.put_u16(cda.len() as u16);
+        b.put_slice(&cda);
+        b
+    }
+
+    /// Builds and signs a PoC finalizing `cda`.
+    pub fn sign(
+        role: Role,
+        plan: DataPlan,
+        charge: u64,
+        cda: CdaMsg,
+        nonce_e: Nonce,
+        nonce_o: Nonce,
+        key: &PrivateKey,
+    ) -> Result<Self, CryptoError> {
+        let mut msg = PocMsg {
+            role,
+            plan,
+            charge,
+            cda,
+            nonce_e,
+            nonce_o,
+            signature: Vec::new(),
+        };
+        msg.signature = pkcs1::sign(key, &msg.body())?;
+        Ok(msg)
+    }
+
+    /// Verifies the whole signature chain: PoC by the finalizer, CDA by
+    /// the other party, embedded CDR by the finalizer again.
+    pub fn verify_chain(
+        &self,
+        edge_key: &PublicKey,
+        operator_key: &PublicKey,
+    ) -> Result<(), MessageError> {
+        let (finalizer_key, other_key) = match self.role {
+            Role::Edge => (edge_key, operator_key),
+            Role::Operator => (operator_key, edge_key),
+        };
+        pkcs1::verify(finalizer_key, &self.body(), &self.signature)?;
+        // The CDA must come from the *other* party and embed the
+        // finalizer's own CDR.
+        if self.cda.role == self.role {
+            return Err(MessageError::Malformed("CDA role matches finalizer"));
+        }
+        if self.cda.peer_cdr.role != self.role {
+            return Err(MessageError::Malformed("embedded CDR role mismatch"));
+        }
+        self.cda.verify(other_key, finalizer_key)
+    }
+
+    /// Serializes to wire bytes (signed body plus the two clear nonces).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = self.body();
+        put_signature(&mut b, &self.signature);
+        b.put_slice(&self.nonce_e);
+        b.put_slice(&self.nonce_o);
+        b.to_vec()
+    }
+
+    /// Parses from wire bytes (does not verify signatures).
+    pub fn decode(data: &[u8]) -> Result<Self, MessageError> {
+        let mut buf = Bytes::copy_from_slice(data);
+        if !buf.has_remaining() || buf.get_u8() != MsgType::Poc as u8 {
+            return Err(MessageError::Malformed("not a PoC"));
+        }
+        let role = get_role(&mut buf)?;
+        let plan = get_plan(&mut buf)?;
+        if buf.remaining() < 8 {
+            return Err(MessageError::Malformed("truncated PoC charge"));
+        }
+        let charge = buf.get_u64();
+        if buf.remaining() < 2 {
+            return Err(MessageError::Malformed("truncated embedded CDA header"));
+        }
+        let cda_len = buf.get_u16() as usize;
+        if buf.remaining() < cda_len {
+            return Err(MessageError::Malformed("truncated embedded CDA"));
+        }
+        let cda_bytes = buf.copy_to_bytes(cda_len);
+        let cda = CdaMsg::decode(&cda_bytes)?;
+        let signature = get_signature(&mut buf)?;
+        let nonce_e = get_nonce(&mut buf)?;
+        let nonce_o = get_nonce(&mut buf)?;
+        if buf.has_remaining() {
+            return Err(MessageError::Malformed("trailing bytes after PoC"));
+        }
+        Ok(PocMsg {
+            role,
+            plan,
+            charge,
+            cda,
+            nonce_e,
+            nonce_o,
+            signature,
+        })
+    }
+
+    /// The edge's claimed usage inside this proof.
+    pub fn edge_usage(&self) -> u64 {
+        if self.cda.role == Role::Edge {
+            self.cda.usage
+        } else {
+            self.cda.peer_cdr.usage
+        }
+    }
+
+    /// The operator's claimed usage inside this proof.
+    pub fn operator_usage(&self) -> u64 {
+        if self.cda.role == Role::Operator {
+            self.cda.usage
+        } else {
+            self.cda.peer_cdr.usage
+        }
+    }
+
+    /// The nonce belonging to the edge inside the signed structures.
+    pub fn signed_edge_nonce(&self) -> Nonce {
+        if self.cda.role == Role::Edge {
+            self.cda.nonce
+        } else {
+            self.cda.peer_cdr.nonce
+        }
+    }
+
+    /// The nonce belonging to the operator inside the signed structures.
+    pub fn signed_operator_nonce(&self) -> Nonce {
+        if self.cda.role == Role::Operator {
+            self.cda.nonce
+        } else {
+            self.cda.peer_cdr.nonce
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tlc_crypto::KeyPair;
+
+    fn keys() -> (KeyPair, KeyPair) {
+        (
+            KeyPair::generate_for_seed(1024, 100).unwrap(),
+            KeyPair::generate_for_seed(1024, 200).unwrap(),
+        )
+    }
+
+    fn nonce(b: u8) -> Nonce {
+        [b; NONCE_LEN]
+    }
+
+    fn build_chain(edge: &KeyPair, op: &KeyPair) -> (CdrMsg, CdaMsg, PocMsg) {
+        let plan = DataPlan::paper_default();
+        // Operator initiates (Fig. 7): CDR_o -> CDA_e -> PoC_o.
+        let cdr_o = CdrMsg::sign(Role::Operator, plan, 1, nonce(2), 1000, &op.private).unwrap();
+        let cda_e =
+            CdaMsg::sign(Role::Edge, plan, nonce(1), 800, cdr_o.clone(), &edge.private).unwrap();
+        let poc = PocMsg::sign(
+            Role::Operator,
+            plan,
+            900,
+            cda_e.clone(),
+            nonce(1),
+            nonce(2),
+            &op.private,
+        )
+        .unwrap();
+        (cdr_o, cda_e, poc)
+    }
+
+    #[test]
+    fn cdr_roundtrip_and_verify() {
+        let (edge, _) = keys();
+        let plan = DataPlan::paper_default();
+        let cdr = CdrMsg::sign(Role::Edge, plan, 3, nonce(7), 123456, &edge.private).unwrap();
+        cdr.verify(&edge.public).unwrap();
+        let decoded = CdrMsg::decode(&cdr.encode()).unwrap();
+        assert_eq!(decoded, cdr);
+        decoded.verify(&edge.public).unwrap();
+    }
+
+    #[test]
+    fn cdr_wire_size_matches_paper_scale() {
+        // Fig. 17 reports 199 bytes for a TLC CDR under RSA-1024.
+        let (edge, _) = keys();
+        let cdr = CdrMsg::sign(Role::Edge, DataPlan::paper_default(), 1, nonce(1), 1, &edge.private)
+            .unwrap();
+        let len = cdr.encode().len();
+        assert!((180..=210).contains(&len), "CDR wire size {len}");
+    }
+
+    #[test]
+    fn cda_embeds_and_verifies_cdr() {
+        let (edge, op) = keys();
+        let (_cdr, cda, _) = build_chain(&edge, &op);
+        cda.verify(&edge.public, &op.public).unwrap();
+        let decoded = CdaMsg::decode(&cda.encode()).unwrap();
+        assert_eq!(decoded, cda);
+        // CDA wire size should be roughly double a CDR (Fig. 17: 398 B).
+        let len = cda.encode().len();
+        assert!((360..=430).contains(&len), "CDA wire size {len}");
+    }
+
+    #[test]
+    fn poc_chain_verifies_and_roundtrips() {
+        let (edge, op) = keys();
+        let (_, _, poc) = build_chain(&edge, &op);
+        poc.verify_chain(&edge.public, &op.public).unwrap();
+        let decoded = PocMsg::decode(&poc.encode()).unwrap();
+        assert_eq!(decoded, poc);
+        // Fig. 17: 796 B PoC.
+        let len = poc.encode().len();
+        assert!((500..=860).contains(&len), "PoC wire size {len}");
+    }
+
+    #[test]
+    fn poc_accessors_resolve_roles() {
+        let (edge, op) = keys();
+        let (_, _, poc) = build_chain(&edge, &op);
+        assert_eq!(poc.edge_usage(), 800);
+        assert_eq!(poc.operator_usage(), 1000);
+        assert_eq!(poc.signed_edge_nonce(), nonce(1));
+        assert_eq!(poc.signed_operator_nonce(), nonce(2));
+    }
+
+    #[test]
+    fn tampered_usage_breaks_signature() {
+        let (edge, op) = keys();
+        let (_, _, mut poc) = build_chain(&edge, &op);
+        poc.charge = 1; // operator tries to bill a different volume
+        assert!(matches!(
+            poc.verify_chain(&edge.public, &op.public),
+            Err(MessageError::BadSignature)
+        ));
+    }
+
+    #[test]
+    fn tampered_inner_cdr_breaks_chain() {
+        let (edge, op) = keys();
+        let (_, _, mut poc) = build_chain(&edge, &op);
+        poc.cda.peer_cdr.usage = 999_999;
+        // Outer signatures no longer cover the body.
+        assert!(poc.verify_chain(&edge.public, &op.public).is_err());
+    }
+
+    #[test]
+    fn wrong_keys_rejected() {
+        let (edge, op) = keys();
+        let (_, _, poc) = build_chain(&edge, &op);
+        let stranger = KeyPair::generate_for_seed(1024, 999).unwrap();
+        assert!(poc.verify_chain(&stranger.public, &op.public).is_err());
+        assert!(poc.verify_chain(&edge.public, &stranger.public).is_err());
+    }
+
+    #[test]
+    fn truncated_wire_rejected() {
+        let (edge, op) = keys();
+        let (cdr, cda, poc) = build_chain(&edge, &op);
+        for msg in [cdr.encode(), cda.encode(), poc.encode()] {
+            for cut in [0, 1, 5, msg.len() / 2, msg.len() - 1] {
+                assert!(
+                    CdrMsg::decode(&msg[..cut]).is_err()
+                        && CdaMsg::decode(&msg[..cut]).is_err()
+                        && PocMsg::decode(&msg[..cut]).is_err(),
+                    "cut {cut} accepted"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn role_confusion_detected() {
+        // A PoC whose CDA claims the finalizer's own role is malformed.
+        let (edge, op) = keys();
+        let plan = DataPlan::paper_default();
+        let cdr_o = CdrMsg::sign(Role::Operator, plan, 1, nonce(2), 1000, &op.private).unwrap();
+        // CDA *also* signed as operator (role confusion).
+        let cda_o = CdaMsg::sign(Role::Operator, plan, nonce(1), 800, cdr_o, &op.private).unwrap();
+        let poc = PocMsg::sign(Role::Operator, plan, 900, cda_o, nonce(1), nonce(2), &op.private)
+            .unwrap();
+        assert!(matches!(
+            poc.verify_chain(&edge.public, &op.public),
+            Err(MessageError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn total_negotiation_overhead_matches_paper_scale() {
+        // Fig. 17: 1393 bytes over 3 messages for a complete negotiation.
+        let (edge, op) = keys();
+        let (cdr, cda, poc) = build_chain(&edge, &op);
+        let total = cdr.encode().len() + cda.encode().len() + poc.encode().len();
+        assert!((1000..=1500).contains(&total), "total {total}");
+    }
+}

@@ -1,0 +1,782 @@
+//! The TLC negotiation protocol state machines (Fig. 7).
+//!
+//! Either party may initiate at the end of the charging cycle. Messages
+//! implement Algorithm 1 at the wire level:
+//!
+//! * sending a **CDR** makes (or re-makes) a claim,
+//! * replying a **CDA** accepts the peer's CDR and attaches one's own claim,
+//! * replying a **PoC** accepts the CDA and finalizes — the PoC carries
+//!   both parties' signatures and is stored by both as the charging receipt,
+//! * replying a **CDR** to anything is an implicit reject + re-claim.
+//!
+//! An [`Endpoint`] drives one party; feed it incoming messages with
+//! [`Endpoint::handle`] and it produces the response, updating the
+//! Algorithm-1 bounds as rounds proceed.
+
+use crate::cancellation::Bounds;
+use crate::messages::{CdaMsg, CdrMsg, MessageError, Nonce, PocMsg};
+use crate::plan::{charge_for, DataPlan, UsagePair};
+use crate::strategy::{Decision, Knowledge, Role, Strategy};
+use tlc_crypto::{PrivateKey, PublicKey};
+
+/// Protocol-level failures.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// Message decoding or signature failure.
+    Message(MessageError),
+    /// The peer's message referenced a different data plan.
+    PlanMismatch,
+    /// A CDA echoed a CDR we never sent (wrong nonce/seq/usage).
+    EchoMismatch,
+    /// The peer's claim violated the agreed bounds (line 12) — locally
+    /// detected misbehavior; the negotiation is aborted.
+    PeerBoundViolation {
+        /// The offending claim.
+        claim: u64,
+        /// Bounds in force.
+        bounds: Bounds,
+    },
+    /// A PoC carried a charge inconsistent with its embedded claims.
+    ChargeMismatch {
+        /// What the PoC said.
+        claimed: u64,
+        /// What the claims compute to.
+        expected: u64,
+    },
+    /// Round cap exceeded (peer misbehaving per §5.1).
+    Stalled {
+        /// Rounds attempted.
+        rounds: u32,
+    },
+    /// Message arrived in a state that cannot consume it.
+    UnexpectedMessage(&'static str),
+    /// Crypto failure while signing.
+    Signing(tlc_crypto::CryptoError),
+}
+
+impl From<MessageError> for ProtocolError {
+    fn from(e: MessageError) -> Self {
+        ProtocolError::Message(e)
+    }
+}
+
+impl From<tlc_crypto::CryptoError> for ProtocolError {
+    fn from(e: tlc_crypto::CryptoError) -> Self {
+        ProtocolError::Signing(e)
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::Message(e) => write!(f, "message error: {e}"),
+            ProtocolError::PlanMismatch => write!(f, "data plan mismatch"),
+            ProtocolError::EchoMismatch => write!(f, "CDA echoed an unknown CDR"),
+            ProtocolError::PeerBoundViolation { claim, bounds } => write!(
+                f,
+                "peer claim {claim} violates bounds [{}, {}]",
+                bounds.lo, bounds.hi
+            ),
+            ProtocolError::ChargeMismatch { claimed, expected } => {
+                write!(f, "PoC charge {claimed} != expected {expected}")
+            }
+            ProtocolError::Stalled { rounds } => write!(f, "stalled after {rounds} rounds"),
+            ProtocolError::UnexpectedMessage(s) => write!(f, "unexpected message: {s}"),
+            ProtocolError::Signing(e) => write!(f, "signing failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Any TLC protocol message.
+#[derive(Clone, Debug)]
+pub enum Message {
+    /// A claim (or re-claim).
+    Cdr(CdrMsg),
+    /// Acceptance of a CDR, with own claim attached.
+    Cda(CdaMsg),
+    /// Finalized proof.
+    Poc(PocMsg),
+}
+
+impl Message {
+    /// Wire encoding of whichever variant this is.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Message::Cdr(m) => m.encode(),
+            Message::Cda(m) => m.encode(),
+            Message::Poc(m) => m.encode(),
+        }
+    }
+}
+
+/// Protocol state (Fig. 7a), named by the last message sent.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum State {
+    /// Nothing sent yet.
+    Null,
+    /// Sent a CDR; awaiting CDA (accept) or CDR (reject).
+    SentCdr,
+    /// Sent a CDA; awaiting PoC (accept) or CDR (reject).
+    SentCda,
+    /// Negotiation complete; PoC stored.
+    Done,
+}
+
+/// Message/byte counters for overhead accounting (Fig. 17).
+#[derive(Clone, Copy, Default, Debug)]
+pub struct EndpointStats {
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// RSA signing operations performed.
+    pub signatures_made: u64,
+    /// RSA verifications performed.
+    pub signatures_checked: u64,
+}
+
+/// One party's protocol endpoint.
+pub struct Endpoint {
+    role: Role,
+    plan: DataPlan,
+    knowledge: Knowledge,
+    strategy: Box<dyn Strategy>,
+    own_key: PrivateKey,
+    peer_key: PublicKey,
+    nonce: Nonce,
+    state: State,
+    bounds: Bounds,
+    round: u32,
+    max_rounds: u32,
+    /// The last CDR we sent (to match CDA echoes).
+    last_sent_cdr: Option<CdrMsg>,
+    /// Our standing claim for the round in progress.
+    last_own_claim: Option<u64>,
+    /// The peer claim our standing claim was paired against (set once we
+    /// have seen the peer's side of the round; used for catch-up
+    /// tightening when the peer's next message shows it rejected).
+    last_peer_claim: Option<u64>,
+    completed: Option<PocMsg>,
+    stats: EndpointStats,
+}
+
+impl Endpoint {
+    /// Creates an endpoint ready to initiate or respond.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        role: Role,
+        plan: DataPlan,
+        knowledge: Knowledge,
+        strategy: Box<dyn Strategy>,
+        own_key: PrivateKey,
+        peer_key: PublicKey,
+        nonce: Nonce,
+        max_rounds: u32,
+    ) -> Self {
+        assert_eq!(role, knowledge.role, "knowledge must match role");
+        Endpoint {
+            role,
+            plan,
+            knowledge,
+            strategy,
+            own_key,
+            peer_key,
+            nonce,
+            state: State::Null,
+            bounds: Bounds::unbounded(),
+            round: 0,
+            max_rounds,
+            last_sent_cdr: None,
+            last_own_claim: None,
+            last_peer_claim: None,
+            completed: None,
+            stats: EndpointStats::default(),
+        }
+    }
+
+    /// Starts the negotiation by sending the first CDR.
+    pub fn initiate(&mut self) -> Result<Message, ProtocolError> {
+        assert_eq!(self.state, State::Null, "initiate only from Null");
+        let cdr = self.make_cdr()?;
+        self.state = State::SentCdr;
+        Ok(Message::Cdr(cdr))
+    }
+
+    fn make_cdr(&mut self) -> Result<CdrMsg, ProtocolError> {
+        self.round += 1;
+        if self.round > self.max_rounds {
+            return Err(ProtocolError::Stalled { rounds: self.round - 1 });
+        }
+        let claim = self.strategy.claim(&self.knowledge, &self.bounds, self.round);
+        let cdr = CdrMsg::sign(
+            self.role,
+            self.plan,
+            self.round as u64,
+            self.nonce,
+            claim,
+            &self.own_key,
+        )?;
+        self.stats.signatures_made += 1;
+        self.note_sent(cdr.encode().len());
+        self.last_sent_cdr = Some(cdr.clone());
+        self.last_own_claim = Some(claim);
+        self.last_peer_claim = None;
+        Ok(cdr)
+    }
+
+    fn note_sent(&mut self, bytes: usize) {
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes as u64;
+    }
+
+    fn check_plan(&self, plan: &DataPlan) -> Result<(), ProtocolError> {
+        if *plan != self.plan {
+            return Err(ProtocolError::PlanMismatch);
+        }
+        Ok(())
+    }
+
+    fn check_peer_bounds(&self, claim: u64) -> Result<(), ProtocolError> {
+        if !self.bounds.admits(claim) {
+            return Err(ProtocolError::PeerBoundViolation {
+                claim,
+                bounds: self.bounds,
+            });
+        }
+        Ok(())
+    }
+
+    /// Consumes an incoming message and produces the reply, if any.
+    ///
+    /// `Ok(None)` means the negotiation just completed on our side with no
+    /// further message owed (only happens on receiving a valid PoC).
+    pub fn handle(&mut self, msg: &Message) -> Result<Option<Message>, ProtocolError> {
+        match msg {
+            Message::Cdr(cdr) => self.on_cdr(cdr),
+            Message::Cda(cda) => self.on_cda(cda),
+            Message::Poc(poc) => self.on_poc(poc),
+        }
+    }
+
+    fn on_cdr(&mut self, cdr: &CdrMsg) -> Result<Option<Message>, ProtocolError> {
+        cdr.verify(&self.peer_key)?;
+        self.stats.signatures_checked += 1;
+        self.check_plan(&cdr.plan)?;
+
+        // Catch-up tightening: a fresh CDR while we hold a resolved claim
+        // pair (we sent a CDA the peer is now rejecting) means the previous
+        // round failed — apply line 12 for it first, exactly as the peer
+        // did on its side.
+        if let (Some(own), Some(peer)) = (self.last_own_claim, self.last_peer_claim) {
+            self.bounds = self.bounds.tighten(own, peer);
+            self.last_own_claim = None;
+            self.last_peer_claim = None;
+        }
+        self.check_peer_bounds(cdr.usage)?;
+
+        // Our claim for this round: the standing one from our own CDR, or
+        // a fresh one if we are (re-)responding.
+        let own_claim = match (self.state, self.last_own_claim) {
+            (State::SentCdr, Some(claim)) => claim,
+            _ => {
+                // Compute a fresh claim; it travels inside the CDA (accept)
+                // or a counter-CDR (reject) — build the CDR but only count
+                // its transmission if we actually send it.
+                let c = self.make_unsent_cdr()?;
+                let usage = c.usage;
+                self.last_sent_cdr = Some(c);
+                self.last_own_claim = Some(usage);
+                usage
+            }
+        };
+        self.last_peer_claim = Some(cdr.usage);
+
+        let decision = self.strategy.decide(&self.knowledge, own_claim, cdr.usage);
+        if decision == Decision::Accept {
+            let cda = CdaMsg::sign(
+                self.role,
+                self.plan,
+                self.nonce,
+                own_claim,
+                cdr.clone(),
+                &self.own_key,
+            )?;
+            self.stats.signatures_made += 1;
+            self.note_sent(cda.encode().len());
+            self.state = State::SentCda;
+            Ok(Some(Message::Cda(cda)))
+        } else {
+            // Implicit reject. If our claim for this round was never
+            // transmitted, the counter-CDR carrying it is our rejection;
+            // otherwise both claims are on the table and we open the next
+            // round with a fresh claim under tightened bounds.
+            self.bounds = self.bounds.tighten(own_claim, cdr.usage);
+            self.last_own_claim = None;
+            self.last_peer_claim = None;
+            let reply = match (self.state, &self.last_sent_cdr) {
+                (State::Null, Some(mine)) | (State::SentCda, Some(mine))
+                    if mine.usage == own_claim =>
+                {
+                    // Send the standing (untransmitted) claim as-is.
+                    let cdr_out = mine.clone();
+                    self.note_sent(cdr_out.encode().len());
+                    self.last_own_claim = Some(cdr_out.usage);
+                    cdr_out
+                }
+                _ => self.make_cdr()?,
+            };
+            self.state = State::SentCdr;
+            Ok(Some(Message::Cdr(reply)))
+        }
+    }
+
+    /// Builds and signs a CDR for this round without counting it as
+    /// transmitted (it may travel embedded in a CDA instead).
+    fn make_unsent_cdr(&mut self) -> Result<CdrMsg, ProtocolError> {
+        self.round += 1;
+        if self.round > self.max_rounds {
+            return Err(ProtocolError::Stalled { rounds: self.round - 1 });
+        }
+        let claim = self.strategy.claim(&self.knowledge, &self.bounds, self.round);
+        let cdr = CdrMsg::sign(
+            self.role,
+            self.plan,
+            self.round as u64,
+            self.nonce,
+            claim,
+            &self.own_key,
+        )?;
+        self.stats.signatures_made += 1;
+        Ok(cdr)
+    }
+
+    fn on_cda(&mut self, cda: &CdaMsg) -> Result<Option<Message>, ProtocolError> {
+        if self.state != State::SentCdr {
+            return Err(ProtocolError::UnexpectedMessage("CDA without pending CDR"));
+        }
+        cda.verify(&self.peer_key, &self.own_key.public)?;
+        self.stats.signatures_checked += 2;
+        self.check_plan(&cda.plan)?;
+        // The CDA must echo exactly the CDR we last sent.
+        let mine = self.last_sent_cdr.as_ref().expect("SentCdr implies a CDR");
+        if cda.peer_cdr != *mine {
+            return Err(ProtocolError::EchoMismatch);
+        }
+        self.check_peer_bounds(cda.usage)?;
+
+        let own_claim = mine.usage;
+        let decision = self.strategy.decide(&self.knowledge, own_claim, cda.usage);
+        if decision == Decision::Accept {
+            let (edge_claim, op_claim) = match self.role {
+                Role::Edge => (own_claim, cda.usage),
+                Role::Operator => (cda.usage, own_claim),
+            };
+            let charge = charge_for(
+                UsagePair { edge: edge_claim, operator: op_claim },
+                self.plan.loss_weight,
+            );
+            let (nonce_e, nonce_o) = match self.role {
+                Role::Edge => (self.nonce, cda.nonce),
+                Role::Operator => (cda.nonce, self.nonce),
+            };
+            let poc = PocMsg::sign(
+                self.role,
+                self.plan,
+                charge,
+                cda.clone(),
+                nonce_e,
+                nonce_o,
+                &self.own_key,
+            )?;
+            self.stats.signatures_made += 1;
+            self.note_sent(poc.encode().len());
+            self.completed = Some(poc.clone());
+            self.state = State::Done;
+            Ok(Some(Message::Poc(poc)))
+        } else {
+            self.bounds = self.bounds.tighten(own_claim, cda.usage);
+            let reclaim = self.make_cdr()?;
+            self.state = State::SentCdr;
+            Ok(Some(Message::Cdr(reclaim)))
+        }
+    }
+
+    fn on_poc(&mut self, poc: &PocMsg) -> Result<Option<Message>, ProtocolError> {
+        if self.state != State::SentCda {
+            return Err(ProtocolError::UnexpectedMessage("PoC without pending CDA"));
+        }
+        let (edge_key, op_key) = match self.role {
+            Role::Edge => (&self.own_key.public, &self.peer_key),
+            Role::Operator => (&self.peer_key, &self.own_key.public),
+        };
+        poc.verify_chain(edge_key, op_key)?;
+        self.stats.signatures_checked += 3;
+        self.check_plan(&poc.plan)?;
+        // Recompute the charge from the embedded claims.
+        let expected = charge_for(
+            UsagePair {
+                edge: poc.edge_usage(),
+                operator: poc.operator_usage(),
+            },
+            self.plan.loss_weight,
+        );
+        if poc.charge != expected {
+            return Err(ProtocolError::ChargeMismatch {
+                claimed: poc.charge,
+                expected,
+            });
+        }
+        self.completed = Some(poc.clone());
+        self.state = State::Done;
+        Ok(None)
+    }
+
+    /// The stored PoC once the negotiation completed.
+    pub fn proof(&self) -> Option<&PocMsg> {
+        self.completed.as_ref()
+    }
+
+    /// Current protocol state.
+    pub fn state(&self) -> State {
+        self.state
+    }
+
+    /// Rounds of claims made so far.
+    pub fn rounds(&self) -> u32 {
+        self.round
+    }
+
+    /// Overhead counters.
+    pub fn stats(&self) -> EndpointStats {
+        self.stats
+    }
+
+    /// This endpoint's role.
+    pub fn role(&self) -> Role {
+        self.role
+    }
+}
+
+/// Runs a full negotiation between two endpoints in memory, shuttling
+/// messages until both complete. Returns the PoC and the number of
+/// messages exchanged.
+pub fn run_negotiation(
+    initiator: &mut Endpoint,
+    responder: &mut Endpoint,
+) -> Result<(PocMsg, u32), ProtocolError> {
+    let mut msg = initiator.initiate()?;
+    let mut msgs = 1u32;
+    // Alternate until someone completes. The message cap is generous: each
+    // Algorithm-1 round costs at most 2 messages plus the final PoC.
+    let cap = initiator.max_rounds * 2 + 2;
+    let mut turn_responder = true;
+    while msgs <= cap {
+        let reply = if turn_responder {
+            responder.handle(&msg)?
+        } else {
+            initiator.handle(&msg)?
+        };
+        match reply {
+            Some(next) => {
+                msg = next;
+                msgs += 1;
+                turn_responder = !turn_responder;
+            }
+            None => {
+                // Receiver consumed a PoC: both sides are done.
+                let poc = initiator
+                    .proof()
+                    .or(responder.proof())
+                    .expect("completion implies a stored proof")
+                    .clone();
+                return Ok((poc, msgs));
+            }
+        }
+        // If the last reply was a PoC, the *sender* is done and the
+        // receiver will consume it next iteration, returning None.
+    }
+    Err(ProtocolError::Stalled {
+        rounds: initiator.rounds().max(responder.rounds()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{HonestStrategy, OptimalStrategy, RandomSelfishStrategy, RejectAllStrategy};
+    use tlc_crypto::KeyPair;
+    use tlc_net::rng::SimRng;
+
+    fn setup(
+        edge_strategy: Box<dyn Strategy>,
+        op_strategy: Box<dyn Strategy>,
+        sent: u64,
+        received: u64,
+    ) -> (Endpoint, Endpoint) {
+        let plan = DataPlan::paper_default();
+        let edge_keys = KeyPair::generate_for_seed(1024, 11).unwrap();
+        let op_keys = KeyPair::generate_for_seed(1024, 22).unwrap();
+        let edge = Endpoint::new(
+            Role::Edge,
+            plan,
+            Knowledge { role: Role::Edge, own_truth: sent, inferred_peer_truth: received },
+            edge_strategy,
+            edge_keys.private.clone(),
+            op_keys.public.clone(),
+            [0xEE; 16],
+            32,
+        );
+        let op = Endpoint::new(
+            Role::Operator,
+            plan,
+            Knowledge { role: Role::Operator, own_truth: received, inferred_peer_truth: sent },
+            op_strategy,
+            op_keys.private.clone(),
+            edge_keys.public.clone(),
+            [0x00; 16],
+            32,
+        );
+        (edge, op)
+    }
+
+    #[test]
+    fn optimal_pair_one_round_three_messages() {
+        let (mut edge, mut op) = setup(
+            Box::new(OptimalStrategy),
+            Box::new(OptimalStrategy),
+            1000,
+            800,
+        );
+        // Operator initiates (Fig. 7).
+        let (poc, msgs) = run_negotiation(&mut op, &mut edge).unwrap();
+        assert_eq!(msgs, 3, "CDR, CDA, PoC");
+        assert_eq!(poc.charge, 900);
+        assert_eq!(op.rounds(), 1);
+        assert_eq!(edge.state(), State::Done);
+        assert_eq!(op.state(), State::Done);
+        // Both stored the same proof.
+        assert_eq!(edge.proof().unwrap(), op.proof().unwrap());
+    }
+
+    #[test]
+    fn edge_can_initiate_too() {
+        let (mut edge, mut op) = setup(
+            Box::new(OptimalStrategy),
+            Box::new(OptimalStrategy),
+            1000,
+            800,
+        );
+        let (poc, msgs) = run_negotiation(&mut edge, &mut op).unwrap();
+        assert_eq!(msgs, 3);
+        assert_eq!(poc.charge, 900);
+    }
+
+    #[test]
+    fn honest_pair_converges_to_intended() {
+        let (mut edge, mut op) =
+            setup(Box::new(HonestStrategy), Box::new(HonestStrategy), 5000, 4000);
+        let (poc, _) = run_negotiation(&mut op, &mut edge).unwrap();
+        assert_eq!(poc.charge, 4500);
+        assert_eq!(poc.edge_usage(), 5000);
+        assert_eq!(poc.operator_usage(), 4000);
+    }
+
+    #[test]
+    fn random_selfish_pair_converges_bounded() {
+        for seed in 0..20 {
+            let (mut edge, mut op) = setup(
+                Box::new(RandomSelfishStrategy::new(SimRng::new(seed))),
+                Box::new(RandomSelfishStrategy::new(SimRng::new(seed + 700))),
+                1_000_000,
+                900_000,
+            );
+            let (poc, _) = run_negotiation(&mut op, &mut edge).unwrap();
+            assert!(
+                (900_000..=1_000_000).contains(&poc.charge),
+                "seed {seed}: {}",
+                poc.charge
+            );
+        }
+    }
+
+    #[test]
+    fn reject_all_stalls() {
+        let (mut edge, mut op) = setup(
+            Box::new(RejectAllStrategy),
+            Box::new(OptimalStrategy),
+            1000,
+            800,
+        );
+        let err = run_negotiation(&mut op, &mut edge).unwrap_err();
+        assert!(matches!(err, ProtocolError::Stalled { .. }));
+    }
+
+    #[test]
+    fn protocol_matches_abstract_algorithm() {
+        // The wire protocol must compute exactly what `negotiate()` does
+        // for the same strategies and knowledge.
+        use crate::cancellation::negotiate;
+        let plan = DataPlan::paper_default();
+        let ke = Knowledge { role: Role::Edge, own_truth: 123_456, inferred_peer_truth: 98_765 };
+        let ko = Knowledge {
+            role: Role::Operator,
+            own_truth: 98_765,
+            inferred_peer_truth: 123_456,
+        };
+        let abstract_out = negotiate(
+            &plan,
+            &mut OptimalStrategy,
+            &ke,
+            &mut OptimalStrategy,
+            &ko,
+            32,
+        )
+        .unwrap();
+        let (mut edge, mut op) = setup(
+            Box::new(OptimalStrategy),
+            Box::new(OptimalStrategy),
+            123_456,
+            98_765,
+        );
+        let (poc, _) = run_negotiation(&mut op, &mut edge).unwrap();
+        assert_eq!(poc.charge, abstract_out.charge);
+    }
+
+    #[test]
+    fn stats_track_messages_and_crypto() {
+        let (mut edge, mut op) = setup(
+            Box::new(OptimalStrategy),
+            Box::new(OptimalStrategy),
+            1000,
+            800,
+        );
+        run_negotiation(&mut op, &mut edge).unwrap();
+        let os = op.stats();
+        let es = edge.stats();
+        assert_eq!(os.msgs_sent, 2); // CDR + PoC
+        assert_eq!(es.msgs_sent, 1); // CDA
+        assert!(os.signatures_made >= 2 && es.signatures_made >= 1);
+        assert!(os.bytes_sent > 0 && es.bytes_sent > 0);
+        // Total wire bytes in the ballpark of Fig. 17's 1393 B.
+        let total = os.bytes_sent + es.bytes_sent;
+        assert!((1000..=1500).contains(&total), "total {total}");
+    }
+
+    /// A strategy that claims like the optimal play but rejects its first
+    /// `reject_first` decisions — to force Fig. 7b's multi-message cases.
+    struct GrumpyOptimal {
+        reject_first: u32,
+        decisions: u32,
+    }
+    impl Strategy for GrumpyOptimal {
+        fn claim(&mut self, k: &Knowledge, bounds: &crate::cancellation::Bounds, round: u32) -> u64 {
+            OptimalStrategy.claim(k, bounds, round)
+        }
+        fn decide(&mut self, k: &Knowledge, own: u64, peer: u64) -> Decision {
+            self.decisions += 1;
+            if self.decisions <= self.reject_first {
+                Decision::Reject
+            } else {
+                OptimalStrategy.decide(k, own, peer)
+            }
+        }
+    }
+
+    #[test]
+    fn fig7b_case2_operator_rejects_cda_and_reinitiates() {
+        // Operator: CDR -> (edge CDA) -> reject -> CDR -> (edge CDA) -> PoC.
+        let (mut edge, mut op) = setup(
+            Box::new(OptimalStrategy),
+            Box::new(GrumpyOptimal { reject_first: 1, decisions: 0 }),
+            1000,
+            800,
+        );
+        let m1 = op.initiate().unwrap();
+        assert!(matches!(m1, Message::Cdr(_)));
+        let m2 = edge.handle(&m1).unwrap().unwrap();
+        assert!(matches!(m2, Message::Cda(_)), "edge accepts with CDA");
+        let m3 = op.handle(&m2).unwrap().unwrap();
+        assert!(matches!(m3, Message::Cdr(_)), "operator rejects by re-CDR");
+        let m4 = edge.handle(&m3).unwrap().unwrap();
+        assert!(matches!(m4, Message::Cda(_)), "edge re-accepts");
+        let m5 = op.handle(&m4).unwrap().unwrap();
+        assert!(matches!(m5, Message::Poc(_)), "operator finalizes");
+        assert!(edge.handle(&m5).unwrap().is_none());
+        assert_eq!(edge.state(), State::Done);
+        assert_eq!(op.state(), State::Done);
+        let poc = op.proof().unwrap();
+        assert!((800..=1000).contains(&poc.charge), "Theorem 2 through case 2");
+    }
+
+    #[test]
+    fn fig7b_case3_edge_rejects_cdr_with_counterclaim() {
+        // Operator: CDR -> (edge rejects with its own CDR) -> CDA -> PoC.
+        let (mut edge, mut op) = setup(
+            Box::new(GrumpyOptimal { reject_first: 1, decisions: 0 }),
+            Box::new(OptimalStrategy),
+            1000,
+            800,
+        );
+        let m1 = op.initiate().unwrap();
+        let m2 = edge.handle(&m1).unwrap().unwrap();
+        assert!(matches!(m2, Message::Cdr(_)), "edge rejects by counter-CDR");
+        let m3 = op.handle(&m2).unwrap().unwrap();
+        assert!(matches!(m3, Message::Cda(_)), "operator accepts the counterclaim");
+        let m4 = edge.handle(&m3).unwrap().unwrap();
+        assert!(matches!(m4, Message::Poc(_)), "edge finalizes");
+        assert!(op.handle(&m4).unwrap().is_none());
+        let poc = edge.proof().unwrap();
+        assert!((800..=1000).contains(&poc.charge), "Theorem 2 through case 3");
+        // The verifier accepts the multi-round proof too.
+        let edge_pub = &edge.own_key.public;
+        let op_pub = &op.own_key.public;
+        crate::verify::verify_poc(poc, &DataPlan::paper_default(), edge_pub, op_pub).unwrap();
+    }
+
+    #[test]
+    fn plan_mismatch_rejected() {
+        let (mut edge, mut op) = setup(
+            Box::new(OptimalStrategy),
+            Box::new(OptimalStrategy),
+            1000,
+            800,
+        );
+        // Operator initiates with a *different* plan by tampering the CDR.
+        let msg = op.initiate().unwrap();
+        let tampered = match msg {
+            Message::Cdr(mut cdr) => {
+                cdr.plan.cycle = crate::plan::ChargingCycle::new(0, 7200);
+                Message::Cdr(cdr)
+            }
+            _ => unreachable!(),
+        };
+        // Signature no longer matches the body (plan is signed).
+        assert!(edge.handle(&tampered).is_err());
+    }
+
+    #[test]
+    fn unexpected_poc_rejected() {
+        let (mut edge, mut op) = setup(
+            Box::new(OptimalStrategy),
+            Box::new(OptimalStrategy),
+            1000,
+            800,
+        );
+        let (poc, _) = {
+            let (mut e2, mut o2) = setup(
+                Box::new(OptimalStrategy),
+                Box::new(OptimalStrategy),
+                1000,
+                800,
+            );
+            run_negotiation(&mut o2, &mut e2).unwrap()
+        };
+        // Fresh endpoints can't consume a PoC out of the blue.
+        let err = edge.handle(&Message::Poc(poc.clone())).unwrap_err();
+        assert!(matches!(err, ProtocolError::UnexpectedMessage(_)));
+        let err = op.handle(&Message::Poc(poc)).unwrap_err();
+        assert!(matches!(err, ProtocolError::UnexpectedMessage(_)));
+    }
+}

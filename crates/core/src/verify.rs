@@ -1,0 +1,351 @@
+//! Public verification of Proofs-of-Charging — Algorithm 2 (§5.3.3).
+//!
+//! An independent third party (FCC, a court, an MVNO) accepts a PoC plus
+//! the public data plan and both parties' public keys, and checks — without
+//! ever seeing the data transfer:
+//!
+//! 1. both signatures in the chain (unforgeability / undeniability),
+//! 2. plan consistency (`T' = T`, `c' = c`),
+//! 3. nonce and sequence coherence (replay resistance),
+//! 4. that the charged volume replays Algorithm 1's pricing of the
+//!    embedded claims.
+
+use crate::messages::{MessageError, PocMsg};
+use crate::plan::{charge_for, DataPlan, UsagePair};
+use std::collections::HashSet;
+use tlc_crypto::rng::RngSource;
+use tlc_crypto::{seal, PrivateKey, PublicKey};
+
+/// Why a PoC failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A signature in the chain failed (line 1's decryption step).
+    Signature(MessageError),
+    /// The PoC references a different data plan (Algorithm 2 line 2).
+    PlanMismatch,
+    /// Clear-text nonces disagree with the signed nonces (line 5).
+    NonceMismatch,
+    /// Sequence numbers of the accepted claim pair disagree (line 5).
+    SequenceMismatch,
+    /// The charge does not replay from the claims (lines 8–9).
+    ChargeMismatch {
+        /// Charge stated in the PoC.
+        claimed: u64,
+        /// Charge recomputed from the claims.
+        expected: u64,
+    },
+    /// This PoC's nonce pair was already presented (replay).
+    Replayed,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::Signature(e) => write!(f, "signature chain invalid: {e}"),
+            VerifyError::PlanMismatch => write!(f, "data plan inconsistent with agreement"),
+            VerifyError::NonceMismatch => write!(f, "clear nonces disagree with signed nonces"),
+            VerifyError::SequenceMismatch => write!(f, "sequence numbers incoherent"),
+            VerifyError::ChargeMismatch { claimed, expected } => {
+                write!(f, "charge {claimed} does not replay (expected {expected})")
+            }
+            VerifyError::Replayed => write!(f, "proof already presented (replay)"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// The verdict on a valid PoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Verdict {
+    /// The charging volume the proof commits both parties to.
+    pub charge: u64,
+    /// The edge's signed claim.
+    pub edge_claim: u64,
+    /// The operator's signed claim.
+    pub operator_claim: u64,
+    /// Rounds the negotiation took (from the accepted sequence number).
+    pub rounds: u64,
+}
+
+/// Stateless single-proof verification — Algorithm 2 verbatim.
+pub fn verify_poc(
+    poc: &PocMsg,
+    plan: &DataPlan,
+    edge_key: &PublicKey,
+    operator_key: &PublicKey,
+) -> Result<Verdict, VerifyError> {
+    // Line 1: "decrypt" — check the full signature chain.
+    poc.verify_chain(edge_key, operator_key)
+        .map_err(VerifyError::Signature)?;
+
+    // Lines 2–4: plan consistency.
+    if poc.plan != *plan || poc.cda.plan != *plan || poc.cda.peer_cdr.plan != *plan {
+        return Err(VerifyError::PlanMismatch);
+    }
+
+    // Lines 5–7: nonce and sequence coherence.
+    if poc.nonce_e != poc.signed_edge_nonce() || poc.nonce_o != poc.signed_operator_nonce() {
+        return Err(VerifyError::NonceMismatch);
+    }
+    // The CDA echoes the round of the CDR it accepts: s_e == s_o.
+    if poc.cda.seq != poc.cda.peer_cdr.seq {
+        return Err(VerifyError::SequenceMismatch);
+    }
+
+    // Lines 8–9: replay the pricing.
+    let claims = UsagePair {
+        edge: poc.edge_usage(),
+        operator: poc.operator_usage(),
+    };
+    let expected = charge_for(claims, plan.loss_weight);
+    if poc.charge != expected {
+        return Err(VerifyError::ChargeMismatch {
+            claimed: poc.charge,
+            expected,
+        });
+    }
+
+    Ok(Verdict {
+        charge: poc.charge,
+        edge_claim: claims.edge,
+        operator_claim: claims.operator,
+        rounds: poc.cda.seq,
+    })
+}
+
+/// Seals a PoC for confidential submission to a specific verifier
+/// (§5.3.4: parties may not want their charging records public). Only
+/// the verifier's private key opens it.
+pub fn seal_poc(
+    poc: &PocMsg,
+    verifier_key: &PublicKey,
+    rng: &mut dyn RngSource,
+) -> Result<Vec<u8>, MessageError> {
+    seal::seal(verifier_key, &poc.encode(), rng).map_err(MessageError::Crypto)
+}
+
+/// Opens a sealed submission with the verifier's private key and parses
+/// the PoC (authenticity of the *seal* is checked here; the PoC's own
+/// signature chain is checked by [`verify_poc`]).
+pub fn unseal_poc(sealed: &[u8], verifier_key: &PrivateKey) -> Result<PocMsg, MessageError> {
+    let bytes = seal::open(verifier_key, sealed).map_err(MessageError::Crypto)?;
+    PocMsg::decode(&bytes)
+}
+
+/// A stateful verifier service: Algorithm 2 plus a seen-nonce cache so an
+/// outdated PoC cannot be presented twice (the paper's replay defence).
+pub struct Verifier {
+    plan: DataPlan,
+    edge_key: PublicKey,
+    operator_key: PublicKey,
+    seen: HashSet<([u8; 16], [u8; 16])>,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl Verifier {
+    /// Creates a verifier for one (plan, edge, operator) relationship.
+    pub fn new(plan: DataPlan, edge_key: PublicKey, operator_key: PublicKey) -> Self {
+        Verifier {
+            plan,
+            edge_key,
+            operator_key,
+            seen: HashSet::new(),
+            accepted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Verifies one proof, enforcing nonce freshness across calls.
+    pub fn verify(&mut self, poc: &PocMsg) -> Result<Verdict, VerifyError> {
+        let key = (poc.nonce_e, poc.nonce_o);
+        if self.seen.contains(&key) {
+            self.rejected += 1;
+            return Err(VerifyError::Replayed);
+        }
+        match verify_poc(poc, &self.plan, &self.edge_key, &self.operator_key) {
+            Ok(v) => {
+                self.seen.insert(key);
+                self.accepted += 1;
+                Ok(v)
+            }
+            Err(e) => {
+                self.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Proofs accepted so far.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Proofs rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{run_negotiation, Endpoint};
+    use crate::strategy::{Knowledge, OptimalStrategy, Role};
+    use tlc_crypto::KeyPair;
+
+    struct Fixture {
+        plan: DataPlan,
+        edge: KeyPair,
+        op: KeyPair,
+        poc: PocMsg,
+    }
+
+    fn negotiate_proof(sent: u64, received: u64) -> Fixture {
+        let plan = DataPlan::paper_default();
+        let edge = KeyPair::generate_for_seed(1024, 31).unwrap();
+        let op = KeyPair::generate_for_seed(1024, 32).unwrap();
+        let mut e = Endpoint::new(
+            Role::Edge,
+            plan,
+            Knowledge { role: Role::Edge, own_truth: sent, inferred_peer_truth: received },
+            Box::new(OptimalStrategy),
+            edge.private.clone(),
+            op.public.clone(),
+            [0xAB; 16],
+            32,
+        );
+        let mut o = Endpoint::new(
+            Role::Operator,
+            plan,
+            Knowledge { role: Role::Operator, own_truth: received, inferred_peer_truth: sent },
+            Box::new(OptimalStrategy),
+            op.private.clone(),
+            edge.public.clone(),
+            [0xCD; 16],
+            32,
+        );
+        let (poc, _) = run_negotiation(&mut o, &mut e).unwrap();
+        Fixture { plan, edge, op, poc }
+    }
+
+    #[test]
+    fn valid_poc_verifies() {
+        let f = negotiate_proof(1000, 800);
+        let v = verify_poc(&f.poc, &f.plan, &f.edge.public, &f.op.public).unwrap();
+        assert_eq!(v.charge, 900);
+        assert_eq!(v.edge_claim, 800); // optimal: edge claims x̂_o
+        assert_eq!(v.operator_claim, 1000);
+        assert_eq!(v.rounds, 1);
+    }
+
+    #[test]
+    fn wrong_plan_rejected() {
+        let f = negotiate_proof(1000, 800);
+        let other_plan = DataPlan {
+            loss_weight: crate::plan::LossWeight::from_f64(0.25),
+            ..f.plan
+        };
+        assert_eq!(
+            verify_poc(&f.poc, &other_plan, &f.edge.public, &f.op.public),
+            Err(VerifyError::PlanMismatch)
+        );
+    }
+
+    #[test]
+    fn tampered_charge_rejected() {
+        let f = negotiate_proof(1000, 800);
+        let mut poc = f.poc.clone();
+        poc.charge += 100;
+        // Signature breaks first (charge is signed).
+        assert!(matches!(
+            verify_poc(&poc, &f.plan, &f.edge.public, &f.op.public),
+            Err(VerifyError::Signature(_))
+        ));
+    }
+
+    #[test]
+    fn swapped_clear_nonces_rejected() {
+        let f = negotiate_proof(1000, 800);
+        let mut poc = f.poc.clone();
+        std::mem::swap(&mut poc.nonce_e, &mut poc.nonce_o);
+        // Clear nonces are outside the signature; the nonce check catches it.
+        assert_eq!(
+            verify_poc(&poc, &f.plan, &f.edge.public, &f.op.public),
+            Err(VerifyError::NonceMismatch)
+        );
+    }
+
+    #[test]
+    fn verifier_detects_replay() {
+        let f = negotiate_proof(1000, 800);
+        let mut v = Verifier::new(f.plan, f.edge.public.clone(), f.op.public.clone());
+        v.verify(&f.poc).unwrap();
+        assert_eq!(v.verify(&f.poc), Err(VerifyError::Replayed));
+        assert_eq!(v.accepted(), 1);
+        assert_eq!(v.rejected(), 1);
+    }
+
+    #[test]
+    fn verifier_accepts_distinct_proofs() {
+        let f1 = negotiate_proof(1000, 800);
+        // Different nonces: re-run the negotiation with different keys' nonces
+        // by regenerating (fixture nonces are fixed, so craft a second with
+        // different usage which yields different signatures but same nonces —
+        // instead vary the nonce by re-signing).
+        let f2 = {
+            let mut f2 = negotiate_proof(2000, 1500);
+            // Give it distinct nonces to exercise the cache key.
+            f2.poc.nonce_e = [0x01; 16];
+            f2.poc.nonce_o = [0x02; 16];
+            f2
+        };
+        let mut v = Verifier::new(f1.plan, f1.edge.public.clone(), f1.op.public.clone());
+        v.verify(&f1.poc).unwrap();
+        // f2's nonces differ so the replay cache does not trip; the
+        // signature check fails instead (tampered nonce fields are fine —
+        // they're outside the signature — but the *signed* nonces differ).
+        assert!(v.verify(&f2.poc).is_err());
+        assert_eq!(v.rejected(), 1);
+    }
+
+    #[test]
+    fn sealed_submission_roundtrip() {
+        use tlc_crypto::DeterministicRng;
+        let f = negotiate_proof(1000, 800);
+        let verifier_keys = tlc_crypto::KeyPair::generate_for_seed(1024, 0xFCC).unwrap();
+        let mut rng = DeterministicRng::from_seed(9);
+        let sealed = seal_poc(&f.poc, &verifier_keys.public, &mut rng).unwrap();
+        // An eavesdropper (or the wrong verifier) cannot read the records.
+        let wrong = tlc_crypto::KeyPair::generate_for_seed(1024, 0xBAD).unwrap();
+        assert!(unseal_poc(&sealed, &wrong.private).is_err());
+        // The intended verifier opens and verifies as usual.
+        let poc = unseal_poc(&sealed, &verifier_keys.private).unwrap();
+        assert_eq!(poc, f.poc);
+        verify_poc(&poc, &f.plan, &f.edge.public, &f.op.public).unwrap();
+    }
+
+    #[test]
+    fn forged_poc_without_private_keys_impossible() {
+        // An operator alone cannot fabricate a PoC for a higher charge:
+        // it would need the edge's signature over a CDA/CDR it never made.
+        let f = negotiate_proof(1000, 800);
+        let mallory = KeyPair::generate_for_seed(1024, 666).unwrap();
+        // Re-sign the PoC body with Mallory's key.
+        let forged = PocMsg::sign(
+            Role::Operator,
+            f.plan,
+            1_000_000,
+            f.poc.cda.clone(),
+            f.poc.nonce_e,
+            f.poc.nonce_o,
+            &mallory.private,
+        )
+        .unwrap();
+        assert!(matches!(
+            verify_poc(&forged, &f.plan, &f.edge.public, &f.op.public),
+            Err(VerifyError::Signature(_))
+        ));
+    }
+}

@@ -1,0 +1,140 @@
+//! Compact length-prefixed encoding for keys and signed containers.
+//!
+//! TLC messages travel between the operator's OFCS and the edge applet, and
+//! PoCs are later handed to third-party verifiers, so keys and signatures
+//! need a stable wire form. We use a minimal tag-length-value scheme rather
+//! than full ASN.1 DER: `u8` tag, `u32` big-endian length, raw bytes.
+
+use crate::bigint::BigUint;
+use crate::error::CryptoError;
+use crate::rsa::PublicKey;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// TLV tag for an RSA public key container.
+const TAG_PUBLIC_KEY: u8 = 0x01;
+/// TLV tag for a big integer field.
+const TAG_INTEGER: u8 = 0x02;
+
+/// Appends one TLV field.
+pub fn put_field(out: &mut BytesMut, tag: u8, value: &[u8]) {
+    out.put_u8(tag);
+    out.put_u32(value.len() as u32);
+    out.put_slice(value);
+}
+
+/// Reads one TLV field, checking the tag.
+pub fn get_field(buf: &mut Bytes, expected_tag: u8) -> Result<Bytes, CryptoError> {
+    if buf.remaining() < 5 {
+        return Err(CryptoError::Encoding("truncated TLV header"));
+    }
+    let tag = buf.get_u8();
+    if tag != expected_tag {
+        return Err(CryptoError::Encoding("unexpected TLV tag"));
+    }
+    let len = buf.get_u32() as usize;
+    if buf.remaining() < len {
+        return Err(CryptoError::Encoding("truncated TLV value"));
+    }
+    Ok(buf.copy_to_bytes(len))
+}
+
+/// Serializes a public key as `TLV(pubkey, TLV(int, n) || TLV(int, e))`.
+pub fn encode_public_key(key: &PublicKey) -> Vec<u8> {
+    let mut inner = BytesMut::new();
+    put_field(&mut inner, TAG_INTEGER, &key.n.to_bytes_be());
+    put_field(&mut inner, TAG_INTEGER, &key.e.to_bytes_be());
+    let mut out = BytesMut::new();
+    put_field(&mut out, TAG_PUBLIC_KEY, &inner);
+    out.to_vec()
+}
+
+/// Parses a public key produced by [`encode_public_key`].
+pub fn decode_public_key(data: &[u8]) -> Result<PublicKey, CryptoError> {
+    let mut buf = Bytes::copy_from_slice(data);
+    let mut inner = get_field(&mut buf, TAG_PUBLIC_KEY)?;
+    if buf.has_remaining() {
+        return Err(CryptoError::Encoding("trailing bytes after public key"));
+    }
+    let n = get_field(&mut inner, TAG_INTEGER)?;
+    let e = get_field(&mut inner, TAG_INTEGER)?;
+    if inner.has_remaining() {
+        return Err(CryptoError::Encoding("trailing bytes inside public key"));
+    }
+    let n = BigUint::from_bytes_be(&n);
+    let e = BigUint::from_bytes_be(&e);
+    if n.is_zero() || e.is_zero() {
+        return Err(CryptoError::Encoding("zero modulus or exponent"));
+    }
+    Ok(PublicKey { n, e })
+}
+
+/// A stable short fingerprint of a public key (first 8 bytes of SHA-256 of
+/// its encoding), used to identify parties in logs and PoC stores.
+pub fn key_fingerprint(key: &PublicKey) -> u64 {
+    let digest = crate::sha256::digest(&encode_public_key(key));
+    u64::from_be_bytes(digest[..8].try_into().expect("8 bytes"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsa::KeyPair;
+
+    #[test]
+    fn public_key_roundtrip() {
+        let kp = KeyPair::generate_for_seed(512, 5).unwrap();
+        let enc = encode_public_key(&kp.public);
+        let dec = decode_public_key(&enc).unwrap();
+        assert_eq!(dec, kp.public);
+    }
+
+    #[test]
+    fn truncated_key_rejected() {
+        let kp = KeyPair::generate_for_seed(512, 5).unwrap();
+        let enc = encode_public_key(&kp.public);
+        for cut in [0, 1, 4, 10, enc.len() - 1] {
+            assert!(decode_public_key(&enc[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let kp = KeyPair::generate_for_seed(512, 5).unwrap();
+        let mut enc = encode_public_key(&kp.public);
+        enc.push(0xff);
+        assert!(decode_public_key(&enc).is_err());
+    }
+
+    #[test]
+    fn wrong_tag_rejected() {
+        let kp = KeyPair::generate_for_seed(512, 5).unwrap();
+        let mut enc = encode_public_key(&kp.public);
+        enc[0] = 0x7f;
+        assert!(decode_public_key(&enc).is_err());
+    }
+
+    #[test]
+    fn zero_modulus_rejected() {
+        let mut inner = BytesMut::new();
+        put_field(&mut inner, TAG_INTEGER, &[]);
+        put_field(&mut inner, TAG_INTEGER, &[1]);
+        let mut out = BytesMut::new();
+        put_field(&mut out, TAG_PUBLIC_KEY, &inner);
+        assert!(decode_public_key(&out).is_err());
+    }
+
+    #[test]
+    fn fingerprints_distinguish_keys() {
+        let a = KeyPair::generate_for_seed(512, 1).unwrap();
+        let b = KeyPair::generate_for_seed(512, 2).unwrap();
+        assert_ne!(key_fingerprint(&a.public), key_fingerprint(&b.public));
+        assert_eq!(key_fingerprint(&a.public), key_fingerprint(&a.public));
+    }
+
+    #[test]
+    fn oversized_length_field_rejected() {
+        // Header claims a huge value length the buffer can't hold.
+        let data = [TAG_PUBLIC_KEY, 0xff, 0xff, 0xff, 0xff, 0x01];
+        assert!(decode_public_key(&data).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type for the cryptographic substrate.
+
+use std::fmt;
+
+/// Errors from key generation, raw RSA, signing, and verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// A raw RSA input was >= the modulus.
+    MessageTooLarge,
+    /// Requested key size is unsupported (must be even and >= 512).
+    InvalidKeySize(usize),
+    /// The modulus is too small to hold an EMSA-PKCS1-v1_5 SHA-256 encoding.
+    KeyTooSmallForDigest,
+    /// A signature had the wrong length for the key.
+    SignatureLength {
+        /// Modulus length in bytes.
+        expected: usize,
+        /// Actual signature length.
+        got: usize,
+    },
+    /// Signature verification failed.
+    BadSignature,
+    /// Malformed serialized key or signature container.
+    Encoding(&'static str),
+    /// Internal invariant violation (should never surface).
+    Internal,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MessageTooLarge => write!(f, "message representative exceeds modulus"),
+            CryptoError::InvalidKeySize(bits) => {
+                write!(f, "invalid RSA key size: {bits} bits (need even, >= 512)")
+            }
+            CryptoError::KeyTooSmallForDigest => {
+                write!(f, "modulus too small for EMSA-PKCS1-v1_5 SHA-256 encoding")
+            }
+            CryptoError::SignatureLength { expected, got } => {
+                write!(f, "signature length {got}, expected {expected}")
+            }
+            CryptoError::BadSignature => write!(f, "signature verification failed"),
+            CryptoError::Encoding(what) => write!(f, "malformed encoding: {what}"),
+            CryptoError::Internal => write!(f, "internal crypto invariant violated"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CryptoError::SignatureLength {
+            expected: 128,
+            got: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("128") && s.contains("64"));
+        assert!(CryptoError::BadSignature.to_string().contains("failed"));
+    }
+}

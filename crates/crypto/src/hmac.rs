@@ -1,0 +1,122 @@
+//! HMAC-SHA-256 (RFC 2104).
+//!
+//! Used by the deterministic RNG in [`crate::rng`] (HMAC-DRBG-style
+//! expansion) and available for keyed integrity checks on charging traces.
+
+use crate::sha256::{self, Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Computes `HMAC-SHA256(key, message)`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; DIGEST_LEN] {
+    let mut hm = HmacSha256::new(key);
+    hm.update(message);
+    hm.finalize()
+}
+
+/// Incremental HMAC-SHA-256.
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Initializes with `key` (hashed down first if longer than one block).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let d = sha256::digest(key);
+            k[..DIGEST_LEN].copy_from_slice(&d);
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = k[i] ^ 0x36;
+            opad[i] = k[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 {
+            inner,
+            outer_key: opad,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produces the MAC, consuming the state.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &[u8]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0b; 20];
+        assert_eq!(
+            hex(&hmac_sha256(&key, b"Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        assert_eq!(
+            hex(&hmac_sha256(b"Jefe", b"what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        assert_eq!(
+            hex(&hmac_sha256(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let key = [0xaa; 131];
+        assert_eq!(
+            hex(&hmac_sha256(
+                &key,
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            )),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = b"charging-key";
+        let msg = b"the quick brown fox jumps over the lazy dog";
+        let mut hm = HmacSha256::new(key);
+        hm.update(&msg[..10]);
+        hm.update(&msg[10..]);
+        assert_eq!(hm.finalize(), hmac_sha256(key, msg));
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+}

@@ -1,0 +1,264 @@
+//! Montgomery-form modular arithmetic for odd moduli.
+//!
+//! RSA spends nearly all its time in modular exponentiation, and the modulus
+//! is always odd, so Montgomery reduction (REDC) is the standard way to
+//! avoid a full division per multiplication. The context precomputes
+//! `n' = -n^{-1} mod 2^64` and `R^2 mod n` (with `R = 2^{64·k}` for a
+//! `k`-limb modulus) once per modulus.
+
+use crate::bigint::BigUint;
+use std::cmp::Ordering;
+
+/// Precomputed state for Montgomery arithmetic modulo an odd `n`.
+pub struct MontgomeryCtx {
+    /// The (odd) modulus limbs, little-endian.
+    n: Vec<u64>,
+    /// `-n^{-1} mod 2^64`.
+    n_prime: u64,
+    /// `R^2 mod n` in plain form, used to convert into Montgomery form.
+    r2: Vec<u64>,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context; panics if the modulus is even or zero.
+    pub fn new(modulus: &BigUint) -> Self {
+        assert!(!modulus.is_zero(), "Montgomery modulus must be nonzero");
+        assert!(!modulus.is_even(), "Montgomery modulus must be odd");
+        let n = modulus.limbs.clone();
+        let k = n.len();
+
+        // n' = -n^{-1} mod 2^64 by Newton iteration: each step doubles the
+        // number of correct low bits of the inverse.
+        let n0 = n[0];
+        let mut inv = 1u64; // inverse mod 2
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n_prime = inv.wrapping_neg();
+
+        // R^2 mod n, with R = 2^(64k): shift-and-reduce 2^(128k).
+        // Pad to k limbs: mont_mul expects fixed-width operands.
+        let mut r2 = BigUint::one().shl(128 * k).rem(modulus).limbs.clone();
+        r2.resize(k, 0);
+
+        MontgomeryCtx { n, n_prime, r2 }
+    }
+
+    fn k(&self) -> usize {
+        self.n.len()
+    }
+
+    /// Montgomery multiplication: returns `a * b * R^-1 mod n`.
+    ///
+    /// Inputs are `k`-limb little-endian vectors already reduced mod `n`.
+    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.k();
+        // CIOS (coarsely integrated operand scanning).
+        let mut t = vec![0u64; k + 2];
+        for i in 0..k {
+            // t += a[i] * b
+            let mut carry = 0u128;
+            for j in 0..k {
+                let cur = t[j] as u128 + a[i] as u128 * b[j] as u128 + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k] = cur as u64;
+            t[k + 1] = (cur >> 64) as u64;
+
+            // m = t[0] * n' mod 2^64 ; t += m * n ; t >>= 64
+            let m = t[0].wrapping_mul(self.n_prime);
+            let cur = t[0] as u128 + m as u128 * self.n[0] as u128;
+            let mut carry = cur >> 64;
+            for j in 1..k {
+                let cur = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k - 1] = cur as u64;
+            t[k] = t[k + 1].wrapping_add((cur >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        // Conditional final subtraction to bring the result under n.
+        let mut out = t[..k].to_vec();
+        let overflow = t[k] != 0;
+        if overflow || cmp_limbs(&out, &self.n) != Ordering::Less {
+            sub_limbs_in_place(&mut out, &self.n);
+        }
+        out
+    }
+
+    /// Converts a plain value (reduced mod n) to Montgomery form.
+    fn to_mont(&self, v: &BigUint) -> Vec<u64> {
+        let mut limbs = v.limbs.clone();
+        limbs.resize(self.k(), 0);
+        self.mont_mul(&limbs, &self.r2)
+    }
+
+    /// Converts out of Montgomery form into a normalized `BigUint`.
+    fn from_mont(&self, v: &[u64]) -> BigUint {
+        let one = {
+            let mut o = vec![0u64; self.k()];
+            o[0] = 1;
+            o
+        };
+        let plain = self.mont_mul(v, &one);
+        let mut out = BigUint { limbs: plain };
+        normalize(&mut out);
+        out
+    }
+
+    /// Computes `base^exp mod n` with 4-bit fixed-window exponentiation.
+    pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        let modulus = {
+            let mut m = BigUint { limbs: self.n.clone() };
+            normalize(&mut m);
+            m
+        };
+        if exp.is_zero() {
+            return if modulus.is_one() {
+                BigUint::zero()
+            } else {
+                BigUint::one()
+            };
+        }
+        let base = base.rem(&modulus);
+        let base_m = self.to_mont(&base);
+        let one_m = self.to_mont(&BigUint::one());
+
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut table = Vec::with_capacity(16);
+        table.push(one_m.clone());
+        table.push(base_m.clone());
+        for i in 2..16 {
+            let prev: &Vec<u64> = &table[i - 1];
+            table.push(self.mont_mul(prev, &base_m));
+        }
+
+        let bits = exp.bit_len();
+        let windows = bits.div_ceil(4);
+        let mut acc = one_m;
+        let mut started = false;
+        for w in (0..windows).rev() {
+            if started {
+                for _ in 0..4 {
+                    acc = self.mont_mul(&acc, &acc);
+                }
+            }
+            let mut digit = 0usize;
+            for b in 0..4 {
+                let bit_idx = w * 4 + (3 - b);
+                digit <<= 1;
+                if bit_idx < bits && exp.bit(bit_idx) {
+                    digit |= 1;
+                }
+            }
+            if digit != 0 {
+                acc = self.mont_mul(&acc, &table[digit]);
+                started = true;
+            } else if started {
+                // squarings above already account for the zero window
+            } else {
+                // still leading zeros; nothing accumulated yet
+            }
+            if !started && digit == 0 {
+                continue;
+            }
+            started = true;
+        }
+        self.from_mont(&acc)
+    }
+}
+
+fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        match x.cmp(y) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+fn sub_limbs_in_place(a: &mut [u64], b: &[u64]) {
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        a[i] = d2;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+}
+
+fn normalize(v: &mut BigUint) {
+    while v.limbs.last() == Some(&0) {
+        v.limbs.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn matches_simple_modpow_small() {
+        let m = big(1_000_000_007); // odd prime
+        let ctx = MontgomeryCtx::new(&m);
+        for (b, e) in [(2u128, 10u128), (3, 100), (999_999_999, 12345), (1, 0), (0, 5)] {
+            let got = ctx.modpow(&big(b), &big(e));
+            // Reference: square-and-multiply with u128 arithmetic.
+            let mut expect = 1u128;
+            let mut base = b % 1_000_000_007;
+            let mut exp = e;
+            while exp > 0 {
+                if exp & 1 == 1 {
+                    expect = expect * base % 1_000_000_007;
+                }
+                base = base * base % 1_000_000_007;
+                exp >>= 1;
+            }
+            assert_eq!(got, big(expect), "base={b} exp={e}");
+        }
+    }
+
+    #[test]
+    fn matches_multi_limb_fermat() {
+        // p = 2^89 - 1 is a Mersenne prime spanning two limbs.
+        let p = BigUint::one().shl(89).sub(&BigUint::one());
+        let ctx = MontgomeryCtx::new(&p);
+        let a = BigUint::from_bytes_be(&[0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc]);
+        let p_minus_1 = p.sub(&BigUint::one());
+        assert_eq!(ctx.modpow(&a, &p_minus_1), BigUint::one());
+    }
+
+    #[test]
+    fn exponent_zero_and_one() {
+        let m = big(0xffff_ffff_ffff_fff1); // odd
+        let ctx = MontgomeryCtx::new(&m);
+        let a = big(0x1234_5678);
+        assert_eq!(ctx.modpow(&a, &BigUint::zero()), BigUint::one());
+        assert_eq!(ctx.modpow(&a, &BigUint::one()), a);
+    }
+
+    #[test]
+    #[should_panic]
+    fn even_modulus_rejected() {
+        MontgomeryCtx::new(&big(100));
+    }
+
+    #[test]
+    fn large_base_reduced_first() {
+        let m = big(101);
+        let ctx = MontgomeryCtx::new(&m);
+        // 1000 mod 101 = 91; 91^2 mod 101 = 8281 mod 101 = 100... compute: 101*81=8181, 8281-8181=100.
+        assert_eq!(ctx.modpow(&big(1000), &big(2)), big(100));
+    }
+}

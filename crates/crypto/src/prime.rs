@@ -1,0 +1,218 @@
+//! Probabilistic prime testing and prime generation for RSA key material.
+//!
+//! Miller–Rabin with random bases, preceded by trial division over a small
+//! prime table. 30 rounds gives an error probability far below 2^-64 for
+//! the 512-bit primes RSA-1024 needs.
+
+use crate::bigint::BigUint;
+use crate::rng::RngSource;
+
+/// Small primes for cheap trial division before Miller–Rabin.
+const SMALL_PRIMES: [u64; 60] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
+];
+
+/// Number of Miller–Rabin rounds used by [`is_probable_prime`].
+pub const MILLER_RABIN_ROUNDS: usize = 30;
+
+/// Tests `n` for primality: trial division then Miller–Rabin rounds with
+/// random bases drawn from `rng`.
+pub fn is_probable_prime(n: &BigUint, rng: &mut dyn RngSource) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let pv = BigUint::from_u64(p);
+        match n.cmp_to(&pv) {
+            std::cmp::Ordering::Equal => return true,
+            std::cmp::Ordering::Less => return false,
+            std::cmp::Ordering::Greater => {}
+        }
+        let (_, r) = n.div_rem_u64(p);
+        if r == 0 {
+            return false;
+        }
+    }
+    miller_rabin(n, MILLER_RABIN_ROUNDS, rng)
+}
+
+/// Miller–Rabin with `rounds` random bases. `n` must be odd and > 3.
+fn miller_rabin(n: &BigUint, rounds: usize, rng: &mut dyn RngSource) -> bool {
+    debug_assert!(!n.is_even());
+    let one = BigUint::one();
+    let two = BigUint::from_u64(2);
+    let n_minus_1 = n.sub(&one);
+    let n_minus_3 = n.sub(&BigUint::from_u64(3));
+
+    // n - 1 = 2^s * d with d odd.
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+
+    'witness: for _ in 0..rounds {
+        // Base a uniform in [2, n-2].
+        let a = random_below(&n_minus_3, rng).add(&two);
+        let mut x = a.modpow(&d, n);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = x.mul_mod(&x, n);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false; // composite witness found
+    }
+    true
+}
+
+/// Uniform value in `[0, bound]` (inclusive) via rejection sampling on the
+/// bit length.
+fn random_below(bound: &BigUint, rng: &mut dyn RngSource) -> BigUint {
+    let bits = bound.bit_len();
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let bytes = bits.div_ceil(8);
+    let top_mask = if bits % 8 == 0 {
+        0xffu8
+    } else {
+        (1u8 << (bits % 8)) - 1
+    };
+    loop {
+        let mut buf = vec![0u8; bytes];
+        rng.fill(&mut buf);
+        buf[0] &= top_mask;
+        let v = BigUint::from_bytes_be(&buf);
+        if v.cmp_to(bound) != std::cmp::Ordering::Greater {
+            return v;
+        }
+    }
+}
+
+/// Generates a random probable prime of exactly `bits` bits.
+///
+/// The top two bits are forced to one (so the product of two such primes has
+/// exactly `2·bits` bits, as RSA needs) and the bottom bit is forced odd.
+pub fn generate_prime(bits: usize, rng: &mut dyn RngSource) -> BigUint {
+    assert!(bits >= 16, "prime size too small to be meaningful");
+    let bytes = bits.div_ceil(8);
+    loop {
+        let mut buf = vec![0u8; bytes];
+        rng.fill(&mut buf);
+        let mut candidate = BigUint::from_bytes_be(&buf);
+        // Trim to exactly `bits` bits, set the two top bits and the low bit.
+        candidate = trim_bits(&candidate, bits);
+        candidate.set_bit(bits - 1);
+        candidate.set_bit(bits - 2);
+        candidate.set_bit(0);
+        if is_probable_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+fn trim_bits(v: &BigUint, bits: usize) -> BigUint {
+    if v.bit_len() <= bits {
+        return v.clone();
+    }
+    // Keep only the low `bits` bits.
+    let mut out = BigUint::zero();
+    for i in 0..bits {
+        if v.bit(i) {
+            out.set_bit(i);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DeterministicRng;
+
+    fn rng() -> DeterministicRng {
+        DeterministicRng::from_seed(0xbeef)
+    }
+
+    #[test]
+    fn small_primes_recognized() {
+        let mut r = rng();
+        for p in [2u64, 3, 5, 7, 11, 13, 97, 257, 65537] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), &mut r),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn small_composites_rejected() {
+        let mut r = rng();
+        for c in [0u64, 1, 4, 6, 9, 15, 91, 561, 65536, 1_000_000] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), &mut r),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn carmichael_numbers_rejected() {
+        // Carmichael numbers fool Fermat tests; Miller-Rabin must reject them.
+        let mut r = rng();
+        for c in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), &mut r),
+                "Carmichael {c} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn known_large_prime_accepted() {
+        // 2^127 - 1 is a Mersenne prime.
+        let p = BigUint::one().shl(127).sub(&BigUint::one());
+        assert!(is_probable_prime(&p, &mut rng()));
+    }
+
+    #[test]
+    fn known_large_composite_rejected() {
+        // 2^128 - 1 factors as 3 * 5 * 17 * ...
+        let c = BigUint::one().shl(128).sub(&BigUint::one());
+        assert!(!is_probable_prime(&c, &mut rng()));
+    }
+
+    #[test]
+    fn generated_prime_has_exact_bit_len() {
+        let mut r = rng();
+        for bits in [64usize, 128, 256] {
+            let p = generate_prime(bits, &mut r);
+            assert_eq!(p.bit_len(), bits);
+            assert!(!p.is_even());
+            // Top two bits are set, guaranteeing full product width.
+            assert!(p.bit(bits - 1) && p.bit(bits - 2));
+        }
+    }
+
+    #[test]
+    fn generated_primes_differ() {
+        let mut r = rng();
+        let a = generate_prime(128, &mut r);
+        let b = generate_prime(128, &mut r);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut r1 = DeterministicRng::from_seed(77);
+        let mut r2 = DeterministicRng::from_seed(77);
+        assert_eq!(generate_prime(96, &mut r1), generate_prime(96, &mut r2));
+    }
+}

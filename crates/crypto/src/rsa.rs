@@ -1,0 +1,280 @@
+//! RSA key generation and raw RSA operations.
+//!
+//! The paper signs TLC's CDR/CDA/PoC messages with RSA-1024 via
+//! `java.security`; this module reproduces that primitive from scratch on
+//! top of [`crate::bigint`] and [`crate::prime`]. Signature padding lives in
+//! [`crate::pkcs1`].
+//!
+//! Private-key operations use the CRT (Garner recombination) for the usual
+//! ~4x speedup, which matters for the Fig. 17 cost benchmarks.
+
+use crate::bigint::BigUint;
+use crate::error::CryptoError;
+use crate::prime::generate_prime;
+use crate::rng::RngSource;
+
+/// The public exponent used throughout (F4).
+pub const PUBLIC_EXPONENT: u64 = 65537;
+
+/// Default modulus size matching the paper's RSA-1024.
+pub const DEFAULT_MODULUS_BITS: usize = 1024;
+
+/// An RSA public key `(n, e)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PublicKey {
+    /// Modulus.
+    pub n: BigUint,
+    /// Public exponent.
+    pub e: BigUint,
+}
+
+/// An RSA private key with CRT parameters.
+#[derive(Clone)]
+pub struct PrivateKey {
+    /// Matching public key.
+    pub public: PublicKey,
+    /// Private exponent.
+    d: BigUint,
+    /// First prime factor.
+    p: BigUint,
+    /// Second prime factor.
+    q: BigUint,
+    /// `d mod (p-1)`.
+    dp: BigUint,
+    /// `d mod (q-1)`.
+    dq: BigUint,
+    /// `q^-1 mod p`.
+    qinv: BigUint,
+}
+
+impl std::fmt::Debug for PrivateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print private material.
+        f.debug_struct("PrivateKey")
+            .field("modulus_bits", &self.public.n.bit_len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A public/private key pair.
+#[derive(Clone, Debug)]
+pub struct KeyPair {
+    /// Public half, safe to publish.
+    pub public: PublicKey,
+    /// Private half.
+    pub private: PrivateKey,
+}
+
+impl PublicKey {
+    /// Modulus length in whole bytes (e.g. 128 for RSA-1024).
+    pub fn modulus_len(&self) -> usize {
+        self.n.bit_len().div_ceil(8)
+    }
+
+    /// Raw public-key operation `m^e mod n`.
+    pub fn raw_encrypt(&self, m: &BigUint) -> Result<BigUint, CryptoError> {
+        if m.cmp_to(&self.n) != std::cmp::Ordering::Less {
+            return Err(CryptoError::MessageTooLarge);
+        }
+        Ok(m.modpow(&self.e, &self.n))
+    }
+}
+
+impl PrivateKey {
+    /// Raw private-key operation `c^d mod n` *without* CRT; retained to
+    /// cross-check the CRT path in tests and for constant-structure use.
+    pub fn raw_decrypt_no_crt(&self, c: &BigUint) -> Result<BigUint, CryptoError> {
+        if c.cmp_to(&self.public.n) != std::cmp::Ordering::Less {
+            return Err(CryptoError::MessageTooLarge);
+        }
+        Ok(c.modpow(&self.d, &self.public.n))
+    }
+
+    /// Raw private-key operation `c^d mod n` via CRT.
+    pub fn raw_decrypt(&self, c: &BigUint) -> Result<BigUint, CryptoError> {
+        if c.cmp_to(&self.public.n) != std::cmp::Ordering::Less {
+            return Err(CryptoError::MessageTooLarge);
+        }
+        // Garner: m1 = c^dp mod p, m2 = c^dq mod q,
+        // h = qinv * (m1 - m2) mod p, m = m2 + h*q.
+        let m1 = c.rem(&self.p).modpow(&self.dp, &self.p);
+        let m2 = c.rem(&self.q).modpow(&self.dq, &self.q);
+        let diff = m1.sub_mod(&m2.rem(&self.p), &self.p);
+        let h = self.qinv.mul_mod(&diff, &self.p);
+        Ok(m2.add(&h.mul(&self.q)))
+    }
+}
+
+impl KeyPair {
+    /// Generates an RSA key pair with a modulus of `bits` bits.
+    ///
+    /// `bits` must be even and at least 512 (the paper uses 1024).
+    pub fn generate(bits: usize, rng: &mut dyn RngSource) -> Result<KeyPair, CryptoError> {
+        if bits < 512 || bits % 2 != 0 {
+            return Err(CryptoError::InvalidKeySize(bits));
+        }
+        let e = BigUint::from_u64(PUBLIC_EXPONENT);
+        loop {
+            let p = generate_prime(bits / 2, rng);
+            let q = generate_prime(bits / 2, rng);
+            if p == q {
+                continue;
+            }
+            let one = BigUint::one();
+            let p1 = p.sub(&one);
+            let q1 = q.sub(&one);
+            // Use Carmichael's lambda = lcm(p-1, q-1) for a smaller d.
+            let g = p1.gcd(&q1);
+            let lambda = p1.mul(&q1).div_rem(&g).0;
+            if !lambda.gcd(&e).is_one() {
+                continue;
+            }
+            let d = match e.modinv(&lambda) {
+                Some(d) => d,
+                None => continue,
+            };
+            let n = p.mul(&q);
+            debug_assert_eq!(n.bit_len(), bits);
+            let dp = d.rem(&p1);
+            let dq = d.rem(&q1);
+            let qinv = match q.modinv(&p) {
+                Some(v) => v,
+                None => continue,
+            };
+            let public = PublicKey { n, e: e.clone() };
+            return Ok(KeyPair {
+                public: public.clone(),
+                private: PrivateKey {
+                    public,
+                    d,
+                    p,
+                    q,
+                    dp,
+                    dq,
+                    qinv,
+                },
+            });
+        }
+    }
+
+    /// Generates a key pair deterministically from a seed — every actor in
+    /// the simulator derives its keys this way so runs are reproducible.
+    pub fn generate_for_seed(bits: usize, seed: u64) -> Result<KeyPair, CryptoError> {
+        let mut rng = crate::rng::DeterministicRng::from_seed_bytes(
+            &[b"tlc-keygen".as_slice(), &seed.to_be_bytes()].concat(),
+        );
+        Self::generate(bits, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DeterministicRng;
+
+    fn test_keypair(bits: usize) -> KeyPair {
+        let mut rng = DeterministicRng::from_seed(0x5eed);
+        KeyPair::generate(bits, &mut rng).expect("keygen")
+    }
+
+    #[test]
+    fn roundtrip_encrypt_decrypt_512() {
+        let kp = test_keypair(512);
+        let m = BigUint::from_bytes_be(b"charging record for cycle 1001");
+        let c = kp.public.raw_encrypt(&m).unwrap();
+        assert_ne!(c, m);
+        assert_eq!(kp.private.raw_decrypt(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn roundtrip_decrypt_encrypt_is_identity() {
+        // Sign-then-verify direction: m^d then ^e.
+        let kp = test_keypair(512);
+        let m = BigUint::from_u64(0xabcdef);
+        let s = kp.private.raw_decrypt(&m).unwrap();
+        assert_eq!(kp.public.raw_encrypt(&s).unwrap(), m);
+    }
+
+    #[test]
+    fn crt_matches_plain_exponentiation() {
+        let kp = test_keypair(512);
+        for seed in [1u64, 0xffff, u64::MAX] {
+            let m = BigUint::from_u64(seed);
+            assert_eq!(
+                kp.private.raw_decrypt(&m).unwrap(),
+                kp.private.raw_decrypt_no_crt(&m).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn modulus_has_requested_bits() {
+        let kp = test_keypair(512);
+        assert_eq!(kp.public.n.bit_len(), 512);
+        assert_eq!(kp.public.modulus_len(), 64);
+    }
+
+    #[test]
+    fn rsa_1024_roundtrip() {
+        // The paper's exact parameter choice.
+        let kp = test_keypair(1024);
+        assert_eq!(kp.public.n.bit_len(), 1024);
+        let m = BigUint::from_bytes_be(&[0x42; 100]);
+        let c = kp.public.raw_encrypt(&m).unwrap();
+        assert_eq!(kp.private.raw_decrypt(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn message_as_large_as_modulus_rejected() {
+        let kp = test_keypair(512);
+        let too_big = kp.public.n.clone();
+        assert!(matches!(
+            kp.public.raw_encrypt(&too_big),
+            Err(CryptoError::MessageTooLarge)
+        ));
+        assert!(matches!(
+            kp.private.raw_decrypt(&too_big),
+            Err(CryptoError::MessageTooLarge)
+        ));
+    }
+
+    #[test]
+    fn invalid_key_sizes_rejected() {
+        let mut rng = DeterministicRng::from_seed(1);
+        assert!(matches!(
+            KeyPair::generate(256, &mut rng),
+            Err(CryptoError::InvalidKeySize(256))
+        ));
+        assert!(matches!(
+            KeyPair::generate(513, &mut rng),
+            Err(CryptoError::InvalidKeySize(513))
+        ));
+    }
+
+    #[test]
+    fn deterministic_seeded_generation() {
+        let a = KeyPair::generate_for_seed(512, 99).unwrap();
+        let b = KeyPair::generate_for_seed(512, 99).unwrap();
+        assert_eq!(a.public, b.public);
+        let c = KeyPair::generate_for_seed(512, 100).unwrap();
+        assert_ne!(a.public, c.public);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_interoperate() {
+        let a = KeyPair::generate_for_seed(512, 1).unwrap();
+        let b = KeyPair::generate_for_seed(512, 2).unwrap();
+        let m = BigUint::from_u64(12345);
+        let c = a.public.raw_encrypt(&m).unwrap();
+        // Decrypting with the wrong key yields garbage, not the message.
+        assert_ne!(b.private.raw_decrypt(&c).unwrap(), m);
+    }
+
+    #[test]
+    fn debug_does_not_leak_private_material() {
+        let kp = test_keypair(512);
+        let s = format!("{:?}", kp.private);
+        assert!(s.contains("modulus_bits"));
+        assert!(!s.contains("0x"), "debug output must not dump numbers: {s}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Hybrid public-key sealing (RSAES-PKCS1-v1_5 + HMAC-DRBG stream cipher).
+//!
+//! §5.3.4: "the network and edge may have privacy concerns to share
+//! their charging records" with a public verifier. Sealing lets a party
+//! submit a PoC confidentially to a chosen verifier: only the verifier's
+//! private key opens it.
+//!
+//! RSA-1024 can carry at most ~117 bytes directly, and a PoC is several
+//! hundred, so the construction is hybrid and built entirely from this
+//! crate's primitives:
+//!
+//! 1. a fresh 32-byte session key `k` is RSA-encrypted (EME-PKCS1-v1_5)
+//!    to the recipient,
+//! 2. the payload is XORed with the HMAC-DRBG keystream derived from `k`,
+//! 3. an encrypt-then-MAC tag (HMAC-SHA-256 under a key derived from `k`)
+//!    authenticates the ciphertext.
+
+use crate::bigint::BigUint;
+use crate::error::CryptoError;
+use crate::hmac::hmac_sha256;
+use crate::rng::{DeterministicRng, RngSource};
+use crate::rsa::{PrivateKey, PublicKey};
+
+/// Session-key length in bytes.
+const SESSION_KEY_LEN: usize = 32;
+/// HMAC tag length in bytes.
+const TAG_LEN: usize = 32;
+
+/// EME-PKCS1-v1_5 encryption: `00 02 PS 00 M` with random nonzero PS.
+fn eme_encrypt(
+    key: &PublicKey,
+    msg: &[u8],
+    rng: &mut dyn RngSource,
+) -> Result<Vec<u8>, CryptoError> {
+    let k = key.modulus_len();
+    if msg.len() + 11 > k {
+        return Err(CryptoError::MessageTooLarge);
+    }
+    let ps_len = k - msg.len() - 3;
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x02);
+    for _ in 0..ps_len {
+        // Padding bytes must be nonzero.
+        loop {
+            let mut b = [0u8; 1];
+            rng.fill(&mut b);
+            if b[0] != 0 {
+                em.push(b[0]);
+                break;
+            }
+        }
+    }
+    em.push(0x00);
+    em.extend_from_slice(msg);
+    let c = key.raw_encrypt(&BigUint::from_bytes_be(&em))?;
+    c.to_bytes_be_padded(k).ok_or(CryptoError::Internal)
+}
+
+/// EME-PKCS1-v1_5 decryption.
+fn eme_decrypt(key: &PrivateKey, ct: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let k = key.public.modulus_len();
+    if ct.len() != k {
+        return Err(CryptoError::Encoding("RSA block length"));
+    }
+    let m = key.raw_decrypt(&BigUint::from_bytes_be(ct))?;
+    let em = m.to_bytes_be_padded(k).ok_or(CryptoError::Internal)?;
+    if em[0] != 0x00 || em[1] != 0x02 {
+        return Err(CryptoError::Encoding("EME header"));
+    }
+    let sep = em[2..]
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or(CryptoError::Encoding("EME separator"))?;
+    if sep < 8 {
+        return Err(CryptoError::Encoding("EME padding too short"));
+    }
+    Ok(em[2 + sep + 1..].to_vec())
+}
+
+/// Derives the stream-cipher keystream generator from a session key.
+fn keystream(session_key: &[u8]) -> DeterministicRng {
+    DeterministicRng::from_seed_bytes(&[b"tlc-seal-stream", session_key].concat())
+}
+
+/// Derives the MAC key from a session key.
+fn mac_key(session_key: &[u8]) -> [u8; 32] {
+    hmac_sha256(session_key, b"tlc-seal-mac")
+}
+
+/// Seals `plaintext` so only `recipient` can open it.
+///
+/// Output layout: `RSA(session key) || ciphertext || tag`.
+pub fn seal(
+    recipient: &PublicKey,
+    plaintext: &[u8],
+    rng: &mut dyn RngSource,
+) -> Result<Vec<u8>, CryptoError> {
+    let mut session = [0u8; SESSION_KEY_LEN];
+    rng.fill(&mut session);
+    let rsa_block = eme_encrypt(recipient, &session, rng)?;
+
+    let mut ks = keystream(&session);
+    let mut ct = plaintext.to_vec();
+    let mut pad = vec![0u8; ct.len()];
+    ks.fill(&mut pad);
+    for (c, p) in ct.iter_mut().zip(pad.iter()) {
+        *c ^= p;
+    }
+    let tag = hmac_sha256(&mac_key(&session), &ct);
+
+    let mut out = Vec::with_capacity(rsa_block.len() + ct.len() + TAG_LEN);
+    out.extend_from_slice(&rsa_block);
+    out.extend_from_slice(&ct);
+    out.extend_from_slice(&tag);
+    Ok(out)
+}
+
+/// Opens a sealed blob with the recipient's private key, verifying the
+/// authenticity tag before returning the plaintext.
+pub fn open(recipient: &PrivateKey, sealed: &[u8]) -> Result<Vec<u8>, CryptoError> {
+    let k = recipient.public.modulus_len();
+    if sealed.len() < k + TAG_LEN {
+        return Err(CryptoError::Encoding("sealed blob too short"));
+    }
+    let (rsa_block, rest) = sealed.split_at(k);
+    let (ct, tag) = rest.split_at(rest.len() - TAG_LEN);
+    let session = eme_decrypt(recipient, rsa_block)?;
+    if session.len() != SESSION_KEY_LEN {
+        return Err(CryptoError::Encoding("session key length"));
+    }
+    // Encrypt-then-MAC: check the tag before touching the ciphertext.
+    let expect = hmac_sha256(&mac_key(&session), ct);
+    let mut acc = 0u8;
+    for (a, b) in expect.iter().zip(tag.iter()) {
+        acc |= a ^ b;
+    }
+    if acc != 0 {
+        return Err(CryptoError::BadSignature);
+    }
+    let mut ks = keystream(&session);
+    let mut pt = ct.to_vec();
+    let mut pad = vec![0u8; pt.len()];
+    ks.fill(&mut pad);
+    for (c, p) in pt.iter_mut().zip(pad.iter()) {
+        *c ^= p;
+    }
+    Ok(pt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsa::KeyPair;
+
+    fn verifier() -> KeyPair {
+        KeyPair::generate_for_seed(1024, 0x5EA1).unwrap()
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let v = verifier();
+        let mut rng = DeterministicRng::from_seed(1);
+        let msg = vec![0xAB; 564]; // a PoC-sized payload
+        let sealed = seal(&v.public, &msg, &mut rng).unwrap();
+        assert_ne!(&sealed[128..128 + 564], &msg[..], "ciphertext differs");
+        let opened = open(&v.private, &sealed).unwrap();
+        assert_eq!(opened, msg);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let v = verifier();
+        let mut rng = DeterministicRng::from_seed(2);
+        let sealed = seal(&v.public, b"", &mut rng).unwrap();
+        assert_eq!(open(&v.private, &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn wrong_recipient_cannot_open() {
+        let v = verifier();
+        let other = KeyPair::generate_for_seed(1024, 0x5EA2).unwrap();
+        let mut rng = DeterministicRng::from_seed(3);
+        let sealed = seal(&v.public, b"charging records", &mut rng).unwrap();
+        assert!(open(&other.private, &sealed).is_err());
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let v = verifier();
+        let mut rng = DeterministicRng::from_seed(4);
+        let mut sealed = seal(&v.public, &[0x11; 200], &mut rng).unwrap();
+        let mid = 128 + 100;
+        sealed[mid] ^= 0x01;
+        assert!(matches!(open(&v.private, &sealed), Err(CryptoError::BadSignature)));
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let v = verifier();
+        let mut rng = DeterministicRng::from_seed(5);
+        let mut sealed = seal(&v.public, &[0x22; 64], &mut rng).unwrap();
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0x80;
+        assert!(open(&v.private, &sealed).is_err());
+    }
+
+    #[test]
+    fn fresh_session_keys_randomize_ciphertexts() {
+        let v = verifier();
+        let mut rng = DeterministicRng::from_seed(6);
+        let a = seal(&v.public, b"same message", &mut rng).unwrap();
+        let b = seal(&v.public, b"same message", &mut rng).unwrap();
+        assert_ne!(a, b, "sealing must be randomized");
+        assert_eq!(open(&v.private, &a).unwrap(), open(&v.private, &b).unwrap());
+    }
+
+    #[test]
+    fn truncated_blob_rejected() {
+        let v = verifier();
+        let mut rng = DeterministicRng::from_seed(7);
+        let sealed = seal(&v.public, &[0x33; 100], &mut rng).unwrap();
+        for cut in [0, 64, 127, sealed.len() - TAG_LEN - 1] {
+            assert!(open(&v.private, &sealed[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the cryptographic substrate.
+
+use proptest::prelude::*;
+use tlc_crypto::bigint::BigUint;
+use tlc_crypto::{pkcs1, KeyPair};
+
+fn big(bytes: &[u8]) -> BigUint {
+    BigUint::from_bytes_be(bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Byte serialization round-trips for arbitrary values.
+    #[test]
+    fn bytes_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let v = big(&data);
+        let back = BigUint::from_bytes_be(&v.to_bytes_be());
+        prop_assert_eq!(back, v);
+    }
+
+    /// a + b - b == a.
+    #[test]
+    fn add_sub_inverse(a in proptest::collection::vec(any::<u8>(), 0..48),
+                       b in proptest::collection::vec(any::<u8>(), 0..48)) {
+        let a = big(&a);
+        let b = big(&b);
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    /// (a * b) / b == a with zero remainder, for b != 0.
+    #[test]
+    fn mul_div_inverse(a in proptest::collection::vec(any::<u8>(), 0..40),
+                       b in proptest::collection::vec(any::<u8>(), 1..40)) {
+        let a = big(&a);
+        let b = big(&b);
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.mul(&b).div_rem(&b);
+        prop_assert_eq!(q, a);
+        prop_assert!(r.is_zero());
+    }
+
+    /// Division invariant: a == q*d + r with r < d.
+    #[test]
+    fn div_rem_reconstructs(a in proptest::collection::vec(any::<u8>(), 0..48),
+                            d in proptest::collection::vec(any::<u8>(), 1..24)) {
+        let a = big(&a);
+        let d = big(&d);
+        prop_assume!(!d.is_zero());
+        let (q, r) = a.div_rem(&d);
+        prop_assert!(r.cmp_to(&d) == std::cmp::Ordering::Less);
+        prop_assert_eq!(q.mul(&d).add(&r), a);
+    }
+
+    /// Multiplication is commutative and addition distributes over it.
+    #[test]
+    fn ring_axioms(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (BigUint::from_u64(a), BigUint::from_u64(b), BigUint::from_u64(c));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    /// modpow matches u128 square-and-multiply for small operands.
+    #[test]
+    fn modpow_matches_reference(base in 0u64..1_000_000, exp in 0u64..64,
+                                modulus in 3u64..1_000_003) {
+        let modulus = modulus | 1; // keep it odd (Montgomery path)
+        let got = BigUint::from_u64(base)
+            .modpow(&BigUint::from_u64(exp), &BigUint::from_u64(modulus));
+        let mut expect: u128 = 1;
+        let mut b = base as u128 % modulus as u128;
+        let mut e = exp;
+        while e > 0 {
+            if e & 1 == 1 { expect = expect * b % modulus as u128; }
+            b = b * b % modulus as u128;
+            e >>= 1;
+        }
+        prop_assert_eq!(got, BigUint::from_u64(expect as u64));
+    }
+
+    /// gcd divides both operands and is maximal for u64 pairs.
+    #[test]
+    fn gcd_matches_euclid(a in any::<u64>(), b in any::<u64>()) {
+        fn euclid(mut a: u64, mut b: u64) -> u64 {
+            while b != 0 { (a, b) = (b, a % b); }
+            a
+        }
+        let got = BigUint::from_u64(a).gcd(&BigUint::from_u64(b));
+        prop_assert_eq!(got, BigUint::from_u64(euclid(a, b)));
+    }
+
+    /// Shifting left then right is the identity.
+    #[test]
+    fn shift_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..32),
+                       bits in 0usize..130) {
+        let v = big(&data);
+        prop_assert_eq!(v.shl(bits).shr(bits), v);
+    }
+}
+
+proptest! {
+    // Signatures are slow; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Sign/verify round-trips for arbitrary messages; any flipped byte in
+    /// the message is rejected.
+    #[test]
+    fn sign_verify_roundtrip_and_tamper(msg in proptest::collection::vec(any::<u8>(), 0..256),
+                                        flip in any::<u8>()) {
+        // Fixed key (generation is expensive); message varies.
+        let kp = KeyPair::generate_for_seed(1024, 0xF00D).unwrap();
+        let sig = pkcs1::sign(&kp.private, &msg).unwrap();
+        prop_assert!(pkcs1::verify(&kp.public, &msg, &sig).is_ok());
+        if !msg.is_empty() {
+            let mut tampered = msg.clone();
+            let idx = flip as usize % tampered.len();
+            tampered[idx] ^= 0x01;
+            if tampered != msg {
+                prop_assert!(pkcs1::verify(&kp.public, &tampered, &sig).is_err());
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # tlc-net
+//!
+//! Deterministic, event-driven network simulation substrate for the TLC
+//! reproduction of *"Bridging the Data Charging Gap in the Cellular Edge"*
+//! (SIGCOMM '19).
+//!
+//! The paper evaluates on a physical testbed (OpenEPC LTE core + Qualcomm
+//! small cell). This crate supplies the emulated equivalent: a discrete-
+//! event packet world with the loss mechanisms that create charging gaps —
+//! queue overflow under congestion, air-interface loss that worsens with
+//! weak signal, and intermittent radio connectivity.
+//!
+//! Components follow the sans-IO, polled state-machine idiom (cf. smoltcp):
+//! no threads, no async runtime, no wall-clock time. A single seeded RNG
+//! makes every run exactly reproducible.
+//!
+//! * [`time`] — microsecond-resolution virtual clock,
+//! * [`event`] — deterministic event queue (FIFO tie-break),
+//! * [`rng`] — xoshiro256++ with labelled stream splitting,
+//! * [`packet`] — size/QCI/flow-tagged packets (no payloads; counting bytes
+//!   is the object of study),
+//! * [`queue`] — byte-bounded drop-tail queues with QCI strict priority,
+//! * [`link`] — rate-limited store-and-forward hops,
+//! * [`loss`] — Bernoulli / Gilbert–Elliott / RSS-driven loss processes,
+//! * [`radio`] — precomputed RSS timelines with intermittent outages,
+//! * [`stats`] — byte counters and 1 Hz usage series.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod fair;
+pub mod link;
+pub mod loss;
+pub mod packet;
+pub mod queue;
+pub mod radio;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::EventQueue;
+pub use fair::{FairQueue, DRR_QUANTUM};
+pub use link::{Link, LinkParams, LinkStats};
+pub use loss::{GilbertElliott, LossModel, NoLoss, RssDrivenLoss, UniformLoss};
+pub use packet::{Direction, FlowId, Packet, PacketIdAlloc, Qci};
+pub use queue::{Discipline, PacketQueue, QueueStats};
+pub use radio::{RadioTimeline, RssWalkParams, NO_SERVICE_THRESHOLD_DBM, RLF_DETACH};
+pub use rng::SimRng;
+pub use stats::{ByteCounter, UsageSeries};
+pub use time::{SimDuration, SimTime};

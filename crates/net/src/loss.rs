@@ -1,0 +1,252 @@
+//! Per-packet stochastic loss models.
+//!
+//! §3.1 of the paper taxonomises gap-causing losses across layers. Queue
+//! overflow (IP congestion) and radio outages (PHY/link) are modelled
+//! structurally in [`crate::queue`] and [`crate::radio`]; this module
+//! provides the residual random-loss processes: uniform air-interface
+//! loss that worsens with weaker signal, and a Gilbert–Elliott bursty
+//! channel for correlated fading losses.
+
+use crate::packet::Packet;
+use crate::rng::SimRng;
+use crate::time::SimTime;
+
+/// A stateful per-packet loss decision.
+pub trait LossModel {
+    /// Returns true if this packet should be dropped.
+    fn should_drop(&mut self, now: SimTime, pkt: &Packet, rng: &mut SimRng) -> bool;
+}
+
+/// Never drops.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoLoss;
+
+impl LossModel for NoLoss {
+    fn should_drop(&mut self, _: SimTime, _: &Packet, _: &mut SimRng) -> bool {
+        false
+    }
+}
+
+/// Independent (Bernoulli) loss with fixed probability.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformLoss {
+    /// Drop probability in `[0, 1]`.
+    pub p: f64,
+}
+
+impl UniformLoss {
+    /// Creates the model; panics if `p` is not a probability.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        UniformLoss { p }
+    }
+}
+
+impl LossModel for UniformLoss {
+    fn should_drop(&mut self, _: SimTime, _: &Packet, rng: &mut SimRng) -> bool {
+        rng.chance(self.p)
+    }
+}
+
+/// Two-state Gilbert–Elliott channel: a "good" state with low loss and a
+/// "bad" (deep-fade) state with high loss, with per-packet transition
+/// probabilities. Produces the bursty loss patterns typical of cellular
+/// radio under weak coverage.
+#[derive(Clone, Copy, Debug)]
+pub struct GilbertElliott {
+    /// P(good -> bad) per packet.
+    pub p_gb: f64,
+    /// P(bad -> good) per packet.
+    pub p_bg: f64,
+    /// Loss probability in the good state.
+    pub loss_good: f64,
+    /// Loss probability in the bad state.
+    pub loss_bad: f64,
+    in_bad: bool,
+}
+
+impl GilbertElliott {
+    /// Creates the channel in the good state.
+    pub fn new(p_gb: f64, p_bg: f64, loss_good: f64, loss_bad: f64) -> Self {
+        for p in [p_gb, p_bg, loss_good, loss_bad] {
+            assert!((0.0..=1.0).contains(&p), "probability out of range");
+        }
+        GilbertElliott {
+            p_gb,
+            p_bg,
+            loss_good,
+            loss_bad,
+            in_bad: false,
+        }
+    }
+
+    /// Long-run fraction of packets in the bad state:
+    /// `p_gb / (p_gb + p_bg)` (stationary distribution of the chain).
+    pub fn stationary_bad_fraction(&self) -> f64 {
+        if self.p_gb + self.p_bg == 0.0 {
+            0.0
+        } else {
+            self.p_gb / (self.p_gb + self.p_bg)
+        }
+    }
+
+    /// Expected long-run loss rate.
+    pub fn expected_loss_rate(&self) -> f64 {
+        let fb = self.stationary_bad_fraction();
+        fb * self.loss_bad + (1.0 - fb) * self.loss_good
+    }
+}
+
+impl LossModel for GilbertElliott {
+    fn should_drop(&mut self, _: SimTime, _: &Packet, rng: &mut SimRng) -> bool {
+        // Transition first, then sample loss in the (possibly new) state.
+        if self.in_bad {
+            if rng.chance(self.p_bg) {
+                self.in_bad = false;
+            }
+        } else if rng.chance(self.p_gb) {
+            self.in_bad = true;
+        }
+        let p = if self.in_bad {
+            self.loss_bad
+        } else {
+            self.loss_good
+        };
+        rng.chance(p)
+    }
+}
+
+/// Air-interface loss that grows as received signal strength drops.
+///
+/// Calibrated so that at RSS ≥ −95 dBm (the paper's "good radio"
+/// threshold) the residual loss is small, rising steeply towards the
+/// −120 dBm edge of coverage.
+#[derive(Clone, Copy, Debug)]
+pub struct RssDrivenLoss {
+    /// Loss probability at/above the good-signal threshold.
+    pub base_loss: f64,
+    /// Additional loss per dBm below the threshold (linear ramp).
+    pub slope_per_dbm: f64,
+    /// Good-signal threshold in dBm.
+    pub good_threshold_dbm: f64,
+}
+
+impl RssDrivenLoss {
+    /// The calibration used by the paper-replication experiments.
+    ///
+    /// The paper measures 6.7–8.3% loss-induced gaps even in good radio
+    /// (RSS ≥ −95 dBm, no congestion — Fig. 3's baseline) for its
+    /// UDP-based real-time workloads, so the residual per-packet loss is
+    /// calibrated to ~7% at good signal, ramping up as coverage weakens.
+    pub fn paper_default() -> Self {
+        RssDrivenLoss {
+            base_loss: 0.07,
+            slope_per_dbm: 0.012,
+            good_threshold_dbm: -95.0,
+        }
+    }
+
+    /// Loss probability at a given RSS.
+    pub fn loss_at(&self, rss_dbm: f64) -> f64 {
+        let deficit = (self.good_threshold_dbm - rss_dbm).max(0.0);
+        (self.base_loss + deficit * self.slope_per_dbm).clamp(0.0, 1.0)
+    }
+
+    /// Samples a drop decision for the given RSS.
+    pub fn should_drop_at(&self, rss_dbm: f64, rng: &mut SimRng) -> bool {
+        rng.chance(self.loss_at(rss_dbm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Direction, FlowId, Qci};
+
+    fn pkt() -> Packet {
+        Packet::new(0, FlowId(0), Direction::Uplink, 100, Qci::DEFAULT, SimTime::ZERO)
+    }
+
+    #[test]
+    fn no_loss_never_drops() {
+        let mut m = NoLoss;
+        let mut rng = SimRng::new(1);
+        assert!((0..1000).all(|_| !m.should_drop(SimTime::ZERO, &pkt(), &mut rng)));
+    }
+
+    #[test]
+    fn uniform_loss_rate_tracks_p() {
+        let mut m = UniformLoss::new(0.2);
+        let mut rng = SimRng::new(2);
+        let drops = (0..20_000)
+            .filter(|_| m.should_drop(SimTime::ZERO, &pkt(), &mut rng))
+            .count();
+        let rate = drops as f64 / 20_000.0;
+        assert!((rate - 0.2).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn uniform_extremes() {
+        let mut rng = SimRng::new(3);
+        let mut never = UniformLoss::new(0.0);
+        let mut always = UniformLoss::new(1.0);
+        assert!(!never.should_drop(SimTime::ZERO, &pkt(), &mut rng));
+        assert!(always.should_drop(SimTime::ZERO, &pkt(), &mut rng));
+    }
+
+    #[test]
+    #[should_panic]
+    fn uniform_rejects_invalid_probability() {
+        UniformLoss::new(1.5);
+    }
+
+    #[test]
+    fn gilbert_elliott_long_run_rate() {
+        let ge = GilbertElliott::new(0.05, 0.20, 0.01, 0.5);
+        let expect = ge.expected_loss_rate();
+        let mut m = ge;
+        let mut rng = SimRng::new(4);
+        let n = 100_000;
+        let drops = (0..n)
+            .filter(|_| m.should_drop(SimTime::ZERO, &pkt(), &mut rng))
+            .count();
+        let rate = drops as f64 / n as f64;
+        assert!((rate - expect).abs() < 0.01, "rate {rate} expect {expect}");
+    }
+
+    #[test]
+    fn gilbert_elliott_burstiness() {
+        // Consecutive drops should cluster: the conditional drop rate after
+        // a drop must exceed the marginal rate.
+        let mut m = GilbertElliott::new(0.02, 0.10, 0.001, 0.8);
+        let mut rng = SimRng::new(5);
+        let seq: Vec<bool> = (0..200_000)
+            .map(|_| m.should_drop(SimTime::ZERO, &pkt(), &mut rng))
+            .collect();
+        let marginal = seq.iter().filter(|&&d| d).count() as f64 / seq.len() as f64;
+        let after_drop: Vec<_> = seq.windows(2).filter(|w| w[0]).map(|w| w[1]).collect();
+        let conditional =
+            after_drop.iter().filter(|&&d| d).count() as f64 / after_drop.len() as f64;
+        assert!(
+            conditional > marginal * 2.0,
+            "conditional {conditional} vs marginal {marginal}"
+        );
+    }
+
+    #[test]
+    fn stationary_fraction_formula() {
+        let ge = GilbertElliott::new(0.1, 0.3, 0.0, 1.0);
+        assert!((ge.stationary_bad_fraction() - 0.25).abs() < 1e-12);
+        let never_bad = GilbertElliott::new(0.0, 0.0, 0.0, 1.0);
+        assert_eq!(never_bad.stationary_bad_fraction(), 0.0);
+    }
+
+    #[test]
+    fn rss_loss_monotone_in_signal() {
+        let m = RssDrivenLoss::paper_default();
+        assert!(m.loss_at(-90.0) <= m.loss_at(-100.0));
+        assert!(m.loss_at(-100.0) < m.loss_at(-115.0));
+        assert_eq!(m.loss_at(-80.0), m.loss_at(-95.0)); // flat above threshold
+        assert!(m.loss_at(-300.0) <= 1.0);
+    }
+}

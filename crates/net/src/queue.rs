@@ -1,0 +1,259 @@
+//! Bounded packet queues with drop-tail overflow and optional QCI priority.
+//!
+//! Congestion-induced charging gaps in the paper come from exactly this
+//! mechanism: the gateway counts a downlink packet on ingress, then the
+//! bottleneck queue towards the radio overflows and the packet never
+//! reaches the device.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// Queue service discipline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Discipline {
+    /// Single FIFO; all packets share fate.
+    Fifo,
+    /// Strict priority by QCI (lower QCI priority value served first),
+    /// FIFO within a class. Models the LTE MAC scheduler that lets the
+    /// paper's QCI=7 gaming traffic bypass QCI=9 background congestion.
+    QciPriority,
+}
+
+/// Statistics maintained by a queue.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Packets accepted.
+    pub enqueued_pkts: u64,
+    /// Bytes accepted.
+    pub enqueued_bytes: u64,
+    /// Packets dropped on overflow.
+    pub dropped_pkts: u64,
+    /// Bytes dropped on overflow.
+    pub dropped_bytes: u64,
+    /// Packets dequeued for service.
+    pub dequeued_pkts: u64,
+}
+
+/// A byte-bounded queue.
+#[derive(Debug)]
+pub struct PacketQueue {
+    discipline: Discipline,
+    capacity_bytes: u64,
+    used_bytes: u64,
+    /// One band per priority level (FIFO mode uses band 0 only).
+    bands: Vec<VecDeque<Packet>>,
+    stats: QueueStats,
+}
+
+/// Number of distinct QCI priority bands we distinguish (QCI 0–15).
+const BANDS: usize = 16;
+
+impl PacketQueue {
+    /// Creates a queue bounded to `capacity_bytes`.
+    pub fn new(discipline: Discipline, capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "queue capacity must be positive");
+        let nbands = match discipline {
+            Discipline::Fifo => 1,
+            Discipline::QciPriority => BANDS,
+        };
+        PacketQueue {
+            discipline,
+            capacity_bytes,
+            used_bytes: 0,
+            bands: (0..nbands).map(|_| VecDeque::new()).collect(),
+            stats: QueueStats::default(),
+        }
+    }
+
+    fn band_for(&self, pkt: &Packet) -> usize {
+        match self.discipline {
+            Discipline::Fifo => 0,
+            Discipline::QciPriority => (pkt.qci.priority() as usize).min(BANDS - 1),
+        }
+    }
+
+    /// Offers a packet; returns `false` (and counts a drop) on overflow.
+    ///
+    /// Under `QciPriority`, an arriving higher-priority packet may push out
+    /// queued lowest-priority traffic instead of being dropped itself.
+    pub fn enqueue(&mut self, pkt: Packet) -> bool {
+        let size = pkt.size as u64;
+        if self.used_bytes + size > self.capacity_bytes {
+            if self.discipline == Discipline::QciPriority
+                && self.evict_lower_priority_for(&pkt)
+            {
+                // fall through: room was made
+            } else {
+                self.stats.dropped_pkts += 1;
+                self.stats.dropped_bytes += size;
+                return false;
+            }
+        }
+        let band = self.band_for(&pkt);
+        self.used_bytes += size;
+        self.stats.enqueued_pkts += 1;
+        self.stats.enqueued_bytes += size;
+        self.bands[band].push_back(pkt);
+        true
+    }
+
+    /// Tries to evict queued packets with strictly lower priority than
+    /// `pkt` until it fits. Returns true if space was made.
+    fn evict_lower_priority_for(&mut self, pkt: &Packet) -> bool {
+        let incoming_band = self.band_for(pkt);
+        let need = pkt.size as u64;
+        // Scan from the lowest-priority band down.
+        for band in (incoming_band + 1..self.bands.len()).rev() {
+            while let Some(victim) = self.bands[band].pop_back() {
+                self.used_bytes -= victim.size as u64;
+                self.stats.dropped_pkts += 1;
+                self.stats.dropped_bytes += victim.size as u64;
+                if self.used_bytes + need <= self.capacity_bytes {
+                    return true;
+                }
+            }
+        }
+        self.used_bytes + need <= self.capacity_bytes
+    }
+
+    /// Removes and returns the next packet to serve.
+    pub fn dequeue(&mut self) -> Option<Packet> {
+        for band in self.bands.iter_mut() {
+            if let Some(pkt) = band.pop_front() {
+                self.used_bytes -= pkt.size as u64;
+                self.stats.dequeued_pkts += 1;
+                return Some(pkt);
+            }
+        }
+        None
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.bands.iter().all(|b| b.is_empty())
+    }
+
+    /// Queued packet count.
+    pub fn len(&self) -> usize {
+        self.bands.iter().map(|b| b.len()).sum()
+    }
+
+    /// Bytes currently queued.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
+    }
+
+    /// Drops everything queued (e.g. on radio-link-failure detach),
+    /// returning the dropped packets so callers can account for them.
+    pub fn flush(&mut self) -> Vec<Packet> {
+        let mut out = Vec::with_capacity(self.len());
+        for band in self.bands.iter_mut() {
+            out.extend(band.drain(..));
+        }
+        for p in &out {
+            self.used_bytes -= p.size as u64;
+            self.stats.dropped_pkts += 1;
+            self.stats.dropped_bytes += p.size as u64;
+        }
+        debug_assert_eq!(self.used_bytes, 0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Direction, FlowId, Qci};
+    use crate::time::SimTime;
+
+    fn pkt(id: u64, size: u32, qci: Qci) -> Packet {
+        Packet::new(id, FlowId(0), Direction::Downlink, size, qci, SimTime::ZERO)
+    }
+
+    #[test]
+    fn fifo_preserves_order() {
+        let mut q = PacketQueue::new(Discipline::Fifo, 10_000);
+        for i in 0..5 {
+            assert!(q.enqueue(pkt(i, 100, Qci::DEFAULT)));
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.dequeue()).map(|p| p.id).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn overflow_drops_tail() {
+        let mut q = PacketQueue::new(Discipline::Fifo, 250);
+        assert!(q.enqueue(pkt(0, 100, Qci::DEFAULT)));
+        assert!(q.enqueue(pkt(1, 100, Qci::DEFAULT)));
+        assert!(!q.enqueue(pkt(2, 100, Qci::DEFAULT))); // 300 > 250
+        assert_eq!(q.stats().dropped_pkts, 1);
+        assert_eq!(q.stats().dropped_bytes, 100);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn priority_bands_serve_low_qci_first() {
+        let mut q = PacketQueue::new(Discipline::QciPriority, 10_000);
+        q.enqueue(pkt(0, 100, Qci::DEFAULT)); // QCI 9
+        q.enqueue(pkt(1, 100, Qci::INTERACTIVE)); // QCI 7
+        q.enqueue(pkt(2, 100, Qci::GAMING_GBR)); // QCI 3
+        let order: Vec<_> = std::iter::from_fn(|| q.dequeue()).map(|p| p.id).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn high_priority_evicts_background_on_overflow() {
+        let mut q = PacketQueue::new(Discipline::QciPriority, 200);
+        assert!(q.enqueue(pkt(0, 100, Qci::DEFAULT)));
+        assert!(q.enqueue(pkt(1, 100, Qci::DEFAULT)));
+        // Full of QCI 9; arriving QCI 7 evicts instead of dropping itself.
+        assert!(q.enqueue(pkt(2, 100, Qci::INTERACTIVE)));
+        assert_eq!(q.stats().dropped_pkts, 1);
+        assert_eq!(q.dequeue().unwrap().id, 2);
+    }
+
+    #[test]
+    fn low_priority_cannot_evict_high() {
+        let mut q = PacketQueue::new(Discipline::QciPriority, 200);
+        assert!(q.enqueue(pkt(0, 100, Qci::INTERACTIVE)));
+        assert!(q.enqueue(pkt(1, 100, Qci::INTERACTIVE)));
+        assert!(!q.enqueue(pkt(2, 100, Qci::DEFAULT)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn byte_accounting_is_exact() {
+        let mut q = PacketQueue::new(Discipline::Fifo, 1000);
+        q.enqueue(pkt(0, 300, Qci::DEFAULT));
+        q.enqueue(pkt(1, 200, Qci::DEFAULT));
+        assert_eq!(q.used_bytes(), 500);
+        q.dequeue();
+        assert_eq!(q.used_bytes(), 200);
+        q.dequeue();
+        assert_eq!(q.used_bytes(), 0);
+        assert!(q.dequeue().is_none());
+    }
+
+    #[test]
+    fn flush_drops_and_returns_everything() {
+        let mut q = PacketQueue::new(Discipline::QciPriority, 10_000);
+        q.enqueue(pkt(0, 100, Qci::DEFAULT));
+        q.enqueue(pkt(1, 100, Qci::GAMING_GBR));
+        let flushed = q.flush();
+        assert_eq!(flushed.len(), 2);
+        assert!(q.is_empty());
+        assert_eq!(q.used_bytes(), 0);
+        assert_eq!(q.stats().dropped_pkts, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        PacketQueue::new(Discipline::Fifo, 0);
+    }
+}

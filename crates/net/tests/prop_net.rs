@@ -1,0 +1,174 @@
+//! Property-based tests for the network substrate's conservation and
+//! ordering invariants.
+
+use proptest::prelude::*;
+use tlc_net::link::{Link, LinkParams};
+use tlc_net::packet::{Direction, FlowId, Packet, Qci};
+use tlc_net::queue::{Discipline, PacketQueue};
+use tlc_net::radio::RadioTimeline;
+use tlc_net::rng::SimRng;
+use tlc_net::time::{SimDuration, SimTime};
+
+fn pkt(id: u64, size: u32, qci: u8) -> Packet {
+    Packet::new(id, FlowId(0), Direction::Downlink, size, Qci(qci), SimTime::ZERO)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FIFO queue conservation (no evictions): every offered packet is
+    /// either accepted or dropped, and every accepted packet is either
+    /// dequeued or flushed.
+    #[test]
+    fn queue_conserves_packets(
+        sizes in proptest::collection::vec(1u32..3000, 1..100),
+        cap in 1024u64..65536,
+    ) {
+        let mut q = PacketQueue::new(Discipline::Fifo, cap);
+        let mut offered = 0u64;
+        let mut accepted = 0u64;
+        for (i, &s) in sizes.iter().enumerate() {
+            if q.enqueue(pkt(i as u64, s, 9)) {
+                accepted += 1;
+            }
+            offered += 1;
+        }
+        let mut dequeued = 0u64;
+        for _ in 0..sizes.len() / 2 {
+            if q.dequeue().is_some() {
+                dequeued += 1;
+            }
+        }
+        let flushed = q.flush().len() as u64;
+        let stats = q.stats();
+        prop_assert_eq!(stats.enqueued_pkts, accepted);
+        // dropped counts rejected offers plus flushed packets.
+        prop_assert_eq!(stats.dropped_pkts, (offered - accepted) + flushed);
+        prop_assert_eq!(accepted, dequeued + flushed);
+        prop_assert_eq!(q.used_bytes(), 0);
+    }
+
+    /// Priority-queue accounting under eviction: accepted packets leave
+    /// exactly once (dequeue, eviction, or flush) and byte accounting
+    /// returns to zero.
+    #[test]
+    fn priority_queue_accounting_with_evictions(
+        sizes in proptest::collection::vec(1u32..3000, 1..100),
+        qcis in proptest::collection::vec(1u8..10, 1..100),
+        cap in 1024u64..65536,
+    ) {
+        let mut q = PacketQueue::new(Discipline::QciPriority, cap);
+        let mut accepted = 0u64;
+        for (i, (&s, &qc)) in sizes.iter().zip(qcis.iter().cycle()).enumerate() {
+            if q.enqueue(pkt(i as u64, s, qc)) {
+                accepted += 1;
+            }
+            prop_assert!(q.used_bytes() <= cap);
+        }
+        prop_assert_eq!(q.stats().enqueued_pkts, accepted);
+        let mut dequeued = 0u64;
+        while q.dequeue().is_some() {
+            dequeued += 1;
+        }
+        // Evicted = accepted − dequeued (all remaining were evicted).
+        prop_assert!(dequeued <= accepted);
+        prop_assert_eq!(q.used_bytes(), 0);
+        prop_assert!(q.is_empty());
+    }
+
+    /// Queue byte bound: used bytes never exceed capacity.
+    #[test]
+    fn queue_respects_capacity(
+        sizes in proptest::collection::vec(1u32..4000, 1..80),
+        cap in 1000u64..20000,
+    ) {
+        let mut q = PacketQueue::new(Discipline::QciPriority, cap);
+        for (i, &s) in sizes.iter().enumerate() {
+            q.enqueue(pkt(i as u64, s, (i % 10) as u8));
+            prop_assert!(q.used_bytes() <= cap);
+        }
+    }
+
+    /// Link conservation: every offered packet is eventually delivered or
+    /// dropped; deliveries never exceed offers.
+    #[test]
+    fn link_conserves_packets(
+        sizes in proptest::collection::vec(64u32..1600, 1..60),
+        gaps_us in proptest::collection::vec(0u64..5000, 1..60),
+        rate_mbps in 1u64..100,
+    ) {
+        let mut link = Link::new(LinkParams {
+            rate_bps: rate_mbps * 1_000_000,
+            latency: SimDuration::from_millis(5),
+            queue_capacity_bytes: 16 * 1024,
+            discipline: Discipline::Fifo,
+        });
+        let mut t = SimTime::ZERO;
+        let mut offered = 0u64;
+        for (i, (&s, &g)) in sizes.iter().zip(gaps_us.iter().cycle()).enumerate() {
+            t = t + SimDuration::from_micros(g);
+            link.enqueue(t, pkt(i as u64, s, 9));
+            offered += 1;
+        }
+        let delivered = link.poll(t + SimDuration::from_secs(60)).len() as u64;
+        let dropped = link.queue_stats().dropped_pkts;
+        prop_assert_eq!(delivered + dropped, offered);
+        prop_assert!(link.is_idle());
+    }
+
+    /// FIFO links deliver in send order.
+    #[test]
+    fn fifo_link_preserves_order(
+        sizes in proptest::collection::vec(64u32..1500, 2..40),
+    ) {
+        let mut link = Link::new(LinkParams {
+            rate_bps: 10_000_000,
+            latency: SimDuration::from_millis(1),
+            queue_capacity_bytes: 1 << 20,
+            discipline: Discipline::Fifo,
+        });
+        for (i, &s) in sizes.iter().enumerate() {
+            link.enqueue(SimTime::ZERO, pkt(i as u64, s, 9));
+        }
+        let ids: Vec<u64> = link
+            .poll(SimTime::from_secs(120))
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(ids, sorted);
+    }
+
+    /// Radio timelines: η ∈ [0, 1); advance_connected is monotone in its
+    /// arguments and never lands inside an outage's interior.
+    #[test]
+    fn radio_invariants(seed in any::<u64>(), eta in 0.01f64..0.3,
+                        from_ms in 0u64..60_000, tx_us in 1u64..50_000) {
+        let mut rng = SimRng::new(seed);
+        let tl = RadioTimeline::intermittent(
+            SimDuration::from_secs(120), -85.0, eta,
+            SimDuration::from_millis(1930), &mut rng,
+        );
+        let e = tl.disconnectivity_ratio();
+        prop_assert!((0.0..1.0).contains(&e));
+        let from = SimTime::from_millis(from_ms);
+        let tx = SimDuration::from_micros(tx_us);
+        let done = tl.advance_connected(from, tx);
+        prop_assert!(done >= from + tx);
+        // More service time never completes earlier.
+        let done2 = tl.advance_connected(from, tx + SimDuration::from_micros(1));
+        prop_assert!(done2 >= done);
+    }
+
+    /// The RNG's labelled splits are stable and uniform draws respect
+    /// bounds.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+        let mut r = SimRng::new(seed);
+        let v = r.range_u64(lo, lo + span);
+        prop_assert!((lo..=lo + span).contains(&v));
+        let f = r.next_f64();
+        prop_assert!((0.0..1.0).contains(&f));
+    }
+}

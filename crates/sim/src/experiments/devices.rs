@@ -1,0 +1,74 @@
+//! The paper's device fleet (Fig. 11b) as performance profiles.
+//!
+//! Fig. 16a and Fig. 17 break results down by hardware: an HPE EL20 IoT
+//! gateway, a Google Pixel 2 XL, a Samsung S7 Edge, and the HP Z840
+//! workstation hosting the LTE core + edge server. We model each as a
+//! processing-latency constant (for RTT) and a crypto-speed factor
+//! relative to the workstation (for PoC negotiation/verification cost),
+//! both derived from the paper's published numbers.
+
+/// A device's performance profile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DeviceProfile {
+    /// Device name as in the paper.
+    pub name: &'static str,
+    /// Extra per-RTT processing latency (device stack + modem), ms.
+    pub processing_ms: f64,
+    /// RSA cost multiplier relative to the Z840 workstation
+    /// (from Fig. 17's verification times: 23.2/75.6/58.3 vs 15.7 ms).
+    pub crypto_factor: f64,
+}
+
+/// HPE EL20 IoT gateway.
+pub const EL20: DeviceProfile = DeviceProfile {
+    name: "EL20",
+    processing_ms: 12.0,
+    crypto_factor: 23.2 / 15.7,
+};
+
+/// Google Pixel 2 XL.
+pub const PIXEL_2XL: DeviceProfile = DeviceProfile {
+    name: "Pixel 2XL",
+    processing_ms: 22.0,
+    crypto_factor: 75.6 / 15.7,
+};
+
+/// Samsung Galaxy S7 Edge.
+pub const S7_EDGE: DeviceProfile = DeviceProfile {
+    name: "S7 Edge",
+    processing_ms: 32.0,
+    crypto_factor: 58.3 / 15.7,
+};
+
+/// HP Z840 workstation (LTE core + edge server + public verifier).
+pub const Z840: DeviceProfile = DeviceProfile {
+    name: "Z840",
+    processing_ms: 0.5,
+    crypto_factor: 1.0,
+};
+
+/// The edge devices of Fig. 16a / Fig. 17, in the paper's order.
+pub const EDGE_DEVICES: [DeviceProfile; 3] = [EL20, PIXEL_2XL, S7_EDGE];
+
+/// All verifier hosts of Fig. 17's verification plot.
+pub const ALL_DEVICES: [DeviceProfile; 4] = [EL20, PIXEL_2XL, S7_EDGE, Z840];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crypto_factors_ordered_like_paper() {
+        // Z840 fastest; Pixel slowest (per Fig. 17's verification times).
+        assert!(Z840.crypto_factor < EL20.crypto_factor);
+        assert!(EL20.crypto_factor < S7_EDGE.crypto_factor);
+        assert!(S7_EDGE.crypto_factor < PIXEL_2XL.crypto_factor);
+    }
+
+    #[test]
+    fn device_lists_consistent() {
+        assert_eq!(EDGE_DEVICES.len(), 3);
+        assert_eq!(ALL_DEVICES.len(), 4);
+        assert!(ALL_DEVICES.iter().any(|d| d.name == "Z840"));
+    }
+}

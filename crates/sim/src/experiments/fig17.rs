@@ -1,0 +1,215 @@
+//! Fig. 17 — Proof-of-Charging cost: negotiation time, verification time,
+//! message sizes, and verifier throughput.
+//!
+//! The crypto cost is measured for real on this host (RSA-1024 PKCS#1
+//! signing/verification from `tlc-crypto`), then projected onto the
+//! paper's devices via their crypto-speed factors; the network half of
+//! the negotiation time is the simulated device↔core round trip (the
+//! paper attributes 54.9% of negotiation to crypto, 45.1% to the RTT).
+
+use super::devices::{DeviceProfile, ALL_DEVICES, EDGE_DEVICES, Z840};
+use serde::Serialize;
+use std::time::Instant;
+use tlc_core::messages::NONCE_LEN;
+use tlc_core::plan::DataPlan;
+use tlc_core::protocol::{run_negotiation, Endpoint};
+use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
+use tlc_core::verify::verify_poc;
+use tlc_crypto::KeyPair;
+
+/// Message-size table (the bottom of Fig. 17).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct MessageSizes {
+    /// Legacy binary LTE CDR (from the paper, for comparison).
+    pub legacy_cdr: usize,
+    /// TLC CDR on the wire.
+    pub tlc_cdr: usize,
+    /// TLC CDA on the wire.
+    pub tlc_cda: usize,
+    /// TLC PoC on the wire.
+    pub tlc_poc: usize,
+    /// Whole negotiation: CDR + CDA + PoC.
+    pub total: usize,
+}
+
+/// Timing results for one device.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Fig17Row {
+    /// Device name.
+    pub device: &'static str,
+    /// Estimated PoC negotiation time, ms (crypto scaled + simulated RTT).
+    pub negotiation_ms: f64,
+    /// Estimated PoC verification time, ms.
+    pub verification_ms: f64,
+}
+
+/// Full figure output.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig17Report {
+    /// Per-device timings.
+    pub rows: Vec<Fig17Row>,
+    /// Wire sizes.
+    pub sizes: MessageSizes,
+    /// Host-measured crypto time for one full negotiation's signatures, ms.
+    pub host_crypto_ms: f64,
+    /// Host-measured single PoC verification, ms.
+    pub host_verify_ms: f64,
+    /// PoC verifications per hour on this host (the paper: 230K/hr on
+    /// a Z840).
+    pub verifications_per_hour: f64,
+}
+
+/// One complete negotiation, returning the artifacts and wall-clock time.
+fn negotiate_once(
+    edge: &KeyPair,
+    op: &KeyPair,
+    seed: u8,
+) -> (tlc_core::messages::PocMsg, f64) {
+    let plan = DataPlan::paper_default();
+    let mut e = Endpoint::new(
+        Role::Edge,
+        plan,
+        Knowledge { role: Role::Edge, own_truth: 1_000_000, inferred_peer_truth: 900_000 },
+        Box::new(OptimalStrategy),
+        edge.private.clone(),
+        op.public.clone(),
+        [seed; NONCE_LEN],
+        16,
+    );
+    let mut o = Endpoint::new(
+        Role::Operator,
+        plan,
+        Knowledge { role: Role::Operator, own_truth: 900_000, inferred_peer_truth: 1_000_000 },
+        Box::new(OptimalStrategy),
+        op.private.clone(),
+        edge.public.clone(),
+        [seed ^ 0xFF; NONCE_LEN],
+        16,
+    );
+    let t0 = Instant::now();
+    let (poc, _) = run_negotiation(&mut o, &mut e).expect("negotiation converges");
+    (poc, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs the measurement. `reps` controls how many timed repetitions to
+/// average (the paper negotiates per experiment round).
+pub fn run(reps: usize) -> Fig17Report {
+    let edge = KeyPair::generate_for_seed(1024, 0xF17E).expect("keygen");
+    let op = KeyPair::generate_for_seed(1024, 0xF170).expect("keygen");
+    let plan = DataPlan::paper_default();
+
+    // Warm-up + timed negotiations on this host.
+    let mut crypto_ms = 0.0;
+    let mut poc = None;
+    for i in 0..reps.max(1) {
+        let (p, ms) = negotiate_once(&edge, &op, i as u8);
+        crypto_ms += ms;
+        poc = Some(p);
+    }
+    let host_crypto_ms = crypto_ms / reps.max(1) as f64;
+    let poc = poc.expect("at least one negotiation ran");
+
+    // Timed verifications.
+    let t0 = Instant::now();
+    for _ in 0..reps.max(1) {
+        verify_poc(&poc, &plan, &edge.public, &op.public).expect("valid PoC verifies");
+    }
+    let host_verify_ms = t0.elapsed().as_secs_f64() * 1e3 / reps.max(1) as f64;
+
+    // Simulated device<->core RTT contribution (Fig. 16a's datapath).
+    let rtt_of = |d: &DeviceProfile| {
+        let samples = super::fig16::ping_rtt_ms(d, 20, false, 0xF17);
+        samples.iter().sum::<f64>() / samples.len().max(1) as f64
+    };
+
+    let mut rows: Vec<Fig17Row> = EDGE_DEVICES
+        .iter()
+        .map(|d| Fig17Row {
+            device: d.name,
+            // Crypto scaled by the device factor plus 1.5 negotiation RTTs
+            // (CDR -> CDA -> PoC is three one-way trips).
+            negotiation_ms: host_crypto_ms * d.crypto_factor + rtt_of(d) * 1.5,
+            verification_ms: host_verify_ms * d.crypto_factor,
+        })
+        .collect();
+    rows.push(Fig17Row {
+        device: Z840.name,
+        negotiation_ms: host_crypto_ms + 1.0, // server-local negotiation
+        verification_ms: host_verify_ms,
+    });
+
+    let sizes = measure_sizes(&poc);
+    Fig17Report {
+        rows,
+        sizes,
+        host_crypto_ms,
+        host_verify_ms,
+        verifications_per_hour: 3600.0 * 1e3 / host_verify_ms.max(1e-9),
+    }
+}
+
+fn measure_sizes(poc: &tlc_core::messages::PocMsg) -> MessageSizes {
+    let tlc_poc = poc.encode().len();
+    let tlc_cda = poc.cda.encode().len();
+    let tlc_cdr = poc.cda.peer_cdr.encode().len();
+    MessageSizes {
+        legacy_cdr: tlc_cell::cdr::LEGACY_CDR_WIRE_BYTES,
+        tlc_cdr,
+        tlc_cda,
+        tlc_poc,
+        total: tlc_cdr + tlc_cda + tlc_poc,
+    }
+}
+
+/// Prints the figure's tables.
+pub fn print(r: &Fig17Report) {
+    println!("Fig. 17 — Proof-of-Charging cost (TLC-optimal)");
+    println!("{:<12} {:>16} {:>17}", "device", "negotiation ms", "verification ms");
+    for row in &r.rows {
+        println!(
+            "{:<12} {:>16.2} {:>17.3}",
+            row.device, row.negotiation_ms, row.verification_ms
+        );
+    }
+    println!(
+        "sizes: legacy CDR {} B | TLC CDR {} B | CDA {} B | PoC {} B | total {} B / 3 msgs",
+        r.sizes.legacy_cdr, r.sizes.tlc_cdr, r.sizes.tlc_cda, r.sizes.tlc_poc, r.sizes.total
+    );
+    println!(
+        "host: negotiation crypto {:.2} ms, verification {:.3} ms -> {:.0} PoC verifications/hour",
+        r.host_crypto_ms, r.host_verify_ms, r.verifications_per_hour
+    );
+    let _ = ALL_DEVICES;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_shape_and_scaling() {
+        let r = run(2);
+        assert_eq!(r.rows.len(), 4);
+        // Device ordering by crypto factor: Z840 fastest verification.
+        let verify = |name: &str| {
+            r.rows.iter().find(|x| x.device == name).unwrap().verification_ms
+        };
+        assert!(verify("Z840") <= verify("EL20"));
+        assert!(verify("EL20") < verify("Pixel 2XL"));
+        assert!(r.host_crypto_ms > 0.0);
+        assert!(r.verifications_per_hour > 100_000.0, "{}", r.verifications_per_hour);
+    }
+
+    #[test]
+    fn sizes_match_paper_scale() {
+        let r = run(1);
+        // Paper: 199 / 398 / 796 / 1393 bytes. Our leaner binary framing
+        // lands below but within 2x on every row, preserving the ratios.
+        assert!((150..=220).contains(&r.sizes.tlc_cdr), "CDR {}", r.sizes.tlc_cdr);
+        assert!((300..=440).contains(&r.sizes.tlc_cda), "CDA {}", r.sizes.tlc_cda);
+        assert!((500..=900).contains(&r.sizes.tlc_poc), "PoC {}", r.sizes.tlc_poc);
+        assert!(r.sizes.tlc_cda > r.sizes.tlc_cdr);
+        assert!(r.sizes.tlc_poc > r.sizes.tlc_cda);
+        assert_eq!(r.sizes.legacy_cdr, 34);
+    }
+}

@@ -1,0 +1,54 @@
+//! One module per table/figure of the paper's evaluation (§7).
+//!
+//! Each experiment exposes a `run(scale) -> rows` function returning
+//! serializable rows matching the paper's reported series, plus a
+//! formatter that prints them in the paper's shape. `RunScale` trades
+//! fidelity for time: `Full` matches the paper (1-hour cycles, full
+//! sweeps); `Quick` shrinks cycles for CI and Criterion benches.
+
+use tlc_net::time::SimDuration;
+
+pub mod ablation;
+pub mod dataset;
+pub mod devices;
+pub mod fig03;
+pub mod fig04;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod generic;
+pub mod mobility;
+pub mod strawman;
+pub mod sweep;
+pub mod table2;
+
+/// How big to run an experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunScale {
+    /// CI/bench scale: short cycles, few repetitions.
+    Quick,
+    /// Paper scale: 1-hour cycles, full sweeps.
+    Full,
+}
+
+impl RunScale {
+    /// The charging-cycle length for this scale.
+    pub fn cycle(&self) -> SimDuration {
+        match self {
+            RunScale::Quick => SimDuration::from_secs(60),
+            RunScale::Full => SimDuration::from_secs(3600),
+        }
+    }
+
+    /// Number of repeated rounds (seeds) per configuration.
+    pub fn rounds(&self) -> u64 {
+        match self {
+            RunScale::Quick => 3,
+            RunScale::Full => 20,
+        }
+    }
+}

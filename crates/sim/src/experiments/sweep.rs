@@ -1,0 +1,163 @@
+//! The shared congestion × application sweep behind Fig. 12, Table 2,
+//! Fig. 13, and Fig. 16b.
+//!
+//! §7.1 runs every application under background loads of 0–160 Mbps and
+//! repeats each configuration over many one-hour rounds; the charging
+//! schemes are then priced on each round's records. One simulated round
+//! here feeds *all* schemes (the negotiation operates on end-of-cycle
+//! aggregates, so schemes never perturb the packet trace).
+
+use super::RunScale;
+use crate::measure::{compare_schemes, cycle_records, Comparison, CycleRecords};
+use crate::scenario::{run_scenario, AppKind, ScenarioConfig, ALL_APPS};
+use tlc_core::plan::{DataPlan, LossWeight};
+use tlc_net::time::SimDuration;
+
+/// One (app, background, seed) simulation round with its priced schemes.
+pub struct SweepSample {
+    /// Application under test.
+    pub app: AppKind,
+    /// Background load, Mbps.
+    pub bg_mbps: f64,
+    /// Seed of the round.
+    pub seed: u64,
+    /// Cycle length in seconds.
+    pub cycle_secs: f64,
+    /// Both parties' records and ground truth.
+    pub records: CycleRecords,
+    /// Priced schemes at the default plan (c = 0.5).
+    pub comparison: Comparison,
+    /// COUNTER CHECK messages exchanged during the cycle.
+    pub counter_check_msgs: u64,
+}
+
+impl SweepSample {
+    /// Re-prices this round under a different loss weight `c` — the
+    /// records do not depend on the plan, so no re-simulation is needed
+    /// (used by Fig. 15).
+    pub fn reprice(&self, c: LossWeight) -> Comparison {
+        let plan = DataPlan {
+            loss_weight: c,
+            ..DataPlan::paper_default()
+        };
+        compare_schemes(&self.records, &plan, self.seed).expect("pricing converges")
+    }
+}
+
+/// The background levels of Fig. 3 / Fig. 13.
+pub fn background_levels(scale: RunScale) -> &'static [f64] {
+    match scale {
+        RunScale::Quick => &[0.0, 120.0, 160.0],
+        RunScale::Full => &[0.0, 100.0, 120.0, 140.0, 160.0],
+    }
+}
+
+/// Runs the full congestion sweep at the given scale.
+pub fn congestion_sweep(scale: RunScale) -> Vec<SweepSample> {
+    sweep_over(scale, &ALL_APPS, background_levels(scale))
+}
+
+/// Runs a sweep over chosen apps and background levels.
+pub fn sweep_over(scale: RunScale, apps: &[AppKind], bgs: &[f64]) -> Vec<SweepSample> {
+    let plan = DataPlan::paper_default();
+    let mut out = Vec::new();
+    for &app in apps {
+        for &bg in bgs {
+            for round in 0..scale.rounds() {
+                let seed = seed_for(app, bg, round);
+                out.push(run_one(app, bg, seed, scale.cycle(), &plan));
+            }
+        }
+    }
+    out
+}
+
+/// Runs a single sweep round.
+pub fn run_one(
+    app: AppKind,
+    bg_mbps: f64,
+    seed: u64,
+    cycle: SimDuration,
+    plan: &DataPlan,
+) -> SweepSample {
+    let mut cfg = ScenarioConfig::new(app, seed, cycle).with_background(bg_mbps);
+    // Keep the RRC record reasonably fresh relative to short cycles.
+    cfg.datapath.rrc_periodic_check = rrc_period_for(cycle);
+    let r = run_scenario(&cfg);
+    let records = cycle_records(&r);
+    let comparison = compare_schemes(&records, plan, seed).expect("pricing converges");
+    SweepSample {
+        app,
+        bg_mbps,
+        seed,
+        cycle_secs: cycle.as_secs_f64(),
+        records,
+        comparison,
+        counter_check_msgs: r.counter_check_msgs,
+    }
+}
+
+/// The periodic COUNTER CHECK interval: the paper-scale 30 s for hour
+/// cycles, proportionally less for shortened test cycles so the RRC
+/// record keeps the same relative freshness (~1% of the cycle).
+pub fn rrc_period_for(cycle: SimDuration) -> SimDuration {
+    let secs = (cycle.as_secs_f64() / 120.0).clamp(0.5, 30.0);
+    SimDuration::from_secs_f64(secs)
+}
+
+fn seed_for(app: AppKind, bg: f64, round: u64) -> u64 {
+    let app_ix = ALL_APPS.iter().position(|a| *a == app).unwrap_or(7) as u64;
+    0x51EE_D000 + app_ix * 1000 + bg as u64 * 3 + round * 131
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_round_prices_all_schemes() {
+        let s = run_one(
+            AppKind::WebcamUdp,
+            120.0,
+            42,
+            SimDuration::from_secs(20),
+            &DataPlan::paper_default(),
+        );
+        assert!(s.records.truth.edge > 0);
+        assert!(s.comparison.intended > 0);
+        assert!(s.comparison.tlc_optimal.charge > 0);
+    }
+
+    #[test]
+    fn reprice_changes_with_c() {
+        let s = run_one(
+            AppKind::Vr,
+            150.0,
+            43,
+            SimDuration::from_secs(20),
+            &DataPlan::paper_default(),
+        );
+        let c0 = s.reprice(LossWeight::ZERO);
+        let c1 = s.reprice(LossWeight::ONE);
+        // With loss present, intended charge grows with c.
+        assert!(c1.intended > c0.intended);
+    }
+
+    #[test]
+    fn rrc_period_scales_with_cycle() {
+        assert_eq!(
+            rrc_period_for(SimDuration::from_secs(3600)),
+            SimDuration::from_secs(30)
+        );
+        assert!(rrc_period_for(SimDuration::from_secs(30)) < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn seeds_are_distinct_across_rounds() {
+        let a = seed_for(AppKind::Vr, 100.0, 0);
+        let b = seed_for(AppKind::Vr, 100.0, 1);
+        let c = seed_for(AppKind::Gaming, 100.0, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

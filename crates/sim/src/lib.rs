@@ -1,0 +1,32 @@
+//! # tlc-sim
+//!
+//! Experiment harness for the TLC reproduction of *"Bridging the Data
+//! Charging Gap in the Cellular Edge"* (SIGCOMM '19): wires the emulated
+//! LTE cell (`tlc-cell`), the workloads (`tlc-workloads`), and the TLC
+//! protocol (`tlc-core`) into the paper's §7 evaluation.
+//!
+//! * [`scenario`] — one experiment round: app + background + radio
+//!   condition over a charging cycle,
+//! * [`measure`] — party record extraction and the three charging schemes
+//!   (honest legacy, TLC-optimal, TLC-random),
+//! * [`metrics`] — CDFs and unit conversions,
+//! * [`experiments`] — one module per paper table/figure, each emitting
+//!   the same rows/series the paper reports,
+//! * [`multiop`] — the §8 multi-operator extension: per-operator TLC
+//!   instances over classified traffic.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod metrics;
+pub mod multiop;
+pub mod scenario;
+
+pub use measure::{compare_schemes, cycle_records, evaluate, Comparison, CycleRecords, SchemeOutcome};
+pub use metrics::{bytes_to_mb, bytes_to_mb_per_hr, Cdf};
+pub use multiop::{run_multi_operator, MultiOperatorOutcome, OperatorOutcome, OperatorSlice};
+pub use scenario::{
+    build_radio, run_scenario, AppKind, RadioSpec, ScenarioConfig, ScenarioResult, ALL_APPS,
+    APP_FLOW, BG_FLOW,
+};

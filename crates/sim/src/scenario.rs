@@ -1,0 +1,449 @@
+//! Scenario construction and the simulation driver.
+//!
+//! A scenario reproduces one experiment round of §7.1: an edge application
+//! streaming over the emulated LTE cell for one charging cycle, optionally
+//! against iperf background traffic (congestion) and under a chosen radio
+//! condition, with NTP-residual clock skew between the edge and the
+//! operator.
+
+use tlc_cell::clock::SkewedClock;
+use tlc_cell::datapath::{Datapath, DatapathConfig, DropStats, FlowCounters};
+use tlc_net::packet::{Direction, FlowId, Packet, PacketIdAlloc, Qci};
+use tlc_net::radio::{RadioTimeline, RssWalkParams};
+use tlc_net::rng::SimRng;
+use tlc_net::time::{SimDuration, SimTime};
+use tlc_workloads::background::BackgroundTraffic;
+use tlc_workloads::gaming::GamingStream;
+use tlc_workloads::traffic::Workload;
+use tlc_workloads::vr::VrStream;
+use tlc_workloads::webcam::WebcamStream;
+
+/// The four §7.1 applications.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AppKind {
+    /// WebCam streaming over RTSP (uplink, 0.77 Mbps).
+    WebcamRtsp,
+    /// WebCam streaming over legacy UDP (uplink, 1.73 Mbps).
+    WebcamUdp,
+    /// VRidge GVSP VR offload (downlink, 9.0 Mbps).
+    Vr,
+    /// King of Glory with QCI=7 (downlink, 0.02 Mbps).
+    Gaming,
+    /// The Fig. 4 variant: the UDP WebCam stream sent *downlink*
+    /// (server-side camera to device display).
+    WebcamUdpDownlink,
+}
+
+/// All four applications, in the paper's table order.
+pub const ALL_APPS: [AppKind; 4] = [
+    AppKind::WebcamRtsp,
+    AppKind::WebcamUdp,
+    AppKind::Vr,
+    AppKind::Gaming,
+];
+
+impl AppKind {
+    /// The paper's label for this application.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AppKind::WebcamRtsp => "WebCam (RTSP)",
+            AppKind::WebcamUdp => "WebCam (UDP)",
+            AppKind::Vr => "VRidge (GVSP)",
+            AppKind::Gaming => "Gaming w/ QCI=7",
+            AppKind::WebcamUdpDownlink => "WebCam (UDP, DL)",
+        }
+    }
+
+    /// Traffic direction (which also selects the charged direction).
+    pub fn direction(&self) -> Direction {
+        match self {
+            AppKind::WebcamRtsp | AppKind::WebcamUdp => Direction::Uplink,
+            AppKind::Vr | AppKind::Gaming | AppKind::WebcamUdpDownlink => Direction::Downlink,
+        }
+    }
+
+    /// Instantiates the workload generator.
+    pub fn make(&self, duration: SimDuration, rng: SimRng) -> Box<dyn Workload> {
+        match self {
+            AppKind::WebcamRtsp => Box::new(WebcamStream::rtsp(duration, rng)),
+            AppKind::WebcamUdp => Box::new(WebcamStream::udp(duration, rng)),
+            AppKind::Vr => Box::new(VrStream::vridge(duration, rng)),
+            AppKind::Gaming => Box::new(GamingStream::king_of_glory(duration, rng)),
+            AppKind::WebcamUdpDownlink => Box::new(WebcamStream::udp(duration, rng)),
+        }
+    }
+}
+
+/// Radio condition under test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RadioSpec {
+    /// Strong, stable signal (RSS ≥ −95 dBm — the paper's "good radio").
+    Good,
+    /// Constant signal at a chosen RSS.
+    ConstantRss(f64),
+    /// Shadow-fading walk around a mean RSS (the paper's signal-strength
+    /// sweep in [−95, −120] dBm).
+    Walk {
+        /// Mean RSS of the walk.
+        mean_rss_dbm: f64,
+    },
+    /// Intermittent connectivity with target disconnectivity ratio η and
+    /// ~1.93 s mean outages (Fig. 4 / Fig. 14).
+    Intermittent {
+        /// Target η = t_disconn / t_total.
+        eta: f64,
+    },
+}
+
+/// One experiment round's configuration.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// Master seed; all stochastic components derive from it.
+    pub seed: u64,
+    /// Charging-cycle length (the paper uses 1 hour; tests use less).
+    pub duration: SimDuration,
+    /// Application under test.
+    pub app: AppKind,
+    /// iperf UDP background load sharing the cell, Mbps (same direction
+    /// as the app, to a separate phone).
+    pub background_mbps: f64,
+    /// Radio condition.
+    pub radio: RadioSpec,
+    /// NTP residual clock skew σ between edge and operator, milliseconds.
+    pub ntp_skew_std_ms: f64,
+    /// Handover rate (events/minute, Poisson): each handover flushes the
+    /// cell's buffered packets for this device (§3.1's link-layer
+    /// mobility loss). Zero disables mobility.
+    pub handovers_per_minute: f64,
+    /// Datapath parameters (cell capacity, buffers, RRC timers).
+    pub datapath: DatapathConfig,
+}
+
+impl ScenarioConfig {
+    /// A scenario with the paper's defaults, at a reduced duration
+    /// suitable for tests and benches (pass 3600 s for full fidelity).
+    pub fn new(app: AppKind, seed: u64, duration: SimDuration) -> Self {
+        ScenarioConfig {
+            seed,
+            duration,
+            app,
+            background_mbps: 0.0,
+            radio: RadioSpec::Good,
+            ntp_skew_std_ms: 30.0,
+            handovers_per_minute: 0.0,
+            datapath: DatapathConfig::default(),
+        }
+    }
+
+    /// Sets the background congestion level.
+    pub fn with_background(mut self, mbps: f64) -> Self {
+        self.background_mbps = mbps;
+        self
+    }
+
+    /// Sets the radio condition.
+    pub fn with_radio(mut self, radio: RadioSpec) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Sets the handover rate (device mobility).
+    pub fn with_handovers_per_minute(mut self, rate: f64) -> Self {
+        assert!(rate >= 0.0 && rate.is_finite());
+        self.handovers_per_minute = rate;
+        self
+    }
+
+    /// Enables DRR per-flow fair queueing on the radio links.
+    pub fn with_fair_queueing(mut self) -> Self {
+        self.datapath.fair_queueing = true;
+        self
+    }
+}
+
+/// The flow id of the application under test.
+pub const APP_FLOW: FlowId = FlowId(1);
+/// The flow id of the background phone's traffic.
+pub const BG_FLOW: FlowId = FlowId(99);
+
+/// Everything measured in one scenario round.
+pub struct ScenarioResult {
+    /// The application's counters at every vantage.
+    pub app: FlowCounters,
+    /// Background flow counters, if background traffic ran.
+    pub background: Option<FlowCounters>,
+    /// Drop accounting.
+    pub drops: DropStats,
+    /// Charged direction of the app.
+    pub direction: Direction,
+    /// Application under test.
+    pub app_kind: AppKind,
+    /// Cycle length.
+    pub duration: SimDuration,
+    /// The edge's clock (device + server side).
+    pub edge_clock: SkewedClock,
+    /// The operator's clock (core side).
+    pub operator_clock: SkewedClock,
+    /// Operator's RRC-based downlink record as of its cycle end.
+    pub rrc_view_at_cycle_end: u64,
+    /// Number of COUNTER CHECK message pairs exchanged.
+    pub counter_check_msgs: u64,
+    /// RRC connection setups over the cycle.
+    pub rrc_connection_setups: u64,
+    /// Realised disconnectivity ratio η of the radio channel.
+    pub eta: f64,
+    /// Mean outage duration in seconds.
+    pub mean_outage_secs: f64,
+}
+
+impl ScenarioResult {
+    /// Cycle end on the true clock.
+    pub fn cycle_end(&self) -> SimTime {
+        SimTime::ZERO + self.duration
+    }
+}
+
+/// Builds the radio timeline for a spec.
+pub fn build_radio(spec: RadioSpec, duration: SimDuration, rng: &mut SimRng) -> RadioTimeline {
+    match spec {
+        RadioSpec::Good => RadioTimeline::constant(duration, -80.0),
+        RadioSpec::ConstantRss(rss) => RadioTimeline::constant(duration, rss),
+        RadioSpec::Walk { mean_rss_dbm } => RadioTimeline::rss_walk(
+            duration,
+            RssWalkParams {
+                mean_rss_dbm,
+                ..RssWalkParams::default()
+            },
+            rng,
+        ),
+        RadioSpec::Intermittent { eta } => RadioTimeline::intermittent(
+            duration,
+            -85.0,
+            eta,
+            SimDuration::from_millis(1930), // the paper's mean outage
+            rng,
+        ),
+    }
+}
+
+/// Runs one scenario round to completion.
+pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
+    let master = SimRng::new(cfg.seed);
+    let mut radio_rng = master.split("radio");
+    let radio = build_radio(cfg.radio, cfg.duration, &mut radio_rng);
+    let eta = radio.disconnectivity_ratio();
+    let mean_outage_secs = radio.mean_outage_secs();
+
+    let mut dp = Datapath::new(cfg.datapath.clone(), radio, master.split("datapath"));
+    dp.mark_foreign(BG_FLOW);
+    if cfg.handovers_per_minute > 0.0 {
+        // Poisson handover process over the cycle.
+        let mut ho_rng = master.split("handover");
+        let mean_gap_s = 60.0 / cfg.handovers_per_minute;
+        let mut instants = Vec::new();
+        let mut t = 0.0;
+        loop {
+            t += ho_rng.exponential(mean_gap_s);
+            if t >= cfg.duration.as_secs_f64() {
+                break;
+            }
+            instants.push(SimTime::ZERO + SimDuration::from_secs_f64(t));
+        }
+        dp.set_handovers(instants);
+    }
+
+    let mut app = cfg.app.make(cfg.duration, master.split("app"));
+    // Direction comes from the scenario's app kind (a generator like the
+    // webcam can be pointed either way, cf. Fig. 4's downlink webcam).
+    let app_dir = cfg.app.direction();
+    let app_qci = app.qci();
+    let mut bg = BackgroundTraffic::new(cfg.background_mbps, app_dir, cfg.duration);
+
+    let mut clock_rng = master.split("clock");
+    let edge_clock = SkewedClock::ntp_residual(cfg.ntp_skew_std_ms, &mut clock_rng);
+    let operator_clock = SkewedClock::ntp_residual(cfg.ntp_skew_std_ms, &mut clock_rng);
+
+    let mut alloc = PacketIdAlloc::new();
+    let mut next_app = app.next();
+    let mut next_bg = bg.next();
+    let mut now = SimTime::ZERO;
+    // Queues may drain for a while after the last emission.
+    let horizon = SimTime::ZERO + cfg.duration + SimDuration::from_secs(60);
+
+    loop {
+        // The earliest pending instant across emissions and the datapath.
+        let mut next: Option<SimTime> = None;
+        let mut consider = |t: Option<SimTime>| {
+            if let Some(t) = t {
+                next = Some(next.map_or(t, |cur: SimTime| cur.min(t)));
+            }
+        };
+        consider(next_app.as_ref().map(|e| e.at));
+        consider(next_bg.as_ref().map(|e| e.at));
+        consider(dp.next_event_time(now));
+        let Some(t) = next else { break };
+        if t > horizon {
+            break;
+        }
+        now = t;
+        // Emissions first at a tick, then datapath progress.
+        while let Some(e) = next_app.as_ref().filter(|e| e.at <= now).copied() {
+            send(&mut dp, &mut alloc, APP_FLOW, app_dir, app_qci, e.at, e.size, e.frame);
+            next_app = app.next();
+        }
+        while let Some(e) = next_bg.as_ref().filter(|e| e.at <= now).copied() {
+            send(&mut dp, &mut alloc, BG_FLOW, app_dir, Qci::DEFAULT, e.at, e.size, e.frame);
+            next_bg = bg.next();
+        }
+        dp.poll(now);
+    }
+
+    let cycle_end_true_op = operator_clock.true_time_of(SimTime::ZERO + cfg.duration);
+    let rrc_view_at_cycle_end = dp.rrc().operator_view_at(cycle_end_true_op);
+
+    ScenarioResult {
+        app: dp.flow_counters(APP_FLOW).cloned().unwrap_or_default(),
+        background: dp.flow_counters(BG_FLOW).cloned(),
+        drops: dp.drops(),
+        direction: app_dir,
+        app_kind: cfg.app,
+        duration: cfg.duration,
+        edge_clock,
+        operator_clock,
+        rrc_view_at_cycle_end,
+        counter_check_msgs: dp.rrc().counter_check_msgs(),
+        rrc_connection_setups: dp.rrc().connection_setups(),
+        eta,
+        mean_outage_secs,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn send(
+    dp: &mut Datapath,
+    alloc: &mut PacketIdAlloc,
+    flow: FlowId,
+    dir: Direction,
+    qci: Qci,
+    at: SimTime,
+    size: u32,
+    frame: u64,
+) {
+    let pkt = Packet::new(alloc.next_id(), flow, dir, size, qci, at).with_frame(frame);
+    match dir {
+        Direction::Uplink => dp.send_uplink(at, pkt),
+        Direction::Downlink => dp.send_downlink(at, pkt),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short(app: AppKind, seed: u64) -> ScenarioConfig {
+        ScenarioConfig::new(app, seed, SimDuration::from_secs(30))
+    }
+
+    #[test]
+    fn clean_webcam_run_has_tiny_gap() {
+        let r = run_scenario(&short(AppKind::WebcamRtsp, 1));
+        let sent = r.app.device_app_sent.bytes();
+        let gw = r.app.gateway_uplink.bytes();
+        assert!(sent > 0);
+        // Residual air loss only: around the paper's ~7% baseline.
+        assert!(gw <= sent);
+        let loss = (sent - gw) as f64 / sent as f64;
+        assert!((0.02..=0.12).contains(&loss), "baseline loss {loss}");
+    }
+
+    #[test]
+    fn vr_run_counts_at_all_vantages() {
+        let r = run_scenario(&short(AppKind::Vr, 2));
+        assert!(r.app.server_sent.bytes() > 0);
+        assert_eq!(r.app.server_sent.bytes(), r.app.gateway_downlink.bytes());
+        assert!(r.app.modem_received.bytes() > 0);
+        assert!(r.app.modem_received.bytes() <= r.app.gateway_downlink.bytes());
+        assert_eq!(r.direction, Direction::Downlink);
+    }
+
+    #[test]
+    fn congestion_grows_the_gap() {
+        let clean = run_scenario(&short(AppKind::Vr, 3));
+        let congested = run_scenario(&short(AppKind::Vr, 3).with_background(150.0));
+        let gap = |r: &ScenarioResult| {
+            r.app.gateway_downlink.bytes() - r.app.modem_received.bytes()
+        };
+        assert!(
+            gap(&congested) > gap(&clean) * 2,
+            "clean {} vs congested {}",
+            gap(&clean),
+            gap(&congested)
+        );
+    }
+
+    #[test]
+    fn gaming_protected_by_qci_under_congestion() {
+        let r = run_scenario(&short(AppKind::Gaming, 4).with_background(160.0));
+        let sent = r.app.gateway_downlink.bytes();
+        let recv = r.app.modem_received.bytes();
+        assert!(sent > 0);
+        // QCI 7 cuts ahead of the QCI 9 background: only the residual air
+        // loss remains, no congestion loss on top.
+        assert!(
+            (sent - recv) as f64 / sent as f64 <= 0.12,
+            "gaming lost {} of {}",
+            sent - recv,
+            sent
+        );
+        // The background itself suffers.
+        let bg = r.background.expect("background ran");
+        assert!(bg.modem_received.bytes() < bg.gateway_downlink.bytes());
+    }
+
+    #[test]
+    fn intermittent_radio_creates_gap_without_congestion() {
+        let clean = run_scenario(&short(AppKind::WebcamUdp, 5));
+        let flaky = run_scenario(
+            &short(AppKind::WebcamUdp, 5).with_radio(RadioSpec::Intermittent { eta: 0.12 }),
+        );
+        assert!(flaky.eta > 0.05, "eta {}", flaky.eta);
+        let gap = |r: &ScenarioResult| {
+            r.app.device_app_sent.bytes() - r.app.gateway_uplink.bytes()
+        };
+        assert!(gap(&flaky) > gap(&clean), "{} vs {}", gap(&flaky), gap(&clean));
+        assert!(flaky.mean_outage_secs > 0.5);
+    }
+
+    #[test]
+    fn rrc_view_close_to_modem_truth() {
+        // 30 s run with 30 s periodic checks: the release check after the
+        // stream ends is outside the cycle, so shorten the periodic timer.
+        let mut cfg = short(AppKind::Vr, 6);
+        cfg.datapath.rrc_periodic_check = SimDuration::from_secs(5);
+        let r = run_scenario(&cfg);
+        let modem = r.app.modem_received.bytes();
+        let rrc = r.rrc_view_at_cycle_end;
+        assert!(rrc > 0, "RRC view empty");
+        assert!(rrc <= modem);
+        let err = (modem - rrc) as f64 / modem as f64;
+        // Lag is at most one periodic interval of traffic: 5/30 ≈ 17%.
+        assert!(err <= 0.25, "err {err}");
+        assert!(r.counter_check_msgs >= 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_scenario(&short(AppKind::WebcamUdp, 7).with_background(100.0));
+        let b = run_scenario(&short(AppKind::WebcamUdp, 7).with_background(100.0));
+        assert_eq!(a.app.device_app_sent.bytes(), b.app.device_app_sent.bytes());
+        assert_eq!(a.app.gateway_uplink.bytes(), b.app.gateway_uplink.bytes());
+        assert_eq!(a.rrc_view_at_cycle_end, b.rrc_view_at_cycle_end);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_scenario(&short(AppKind::WebcamUdp, 8));
+        let b = run_scenario(&short(AppKind::WebcamUdp, 9));
+        assert_ne!(a.app.device_app_sent.bytes(), b.app.device_app_sent.bytes());
+    }
+}

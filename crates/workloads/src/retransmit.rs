@@ -1,0 +1,220 @@
+//! Transport-layer retransmission (§3.1 cause 4).
+//!
+//! "The data can be over-charged due to spurious retransmission." A
+//! reliable transport resends unacknowledged segments; every copy crosses
+//! the gateway and is metered, but the application's goodput counts each
+//! segment once. This wrapper turns any open-loop workload into an
+//! ARQ-style stream: a configurable fraction of segments is retransmitted
+//! after an RTO (covering genuine loss recovery *and* the spurious
+//! retransmissions of [12]'s attack, where delayed ACKs trigger resends
+//! of data that already arrived).
+//!
+//! Accounting: `frame` keeps the original segment id on every copy, so a
+//! receiver can compute goodput (distinct frames) vs metered volume
+//! (all copies) — the over-charging gap this cause creates.
+
+use crate::traffic::{Emission, Workload};
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use tlc_net::packet::{Direction, Qci};
+use tlc_net::rng::SimRng;
+use tlc_net::time::{SimDuration, SimTime};
+
+/// A workload wrapper that duplicates a fraction of emissions after an
+/// RTO, modelling ARQ retransmissions.
+pub struct RetransmittingSource<W: Workload> {
+    inner: W,
+    /// Probability a segment is retransmitted once.
+    retx_probability: f64,
+    /// Retransmission timeout after the original emission.
+    rto: SimDuration,
+    rng: SimRng,
+    /// Scheduled retransmissions, ordered by time (with a tiebreak id so
+    /// the heap is deterministic): (due, tiebreak, size, frame).
+    pending: BinaryHeap<Reverse<(SimTime, u64, u32, u64)>>,
+    next_tiebreak: u64,
+    /// The inner workload's next emission, buffered for merging.
+    upcoming: Option<Emission>,
+    started: bool,
+    /// Statistics: originals and retransmissions emitted.
+    originals: u64,
+    retransmissions: u64,
+}
+
+impl<W: Workload> RetransmittingSource<W> {
+    /// Wraps `inner`, retransmitting each segment once with probability
+    /// `retx_probability` after `rto`.
+    pub fn new(inner: W, retx_probability: f64, rto: SimDuration, rng: SimRng) -> Self {
+        assert!((0.0..=1.0).contains(&retx_probability));
+        assert!(rto > SimDuration::ZERO);
+        RetransmittingSource {
+            inner,
+            retx_probability,
+            rto,
+            rng,
+            pending: BinaryHeap::new(),
+            next_tiebreak: 0,
+            upcoming: None,
+            started: false,
+            originals: 0,
+            retransmissions: 0,
+        }
+    }
+
+    /// Original segments emitted so far.
+    pub fn originals(&self) -> u64 {
+        self.originals
+    }
+
+    /// Retransmitted copies emitted so far.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    fn refill(&mut self) {
+        if !self.started {
+            self.upcoming = self.inner.next();
+            self.started = true;
+        }
+    }
+}
+
+impl<W: Workload> Workload for RetransmittingSource<W> {
+    fn next(&mut self) -> Option<Emission> {
+        self.refill();
+        // Merge the inner stream with the retransmission heap by time.
+        let retx_at = self.pending.peek().map(|Reverse((t, _, _, _))| *t);
+        let inner_at = self.upcoming.as_ref().map(|e| e.at);
+        match (inner_at, retx_at) {
+            (Some(ia), ra) if ra.is_none() || ia <= ra.expect("checked") => {
+                let e = self.upcoming.take().expect("checked");
+                self.upcoming = self.inner.next();
+                self.originals += 1;
+                if self.rng.chance(self.retx_probability) {
+                    let id = self.next_tiebreak;
+                    self.next_tiebreak += 1;
+                    self.pending
+                        .push(Reverse((e.at + self.rto, id, e.size, e.frame)));
+                }
+                Some(e)
+            }
+            (_, Some(_)) => {
+                let Reverse((t, _, size, frame)) = self.pending.pop().expect("checked");
+                self.retransmissions += 1;
+                Some(Emission { at: t, size, frame })
+            }
+            // Inner stream done, no pending copies.
+            (_, None) => None,
+        }
+    }
+
+    fn direction(&self) -> Direction {
+        self.inner.direction()
+    }
+
+    fn qci(&self) -> Qci {
+        self.inner.qci()
+    }
+
+    fn name(&self) -> &'static str {
+        "retransmitting"
+    }
+
+    fn nominal_rate_mbps(&self) -> f64 {
+        self.inner.nominal_rate_mbps() * (1.0 + self.retx_probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gaming::GamingStream;
+    use crate::webcam::WebcamStream;
+
+    fn drain<W: Workload>(w: &mut RetransmittingSource<W>) -> Vec<Emission> {
+        std::iter::from_fn(|| w.next()).collect()
+    }
+
+    #[test]
+    fn retransmissions_inflate_metered_volume_not_goodput() {
+        let inner = WebcamStream::udp(SimDuration::from_secs(30), SimRng::new(1));
+        let mut w = RetransmittingSource::new(
+            inner,
+            0.2,
+            SimDuration::from_millis(200),
+            SimRng::new(2),
+        );
+        let all = drain(&mut w);
+        let metered: u64 = all.iter().map(|e| e.size as u64).sum();
+        // Goodput: each frame's distinct payload, counted once.
+        let mut frames: Vec<u64> = all.iter().map(|e| e.frame).collect();
+        frames.sort_unstable();
+        frames.dedup();
+        assert!(w.retransmissions() > 0);
+        assert_eq!(
+            all.len() as u64,
+            w.originals() + w.retransmissions(),
+            "every emission is original or copy"
+        );
+        // The metered volume exceeds what a copy-free stream would carry.
+        let retx_fraction = w.retransmissions() as f64 / w.originals() as f64;
+        assert!((0.1..0.3).contains(&retx_fraction), "retx {retx_fraction}");
+        assert!(metered > 0);
+        assert!(!frames.is_empty());
+    }
+
+    #[test]
+    fn zero_probability_is_transparent() {
+        let inner = GamingStream::king_of_glory(SimDuration::from_secs(10), SimRng::new(3));
+        let plain: Vec<Emission> = {
+            let mut w = GamingStream::king_of_glory(SimDuration::from_secs(10), SimRng::new(3));
+            std::iter::from_fn(|| w.next()).collect()
+        };
+        let mut w =
+            RetransmittingSource::new(inner, 0.0, SimDuration::from_millis(100), SimRng::new(4));
+        assert_eq!(drain(&mut w), plain);
+        assert_eq!(w.retransmissions(), 0);
+    }
+
+    #[test]
+    fn emissions_stay_time_ordered() {
+        let inner = WebcamStream::rtsp(SimDuration::from_secs(10), SimRng::new(5));
+        let mut w = RetransmittingSource::new(
+            inner,
+            0.5,
+            SimDuration::from_millis(150),
+            SimRng::new(6),
+        );
+        let all = drain(&mut w);
+        for pair in all.windows(2) {
+            assert!(pair[1].at >= pair[0].at);
+        }
+    }
+
+    #[test]
+    fn copies_carry_the_original_frame_id() {
+        let inner = GamingStream::king_of_glory(SimDuration::from_secs(20), SimRng::new(7));
+        let mut w =
+            RetransmittingSource::new(inner, 1.0, SimDuration::from_millis(100), SimRng::new(8));
+        let all = drain(&mut w);
+        // With p=1 every frame appears exactly twice.
+        let mut counts = std::collections::HashMap::new();
+        for e in &all {
+            *counts.entry(e.frame).or_insert(0u32) += 1;
+        }
+        assert!(counts.values().all(|&c| c == 2), "every segment sent twice");
+    }
+
+    #[test]
+    fn nominal_rate_reflects_overhead() {
+        let inner = WebcamStream::udp(SimDuration::from_secs(1), SimRng::new(9));
+        let base = inner.nominal_rate_mbps();
+        let w = RetransmittingSource::new(
+            inner,
+            0.25,
+            SimDuration::from_millis(100),
+            SimRng::new(10),
+        );
+        assert!((w.nominal_rate_mbps() - base * 1.25).abs() < 1e-9);
+    }
+}

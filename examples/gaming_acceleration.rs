@@ -1,0 +1,108 @@
+//! Online mobile gaming acceleration (§2.2): QCI-priority protection.
+//!
+//! Tencent-style game acceleration buys a dedicated high-QoS bearer
+//! (QCI=7) for the player-control stream. This example runs the gaming
+//! workload with and without the priority bearer under heavy congestion,
+//! showing (a) how QCI=7 protects delivery — and therefore shrinks even
+//! the legacy charging gap — and (b) TLC still tightening the residual.
+//!
+//! ```sh
+//! cargo run --release --example gaming_acceleration
+//! ```
+
+use tlc_cell::datapath::{Datapath, DatapathConfig};
+use tlc_core::plan::DataPlan;
+use tlc_net::packet::{Direction, FlowId, Packet, PacketIdAlloc, Qci};
+use tlc_net::radio::RadioTimeline;
+use tlc_net::rng::SimRng;
+use tlc_net::time::{SimDuration, SimTime};
+use tlc_sim::measure::evaluate;
+use tlc_sim::scenario::{run_scenario, AppKind, ScenarioConfig};
+use tlc_workloads::gaming::GamingStream;
+use tlc_workloads::traffic::Workload;
+
+/// Runs the game flow at a chosen QCI against saturating background.
+fn run_with_qci(qci: Qci, seed: u64) -> (u64, u64) {
+    let duration = SimDuration::from_secs(60);
+    let radio = RadioTimeline::constant(duration, -85.0);
+    let mut cfg = DatapathConfig::default();
+    cfg.dl_capacity_bps = 50_000_000; // a loaded cell
+    let mut dp = Datapath::new(cfg, radio, SimRng::new(seed));
+    let game_flow = FlowId(1);
+    let bg_flow = FlowId(99);
+    dp.mark_foreign(bg_flow);
+
+    let mut game = GamingStream::king_of_glory(duration, SimRng::new(seed ^ 1));
+    let mut alloc = PacketIdAlloc::new();
+    let mut next_game = game.next();
+    // 60 Mbps background saturates the 50 Mbps cell.
+    let bg_interval = SimDuration::from_micros(196);
+    let mut next_bg_at = SimTime::ZERO;
+    let horizon = SimTime::ZERO + duration;
+
+    let mut now = SimTime::ZERO;
+    loop {
+        let t_game = next_game.as_ref().map(|e| e.at);
+        let t_bg = (next_bg_at < horizon).then_some(next_bg_at);
+        let t_dp = dp.next_event_time(now);
+        let Some(t) = [t_game, t_bg, t_dp].into_iter().flatten().min() else {
+            break;
+        };
+        if t > horizon + SimDuration::from_secs(10) {
+            break;
+        }
+        now = t;
+        if let Some(e) = next_game.as_ref().filter(|e| e.at <= now).copied() {
+            let p = Packet::new(alloc.next_id(), game_flow, Direction::Downlink, e.size, qci, e.at);
+            dp.send_downlink(e.at, p);
+            next_game = game.next();
+        }
+        if next_bg_at <= now && next_bg_at < horizon {
+            let p = Packet::new(
+                alloc.next_id(), bg_flow, Direction::Downlink, 1470, Qci::DEFAULT, next_bg_at,
+            );
+            dp.send_downlink(next_bg_at, p);
+            next_bg_at = next_bg_at + bg_interval;
+        }
+        dp.poll(now);
+    }
+    let c = dp.flow_counters(game_flow).expect("game flow ran");
+    (c.gateway_downlink.bytes(), c.modem_received.bytes())
+}
+
+fn main() {
+    println!("King-of-Glory stream on a saturated 50 Mbps cell (60 Mbps background):\n");
+    for (label, qci) in [
+        ("best-effort (QCI=9)", Qci::DEFAULT),
+        ("accelerated (QCI=7)", Qci::INTERACTIVE),
+    ] {
+        let (sent, received) = run_with_qci(qci, 77);
+        let loss_pct = (sent - received) as f64 * 100.0 / sent as f64;
+        println!(
+            "  {:<22} sent {:>8} B, delivered {:>8} B, lost {:>5.1}%",
+            label, sent, received, loss_pct
+        );
+    }
+
+    // Full pipeline at QCI=7 under the paper's congestion sweep point.
+    println!("\ncharging outcome with acceleration (QCI=7), 160 Mbps background:");
+    let cfg = ScenarioConfig::new(AppKind::Gaming, 78, SimDuration::from_secs(90))
+        .with_background(160.0);
+    let r = run_scenario(&cfg);
+    let cmp = evaluate(&r, &DataPlan::paper_default(), cfg.seed).expect("pricing");
+    println!("  intended charge x̂: {} bytes", cmp.intended);
+    println!(
+        "  legacy bill: {} (gap {} bytes, {:.2}%)",
+        cmp.legacy.charge,
+        cmp.gap(cmp.legacy.charge),
+        cmp.gap_ratio(cmp.legacy.charge) * 100.0
+    );
+    println!(
+        "  TLC-optimal: {} (gap {} bytes, {:.2}%), {} round(s)",
+        cmp.tlc_optimal.charge,
+        cmp.gap(cmp.tlc_optimal.charge),
+        cmp.gap_ratio(cmp.tlc_optimal.charge) * 100.0,
+        cmp.tlc_optimal.rounds
+    );
+    println!("\nQCI=7 keeps the game's legacy gap small; TLC still tightens it (Fig. 12d).");
+}

@@ -1,0 +1,74 @@
+//! Multi-access edge across operators (§8): a vehicle's edge app bonded
+//! over two operators' cells, each with its own conditions and data
+//! plan, each running its own TLC instance.
+//!
+//! ```sh
+//! cargo run --release --example multi_operator
+//! ```
+
+use tlc_core::plan::{DataPlan, LossWeight};
+use tlc_net::time::SimDuration;
+use tlc_sim::multiop::{run_multi_operator, OperatorSlice};
+use tlc_sim::scenario::{AppKind, RadioSpec};
+
+fn main() {
+    // A self-driving-style deployment: operator A's cell is congested in
+    // the city; operator B covers the highway with patchier signal and a
+    // cheaper lost-data weight in its plan.
+    let operators = vec![
+        OperatorSlice {
+            name: "Operator A (urban, congested)",
+            radio: RadioSpec::Good,
+            background_mbps: 150.0,
+            plan: DataPlan::paper_default(), // c = 0.5
+        },
+        OperatorSlice {
+            name: "Operator B (highway, patchy)",
+            radio: RadioSpec::Intermittent { eta: 0.10 },
+            background_mbps: 0.0,
+            plan: DataPlan {
+                loss_weight: LossWeight::from_f64(0.25),
+                ..DataPlan::paper_default()
+            },
+        },
+    ];
+
+    println!("VR offload classified across two operators, 90 s cycle:\n");
+    let out = run_multi_operator(AppKind::Vr, SimDuration::from_secs(90), &operators, 0x88);
+
+    for o in &out.per_operator {
+        let truth = o.records.truth;
+        println!("{}:", o.name);
+        println!(
+            "  sent {:.2} MB, delivered {:.2} MB, lost {:.2} MB",
+            truth.edge as f64 / 1e6,
+            truth.operator as f64 / 1e6,
+            (truth.edge - truth.operator) as f64 / 1e6
+        );
+        println!(
+            "  intended x̂ {:.2} MB | legacy bill {:.2} MB (ε {:.1}%) | TLC bill {:.2} MB (ε {:.2}%), {} round(s)",
+            o.comparison.intended as f64 / 1e6,
+            o.comparison.legacy.charge as f64 / 1e6,
+            o.comparison.gap_ratio(o.comparison.legacy.charge) * 100.0,
+            o.comparison.tlc_optimal.charge as f64 / 1e6,
+            o.comparison.gap_ratio(o.comparison.tlc_optimal.charge) * 100.0,
+            o.comparison.tlc_optimal.rounds,
+        );
+        println!();
+    }
+
+    let intended = out.total_intended();
+    println!("edge vendor's aggregate bill across operators:");
+    println!("  intended  {:.2} MB", intended as f64 / 1e6);
+    println!(
+        "  legacy    {:.2} MB  ({:+.2} MB vs intended)",
+        out.total_legacy_charge() as f64 / 1e6,
+        (out.total_legacy_charge() as f64 - intended as f64) / 1e6
+    );
+    println!(
+        "  TLC       {:.2} MB  ({:+.2} MB vs intended)",
+        out.total_tlc_charge() as f64 / 1e6,
+        (out.total_tlc_charge() as f64 - intended as f64) / 1e6
+    );
+    println!("\neach per-operator PoC is independently verifiable; no operator\nlearns the other's records (§8).");
+}

@@ -1,0 +1,91 @@
+//! Regenerates every table and figure of the paper's evaluation (§7).
+//!
+//! Prints, in paper order: Fig. 3, Fig. 4, Fig. 11c, Fig. 12, Table 2,
+//! Fig. 13, Fig. 14, Fig. 15, Fig. 16, Fig. 17, Fig. 18, and the
+//! Appendix-D generic-charging validation.
+//!
+//! ```sh
+//! cargo run --release --example paper_eval          # quick scale
+//! cargo run --release --example paper_eval -- full  # paper scale (slow)
+//! ```
+
+use tlc_sim::experiments::{
+    ablation, dataset, fig03, fig04, fig12, fig13, fig14, fig15, fig16, fig17, fig18, generic,
+    mobility, sweep, table2, RunScale,
+};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("full") => RunScale::Full,
+        _ => RunScale::Quick,
+    };
+    println!("=== TLC paper evaluation at {scale:?} scale ===\n");
+
+    println!("--- Fig. 3 ---");
+    fig03::print(&fig03::run(scale));
+
+    println!("\n--- Fig. 4 ---");
+    let (rows, summary) = fig04::run(scale);
+    fig04::print(&rows, &summary);
+
+    // The congestion sweep feeds Fig. 11c, Fig. 12, Table 2, Fig. 13,
+    // and Fig. 16b (one simulation set, many read-outs — negotiations
+    // never perturb the packet traces).
+    println!("\nrunning the shared congestion sweep…");
+    let samples = sweep::congestion_sweep(scale);
+
+    println!("\n--- Fig. 11c ---");
+    dataset::print(&dataset::from_samples(&samples));
+
+    println!("\n--- Fig. 12 ---");
+    let mut curves = fig12::from_samples(&samples);
+    fig12::print(&mut curves);
+
+    println!("\n--- Table 2 ---");
+    table2::print(&table2::from_samples(&samples));
+
+    println!("\n--- Fig. 13 ---");
+    fig13::print(&fig13::from_samples(&samples));
+
+    println!("\n--- Fig. 14 ---");
+    fig14::print(&fig14::run(scale));
+
+    println!("\n--- Fig. 15 ---");
+    let vr_samples: Vec<_> = samples
+        .into_iter()
+        .filter(|s| {
+            matches!(
+                s.app,
+                tlc_sim::scenario::AppKind::Vr | tlc_sim::scenario::AppKind::Gaming
+            )
+        })
+        .collect();
+    let mut f15 = fig15::from_samples(&vr_samples);
+    fig15::print(&mut f15);
+
+    println!("\n--- Fig. 16 ---");
+    let rtt = fig16::run_rtt(scale);
+    let rounds = fig16::rounds_from_samples(&vr_samples);
+    fig16::print(&rtt, &rounds);
+
+    println!("\n--- Fig. 17 ---");
+    let reps = match scale {
+        RunScale::Quick => 5,
+        RunScale::Full => 50,
+    };
+    fig17::print(&fig17::run(reps));
+
+    println!("\n--- Fig. 18 ---");
+    let mut f18 = fig18::run(scale);
+    fig18::print(&mut f18);
+
+    println!("\n--- Appendix D ---");
+    generic::print(&generic::run(scale));
+
+    println!("\n--- Extensions ---");
+    ablation::print(&ablation::run(scale));
+    println!();
+    mobility::print(&mobility::run(scale));
+
+    println!("\ndone.");
+}

@@ -1,0 +1,114 @@
+//! Quickstart: one complete TLC charging cycle, end to end.
+//!
+//! Simulates an edge application streaming over the emulated LTE cell for
+//! one (shortened) charging cycle, then runs the full TLC pipeline:
+//! loss–selfishness cancellation, signed CDR/CDA/PoC negotiation, and
+//! public verification — and compares the bill against legacy 4G/5G.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tlc_core::messages::NONCE_LEN;
+use tlc_core::plan::DataPlan;
+use tlc_core::protocol::{run_negotiation, Endpoint};
+use tlc_core::strategy::{OptimalStrategy, Role};
+use tlc_core::verify::Verifier;
+use tlc_crypto::KeyPair;
+use tlc_net::time::SimDuration;
+use tlc_sim::measure::cycle_records;
+use tlc_sim::scenario::{run_scenario, AppKind, ScenarioConfig};
+
+fn main() {
+    // ── 1. Simulate a charging cycle ────────────────────────────────────
+    // A VR offload stream (9 Mbps downlink) against 140 Mbps of background
+    // traffic on the same cell: congestion drops packets *after* the
+    // operator's gateway has metered them.
+    let cycle = SimDuration::from_secs(120);
+    let cfg = ScenarioConfig::new(AppKind::Vr, 42, cycle).with_background(140.0);
+    println!(
+        "simulating: {} for {:?} + {} Mbps background…",
+        cfg.app.name(),
+        cycle,
+        cfg.background_mbps
+    );
+    let result = run_scenario(&cfg);
+
+    let records = cycle_records(&result);
+    println!("\nground truth for the cycle:");
+    println!("  server sent (x̂_e):      {:>12} bytes", records.truth.edge);
+    println!("  device received (x̂_o):  {:>12} bytes", records.truth.operator);
+    println!(
+        "  lost in the network:    {:>12} bytes",
+        records.truth.edge - records.truth.operator
+    );
+
+    // ── 2. The data plan ───────────────────────────────────────────────
+    let plan = DataPlan::paper_default(); // c = 0.5: lost data half-charged
+    let intended = tlc_core::plan::intended_charge(records.truth, plan.loss_weight);
+    println!(
+        "\nplan-intended charge x̂ (c = {}): {} bytes",
+        plan.loss_weight.as_f64(),
+        intended
+    );
+
+    // What legacy 4G/5G bills: the gateway meter, counted before the loss.
+    println!(
+        "legacy 4G/5G bill:               {} bytes (over by {})",
+        records.legacy_metered,
+        records.legacy_metered.saturating_sub(intended)
+    );
+
+    // ── 3. TLC negotiation with signed messages ────────────────────────
+    let edge_keys = KeyPair::generate_for_seed(1024, 1).expect("edge keygen");
+    let op_keys = KeyPair::generate_for_seed(1024, 2).expect("operator keygen");
+
+    let mut edge = Endpoint::new(
+        Role::Edge,
+        plan,
+        records.edge,
+        Box::new(OptimalStrategy),
+        edge_keys.private.clone(),
+        op_keys.public.clone(),
+        [0xE1; NONCE_LEN],
+        32,
+    );
+    let mut operator = Endpoint::new(
+        Role::Operator,
+        plan,
+        records.operator,
+        Box::new(OptimalStrategy),
+        op_keys.private.clone(),
+        edge_keys.public.clone(),
+        [0x0A; NONCE_LEN],
+        32,
+    );
+    let (poc, msgs) = run_negotiation(&mut operator, &mut edge).expect("negotiation");
+    println!(
+        "\nTLC negotiation: {} messages, {} round(s)",
+        msgs,
+        operator.rounds()
+    );
+    println!("  edge claimed x_e = {}", poc.edge_usage());
+    println!("  operator claimed x_o = {}", poc.operator_usage());
+    println!("  negotiated charge x = {} bytes", poc.charge);
+    println!(
+        "  |x − x̂| = {} bytes ({:.2}% of x̂)",
+        poc.charge.abs_diff(intended),
+        poc.charge.abs_diff(intended) as f64 * 100.0 / intended as f64
+    );
+
+    // ── 4. Public verification (Algorithm 2) ───────────────────────────
+    let mut verifier = Verifier::new(plan, edge_keys.public.clone(), op_keys.public.clone());
+    let verdict = verifier.verify(&poc).expect("valid proof");
+    println!("\npublic verifier accepts the PoC:");
+    println!(
+        "  charge {} from claims ({}, {}), {} round(s)",
+        verdict.charge, verdict.edge_claim, verdict.operator_claim, verdict.rounds
+    );
+
+    // Replays are rejected.
+    assert!(verifier.verify(&poc).is_err());
+    println!("  replaying the same PoC is rejected ✓");
+}

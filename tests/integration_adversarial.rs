@@ -1,0 +1,167 @@
+//! Adversarial integration: forgery, tampering, replay, selfish monitors,
+//! and the unboundedness contrast between legacy 4G/5G and TLC.
+
+use tlc_cell::monitor::{operator_downlink_report, MonitorKind, TamperPolicy};
+use tlc_core::legacy::{legacy_charge, LegacyOperator};
+use tlc_core::messages::{CdaMsg, CdrMsg, PocMsg, NONCE_LEN};
+use tlc_core::plan::DataPlan;
+use tlc_core::protocol::{run_negotiation, Endpoint};
+use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
+use tlc_core::verify::{verify_poc, Verifier, VerifyError};
+use tlc_crypto::KeyPair;
+
+fn make_proof(sent: u64, received: u64) -> (PocMsg, KeyPair, KeyPair, DataPlan) {
+    let plan = DataPlan::paper_default();
+    let ek = KeyPair::generate_for_seed(1024, 71).unwrap();
+    let ok = KeyPair::generate_for_seed(1024, 72).unwrap();
+    let mut e = Endpoint::new(
+        Role::Edge,
+        plan,
+        Knowledge { role: Role::Edge, own_truth: sent, inferred_peer_truth: received },
+        Box::new(OptimalStrategy),
+        ek.private.clone(),
+        ok.public.clone(),
+        [0x11; NONCE_LEN],
+        16,
+    );
+    let mut o = Endpoint::new(
+        Role::Operator,
+        plan,
+        Knowledge { role: Role::Operator, own_truth: received, inferred_peer_truth: sent },
+        Box::new(OptimalStrategy),
+        ok.private.clone(),
+        ek.public.clone(),
+        [0x22; NONCE_LEN],
+        16,
+    );
+    let (poc, _) = run_negotiation(&mut o, &mut e).unwrap();
+    (poc, ek, ok, plan)
+}
+
+/// Legacy selfish charging is unbounded; TLC's accepted charge never
+/// exceeds the signed claims.
+#[test]
+fn legacy_unbounded_tlc_bounded() {
+    let (poc, _, _, _) = make_proof(1_000_000, 900_000);
+    // Legacy: a selfish operator can claim anything.
+    let absurd = legacy_charge(900_000, LegacyOperator::Arbitrary { volume: u64::MAX });
+    assert_eq!(absurd, u64::MAX);
+    // TLC: the proof pins the charge inside the claims.
+    assert!(poc.charge <= poc.edge_usage().max(poc.operator_usage()));
+    assert!(poc.charge >= poc.edge_usage().min(poc.operator_usage()));
+}
+
+/// Every byte of a PoC is covered either by a signature or by the nonce
+/// checks: flipping any single byte makes verification fail.
+#[test]
+fn any_single_byte_flip_invalidates_the_proof() {
+    let (poc, ek, ok, plan) = make_proof(500_000, 400_000);
+    let wire = poc.encode();
+    // Sample positions across the whole message (every 13th byte).
+    for idx in (0..wire.len()).step_by(13) {
+        let mut corrupted = wire.clone();
+        corrupted[idx] ^= 0x01;
+        match PocMsg::decode(&corrupted) {
+            Err(_) => {} // structurally rejected
+            Ok(msg) => {
+                assert!(
+                    verify_poc(&msg, &plan, &ek.public, &ok.public).is_err(),
+                    "byte {idx} flip went undetected"
+                );
+            }
+        }
+    }
+}
+
+/// An operator cannot splice an old high-usage CDA into a new PoC: the
+/// verifier's replay cache keys on the nonces, and fresh nonces can't be
+/// forged into old signed structures.
+#[test]
+fn cda_splicing_is_caught() {
+    let (poc1, ek, ok, plan) = make_proof(2_000_000, 1_800_000);
+    // Splice: take cycle 1's CDA but claim a doubled charge.
+    let spliced = PocMsg::sign(
+        Role::Operator,
+        plan,
+        poc1.charge * 2,
+        poc1.cda.clone(),
+        poc1.nonce_e,
+        poc1.nonce_o,
+        &ok.private,
+    )
+    .unwrap();
+    // The signature is valid (operator signed it!) but the charge no
+    // longer replays from the embedded claims.
+    assert_eq!(
+        verify_poc(&spliced, &plan, &ek.public, &ok.public),
+        Err(VerifyError::ChargeMismatch {
+            claimed: poc1.charge * 2,
+            expected: poc1.charge
+        })
+    );
+}
+
+/// Replayed proofs are rejected by a stateful verifier even though they
+/// verify statelessly.
+#[test]
+fn replay_rejected_only_by_stateful_verifier() {
+    let (poc, ek, ok, plan) = make_proof(800_000, 700_000);
+    // Stateless: fine both times.
+    verify_poc(&poc, &plan, &ek.public, &ok.public).unwrap();
+    verify_poc(&poc, &plan, &ek.public, &ok.public).unwrap();
+    // Stateful: second presentation is a replay.
+    let mut v = Verifier::new(plan, ek.public.clone(), ok.public.clone());
+    v.verify(&poc).unwrap();
+    assert_eq!(v.verify(&poc), Err(VerifyError::Replayed));
+}
+
+/// §5.4's monitor taxonomy end-to-end: a selfish edge zeroes the
+/// user-space monitor but cannot touch the RRC-backed record.
+#[test]
+fn selfish_edge_defeats_strawman1_not_tlc_monitor() {
+    let modem_truth = 33_604_032; // Trace 1's downlink volume
+    let zeroing_edge = TamperPolicy::Zero;
+    let strawman = operator_downlink_report(MonitorKind::UserSpaceApi, modem_truth, zeroing_edge);
+    let tlc = operator_downlink_report(MonitorKind::RrcCounterCheck, modem_truth, zeroing_edge);
+    assert_eq!(strawman.reported_bytes, 0, "strawman 1 is fooled");
+    assert_eq!(tlc.reported_bytes, modem_truth, "RRC record survives");
+    // Strawman 2 also survives but costs root + privacy.
+    assert!(MonitorKind::RootedSystemMonitor.requires_root());
+    assert!(MonitorKind::RootedSystemMonitor.privacy_invasive());
+    assert!(!MonitorKind::RrcCounterCheck.requires_root());
+}
+
+/// A forged CDR chain built by one party alone (without the peer's key)
+/// never survives chain verification, whatever roles it claims.
+#[test]
+fn single_party_cannot_fabricate_a_two_party_proof() {
+    let plan = DataPlan::paper_default();
+    let ek = KeyPair::generate_for_seed(1024, 73).unwrap();
+    let ok = KeyPair::generate_for_seed(1024, 74).unwrap();
+    // The operator fabricates the edge's CDR with its own key.
+    let fake_edge_cdr =
+        CdrMsg::sign(Role::Edge, plan, 1, [9; NONCE_LEN], 10_000_000, &ok.private).unwrap();
+    let cda = CdaMsg::sign(
+        Role::Operator,
+        plan,
+        [8; NONCE_LEN],
+        10_000_000,
+        fake_edge_cdr,
+        &ok.private,
+    )
+    .unwrap();
+    // Wait — the PoC finalizer must be the party whose CDR is embedded;
+    // operator embeds an "edge" CDR, so the edge must finalize. The
+    // operator signs it itself instead:
+    let poc = PocMsg::sign(
+        Role::Edge, // claims to be edge-finalized
+        plan,
+        10_000_000,
+        cda,
+        [9; NONCE_LEN],
+        [8; NONCE_LEN],
+        &ok.private, // ...but signed with the operator's key
+    )
+    .unwrap();
+    assert!(verify_poc(&poc, &plan, &ek.public, &ok.public).is_err());
+}

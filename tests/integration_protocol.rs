@@ -1,0 +1,209 @@
+//! Protocol-level integration: every strategy pairing through the wire
+//! protocol, checked against the abstract Algorithm 1 and the theorems.
+
+use tlc_core::cancellation::{negotiate, DEFAULT_MAX_ROUNDS};
+use tlc_core::messages::NONCE_LEN;
+use tlc_core::plan::{DataPlan, LossWeight};
+use tlc_core::protocol::{run_negotiation, Endpoint, ProtocolError};
+use tlc_core::strategy::{
+    HonestStrategy, Knowledge, OptimalStrategy, RandomSelfishStrategy, Role, Strategy,
+};
+use tlc_crypto::KeyPair;
+use tlc_net::rng::SimRng;
+
+fn knowledge(role: Role, sent: u64, received: u64) -> Knowledge {
+    match role {
+        Role::Edge => Knowledge { role, own_truth: sent, inferred_peer_truth: received },
+        Role::Operator => Knowledge { role, own_truth: received, inferred_peer_truth: sent },
+    }
+}
+
+fn endpoints(
+    edge_strategy: Box<dyn Strategy>,
+    op_strategy: Box<dyn Strategy>,
+    sent: u64,
+    received: u64,
+    c: f64,
+) -> (Endpoint, Endpoint) {
+    let plan = DataPlan {
+        loss_weight: LossWeight::from_f64(c),
+        ..DataPlan::paper_default()
+    };
+    let ek = KeyPair::generate_for_seed(1024, 61).unwrap();
+    let ok = KeyPair::generate_for_seed(1024, 62).unwrap();
+    (
+        Endpoint::new(
+            Role::Edge, plan, knowledge(Role::Edge, sent, received), edge_strategy,
+            ek.private.clone(), ok.public.clone(), [0xE; NONCE_LEN], 48,
+        ),
+        Endpoint::new(
+            Role::Operator, plan, knowledge(Role::Operator, sent, received), op_strategy,
+            ok.private.clone(), ek.public.clone(), [0xF; NONCE_LEN], 48,
+        ),
+    )
+}
+
+/// Wire protocol and abstract Algorithm 1 agree for deterministic
+/// strategy pairings across plans and truth pairs.
+#[test]
+fn wire_matches_abstract_for_deterministic_strategies() {
+    let cases: &[(u64, u64, f64)] = &[
+        (1000, 800, 0.5),
+        (1000, 800, 0.0),
+        (1000, 800, 1.0),
+        (5_000_000, 4_999_999, 0.25),
+        (100, 100, 0.75),
+        (1, 0, 0.5),
+    ];
+    for &(sent, received, c) in cases {
+        let plan = DataPlan {
+            loss_weight: LossWeight::from_f64(c),
+            ..DataPlan::paper_default()
+        };
+        for honest_edge in [false, true] {
+            for honest_op in [false, true] {
+                let mk_e = || -> Box<dyn Strategy> {
+                    if honest_edge { Box::new(HonestStrategy) } else { Box::new(OptimalStrategy) }
+                };
+                let mk_o = || -> Box<dyn Strategy> {
+                    if honest_op { Box::new(HonestStrategy) } else { Box::new(OptimalStrategy) }
+                };
+                let abstract_out = negotiate(
+                    &plan,
+                    mk_e().as_mut(),
+                    &knowledge(Role::Edge, sent, received),
+                    mk_o().as_mut(),
+                    &knowledge(Role::Operator, sent, received),
+                    DEFAULT_MAX_ROUNDS,
+                )
+                .expect("abstract converges");
+                let (mut e, mut o) = endpoints(mk_e(), mk_o(), sent, received, c);
+                let (poc, _) = run_negotiation(&mut o, &mut e).expect("wire converges");
+                assert_eq!(
+                    poc.charge, abstract_out.charge,
+                    "sent={sent} recv={received} c={c} he={honest_edge} ho={honest_op}"
+                );
+            }
+        }
+    }
+}
+
+/// Theorem 2 at the wire level: for rational/honest parties the charge is
+/// bounded by [x̂_o, x̂_e], whoever initiates.
+#[test]
+fn theorem2_bound_holds_for_both_initiators() {
+    for (sent, received) in [(1000u64, 600u64), (1_000_000, 999_000), (42, 0)] {
+        for edge_initiates in [false, true] {
+            let (mut e, mut o) = endpoints(
+                Box::new(OptimalStrategy),
+                Box::new(HonestStrategy),
+                sent,
+                received,
+                0.5,
+            );
+            let (poc, _) = if edge_initiates {
+                run_negotiation(&mut e, &mut o).unwrap()
+            } else {
+                run_negotiation(&mut o, &mut e).unwrap()
+            };
+            assert!(
+                (received..=sent).contains(&poc.charge),
+                "charge {} outside [{received}, {sent}]",
+                poc.charge
+            );
+        }
+    }
+}
+
+/// Theorem 4 at the wire level: rational parties finish in exactly three
+/// messages (CDR, CDA, PoC) — one round.
+#[test]
+fn theorem4_one_round_three_messages() {
+    let (mut e, mut o) = endpoints(
+        Box::new(OptimalStrategy),
+        Box::new(OptimalStrategy),
+        777_777,
+        700_000,
+        0.5,
+    );
+    let (_, msgs) = run_negotiation(&mut o, &mut e).unwrap();
+    assert_eq!(msgs, 3);
+    assert_eq!(o.rounds(), 1);
+}
+
+/// Random-selfish pairings converge across many seeds and stay within
+/// bounds, through the wire protocol.
+#[test]
+fn random_selfish_wire_negotiations_converge_bounded() {
+    for seed in 0..25u64 {
+        let (mut e, mut o) = endpoints(
+            Box::new(RandomSelfishStrategy::new(SimRng::new(seed))),
+            Box::new(RandomSelfishStrategy::new(SimRng::new(seed + 10_000))),
+            2_000_000,
+            1_500_000,
+            0.5,
+        );
+        let (poc, msgs) = run_negotiation(&mut o, &mut e)
+            .unwrap_or_else(|err| panic!("seed {seed}: {err}"));
+        assert!(
+            (1_500_000..=2_000_000).contains(&poc.charge),
+            "seed {seed}: charge {}",
+            poc.charge
+        );
+        assert!(msgs >= 3);
+    }
+}
+
+/// Zero traffic cycles negotiate a zero charge and still produce a
+/// verifiable proof.
+#[test]
+fn zero_usage_cycle_yields_zero_charge_proof() {
+    let plan = DataPlan::paper_default();
+    let ek = KeyPair::generate_for_seed(1024, 63).unwrap();
+    let ok = KeyPair::generate_for_seed(1024, 64).unwrap();
+    let mut e = Endpoint::new(
+        Role::Edge, plan, knowledge(Role::Edge, 0, 0), Box::new(OptimalStrategy),
+        ek.private.clone(), ok.public.clone(), [1; NONCE_LEN], 16,
+    );
+    let mut o = Endpoint::new(
+        Role::Operator, plan, knowledge(Role::Operator, 0, 0), Box::new(OptimalStrategy),
+        ok.private.clone(), ek.public.clone(), [2; NONCE_LEN], 16,
+    );
+    let (poc, _) = run_negotiation(&mut o, &mut e).unwrap();
+    assert_eq!(poc.charge, 0);
+    tlc_core::verify::verify_poc(&poc, &plan, &ek.public, &ok.public).unwrap();
+}
+
+/// A party whose claims escape the agreed bounds after a rejection is
+/// detected locally by its peer and the negotiation aborts (line 12's
+/// constraint is locally checkable).
+#[test]
+fn bound_violation_detected_at_wire_level() {
+    use tlc_core::cancellation::Bounds;
+    use tlc_core::strategy::Decision;
+
+    /// Escalates its claim every round, ignoring bounds entirely: round 1
+    /// establishes bounds, round 2's doubled claim violates them.
+    struct EscalatingViolator;
+    impl Strategy for EscalatingViolator {
+        fn claim(&mut self, _k: &Knowledge, _b: &Bounds, round: u32) -> u64 {
+            5_000_000u64 << round
+        }
+        fn decide(&mut self, _k: &Knowledge, _own: u64, _peer: u64) -> Decision {
+            Decision::Reject
+        }
+    }
+
+    let (mut e, mut o) = endpoints(
+        Box::new(EscalatingViolator),
+        Box::new(OptimalStrategy),
+        1000,
+        800,
+        0.5,
+    );
+    let err = run_negotiation(&mut o, &mut e).unwrap_err();
+    match err {
+        ProtocolError::PeerBoundViolation { .. } | ProtocolError::Stalled { .. } => {}
+        other => panic!("expected bound violation or stall, got {other}"),
+    }
+}
