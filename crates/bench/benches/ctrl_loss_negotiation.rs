@@ -1,0 +1,99 @@
+//! Bench + regeneration for the control-plane robustness extension:
+//! negotiation through the loss-tolerant session layer over a faulty
+//! signaling channel. Prints the loss-sweep table (convergence rate and
+//! latency vs control loss), then times a full session-pair run at a
+//! clean channel and at 20% loss with duplication and reordering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tlc_core::messages::NONCE_LEN;
+use tlc_core::plan::DataPlan;
+use tlc_core::protocol::Endpoint;
+use tlc_core::session::{run_session_pair, Session, SessionConfig};
+use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
+use tlc_crypto::KeyPair;
+use tlc_net::channel::{FaultSpec, FaultyChannel};
+use tlc_net::loss::{LossModel, NoLoss, UniformLoss};
+use tlc_net::rng::SimRng;
+use tlc_net::time::{SimDuration, SimTime};
+use tlc_sim::experiments::{robustness, RunScale};
+
+fn endpoints(ek: &KeyPair, ok: &KeyPair) -> (Endpoint, Endpoint) {
+    let plan = DataPlan::paper_default();
+    (
+        Endpoint::new(
+            Role::Edge,
+            plan,
+            Knowledge {
+                role: Role::Edge,
+                own_truth: 1_000_000,
+                inferred_peer_truth: 900_000,
+            },
+            Box::new(OptimalStrategy),
+            ek.private.clone(),
+            ok.public.clone(),
+            [3; NONCE_LEN],
+            32,
+        ),
+        Endpoint::new(
+            Role::Operator,
+            plan,
+            Knowledge {
+                role: Role::Operator,
+                own_truth: 900_000,
+                inferred_peer_truth: 1_000_000,
+            },
+            Box::new(OptimalStrategy),
+            ok.private.clone(),
+            ek.public.clone(),
+            [4; NONCE_LEN],
+            32,
+        ),
+    )
+}
+
+fn channel(loss: f64, spec: &FaultSpec, seed: u64) -> FaultyChannel {
+    let model: Box<dyn LossModel> = if loss == 0.0 {
+        Box::new(NoLoss)
+    } else {
+        Box::new(UniformLoss::new(loss))
+    };
+    FaultyChannel::new(spec.clone(), model, SimRng::new(seed))
+}
+
+fn run_once(ek: &KeyPair, ok: &KeyPair, loss: f64, spec: &FaultSpec, seed: u64) -> u64 {
+    let (edge, op) = endpoints(ek, ok);
+    let mut initiator = Session::new(op, SessionConfig::default());
+    let mut responder = Session::new(edge, SessionConfig::default());
+    let mut fwd = channel(loss, spec, seed);
+    let mut back = channel(loss, spec, seed.wrapping_add(1));
+    let report = run_session_pair(
+        &mut initiator,
+        &mut responder,
+        &mut fwd,
+        &mut back,
+        SimTime::from_millis(0),
+        SimDuration::from_secs(120),
+    )
+    .expect("fresh endpoints initiate");
+    report.settled_charge()
+}
+
+fn bench(c: &mut Criterion) {
+    robustness::print(&robustness::run(RunScale::Quick));
+
+    let ek = KeyPair::generate_for_seed(1024, 271).unwrap();
+    let ok = KeyPair::generate_for_seed(1024, 272).unwrap();
+    let clean = FaultSpec::clean();
+    let faulty = FaultSpec::with_faults(0.05, 0.05, 0.0);
+
+    c.bench_function("ctrl_loss/session_pair_clean", |b| {
+        b.iter(|| run_once(black_box(&ek), &ok, 0.0, &clean, 42))
+    });
+    c.bench_function("ctrl_loss/session_pair_20pct_loss_dup_reorder", |b| {
+        b.iter(|| run_once(black_box(&ek), &ok, 0.2, &faulty, 42))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

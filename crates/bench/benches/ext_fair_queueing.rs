@@ -12,7 +12,14 @@ use tlc_net::time::SimTime;
 use tlc_sim::experiments::{ablation, RunScale};
 
 fn pkt(id: u64, flow: u32, size: u32) -> Packet {
-    Packet::new(id, FlowId(flow), Direction::Downlink, size, Qci::DEFAULT, SimTime::ZERO)
+    Packet::new(
+        id,
+        FlowId(flow),
+        Direction::Downlink,
+        size,
+        Qci::DEFAULT,
+        SimTime::ZERO,
+    )
 }
 
 fn bench(c: &mut Criterion) {

@@ -14,12 +14,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("vr_cycle_20s_12ho_per_min", |b| {
         b.iter(|| {
-            let mut cfg = ScenarioConfig::new(
-                black_box(AppKind::Vr),
-                13,
-                SimDuration::from_secs(20),
-            )
-            .with_handovers_per_minute(12.0);
+            let mut cfg =
+                ScenarioConfig::new(black_box(AppKind::Vr), 13, SimDuration::from_secs(20))
+                    .with_handovers_per_minute(12.0);
             cfg.datapath.dl_capacity_bps = 12_000_000;
             run_scenario(&cfg)
         })

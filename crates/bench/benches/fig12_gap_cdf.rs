@@ -5,7 +5,6 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use tlc_core::plan::DataPlan;
-use tlc_net::time::SimDuration;
 use tlc_sim::experiments::{fig12, sweep, RunScale};
 use tlc_sim::measure::compare_schemes;
 use tlc_sim::scenario::AppKind;

@@ -23,12 +23,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("gaming_congested_point", |b| {
         b.iter(|| {
-            let cfg = ScenarioConfig::new(
-                black_box(AppKind::Gaming),
-                5,
-                SimDuration::from_secs(20),
-            )
-            .with_background(160.0);
+            let cfg =
+                ScenarioConfig::new(black_box(AppKind::Gaming), 5, SimDuration::from_secs(20))
+                    .with_background(160.0);
             let r = run_scenario(&cfg);
             evaluate(&r, &plan, 5).unwrap()
         })

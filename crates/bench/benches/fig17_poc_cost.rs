@@ -14,7 +14,7 @@ use tlc_crypto::KeyPair;
 use tlc_sim::experiments::fig17;
 
 fn bench(c: &mut Criterion) {
-    fig17::print(&fig17::run(5));
+    fig17::print(&fig17::run(5).expect("optimal pair converges"));
 
     let plan = DataPlan::paper_default();
     let ek = KeyPair::generate_for_seed(1024, 171).unwrap();
@@ -24,7 +24,11 @@ fn bench(c: &mut Criterion) {
             Endpoint::new(
                 Role::Edge,
                 plan,
-                Knowledge { role: Role::Edge, own_truth: 1_000_000, inferred_peer_truth: 900_000 },
+                Knowledge {
+                    role: Role::Edge,
+                    own_truth: 1_000_000,
+                    inferred_peer_truth: 900_000,
+                },
                 Box::new(OptimalStrategy),
                 ek.private.clone(),
                 ok.public.clone(),

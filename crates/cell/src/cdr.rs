@@ -113,9 +113,7 @@ impl ChargingDataRecord {
             gateway_address: field(xml, "gatewayAddress")?.to_string(),
             charging_id: field(xml, "chargingID")?.parse().ok()?,
             sequence_number: field(xml, "SequenceNumber")?.parse().ok()?,
-            time_of_first_usage: SimTime::from_secs(
-                field(xml, "timeOfFirstUsage")?.parse().ok()?,
-            ),
+            time_of_first_usage: SimTime::from_secs(field(xml, "timeOfFirstUsage")?.parse().ok()?),
             time_of_last_usage: SimTime::from_secs(field(xml, "timeOfLastUsage")?.parse().ok()?),
             datavolume_uplink: field(xml, "datavolumeUplink")?.parse().ok()?,
             datavolume_downlink: field(xml, "datavolumeDownlink")?.parse().ok()?,
@@ -184,7 +182,9 @@ mod tests {
     fn malformed_xml_rejected() {
         assert!(ChargingDataRecord::from_xml("<chargingRecord></chargingRecord>").is_none());
         assert!(ChargingDataRecord::from_xml("").is_none());
-        let broken = record().to_xml().replace("datavolumeUplink>274841", "datavolumeUplink>xx");
+        let broken = record()
+            .to_xml()
+            .replace("datavolumeUplink>274841", "datavolumeUplink>xx");
         assert!(ChargingDataRecord::from_xml(&broken).is_none());
     }
 

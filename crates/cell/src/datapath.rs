@@ -225,7 +225,9 @@ impl RadioLink {
 
     fn maybe_start(&mut self, at: SimTime, radio: &RadioTimeline) {
         while self.in_service.is_none() {
-            let Some(pkt) = self.queue.dequeue() else { break };
+            let Some(pkt) = self.queue.dequeue() else {
+                break;
+            };
             // SLA middlebox: a real-time frame whose queueing delay has
             // already blown its QCI delay budget is dropped instead of
             // transmitted stale (§3.1 cause 5).
@@ -423,9 +425,7 @@ impl Datapath {
 
     /// Whether the device is RLF-detached at `t`.
     pub fn is_detached(&self, t: SimTime) -> bool {
-        self.detach_intervals
-            .iter()
-            .any(|(s, e)| *s <= t && t < *e)
+        self.detach_intervals.iter().any(|(s, e)| *s <= t && t < *e)
     }
 
     fn counters(&mut self, flow: FlowId) -> &mut FlowCounters {
@@ -444,7 +444,9 @@ impl Datapath {
             self.drops.detached += 1;
             return;
         }
-        self.counters(pkt.flow).device_app_sent.record(now, pkt.size);
+        self.counters(pkt.flow)
+            .device_app_sent
+            .record(now, pkt.size);
         if !foreign {
             self.rrc.on_activity(now);
         }
@@ -619,6 +621,7 @@ impl Datapath {
 }
 
 #[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
 mod tests {
     use super::*;
     use tlc_net::packet::{Direction, PacketIdAlloc, Qci};
@@ -635,18 +638,36 @@ mod tests {
     }
 
     fn dl_pkt(alloc: &mut PacketIdAlloc, flow: u32, size: u32, t: SimTime) -> Packet {
-        Packet::new(alloc.next_id(), FlowId(flow), Direction::Downlink, size, Qci::DEFAULT, t)
+        Packet::new(
+            alloc.next_id(),
+            FlowId(flow),
+            Direction::Downlink,
+            size,
+            Qci::DEFAULT,
+            t,
+        )
     }
 
     fn ul_pkt(alloc: &mut PacketIdAlloc, flow: u32, size: u32, t: SimTime) -> Packet {
-        Packet::new(alloc.next_id(), FlowId(flow), Direction::Uplink, size, Qci::DEFAULT, t)
+        Packet::new(
+            alloc.next_id(),
+            FlowId(flow),
+            Direction::Uplink,
+            size,
+            Qci::DEFAULT,
+            t,
+        )
     }
 
     #[test]
     fn clean_channel_delivers_everything() {
         let radio = RadioTimeline::constant(SimDuration::from_secs(60), -80.0);
         let mut loss_free = DatapathConfig::default();
-        loss_free.rss_loss = RssDrivenLoss { base_loss: 0.0, slope_per_dbm: 0.0, good_threshold_dbm: -95.0 };
+        loss_free.rss_loss = RssDrivenLoss {
+            base_loss: 0.0,
+            slope_per_dbm: 0.0,
+            good_threshold_dbm: -95.0,
+        };
         let mut dp = Datapath::new(loss_free, radio, SimRng::new(1));
         let mut alloc = PacketIdAlloc::new();
         for i in 0..100 {
@@ -680,7 +701,7 @@ mod tests {
         while t < SimTime::from_secs(2) {
             dp.poll(t);
             dp.send_downlink(t, dl_pkt(&mut alloc, 1, 1400, t));
-            t = t + SimDuration::from_micros(112); // ~100 Mbps of 1400B pkts
+            t += SimDuration::from_micros(112); // ~100 Mbps of 1400B pkts
         }
         run_to_quiescence(&mut dp, t, SimTime::from_secs(29));
         let c = dp.flow_counters(FlowId(1)).unwrap();
@@ -702,7 +723,7 @@ mod tests {
         while t < SimTime::from_secs(2) {
             dp.poll(t);
             dp.send_uplink(t, ul_pkt(&mut alloc, 1, 1200, t));
-            t = t + SimDuration::from_micros(200); // ~48 Mbps offered
+            t += SimDuration::from_micros(200); // ~48 Mbps offered
         }
         run_to_quiescence(&mut dp, t, SimTime::from_secs(29));
         let c = dp.flow_counters(FlowId(1)).unwrap();
@@ -727,7 +748,11 @@ mod tests {
         assert!(!outages.is_empty());
         let (o_start, _o_end) = outages[0];
         let mut cfg = DatapathConfig::default();
-        cfg.rss_loss = RssDrivenLoss { base_loss: 0.0, slope_per_dbm: 0.0, good_threshold_dbm: -95.0 };
+        cfg.rss_loss = RssDrivenLoss {
+            base_loss: 0.0,
+            slope_per_dbm: 0.0,
+            good_threshold_dbm: -95.0,
+        };
         cfg.bs_buffer_bytes = 10 * 1024 * 1024; // big buffer: no overflow
         let mut dp = Datapath::new(cfg, radio, SimRng::new(4));
         let mut alloc = PacketIdAlloc::new();
@@ -764,7 +789,7 @@ mod tests {
         while t < o_end {
             dp.poll(t);
             dp.send_downlink(t, dl_pkt(&mut alloc, 1, 1400, t));
-            t = t + SimDuration::from_millis(10);
+            t += SimDuration::from_millis(10);
         }
         run_to_quiescence(&mut dp, t, SimTime::from_secs(299));
         let c = dp.flow_counters(FlowId(1)).unwrap();
@@ -792,7 +817,10 @@ mod tests {
         assert!(dp.is_detached(t));
         dp.send_downlink(t, dl_pkt(&mut alloc, 1, 1400, t));
         dp.send_uplink(t, ul_pkt(&mut alloc, 1, 1200, t));
-        assert!(dp.flow_counters(FlowId(1)).is_none(), "nothing counted while detached");
+        assert!(
+            dp.flow_counters(FlowId(1)).is_none(),
+            "nothing counted while detached"
+        );
         assert_eq!(dp.drops().detached, 2);
     }
 
@@ -804,7 +832,11 @@ mod tests {
         let mut cfg = DatapathConfig::default();
         cfg.dl_capacity_bps = 20_000_000;
         cfg.bs_buffer_bytes = 128 * 1024;
-        cfg.rss_loss = RssDrivenLoss { base_loss: 0.0, slope_per_dbm: 0.0, good_threshold_dbm: -95.0 };
+        cfg.rss_loss = RssDrivenLoss {
+            base_loss: 0.0,
+            slope_per_dbm: 0.0,
+            good_threshold_dbm: -95.0,
+        };
         let mut dp = Datapath::new(cfg, radio, SimRng::new(5));
         let mut alloc = PacketIdAlloc::new();
         let mut t = SimTime::ZERO;
@@ -814,14 +846,19 @@ mod tests {
             // 80 Mbps background.
             dp.send_downlink(t, dl_pkt(&mut alloc, 99, 1400, t));
             // 50 pkt/s gaming.
-            if t.as_micros() % 20_000 == 0 {
+            if t.as_micros().is_multiple_of(20_000) {
                 let p = Packet::new(
-                    alloc.next_id(), FlowId(1), Direction::Downlink, 200, Qci::INTERACTIVE, t,
+                    alloc.next_id(),
+                    FlowId(1),
+                    Direction::Downlink,
+                    200,
+                    Qci::INTERACTIVE,
+                    t,
                 );
                 dp.send_downlink(t, p);
                 game_seq += 1;
             }
-            t = t + SimDuration::from_micros(140);
+            t += SimDuration::from_micros(140);
         }
         run_to_quiescence(&mut dp, t, SimTime::from_secs(29));
         let game = dp.flow_counters(FlowId(1)).unwrap();
@@ -836,7 +873,11 @@ mod tests {
         let radio = RadioTimeline::constant(SimDuration::from_secs(30), -80.0);
         let mut cfg = DatapathConfig::default();
         cfg.dl_capacity_bps = 1_000_000; // slow cell: packets queue up
-        cfg.rss_loss = RssDrivenLoss { base_loss: 0.0, slope_per_dbm: 0.0, good_threshold_dbm: -95.0 };
+        cfg.rss_loss = RssDrivenLoss {
+            base_loss: 0.0,
+            slope_per_dbm: 0.0,
+            good_threshold_dbm: -95.0,
+        };
         let mut dp = Datapath::new(cfg, radio, SimRng::new(21));
         dp.set_handovers(vec![SimTime::from_millis(500)]);
         let mut alloc = PacketIdAlloc::new();
@@ -848,8 +889,15 @@ mod tests {
         run_to_quiescence(&mut dp, SimTime::ZERO, SimTime::from_secs(29));
         let c = dp.flow_counters(FlowId(1)).unwrap();
         assert!(dp.drops().handover > 0, "handover must flush packets");
-        assert_eq!(c.gateway_downlink.bytes(), 100 * 1400, "gateway counted everything");
-        assert!(c.modem_received.bytes() < 100 * 1400, "device missed flushed packets");
+        assert_eq!(
+            c.gateway_downlink.bytes(),
+            100 * 1400,
+            "gateway counted everything"
+        );
+        assert!(
+            c.modem_received.bytes() < 100 * 1400,
+            "device missed flushed packets"
+        );
     }
 
     #[test]
@@ -858,11 +906,19 @@ mod tests {
         let mut base = DatapathConfig::default();
         base.dl_capacity_bps = 10_000_000;
         base.bs_buffer_bytes = 64 * 1024;
-        base.rss_loss = RssDrivenLoss { base_loss: 0.0, slope_per_dbm: 0.0, good_threshold_dbm: -95.0 };
+        base.rss_loss = RssDrivenLoss {
+            base_loss: 0.0,
+            slope_per_dbm: 0.0,
+            good_threshold_dbm: -95.0,
+        };
         let run = |fair: bool| {
             let mut cfg = base.clone();
             cfg.fair_queueing = fair;
-            let mut dp = Datapath::new(cfg, RadioTimeline::constant(SimDuration::from_secs(30), -80.0), SimRng::new(22));
+            let mut dp = Datapath::new(
+                cfg,
+                RadioTimeline::constant(SimDuration::from_secs(30), -80.0),
+                SimRng::new(22),
+            );
             dp.mark_foreign(FlowId(99));
             let mut alloc = PacketIdAlloc::new();
             let mut t = SimTime::ZERO;
@@ -870,11 +926,11 @@ mod tests {
             let mut k = 0u64;
             while t < SimTime::from_secs(3) {
                 dp.send_downlink(t, dl_pkt(&mut alloc, 99, 1400, t));
-                if k % 100 == 0 {
+                if k.is_multiple_of(100) {
                     dp.send_downlink(t, dl_pkt(&mut alloc, 1, 1400, t));
                 }
                 k += 1;
-                t = t + SimDuration::from_micros(224);
+                t += SimDuration::from_micros(224);
             }
             run_to_quiescence(&mut dp, t, SimTime::from_secs(29));
             let c = dp.flow_counters(FlowId(1)).unwrap();
@@ -887,7 +943,10 @@ mod tests {
             fair_delivery > fifo_delivery,
             "fair {fair_delivery} !> fifo {fifo_delivery}"
         );
-        assert!(fair_delivery > 0.95, "thin flow should be nearly lossless: {fair_delivery}");
+        assert!(
+            fair_delivery > 0.95,
+            "thin flow should be nearly lossless: {fair_delivery}"
+        );
     }
 
     #[test]
@@ -895,7 +954,11 @@ mod tests {
         let duration = SimDuration::from_secs(60);
         let run = |fading: Option<tlc_net::loss::GilbertElliott>| {
             let mut cfg = DatapathConfig::default();
-            cfg.rss_loss = RssDrivenLoss { base_loss: 0.0, slope_per_dbm: 0.0, good_threshold_dbm: -95.0 };
+            cfg.rss_loss = RssDrivenLoss {
+                base_loss: 0.0,
+                slope_per_dbm: 0.0,
+                good_threshold_dbm: -95.0,
+            };
             cfg.bursty_fading = fading;
             let mut dp = Datapath::new(
                 cfg,
@@ -906,11 +969,15 @@ mod tests {
             let mut t = SimTime::ZERO;
             while t < SimTime::from_secs(10) {
                 dp.send_downlink(t, dl_pkt(&mut alloc, 1, 1400, t));
-                t = t + SimDuration::from_millis(2);
+                t += SimDuration::from_millis(2);
             }
             run_to_quiescence(&mut dp, t, SimTime::from_secs(59));
             let c = dp.flow_counters(FlowId(1)).unwrap();
-            (c.gateway_downlink.bytes(), c.modem_received.bytes(), dp.drops().air)
+            (
+                c.gateway_downlink.bytes(),
+                c.modem_received.bytes(),
+                dp.drops().air,
+            )
         };
         let (sent, recv_clean, air_clean) = run(None);
         assert_eq!(recv_clean, sent, "no loss without fading");
@@ -937,14 +1004,22 @@ mod tests {
         let mut cfg = DatapathConfig::default();
         cfg.dl_capacity_bps = 1_000_000; // 11.2 ms per 1400 B packet
         cfg.enforce_sla_delay_budget = true;
-        cfg.rss_loss = RssDrivenLoss { base_loss: 0.0, slope_per_dbm: 0.0, good_threshold_dbm: -95.0 };
+        cfg.rss_loss = RssDrivenLoss {
+            base_loss: 0.0,
+            slope_per_dbm: 0.0,
+            good_threshold_dbm: -95.0,
+        };
         let mut dp = Datapath::new(cfg, radio, SimRng::new(31));
         let mut alloc = PacketIdAlloc::new();
         // 30 packets at once: the 10th onward waits >100 ms.
         for _ in 0..30 {
             let p = Packet::new(
-                alloc.next_id(), FlowId(1), tlc_net::packet::Direction::Downlink,
-                1400, tlc_net::packet::Qci::INTERACTIVE, SimTime::ZERO,
+                alloc.next_id(),
+                FlowId(1),
+                tlc_net::packet::Direction::Downlink,
+                1400,
+                tlc_net::packet::Qci::INTERACTIVE,
+                SimTime::ZERO,
             );
             dp.send_downlink(SimTime::ZERO, p);
         }
@@ -967,13 +1042,21 @@ mod tests {
         let mut cfg = DatapathConfig::default();
         cfg.dl_capacity_bps = 1_000_000;
         cfg.enforce_sla_delay_budget = false;
-        cfg.rss_loss = RssDrivenLoss { base_loss: 0.0, slope_per_dbm: 0.0, good_threshold_dbm: -95.0 };
+        cfg.rss_loss = RssDrivenLoss {
+            base_loss: 0.0,
+            slope_per_dbm: 0.0,
+            good_threshold_dbm: -95.0,
+        };
         let mut dp = Datapath::new(cfg, radio, SimRng::new(32));
         let mut alloc = PacketIdAlloc::new();
         for _ in 0..30 {
             let p = Packet::new(
-                alloc.next_id(), FlowId(1), tlc_net::packet::Direction::Downlink,
-                1400, tlc_net::packet::Qci::INTERACTIVE, SimTime::ZERO,
+                alloc.next_id(),
+                FlowId(1),
+                tlc_net::packet::Direction::Downlink,
+                1400,
+                tlc_net::packet::Qci::INTERACTIVE,
+                SimTime::ZERO,
             );
             dp.send_downlink(SimTime::ZERO, p);
         }
@@ -987,7 +1070,11 @@ mod tests {
     fn rrc_counter_check_fires_after_inactivity() {
         let radio = RadioTimeline::constant(SimDuration::from_secs(120), -80.0);
         let mut cfg = DatapathConfig::default();
-        cfg.rss_loss = RssDrivenLoss { base_loss: 0.0, slope_per_dbm: 0.0, good_threshold_dbm: -95.0 };
+        cfg.rss_loss = RssDrivenLoss {
+            base_loss: 0.0,
+            slope_per_dbm: 0.0,
+            good_threshold_dbm: -95.0,
+        };
         cfg.rrc_inactivity = SimDuration::from_secs(5);
         let mut dp = Datapath::new(cfg, radio, SimRng::new(6));
         let mut alloc = PacketIdAlloc::new();

@@ -149,11 +149,8 @@ mod tests {
 
     #[test]
     fn rrc_monitor_resists_tampering() {
-        let r = operator_downlink_report(
-            MonitorKind::RrcCounterCheck,
-            1_000_000,
-            TamperPolicy::Zero,
-        );
+        let r =
+            operator_downlink_report(MonitorKind::RrcCounterCheck, 1_000_000, TamperPolicy::Zero);
         assert_eq!(r.reported_bytes, 1_000_000);
     }
 

@@ -192,10 +192,17 @@ mod tests {
         o.ingest_negotiated(14 * 1_000_000_000);
         assert_eq!(o.current_rate_limit(), None, "under quota: full speed");
         o.ingest_negotiated(2 * 1_000_000_000); // crosses 15 GB
-        assert_eq!(o.current_rate_limit(), Some(128_000), "throttled to 128 Kbps");
+        assert_eq!(
+            o.current_rate_limit(),
+            Some(128_000),
+            "throttled to 128 Kbps"
+        );
         let b = o.bill();
         assert!(b.throttled);
-        assert_eq!(b.amount_micro, 40_000_000, "no overage charges on unlimited");
+        assert_eq!(
+            b.amount_micro, 40_000_000,
+            "no overage charges on unlimited"
+        );
     }
 
     #[test]

@@ -93,8 +93,7 @@ impl RrcMonitor {
 
     /// The instant the inactivity timer will fire, if connected.
     pub fn release_due(&self) -> Option<SimTime> {
-        self.connected
-            .then(|| self.last_activity + self.inactivity)
+        self.connected.then(|| self.last_activity + self.inactivity)
     }
 
     /// The instant the next periodic check is due, if enabled and
@@ -111,7 +110,10 @@ impl RrcMonitor {
         if now < due {
             return None;
         }
-        self.checks.push(CounterCheck { at: due, modem_bytes });
+        self.checks.push(CounterCheck {
+            at: due,
+            modem_bytes,
+        });
         self.counter_check_msgs += 2;
         self.last_check = due;
         Some(due)
@@ -197,7 +199,13 @@ mod tests {
         // Due: check recorded at the exact timer expiry.
         assert_eq!(rrc.poll_release(secs(20), 1000), Some(secs(15)));
         assert!(!rrc.is_connected());
-        assert_eq!(rrc.checks(), &[CounterCheck { at: secs(15), modem_bytes: 1000 }]);
+        assert_eq!(
+            rrc.checks(),
+            &[CounterCheck {
+                at: secs(15),
+                modem_bytes: 1000
+            }]
+        );
         assert_eq!(rrc.counter_check_msgs(), 2);
     }
 

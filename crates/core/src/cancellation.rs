@@ -26,7 +26,10 @@ pub struct Bounds {
 impl Bounds {
     /// The initial unbounded range.
     pub fn unbounded() -> Self {
-        Bounds { lo: 0, hi: u64::MAX }
+        Bounds {
+            lo: 0,
+            hi: u64::MAX,
+        }
     }
 
     /// Whether a claim is admissible under these bounds.
@@ -107,7 +110,12 @@ impl std::fmt::Display for NegotiationError {
             NegotiationError::NoConvergence { rounds } => {
                 write!(f, "negotiation did not converge within {rounds} rounds")
             }
-            NegotiationError::BoundViolation { round, by_edge, claim, bounds } => write!(
+            NegotiationError::BoundViolation {
+                round,
+                by_edge,
+                claim,
+                bounds,
+            } => write!(
                 f,
                 "round {round}: {} claimed {claim} outside [{}, {}]",
                 if *by_edge { "edge" } else { "operator" },
@@ -164,8 +172,7 @@ pub fn negotiate(
 
         // Line 6: exchange decisions.
         let edge_decision = edge.decide(edge_knowledge, edge_claim, operator_claim);
-        let operator_decision =
-            operator.decide(operator_knowledge, operator_claim, edge_claim);
+        let operator_decision = operator.decide(operator_knowledge, operator_claim, edge_claim);
         let edge_accepted = edge_decision == Decision::Accept;
         let operator_accepted = operator_decision == Decision::Accept;
 

@@ -30,7 +30,10 @@ impl ClaimSpace {
     /// The plan-intended charge `x̂`.
     pub fn intended(&self, c: LossWeight) -> u64 {
         charge_for(
-            UsagePair { edge: self.sent, operator: self.received },
+            UsagePair {
+                edge: self.sent,
+                operator: self.received,
+            },
             c,
         )
     }
@@ -39,7 +42,15 @@ impl ClaimSpace {
     /// claim: `max_{x_o} x` over the admissible range.
     pub fn worst_case_for_edge(&self, edge_claim: u64, c: LossWeight) -> u64 {
         self.grid(32)
-            .map(|xo| charge_for(UsagePair { edge: edge_claim, operator: xo }, c))
+            .map(|xo| {
+                charge_for(
+                    UsagePair {
+                        edge: edge_claim,
+                        operator: xo,
+                    },
+                    c,
+                )
+            })
             .max()
             .expect("grid is nonempty")
     }
@@ -48,7 +59,15 @@ impl ClaimSpace {
     /// claim: `min_{x_e} x`.
     pub fn worst_case_for_operator(&self, operator_claim: u64, c: LossWeight) -> u64 {
         self.grid(32)
-            .map(|xe| charge_for(UsagePair { edge: xe, operator: operator_claim }, c))
+            .map(|xe| {
+                charge_for(
+                    UsagePair {
+                        edge: xe,
+                        operator: operator_claim,
+                    },
+                    c,
+                )
+            })
             .min()
             .expect("grid is nonempty")
     }
@@ -110,8 +129,16 @@ mod tests {
                 let space = ClaimSpace::new(recv, sent);
                 let w = c(weight);
                 let intended = space.intended(w);
-                assert_eq!(space.minimax(w), intended, "minimax {recv}..{sent} c={weight}");
-                assert_eq!(space.maximin(w), intended, "maximin {recv}..{sent} c={weight}");
+                assert_eq!(
+                    space.minimax(w),
+                    intended,
+                    "minimax {recv}..{sent} c={weight}"
+                );
+                assert_eq!(
+                    space.maximin(w),
+                    intended,
+                    "maximin {recv}..{sent} c={weight}"
+                );
             }
         }
     }
@@ -164,10 +191,7 @@ mod tests {
         );
         assert_eq!(generic_downlink_overcharge_bound(5, 5, c(1.0)), 0);
         // c=0: receiver-only charging is immune to Internet-side loss.
-        assert_eq!(
-            generic_downlink_overcharge_bound(10_000_000, 1, c(0.0)),
-            0
-        );
+        assert_eq!(generic_downlink_overcharge_bound(10_000_000, 1, c(0.0)), 0);
     }
 
     #[test]

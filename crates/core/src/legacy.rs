@@ -122,7 +122,10 @@ mod tests {
 
     #[test]
     fn gateway_meter_direction_asymmetry() {
-        let truth = UsagePair { edge: 1000, operator: 800 };
+        let truth = UsagePair {
+            edge: 1000,
+            operator: 800,
+        };
         // Uplink: gateway only sees what survived the radio.
         assert_eq!(gateway_meter(truth, LinkDirection::Uplink), 800);
         // Downlink: gateway charges before the radio loses data.

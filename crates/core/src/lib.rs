@@ -17,6 +17,9 @@
 //! * [`messages`] — RSA-signed CDR / CDA / PoC wire messages (§5.3.2),
 //! * [`protocol`] — the Fig. 7 endpoint state machines and an in-memory
 //!   negotiation driver,
+//! * [`session`] — loss-tolerant negotiation sessions: sequence-tracked
+//!   stop-and-wait ARQ with retransmission, crash recovery, and graceful
+//!   fallback to the legacy charge,
 //! * [`verify`] — Algorithm 2 public verification with replay defence,
 //! * [`legacy`] — the legacy 4G/5G baseline and the gap metrics
 //!   (Δ, ε, µ) used throughout the evaluation,
@@ -60,13 +63,20 @@ pub mod legacy;
 pub mod messages;
 pub mod plan;
 pub mod protocol;
+pub mod session;
 pub mod strategy;
 pub mod verify;
 
-pub use cancellation::{negotiate, Bounds, NegotiationError, NegotiationOutcome, DEFAULT_MAX_ROUNDS};
+pub use cancellation::{
+    negotiate, Bounds, NegotiationError, NegotiationOutcome, DEFAULT_MAX_ROUNDS,
+};
 pub use messages::{CdaMsg, CdrMsg, MessageError, Nonce, PocMsg, NONCE_LEN};
 pub use plan::{charge_for, intended_charge, ChargingCycle, DataPlan, LossWeight, UsagePair};
 pub use protocol::{run_negotiation, Endpoint, Message, ProtocolError, State};
+pub use session::{
+    run_session_pair, FallbackReason, PairReport, Session, SessionConfig, SessionOutcome,
+    SessionStats,
+};
 pub use strategy::{
     BoundViolatorStrategy, Decision, HonestStrategy, InsistStrategy, Knowledge, OptimalStrategy,
     RandomSelfishStrategy, RejectAllStrategy, Role, Strategy,

@@ -292,11 +292,7 @@ impl CdaMsg {
     }
 
     /// Verifies the CDA signature *and* the embedded CDR's signature.
-    pub fn verify(
-        &self,
-        sender_key: &PublicKey,
-        peer_key: &PublicKey,
-    ) -> Result<(), MessageError> {
+    pub fn verify(&self, sender_key: &PublicKey, peer_key: &PublicKey) -> Result<(), MessageError> {
         pkcs1::verify(sender_key, &self.body(), &self.signature)?;
         self.peer_cdr.verify(peer_key)
     }
@@ -539,8 +535,15 @@ mod tests {
         let plan = DataPlan::paper_default();
         // Operator initiates (Fig. 7): CDR_o -> CDA_e -> PoC_o.
         let cdr_o = CdrMsg::sign(Role::Operator, plan, 1, nonce(2), 1000, &op.private).unwrap();
-        let cda_e =
-            CdaMsg::sign(Role::Edge, plan, nonce(1), 800, cdr_o.clone(), &edge.private).unwrap();
+        let cda_e = CdaMsg::sign(
+            Role::Edge,
+            plan,
+            nonce(1),
+            800,
+            cdr_o.clone(),
+            &edge.private,
+        )
+        .unwrap();
         let poc = PocMsg::sign(
             Role::Operator,
             plan,
@@ -569,8 +572,15 @@ mod tests {
     fn cdr_wire_size_matches_paper_scale() {
         // Fig. 17 reports 199 bytes for a TLC CDR under RSA-1024.
         let (edge, _) = keys();
-        let cdr = CdrMsg::sign(Role::Edge, DataPlan::paper_default(), 1, nonce(1), 1, &edge.private)
-            .unwrap();
+        let cdr = CdrMsg::sign(
+            Role::Edge,
+            DataPlan::paper_default(),
+            1,
+            nonce(1),
+            1,
+            &edge.private,
+        )
+        .unwrap();
         let len = cdr.encode().len();
         assert!((180..=210).contains(&len), "CDR wire size {len}");
     }
@@ -662,8 +672,16 @@ mod tests {
         let cdr_o = CdrMsg::sign(Role::Operator, plan, 1, nonce(2), 1000, &op.private).unwrap();
         // CDA *also* signed as operator (role confusion).
         let cda_o = CdaMsg::sign(Role::Operator, plan, nonce(1), 800, cdr_o, &op.private).unwrap();
-        let poc = PocMsg::sign(Role::Operator, plan, 900, cda_o, nonce(1), nonce(2), &op.private)
-            .unwrap();
+        let poc = PocMsg::sign(
+            Role::Operator,
+            plan,
+            900,
+            cda_o,
+            nonce(1),
+            nonce(2),
+            &op.private,
+        )
+        .unwrap();
         assert!(matches!(
             poc.verify_chain(&edge.public, &op.public),
             Err(MessageError::Malformed(_))

@@ -195,7 +195,13 @@ mod tests {
     #[test]
     fn charge_formula_normal_branch() {
         // x_o=800 received, x_e=1000 sent, c=0.5 -> 800 + 0.5*200 = 900.
-        let x = charge_for(UsagePair { edge: 1000, operator: 800 }, LossWeight::half());
+        let x = charge_for(
+            UsagePair {
+                edge: 1000,
+                operator: 800,
+            },
+            LossWeight::half(),
+        );
         assert_eq!(x, 900);
     }
 
@@ -203,7 +209,13 @@ mod tests {
     fn charge_formula_inverted_branch() {
         // Operator claims more than the edge sent (x_o > x_e): line 8's
         // second branch: x_e + c*(x_o - x_e).
-        let x = charge_for(UsagePair { edge: 800, operator: 1000 }, LossWeight::half());
+        let x = charge_for(
+            UsagePair {
+                edge: 800,
+                operator: 1000,
+            },
+            LossWeight::half(),
+        );
         assert_eq!(x, 900);
     }
 
@@ -211,14 +223,26 @@ mod tests {
     fn charge_bounded_by_claims() {
         for c in [0.0, 0.25, 0.5, 0.75, 1.0] {
             let w = LossWeight::from_f64(c);
-            let x = charge_for(UsagePair { edge: 5000, operator: 3000 }, w);
+            let x = charge_for(
+                UsagePair {
+                    edge: 5000,
+                    operator: 3000,
+                },
+                w,
+            );
             assert!((3000..=5000).contains(&x), "c={c}, x={x}");
         }
     }
 
     #[test]
     fn equal_claims_charge_exactly() {
-        let x = charge_for(UsagePair { edge: 4242, operator: 4242 }, LossWeight::half());
+        let x = charge_for(
+            UsagePair {
+                edge: 4242,
+                operator: 4242,
+            },
+            LossWeight::half(),
+        );
         assert_eq!(x, 4242);
     }
 

@@ -90,7 +90,7 @@ impl std::fmt::Display for ProtocolError {
 impl std::error::Error for ProtocolError {}
 
 /// Any TLC protocol message.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum Message {
     /// A claim (or re-claim).
     Cdr(CdrMsg),
@@ -160,6 +160,11 @@ pub struct Endpoint {
     last_peer_claim: Option<u64>,
     completed: Option<PocMsg>,
     stats: EndpointStats,
+    /// The last message consumed and the reply it produced. An exact
+    /// re-delivery (retransmission on a lossy control channel) re-emits
+    /// the cached reply instead of erroring — without advancing state or
+    /// overhead counters, so retries are free on the protocol ledger.
+    last_rx: Option<(Message, Option<Message>)>,
 }
 
 impl Endpoint {
@@ -193,6 +198,7 @@ impl Endpoint {
             last_peer_claim: None,
             completed: None,
             stats: EndpointStats::default(),
+            last_rx: None,
         }
     }
 
@@ -207,9 +213,13 @@ impl Endpoint {
     fn make_cdr(&mut self) -> Result<CdrMsg, ProtocolError> {
         self.round += 1;
         if self.round > self.max_rounds {
-            return Err(ProtocolError::Stalled { rounds: self.round - 1 });
+            return Err(ProtocolError::Stalled {
+                rounds: self.round - 1,
+            });
         }
-        let claim = self.strategy.claim(&self.knowledge, &self.bounds, self.round);
+        let claim = self
+            .strategy
+            .claim(&self.knowledge, &self.bounds, self.round);
         let cdr = CdrMsg::sign(
             self.role,
             self.plan,
@@ -253,11 +263,21 @@ impl Endpoint {
     /// `Ok(None)` means the negotiation just completed on our side with no
     /// further message owed (only happens on receiving a valid PoC).
     pub fn handle(&mut self, msg: &Message) -> Result<Option<Message>, ProtocolError> {
-        match msg {
+        // Idempotent duplicate consumption: an exact re-delivery of the
+        // last message (a retransmission) re-emits the previous reply
+        // without re-running the state machine.
+        if let Some((seen, reply)) = &self.last_rx {
+            if seen == msg {
+                return Ok(reply.clone());
+            }
+        }
+        let reply = match msg {
             Message::Cdr(cdr) => self.on_cdr(cdr),
             Message::Cda(cda) => self.on_cda(cda),
             Message::Poc(poc) => self.on_poc(poc),
-        }
+        }?;
+        self.last_rx = Some((msg.clone(), reply.clone()));
+        Ok(reply)
     }
 
     fn on_cdr(&mut self, cdr: &CdrMsg) -> Result<Option<Message>, ProtocolError> {
@@ -337,9 +357,13 @@ impl Endpoint {
     fn make_unsent_cdr(&mut self) -> Result<CdrMsg, ProtocolError> {
         self.round += 1;
         if self.round > self.max_rounds {
-            return Err(ProtocolError::Stalled { rounds: self.round - 1 });
+            return Err(ProtocolError::Stalled {
+                rounds: self.round - 1,
+            });
         }
-        let claim = self.strategy.claim(&self.knowledge, &self.bounds, self.round);
+        let claim = self
+            .strategy
+            .claim(&self.knowledge, &self.bounds, self.round);
         let cdr = CdrMsg::sign(
             self.role,
             self.plan,
@@ -374,7 +398,10 @@ impl Endpoint {
                 Role::Operator => (cda.usage, own_claim),
             };
             let charge = charge_for(
-                UsagePair { edge: edge_claim, operator: op_claim },
+                UsagePair {
+                    edge: edge_claim,
+                    operator: op_claim,
+                },
                 self.plan.loss_weight,
             );
             let (nonce_e, nonce_o) = match self.role {
@@ -457,6 +484,90 @@ impl Endpoint {
     pub fn role(&self) -> Role {
         self.role
     }
+
+    /// What this endpoint believes about usage (drives the legacy
+    /// fallback charge when a session gives up on negotiating).
+    pub fn knowledge(&self) -> &Knowledge {
+        &self.knowledge
+    }
+
+    /// The plan this endpoint negotiates under.
+    pub fn plan(&self) -> DataPlan {
+        self.plan
+    }
+
+    /// Captures the protocol-relevant state for crash/restart recovery.
+    ///
+    /// Keys and the strategy are deliberately *not* part of the snapshot:
+    /// they live in the device's long-term configuration and are
+    /// re-supplied to [`Endpoint::restore`].
+    pub fn snapshot(&self) -> EndpointSnapshot {
+        EndpointSnapshot {
+            nonce: self.nonce,
+            state: self.state,
+            bounds: self.bounds,
+            round: self.round,
+            last_sent_cdr: self.last_sent_cdr.clone(),
+            last_own_claim: self.last_own_claim,
+            last_peer_claim: self.last_peer_claim,
+            completed: self.completed.clone(),
+            stats: self.stats,
+            last_rx: self.last_rx.clone(),
+        }
+    }
+
+    /// Rebuilds an endpoint from a [`snapshot`](Endpoint::snapshot) plus
+    /// the long-term configuration (role, plan, knowledge, strategy and
+    /// keys), resuming mid-negotiation after a crash.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        snapshot: EndpointSnapshot,
+        role: Role,
+        plan: DataPlan,
+        knowledge: Knowledge,
+        strategy: Box<dyn Strategy>,
+        own_key: PrivateKey,
+        peer_key: PublicKey,
+        max_rounds: u32,
+    ) -> Self {
+        assert_eq!(role, knowledge.role, "knowledge must match role");
+        Endpoint {
+            role,
+            plan,
+            knowledge,
+            strategy,
+            own_key,
+            peer_key,
+            nonce: snapshot.nonce,
+            state: snapshot.state,
+            bounds: snapshot.bounds,
+            round: snapshot.round,
+            max_rounds,
+            last_sent_cdr: snapshot.last_sent_cdr,
+            last_own_claim: snapshot.last_own_claim,
+            last_peer_claim: snapshot.last_peer_claim,
+            completed: snapshot.completed,
+            stats: snapshot.stats,
+            last_rx: snapshot.last_rx,
+        }
+    }
+}
+
+/// Checkpoint of an [`Endpoint`]'s negotiation state (everything except
+/// keys and strategy), used by the session layer for crash/restart
+/// recovery.
+#[derive(Clone, Debug)]
+pub struct EndpointSnapshot {
+    nonce: Nonce,
+    state: State,
+    bounds: Bounds,
+    round: u32,
+    last_sent_cdr: Option<CdrMsg>,
+    last_own_claim: Option<u64>,
+    last_peer_claim: Option<u64>,
+    completed: Option<PocMsg>,
+    stats: EndpointStats,
+    last_rx: Option<(Message, Option<Message>)>,
 }
 
 /// Runs a full negotiation between two endpoints in memory, shuttling
@@ -505,7 +616,9 @@ pub fn run_negotiation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::strategy::{HonestStrategy, OptimalStrategy, RandomSelfishStrategy, RejectAllStrategy};
+    use crate::strategy::{
+        HonestStrategy, OptimalStrategy, RandomSelfishStrategy, RejectAllStrategy,
+    };
     use tlc_crypto::KeyPair;
     use tlc_net::rng::SimRng;
 
@@ -521,7 +634,11 @@ mod tests {
         let edge = Endpoint::new(
             Role::Edge,
             plan,
-            Knowledge { role: Role::Edge, own_truth: sent, inferred_peer_truth: received },
+            Knowledge {
+                role: Role::Edge,
+                own_truth: sent,
+                inferred_peer_truth: received,
+            },
             edge_strategy,
             edge_keys.private.clone(),
             op_keys.public.clone(),
@@ -531,7 +648,11 @@ mod tests {
         let op = Endpoint::new(
             Role::Operator,
             plan,
-            Knowledge { role: Role::Operator, own_truth: received, inferred_peer_truth: sent },
+            Knowledge {
+                role: Role::Operator,
+                own_truth: received,
+                inferred_peer_truth: sent,
+            },
             op_strategy,
             op_keys.private.clone(),
             edge_keys.public.clone(),
@@ -561,6 +682,75 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_deliveries_are_idempotent() {
+        let (mut edge, mut op) = setup(
+            Box::new(OptimalStrategy),
+            Box::new(OptimalStrategy),
+            1000,
+            800,
+        );
+        let cdr = op.initiate().unwrap();
+        let cda = edge.handle(&cdr).unwrap().unwrap();
+        // Retransmitted CDR: the edge re-emits the same CDA without
+        // advancing state or counters.
+        let stats_before = edge.stats();
+        let cda_again = edge.handle(&cdr).unwrap().unwrap();
+        assert_eq!(cda, cda_again);
+        assert_eq!(edge.stats().msgs_sent, stats_before.msgs_sent);
+        assert_eq!(edge.stats().signatures_made, stats_before.signatures_made);
+        assert_eq!(edge.state(), State::SentCda);
+
+        let poc = op.handle(&cda).unwrap().unwrap();
+        // Retransmitted CDA: the operator re-emits the identical PoC.
+        let poc_again = op.handle(&cda).unwrap().unwrap();
+        assert_eq!(poc, poc_again);
+        assert_eq!(op.state(), State::Done);
+
+        // Retransmitted PoC: the edge stays Done and still owes nothing.
+        assert!(edge.handle(&poc).unwrap().is_none());
+        assert!(edge.handle(&poc).unwrap().is_none());
+        assert_eq!(edge.state(), State::Done);
+        assert_eq!(edge.proof().unwrap(), op.proof().unwrap());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_mid_negotiation() {
+        let (mut edge, mut op) = setup(
+            Box::new(OptimalStrategy),
+            Box::new(OptimalStrategy),
+            1000,
+            800,
+        );
+        let cdr = op.initiate().unwrap();
+        let cda = edge.handle(&cdr).unwrap().unwrap();
+
+        // Operator "crashes" after sending its CDR and restarts from the
+        // checkpoint; the restored endpoint finishes the negotiation.
+        let snap = op.snapshot();
+        let plan = DataPlan::paper_default();
+        let op_keys = KeyPair::generate_for_seed(1024, 22).unwrap();
+        let edge_keys = KeyPair::generate_for_seed(1024, 11).unwrap();
+        let mut op2 = Endpoint::restore(
+            snap,
+            Role::Operator,
+            plan,
+            Knowledge {
+                role: Role::Operator,
+                own_truth: 800,
+                inferred_peer_truth: 1000,
+            },
+            Box::new(OptimalStrategy),
+            op_keys.private.clone(),
+            edge_keys.public.clone(),
+            32,
+        );
+        assert_eq!(op2.state(), State::SentCdr);
+        let poc = op2.handle(&cda).unwrap().unwrap();
+        assert!(edge.handle(&poc).unwrap().is_none());
+        assert_eq!(edge.proof().unwrap().charge, 900);
+    }
+
+    #[test]
     fn edge_can_initiate_too() {
         let (mut edge, mut op) = setup(
             Box::new(OptimalStrategy),
@@ -575,8 +765,12 @@ mod tests {
 
     #[test]
     fn honest_pair_converges_to_intended() {
-        let (mut edge, mut op) =
-            setup(Box::new(HonestStrategy), Box::new(HonestStrategy), 5000, 4000);
+        let (mut edge, mut op) = setup(
+            Box::new(HonestStrategy),
+            Box::new(HonestStrategy),
+            5000,
+            4000,
+        );
         let (poc, _) = run_negotiation(&mut op, &mut edge).unwrap();
         assert_eq!(poc.charge, 4500);
         assert_eq!(poc.edge_usage(), 5000);
@@ -619,7 +813,11 @@ mod tests {
         // for the same strategies and knowledge.
         use crate::cancellation::negotiate;
         let plan = DataPlan::paper_default();
-        let ke = Knowledge { role: Role::Edge, own_truth: 123_456, inferred_peer_truth: 98_765 };
+        let ke = Knowledge {
+            role: Role::Edge,
+            own_truth: 123_456,
+            inferred_peer_truth: 98_765,
+        };
         let ko = Knowledge {
             role: Role::Operator,
             own_truth: 98_765,
@@ -671,7 +869,12 @@ mod tests {
         decisions: u32,
     }
     impl Strategy for GrumpyOptimal {
-        fn claim(&mut self, k: &Knowledge, bounds: &crate::cancellation::Bounds, round: u32) -> u64 {
+        fn claim(
+            &mut self,
+            k: &Knowledge,
+            bounds: &crate::cancellation::Bounds,
+            round: u32,
+        ) -> u64 {
             OptimalStrategy.claim(k, bounds, round)
         }
         fn decide(&mut self, k: &Knowledge, own: u64, peer: u64) -> Decision {
@@ -689,7 +892,10 @@ mod tests {
         // Operator: CDR -> (edge CDA) -> reject -> CDR -> (edge CDA) -> PoC.
         let (mut edge, mut op) = setup(
             Box::new(OptimalStrategy),
-            Box::new(GrumpyOptimal { reject_first: 1, decisions: 0 }),
+            Box::new(GrumpyOptimal {
+                reject_first: 1,
+                decisions: 0,
+            }),
             1000,
             800,
         );
@@ -707,14 +913,20 @@ mod tests {
         assert_eq!(edge.state(), State::Done);
         assert_eq!(op.state(), State::Done);
         let poc = op.proof().unwrap();
-        assert!((800..=1000).contains(&poc.charge), "Theorem 2 through case 2");
+        assert!(
+            (800..=1000).contains(&poc.charge),
+            "Theorem 2 through case 2"
+        );
     }
 
     #[test]
     fn fig7b_case3_edge_rejects_cdr_with_counterclaim() {
         // Operator: CDR -> (edge rejects with its own CDR) -> CDA -> PoC.
         let (mut edge, mut op) = setup(
-            Box::new(GrumpyOptimal { reject_first: 1, decisions: 0 }),
+            Box::new(GrumpyOptimal {
+                reject_first: 1,
+                decisions: 0,
+            }),
             Box::new(OptimalStrategy),
             1000,
             800,
@@ -723,12 +935,18 @@ mod tests {
         let m2 = edge.handle(&m1).unwrap().unwrap();
         assert!(matches!(m2, Message::Cdr(_)), "edge rejects by counter-CDR");
         let m3 = op.handle(&m2).unwrap().unwrap();
-        assert!(matches!(m3, Message::Cda(_)), "operator accepts the counterclaim");
+        assert!(
+            matches!(m3, Message::Cda(_)),
+            "operator accepts the counterclaim"
+        );
         let m4 = edge.handle(&m3).unwrap().unwrap();
         assert!(matches!(m4, Message::Poc(_)), "edge finalizes");
         assert!(op.handle(&m4).unwrap().is_none());
         let poc = edge.proof().unwrap();
-        assert!((800..=1000).contains(&poc.charge), "Theorem 2 through case 3");
+        assert!(
+            (800..=1000).contains(&poc.charge),
+            "Theorem 2 through case 3"
+        );
         // The verifier accepts the multi-round proof too.
         let edge_pub = &edge.own_key.public;
         let op_pub = &op.own_key.public;

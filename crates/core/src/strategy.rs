@@ -121,8 +121,14 @@ impl Strategy for OptimalStrategy {
         let step = span >> (round - 1).min(63);
         let concession = span - step;
         let target = match k.role {
-            Role::Edge => bounds.lo.saturating_add(concession).min(k.own_truth.max(bounds.lo)),
-            Role::Operator => bounds.hi.saturating_sub(concession).max(k.own_truth.min(bounds.hi)),
+            Role::Edge => bounds
+                .lo
+                .saturating_add(concession)
+                .min(k.own_truth.max(bounds.lo)),
+            Role::Operator => bounds
+                .hi
+                .saturating_sub(concession)
+                .max(k.own_truth.min(bounds.hi)),
         };
         bounds.clamp(target)
     }
@@ -250,11 +256,19 @@ mod tests {
     use super::*;
 
     fn edge_k(sent: u64, recv: u64) -> Knowledge {
-        Knowledge { role: Role::Edge, own_truth: sent, inferred_peer_truth: recv }
+        Knowledge {
+            role: Role::Edge,
+            own_truth: sent,
+            inferred_peer_truth: recv,
+        }
     }
 
     fn op_k(sent: u64, recv: u64) -> Knowledge {
-        Knowledge { role: Role::Operator, own_truth: recv, inferred_peer_truth: sent }
+        Knowledge {
+            role: Role::Operator,
+            own_truth: recv,
+            inferred_peer_truth: sent,
+        }
     }
 
     #[test]
@@ -331,7 +345,10 @@ mod tests {
     #[test]
     fn random_respects_tight_bounds() {
         let mut s = RandomSelfishStrategy::new(SimRng::new(3));
-        let b = Bounds { lo: 9_000, hi: 9_500 };
+        let b = Bounds {
+            lo: 9_000,
+            hi: 9_500,
+        };
         for round in 1..50 {
             let c = s.claim(&edge_k(10_000, 8_000), &b, round);
             assert!(b.admits(c), "claim {c} outside bounds");

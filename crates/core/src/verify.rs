@@ -12,7 +12,7 @@
 
 use crate::messages::{MessageError, PocMsg};
 use crate::plan::{charge_for, DataPlan, UsagePair};
-use std::collections::HashSet;
+use std::collections::{HashSet, VecDeque};
 use tlc_crypto::rng::RngSource;
 use tlc_crypto::{seal, PrivateKey, PublicKey};
 
@@ -133,31 +133,61 @@ pub fn unseal_poc(sealed: &[u8], verifier_key: &PrivateKey) -> Result<PocMsg, Me
     PocMsg::decode(&bytes)
 }
 
+/// Default retention window of the replay cache: one charging cycle per
+/// hour for over a century for a single relationship, while bounding a
+/// long-running service at ~32 MiB of nonces per relationship.
+pub const DEFAULT_REPLAY_CAPACITY: usize = 1 << 20;
+
 /// A stateful verifier service: Algorithm 2 plus a seen-nonce cache so an
 /// outdated PoC cannot be presented twice (the paper's replay defence).
+///
+/// The cache is bounded: once `capacity` distinct nonce pairs have been
+/// accepted, each new acceptance evicts the *oldest* entry (deterministic
+/// FIFO). Replay rejection is exact within the retention window; proofs
+/// older than the window are outside the service's guarantee, exactly like
+/// any log-retention policy.
 pub struct Verifier {
     plan: DataPlan,
     edge_key: PublicKey,
     operator_key: PublicKey,
     seen: HashSet<([u8; 16], [u8; 16])>,
+    /// Insertion order of `seen`, for FIFO eviction.
+    order: VecDeque<([u8; 16], [u8; 16])>,
+    capacity: usize,
     accepted: u64,
     rejected: u64,
 }
 
 impl Verifier {
-    /// Creates a verifier for one (plan, edge, operator) relationship.
+    /// Creates a verifier for one (plan, edge, operator) relationship
+    /// with the [default replay window](DEFAULT_REPLAY_CAPACITY).
     pub fn new(plan: DataPlan, edge_key: PublicKey, operator_key: PublicKey) -> Self {
+        Self::with_capacity(plan, edge_key, operator_key, DEFAULT_REPLAY_CAPACITY)
+    }
+
+    /// Creates a verifier whose replay cache retains at most `capacity`
+    /// accepted nonce pairs (FIFO-evicted beyond that).
+    pub fn with_capacity(
+        plan: DataPlan,
+        edge_key: PublicKey,
+        operator_key: PublicKey,
+        capacity: usize,
+    ) -> Self {
+        assert!(capacity > 0, "replay cache needs at least one slot");
         Verifier {
             plan,
             edge_key,
             operator_key,
             seen: HashSet::new(),
+            order: VecDeque::new(),
+            capacity,
             accepted: 0,
             rejected: 0,
         }
     }
 
-    /// Verifies one proof, enforcing nonce freshness across calls.
+    /// Verifies one proof, enforcing nonce freshness across calls (within
+    /// the retention window).
     pub fn verify(&mut self, poc: &PocMsg) -> Result<Verdict, VerifyError> {
         let key = (poc.nonce_e, poc.nonce_o);
         if self.seen.contains(&key) {
@@ -166,7 +196,12 @@ impl Verifier {
         }
         match verify_poc(poc, &self.plan, &self.edge_key, &self.operator_key) {
             Ok(v) => {
+                if self.order.len() == self.capacity {
+                    let oldest = self.order.pop_front().expect("capacity > 0");
+                    self.seen.remove(&oldest);
+                }
                 self.seen.insert(key);
+                self.order.push_back(key);
                 self.accepted += 1;
                 Ok(v)
             }
@@ -185,6 +220,16 @@ impl Verifier {
     /// Proofs rejected so far.
     pub fn rejected(&self) -> u64 {
         self.rejected
+    }
+
+    /// Nonce pairs currently retained for replay rejection.
+    pub fn replay_window_len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Maximum nonce pairs retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 
@@ -209,7 +254,11 @@ mod tests {
         let mut e = Endpoint::new(
             Role::Edge,
             plan,
-            Knowledge { role: Role::Edge, own_truth: sent, inferred_peer_truth: received },
+            Knowledge {
+                role: Role::Edge,
+                own_truth: sent,
+                inferred_peer_truth: received,
+            },
             Box::new(OptimalStrategy),
             edge.private.clone(),
             op.public.clone(),
@@ -219,7 +268,11 @@ mod tests {
         let mut o = Endpoint::new(
             Role::Operator,
             plan,
-            Knowledge { role: Role::Operator, own_truth: received, inferred_peer_truth: sent },
+            Knowledge {
+                role: Role::Operator,
+                own_truth: received,
+                inferred_peer_truth: sent,
+            },
             Box::new(OptimalStrategy),
             op.private.clone(),
             edge.public.clone(),
@@ -227,7 +280,12 @@ mod tests {
             32,
         );
         let (poc, _) = run_negotiation(&mut o, &mut e).unwrap();
-        Fixture { plan, edge, op, poc }
+        Fixture {
+            plan,
+            edge,
+            op,
+            poc,
+        }
     }
 
     #[test]
@@ -308,6 +366,63 @@ mod tests {
         // they're outside the signature — but the *signed* nonces differ).
         assert!(v.verify(&f2.poc).is_err());
         assert_eq!(v.rejected(), 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_fifo_and_stays_correct_in_window() {
+        let plan = DataPlan::paper_default();
+        let edge = KeyPair::generate_for_seed(1024, 31).unwrap();
+        let op = KeyPair::generate_for_seed(1024, 32).unwrap();
+        let negotiate = |ne: u8, no: u8| {
+            let mut e = Endpoint::new(
+                Role::Edge,
+                plan,
+                Knowledge {
+                    role: Role::Edge,
+                    own_truth: 1000,
+                    inferred_peer_truth: 800,
+                },
+                Box::new(OptimalStrategy),
+                edge.private.clone(),
+                op.public.clone(),
+                [ne; 16],
+                32,
+            );
+            let mut o = Endpoint::new(
+                Role::Operator,
+                plan,
+                Knowledge {
+                    role: Role::Operator,
+                    own_truth: 800,
+                    inferred_peer_truth: 1000,
+                },
+                Box::new(OptimalStrategy),
+                op.private.clone(),
+                edge.public.clone(),
+                [no; 16],
+                32,
+            );
+            run_negotiation(&mut o, &mut e).unwrap().0
+        };
+        let (a, b, c) = (negotiate(1, 2), negotiate(3, 4), negotiate(5, 6));
+
+        let mut v = Verifier::with_capacity(plan, edge.public.clone(), op.public.clone(), 2);
+        v.verify(&a).unwrap();
+        v.verify(&b).unwrap();
+        assert_eq!(v.replay_window_len(), 2);
+        // Within the window, replays are rejected.
+        assert_eq!(v.verify(&a), Err(VerifyError::Replayed));
+        // A third acceptance evicts the oldest entry (a), not b.
+        v.verify(&c).unwrap();
+        assert_eq!(v.replay_window_len(), 2);
+        assert_eq!(v.verify(&b), Err(VerifyError::Replayed));
+        assert_eq!(v.verify(&c), Err(VerifyError::Replayed));
+        // `a` aged out of the retention window, so it verifies again —
+        // the documented bound of a finite cache.
+        v.verify(&a).unwrap();
+        assert_eq!(v.capacity(), 2);
+        assert_eq!(v.accepted(), 4);
+        assert_eq!(v.rejected(), 3);
     }
 
     #[test]

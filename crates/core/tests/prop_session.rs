@@ -1,0 +1,213 @@
+//! Property-based tests of the loss-tolerant session layer: honest and
+//! optimal pairs driven through arbitrary fault schedules (loss,
+//! duplication, reordering, byte corruption) must always terminate, and
+//! every terminating outcome is either a PoC obeying Theorem 2's bound
+//! (Theorem 3's exact value for these strategy pairs) or a deterministic
+//! fallback to the legacy charge shared by both parties.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use tlc_core::plan::{intended_charge, DataPlan, UsagePair};
+use tlc_core::protocol::Endpoint;
+use tlc_core::session::{
+    run_session_pair, FallbackReason, PairReport, Session, SessionConfig, SessionOutcome,
+};
+use tlc_core::strategy::{
+    HonestStrategy, Knowledge, OptimalStrategy, Role, Strategy as TlcStrategy,
+};
+use tlc_crypto::KeyPair;
+use tlc_net::channel::{FaultSpec, FaultyChannel};
+use tlc_net::loss::{LossModel, NoLoss, UniformLoss};
+use tlc_net::rng::SimRng;
+use tlc_net::time::{SimDuration, SimTime};
+
+fn keys() -> &'static (KeyPair, KeyPair) {
+    static KEYS: OnceLock<(KeyPair, KeyPair)> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        (
+            KeyPair::generate_for_seed(1024, 0x5E55).unwrap(),
+            KeyPair::generate_for_seed(1024, 0x5E56).unwrap(),
+        )
+    })
+}
+
+fn strategy_of(kind: u8) -> Box<dyn TlcStrategy> {
+    if kind == 0 {
+        Box::new(HonestStrategy)
+    } else {
+        Box::new(OptimalStrategy)
+    }
+}
+
+fn channel(loss: f64, spec: &FaultSpec, seed: u64) -> FaultyChannel {
+    let model: Box<dyn LossModel> = if loss == 0.0 {
+        Box::new(NoLoss)
+    } else {
+        Box::new(UniformLoss::new(loss))
+    };
+    FaultyChannel::new(spec.clone(), model, SimRng::new(seed))
+}
+
+/// Runs one honest/optimal session pair through a fault schedule.
+fn run_faulty_session(
+    sent: u64,
+    received: u64,
+    edge_kind: u8,
+    op_kind: u8,
+    loss: f64,
+    spec: &FaultSpec,
+    seed: u64,
+) -> PairReport {
+    let (edge_keys, op_keys) = keys();
+    let plan = DataPlan::paper_default();
+    let edge = Endpoint::new(
+        Role::Edge,
+        plan,
+        Knowledge {
+            role: Role::Edge,
+            own_truth: sent,
+            inferred_peer_truth: received,
+        },
+        strategy_of(edge_kind),
+        edge_keys.private.clone(),
+        op_keys.public.clone(),
+        [0xEE; 16],
+        32,
+    );
+    let op = Endpoint::new(
+        Role::Operator,
+        plan,
+        Knowledge {
+            role: Role::Operator,
+            own_truth: received,
+            inferred_peer_truth: sent,
+        },
+        strategy_of(op_kind),
+        op_keys.private.clone(),
+        edge_keys.public.clone(),
+        [0x00; 16],
+        32,
+    );
+    let mut initiator = Session::new(op, SessionConfig::default());
+    let mut responder = Session::new(edge, SessionConfig::default());
+    let mut rng = SimRng::new(seed);
+    let mut fwd = channel(loss, spec, rng.next_u64());
+    let mut back = channel(loss, spec, rng.next_u64());
+    run_session_pair(
+        &mut initiator,
+        &mut responder,
+        &mut fwd,
+        &mut back,
+        SimTime::from_millis(0),
+        SimDuration::from_secs(120),
+    )
+    .expect("fresh endpoints always initiate")
+}
+
+/// (received ≤ sent) truth pairs, bounded so the test stays fast.
+fn truth_pair() -> impl Strategy<Value = (u64, u64)> {
+    (0u64..10_000_000).prop_flat_map(|sent| (Just(sent), 0..=sent))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Through any fault schedule, both sides terminate, and a completed
+    /// negotiation satisfies Theorem 2 (charge within the truth claims)
+    /// and Theorem 3 (honest/optimal pairs land exactly on x̂).
+    #[test]
+    fn theorems_survive_fault_schedules(
+        (sent, received) in truth_pair(),
+        edge_kind in 0u8..2,
+        op_kind in 0u8..2,
+        loss in 0.0f64..0.35,
+        dup in 0.0f64..0.3,
+        reorder in 0.0f64..0.3,
+        corrupt in 0.0f64..0.2,
+        seed in any::<u64>(),
+    ) {
+        let spec = FaultSpec::with_faults(dup, reorder, corrupt);
+        let report =
+            run_faulty_session(sent, received, edge_kind, op_kind, loss, &spec, seed);
+        // run_session_pair returning at all proves termination; every
+        // outcome is set.
+        match (&report.initiator, &report.responder) {
+            (SessionOutcome::Proof(a), SessionOutcome::Proof(b)) => {
+                prop_assert_eq!(&a.charge, &b.charge, "both sides hold the same proof");
+                // Theorem 2: the charge lies within [x̂_o, x̂_e].
+                prop_assert!(a.charge >= received && a.charge <= sent,
+                    "charge {} outside [{received}, {sent}]", a.charge);
+                // Theorem 3/4: pure honest and pure optimal pairs reach
+                // exactly x̂ (mixed pairings only guarantee the bound).
+                if edge_kind == op_kind {
+                    let x_hat = intended_charge(
+                        UsagePair { edge: sent, operator: received },
+                        DataPlan::paper_default().loss_weight,
+                    );
+                    prop_assert_eq!(a.charge, x_hat);
+                }
+            }
+            _ => {
+                // Fallback: honest parties only abandon for channel
+                // reasons — retry exhaustion or the peer going silent —
+                // never detected misbehavior.
+                for outcome in [&report.initiator, &report.responder] {
+                    if let SessionOutcome::Fallback { reason, .. } = outcome {
+                        prop_assert!(
+                            matches!(
+                                reason,
+                                FallbackReason::RetryBudgetExhausted
+                                    | FallbackReason::Abandoned
+                            ),
+                            "honest pair fell back with {reason:?}"
+                        );
+                    }
+                }
+                // One side may hold the proof while the other's final ack
+                // window died; any fallback charge is the gateway meter.
+                for outcome in [&report.initiator, &report.responder] {
+                    if let SessionOutcome::Fallback { charge, .. } = outcome {
+                        prop_assert_eq!(*charge, received);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A channel that drops everything exhausts the initiator's retry
+    /// budget — fallback fires exactly then, deterministically, with both
+    /// parties agreeing on the legacy charge.
+    #[test]
+    fn total_loss_exhausts_retry_budget(
+        (sent, received) in truth_pair(),
+        seed in any::<u64>(),
+    ) {
+        let spec = FaultSpec::clean();
+        let report = run_faulty_session(sent, received, 1, 1, 1.0, &spec, seed);
+        prop_assert!(!report.converged());
+        prop_assert!(matches!(
+            report.initiator,
+            SessionOutcome::Fallback { reason: FallbackReason::RetryBudgetExhausted, .. }
+        ));
+        prop_assert_eq!(report.initiator.charge(), report.responder.charge());
+        prop_assert_eq!(report.settled_charge(), received);
+    }
+
+    /// Fault schedules are deterministic: the same seed replays the exact
+    /// same session, frame for frame.
+    #[test]
+    fn fault_schedules_replay_deterministically(
+        (sent, received) in truth_pair(),
+        loss in 0.0f64..0.3,
+        seed in any::<u64>(),
+    ) {
+        let spec = FaultSpec::with_faults(0.1, 0.1, 0.1);
+        let a = run_faulty_session(sent, received, 1, 1, loss, &spec, seed);
+        let b = run_faulty_session(sent, received, 1, 1, loss, &spec, seed);
+        prop_assert_eq!(a.converged(), b.converged());
+        prop_assert_eq!(a.settled_charge(), b.settled_charge());
+        prop_assert_eq!(a.frames_sent, b.frames_sent);
+        prop_assert_eq!(a.retransmits, b.retransmits);
+        prop_assert_eq!(a.elapsed.as_micros(), b.elapsed.as_micros());
+    }
+}

@@ -20,8 +20,16 @@ fn plan(c_e4: u32) -> DataPlan {
 
 fn kn(sent: u64, received: u64) -> (Knowledge, Knowledge) {
     (
-        Knowledge { role: Role::Edge, own_truth: sent, inferred_peer_truth: received },
-        Knowledge { role: Role::Operator, own_truth: received, inferred_peer_truth: sent },
+        Knowledge {
+            role: Role::Edge,
+            own_truth: sent,
+            inferred_peer_truth: received,
+        },
+        Knowledge {
+            role: Role::Operator,
+            own_truth: received,
+            inferred_peer_truth: sent,
+        },
     )
 }
 

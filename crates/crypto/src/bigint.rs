@@ -44,7 +44,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut out = BigUint { limbs: vec![lo, hi] };
+        let mut out = BigUint {
+            limbs: vec![lo, hi],
+        };
         out.normalize();
         out
     }
@@ -114,7 +116,7 @@ impl BigUint {
 
     /// True if the lowest bit is clear (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for zero).
@@ -330,8 +332,7 @@ impl BigUint {
             let mut qhat = num / v_top as u128;
             let mut rhat = num % v_top as u128;
             // Correct qhat down (at most twice per Knuth).
-            while qhat >> 64 != 0
-                || qhat * v_next as u128 > ((rhat << 64) | un[j + n - 2] as u128)
+            while qhat >> 64 != 0 || qhat * v_next as u128 > ((rhat << 64) | un[j + n - 2] as u128)
             {
                 qhat -= 1;
                 rhat += v_top as u128;
@@ -518,7 +519,11 @@ impl BigUint {
         // Map the signed coefficient into [0, m).
         let (neg, mag) = s_prev;
         let mag = mag.rem(m);
-        Some(if neg && !mag.is_zero() { m.sub(&mag) } else { mag })
+        Some(if neg && !mag.is_zero() {
+            m.sub(&mag)
+        } else {
+            mag
+        })
     }
 }
 
@@ -635,7 +640,10 @@ mod tests {
         assert_eq!(v.to_bytes_be_padded(4).unwrap(), vec![0, 0, 0x12, 0x34]);
         assert_eq!(v.to_bytes_be_padded(2).unwrap(), vec![0x12, 0x34]);
         assert!(v.to_bytes_be_padded(1).is_none());
-        assert_eq!(BigUint::zero().to_bytes_be_padded(3).unwrap(), vec![0, 0, 0]);
+        assert_eq!(
+            BigUint::zero().to_bytes_be_padded(3).unwrap(),
+            vec![0, 0, 0]
+        );
     }
 
     #[test]

@@ -56,11 +56,11 @@ impl MontgomeryCtx {
         let k = self.k();
         // CIOS (coarsely integrated operand scanning).
         let mut t = vec![0u64; k + 2];
-        for i in 0..k {
-            // t += a[i] * b
+        for &ai in a.iter().take(k) {
+            // t += ai * b
             let mut carry = 0u128;
             for j in 0..k {
-                let cur = t[j] as u128 + a[i] as u128 * b[j] as u128 + carry;
+                let cur = t[j] as u128 + ai as u128 * b[j] as u128 + carry;
                 t[j] = cur as u64;
                 carry = cur >> 64;
             }
@@ -99,7 +99,7 @@ impl MontgomeryCtx {
     }
 
     /// Converts out of Montgomery form into a normalized `BigUint`.
-    fn from_mont(&self, v: &[u64]) -> BigUint {
+    fn to_plain(&self, v: &[u64]) -> BigUint {
         let one = {
             let mut o = vec![0u64; self.k()];
             o[0] = 1;
@@ -114,7 +114,9 @@ impl MontgomeryCtx {
     /// Computes `base^exp mod n` with 4-bit fixed-window exponentiation.
     pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
         let modulus = {
-            let mut m = BigUint { limbs: self.n.clone() };
+            let mut m = BigUint {
+                limbs: self.n.clone(),
+            };
             normalize(&mut m);
             m
         };
@@ -169,7 +171,7 @@ impl MontgomeryCtx {
             }
             started = true;
         }
-        self.from_mont(&acc)
+        self.to_plain(&acc)
     }
 }
 
@@ -212,7 +214,13 @@ mod tests {
     fn matches_simple_modpow_small() {
         let m = big(1_000_000_007); // odd prime
         let ctx = MontgomeryCtx::new(&m);
-        for (b, e) in [(2u128, 10u128), (3, 100), (999_999_999, 12345), (1, 0), (0, 5)] {
+        for (b, e) in [
+            (2u128, 10u128),
+            (3, 100),
+            (999_999_999, 12345),
+            (1, 0),
+            (0, 5),
+        ] {
             let got = ctx.modpow(&big(b), &big(e));
             // Reference: square-and-multiply with u128 arithmetic.
             let mut expect = 1u128;

@@ -11,8 +11,8 @@ use crate::sha256;
 /// DER prefix for the SHA-256 `DigestInfo` structure
 /// (`SEQUENCE { AlgorithmIdentifier sha256, OCTET STRING (32) }`).
 const SHA256_DIGEST_INFO_PREFIX: [u8; 19] = [
-    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
-    0x05, 0x00, 0x04, 0x20,
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01, 0x05,
+    0x00, 0x04, 0x20,
 ];
 
 /// EMSA-PKCS1-v1_5 encoding of a SHA-256 digest into `em_len` bytes.
@@ -129,7 +129,10 @@ mod tests {
         let kp = kp();
         assert!(matches!(
             verify(&kp.public, b"msg", &[0u8; 64]),
-            Err(CryptoError::SignatureLength { expected: 128, got: 64 })
+            Err(CryptoError::SignatureLength {
+                expected: 128,
+                got: 64
+            })
         ));
     }
 

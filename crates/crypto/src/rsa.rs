@@ -110,7 +110,7 @@ impl KeyPair {
     ///
     /// `bits` must be even and at least 512 (the paper uses 1024).
     pub fn generate(bits: usize, rng: &mut dyn RngSource) -> Result<KeyPair, CryptoError> {
-        if bits < 512 || bits % 2 != 0 {
+        if bits < 512 || !bits.is_multiple_of(2) {
             return Err(CryptoError::InvalidKeySize(bits));
         }
         let e = BigUint::from_u64(PUBLIC_EXPONENT);

@@ -192,7 +192,10 @@ mod tests {
         let mut sealed = seal(&v.public, &[0x11; 200], &mut rng).unwrap();
         let mid = 128 + 100;
         sealed[mid] ^= 0x01;
-        assert!(matches!(open(&v.private, &sealed), Err(CryptoError::BadSignature)));
+        assert!(matches!(
+            open(&v.private, &sealed),
+            Err(CryptoError::BadSignature)
+        ));
     }
 
     #[test]

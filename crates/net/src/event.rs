@@ -75,7 +75,11 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { time: at, seq, event });
+        self.heap.push(Entry {
+            time: at,
+            seq,
+            event,
+        });
     }
 
     /// Pops the earliest event, advancing the clock to its timestamp.

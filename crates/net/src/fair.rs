@@ -228,7 +228,14 @@ mod tests {
     use crate::time::SimTime;
 
     fn pkt(id: u64, flow: u32, size: u32, qci: Qci) -> Packet {
-        Packet::new(id, FlowId(flow), Direction::Downlink, size, qci, SimTime::ZERO)
+        Packet::new(
+            id,
+            FlowId(flow),
+            Direction::Downlink,
+            size,
+            qci,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -248,7 +255,9 @@ mod tests {
         for i in 0..6 {
             q.enqueue(pkt(i, (i % 2) as u32, 1000, Qci::DEFAULT));
         }
-        let flows: Vec<u32> = std::iter::from_fn(|| q.dequeue()).map(|p| p.flow.0).collect();
+        let flows: Vec<u32> = std::iter::from_fn(|| q.dequeue())
+            .map(|p| p.flow.0)
+            .collect();
         // After the first round-robin pass, each flow gets every other slot.
         let f0 = flows.iter().filter(|&&f| f == 0).count();
         let f1 = flows.iter().filter(|&&f| f == 1).count();
@@ -256,7 +265,11 @@ mod tests {
         assert_eq!(f1, 3);
         // No flow gets three consecutive services.
         for w in flows.windows(3) {
-            assert!(!(w[0] == w[1] && w[1] == w[2]), "run of 3 for flow {}", w[0]);
+            assert!(
+                !(w[0] == w[1] && w[1] == w[2]),
+                "run of 3 for flow {}",
+                w[0]
+            );
         }
     }
 
@@ -321,7 +334,12 @@ mod tests {
         let mut q = FairQueue::new(20_000);
         let mut accepted = 0u64;
         for i in 0..200u64 {
-            if q.enqueue(pkt(i, (i % 5) as u32, 500 + (i % 7) as u32 * 100, Qci::DEFAULT)) {
+            if q.enqueue(pkt(
+                i,
+                (i % 5) as u32,
+                500 + (i % 7) as u32 * 100,
+                Qci::DEFAULT,
+            )) {
                 accepted += 1;
             }
         }

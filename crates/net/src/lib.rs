@@ -22,11 +22,14 @@
 //! * [`queue`] — byte-bounded drop-tail queues with QCI strict priority,
 //! * [`link`] — rate-limited store-and-forward hops,
 //! * [`loss`] — Bernoulli / Gilbert–Elliott / RSS-driven loss processes,
+//! * [`channel`] — faulty control-plane datagram channel (loss, dup,
+//!   reorder, corrupt, partition) for negotiation robustness testing,
 //! * [`radio`] — precomputed RSS timelines with intermittent outages,
 //! * [`stats`] — byte counters and 1 Hz usage series.
 
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod event;
 pub mod fair;
 pub mod link;
@@ -38,6 +41,7 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use channel::{ChannelStats, FaultSpec, FaultyChannel};
 pub use event::EventQueue;
 pub use fair::{FairQueue, DRR_QUANTUM};
 pub use link::{Link, LinkParams, LinkStats};

@@ -195,7 +195,14 @@ mod tests {
     }
 
     fn pkt(id: u64, size: u32) -> Packet {
-        Packet::new(id, FlowId(0), Direction::Uplink, size, Qci::DEFAULT, SimTime::ZERO)
+        Packet::new(
+            id,
+            FlowId(0),
+            Direction::Uplink,
+            size,
+            Qci::DEFAULT,
+            SimTime::ZERO,
+        )
     }
 
     #[test]
@@ -263,17 +270,42 @@ mod tests {
         // First packet occupies the transmitter; the rest queue up.
         link.enqueue(
             SimTime::ZERO,
-            Packet::new(0, FlowId(0), Direction::Downlink, 1000, Qci::DEFAULT, SimTime::ZERO),
+            Packet::new(
+                0,
+                FlowId(0),
+                Direction::Downlink,
+                1000,
+                Qci::DEFAULT,
+                SimTime::ZERO,
+            ),
         );
         link.enqueue(
             SimTime::ZERO,
-            Packet::new(1, FlowId(0), Direction::Downlink, 1000, Qci::DEFAULT, SimTime::ZERO),
+            Packet::new(
+                1,
+                FlowId(0),
+                Direction::Downlink,
+                1000,
+                Qci::DEFAULT,
+                SimTime::ZERO,
+            ),
         );
         link.enqueue(
             SimTime::ZERO,
-            Packet::new(2, FlowId(1), Direction::Downlink, 1000, Qci::INTERACTIVE, SimTime::ZERO),
+            Packet::new(
+                2,
+                FlowId(1),
+                Direction::Downlink,
+                1000,
+                Qci::INTERACTIVE,
+                SimTime::ZERO,
+            ),
         );
-        let ids: Vec<u64> = link.poll(SimTime::from_secs(1)).iter().map(|p| p.id).collect();
+        let ids: Vec<u64> = link
+            .poll(SimTime::from_secs(1))
+            .iter()
+            .map(|p| p.id)
+            .collect();
         // QCI 7 (id 2) jumps ahead of the queued QCI 9 (id 1).
         assert_eq!(ids, vec![0, 2, 1]);
     }

@@ -164,7 +164,14 @@ mod tests {
     use crate::packet::{Direction, FlowId, Qci};
 
     fn pkt() -> Packet {
-        Packet::new(0, FlowId(0), Direction::Uplink, 100, Qci::DEFAULT, SimTime::ZERO)
+        Packet::new(
+            0,
+            FlowId(0),
+            Direction::Uplink,
+            100,
+            Qci::DEFAULT,
+            SimTime::ZERO,
+        )
     }
 
     #[test]

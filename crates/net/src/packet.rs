@@ -169,8 +169,15 @@ mod tests {
 
     #[test]
     fn frame_tagging() {
-        let p = Packet::new(1, FlowId(2), Direction::Uplink, 1400, Qci::DEFAULT, SimTime::ZERO)
-            .with_frame(7);
+        let p = Packet::new(
+            1,
+            FlowId(2),
+            Direction::Uplink,
+            1400,
+            Qci::DEFAULT,
+            SimTime::ZERO,
+        )
+        .with_frame(7);
         assert_eq!(p.frame, 7);
     }
 }

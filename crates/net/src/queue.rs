@@ -79,9 +79,7 @@ impl PacketQueue {
     pub fn enqueue(&mut self, pkt: Packet) -> bool {
         let size = pkt.size as u64;
         if self.used_bytes + size > self.capacity_bytes {
-            if self.discipline == Discipline::QciPriority
-                && self.evict_lower_priority_for(&pkt)
-            {
+            if self.discipline == Discipline::QciPriority && self.evict_lower_priority_for(&pkt) {
                 // fall through: room was made
             } else {
                 self.stats.dropped_pkts += 1;

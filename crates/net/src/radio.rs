@@ -258,7 +258,11 @@ impl RadioTimeline {
             let seg = self.segment_at(t);
             let connected = seg.rss_dbm >= NO_SERVICE_THRESHOLD_DBM;
             // After the timeline end the final segment persists forever.
-            let seg_end = if t >= self.duration { None } else { Some(seg.end) };
+            let seg_end = if t >= self.duration {
+                None
+            } else {
+                Some(seg.end)
+            };
             match seg_end {
                 None => {
                     return if connected {
@@ -432,9 +436,21 @@ mod tests {
         // Hand-built timeline: connected [0,2s), outage [2s,5s), connected [5s,10s).
         let tl = RadioTimeline {
             segments: vec![
-                RadioSegment { start: SimTime::ZERO, end: SimTime::from_secs(2), rss_dbm: -90.0 },
-                RadioSegment { start: SimTime::from_secs(2), end: SimTime::from_secs(5), rss_dbm: -120.0 },
-                RadioSegment { start: SimTime::from_secs(5), end: SimTime::from_secs(10), rss_dbm: -90.0 },
+                RadioSegment {
+                    start: SimTime::ZERO,
+                    end: SimTime::from_secs(2),
+                    rss_dbm: -90.0,
+                },
+                RadioSegment {
+                    start: SimTime::from_secs(2),
+                    end: SimTime::from_secs(5),
+                    rss_dbm: -120.0,
+                },
+                RadioSegment {
+                    start: SimTime::from_secs(5),
+                    end: SimTime::from_secs(10),
+                    rss_dbm: -90.0,
+                },
             ],
             duration: SimTime::from_secs(10),
         };

@@ -142,8 +142,14 @@ mod tests {
 
     #[test]
     fn diff_saturates() {
-        let a = ByteCounter { packets: 1, bytes: 10 };
-        let b = ByteCounter { packets: 5, bytes: 100 };
+        let a = ByteCounter {
+            packets: 1,
+            bytes: 10,
+        };
+        let b = ByteCounter {
+            packets: 5,
+            bytes: 100,
+        };
         let d = a.since(&b);
         assert_eq!(d.packets, 0);
         assert_eq!(d.bytes, 0);

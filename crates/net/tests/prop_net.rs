@@ -10,7 +10,14 @@ use tlc_net::rng::SimRng;
 use tlc_net::time::{SimDuration, SimTime};
 
 fn pkt(id: u64, size: u32, qci: u8) -> Packet {
-    Packet::new(id, FlowId(0), Direction::Downlink, size, Qci(qci), SimTime::ZERO)
+    Packet::new(
+        id,
+        FlowId(0),
+        Direction::Downlink,
+        size,
+        Qci(qci),
+        SimTime::ZERO,
+    )
 }
 
 proptest! {
@@ -106,7 +113,7 @@ proptest! {
         let mut t = SimTime::ZERO;
         let mut offered = 0u64;
         for (i, (&s, &g)) in sizes.iter().zip(gaps_us.iter().cycle()).enumerate() {
-            t = t + SimDuration::from_micros(g);
+            t += SimDuration::from_micros(g);
             link.enqueue(t, pkt(i as u64, s, 9));
             offered += 1;
         }

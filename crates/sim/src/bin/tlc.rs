@@ -6,7 +6,11 @@
 //!                                   dataset, generic, ablation, mobility,
 //!                                   strawman)
 //! tlc negotiate --sent B --received B [--c F] [--strategy optimal|honest|random]
-//!                                   price one cycle, print the PoC (hex)
+//!               [--loss P] [--dup P] [--reorder P] [--seed N]
+//!                                   price one cycle, print the PoC (hex);
+//!                                   loss/dup/reorder run the negotiation
+//!                                   through the loss-tolerant session layer
+//!                                   over a faulty signaling channel
 //! tlc verify --poc HEXFILE [--c F]  verify a PoC produced by `negotiate`
 //! tlc keygen --seed N               print a deterministic RSA-1024 public key
 //! ```
@@ -18,16 +22,20 @@ use std::process::ExitCode;
 use tlc_core::messages::{PocMsg, NONCE_LEN};
 use tlc_core::plan::{DataPlan, LossWeight};
 use tlc_core::protocol::{run_negotiation, Endpoint};
+use tlc_core::session::{run_session_pair, Session, SessionConfig, SessionOutcome};
 use tlc_core::strategy::{
     HonestStrategy, Knowledge, OptimalStrategy, RandomSelfishStrategy, Role, Strategy,
 };
 use tlc_core::verify::verify_poc;
 use tlc_crypto::encoding::encode_public_key;
 use tlc_crypto::KeyPair;
+use tlc_net::channel::{FaultSpec, FaultyChannel};
+use tlc_net::loss::{LossModel, NoLoss, UniformLoss};
 use tlc_net::rng::SimRng;
+use tlc_net::time::{SimDuration, SimTime};
 use tlc_sim::experiments::{
     ablation, dataset, fig03, fig04, fig12, fig13, fig14, fig15, fig16, fig17, fig18, generic,
-    mobility, strawman, sweep, table2, RunScale,
+    mobility, robustness, strawman, sweep, table2, RunScale,
 };
 
 fn main() -> ExitCode {
@@ -73,8 +81,9 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: tlc <eval|experiment|negotiate|verify|keygen> [flags]\n\
   tlc eval [--full]\n\
-  tlc experiment <fig03|fig04|fig12|fig13|fig14|fig15|fig16|fig17|fig18|table2|dataset|generic|ablation|mobility|strawman> [--full]\n\
+  tlc experiment <fig03|fig04|fig12|fig13|fig14|fig15|fig16|fig17|fig18|table2|dataset|generic|ablation|mobility|robustness|strawman> [--full]\n\
   tlc negotiate --sent BYTES --received BYTES [--c 0.5] [--strategy optimal|honest|random]\n\
+                [--loss 0.2] [--dup 0.05] [--reorder 0.05] [--seed N]   (lossy control plane)\n\
   tlc verify --poc HEX [--c 0.5]\n\
   tlc keygen --seed N";
 
@@ -123,12 +132,16 @@ fn eval(scale: RunScale) {
     fig15::print(&mut fig15::from_samples(&samples));
     let rtt = fig16::run_rtt(scale);
     fig16::print(&rtt, &fig16::rounds_from_samples(&samples));
-    fig17::print(&fig17::run(5));
+    match fig17::run(5) {
+        Ok(r) => fig17::print(&r),
+        Err(e) => eprintln!("fig17 skipped: negotiation failed: {e}"),
+    }
     fig18::print(&mut fig18::run(scale));
     generic::print(&generic::run(scale));
     ablation::print(&ablation::run(scale));
     mobility::print(&mobility::run(scale));
     strawman::print(&strawman::run(scale));
+    robustness::print(&robustness::run(scale));
 }
 
 fn experiment(name: &str, scale: RunScale) -> ExitCode {
@@ -144,15 +157,25 @@ fn experiment(name: &str, scale: RunScale) -> ExitCode {
         "fig15" => fig15::print(&mut fig15::run(scale)),
         "fig16" => {
             let samples = sweep::congestion_sweep(scale);
-            fig16::print(&fig16::run_rtt(scale), &fig16::rounds_from_samples(&samples));
+            fig16::print(
+                &fig16::run_rtt(scale),
+                &fig16::rounds_from_samples(&samples),
+            );
         }
-        "fig17" => fig17::print(&fig17::run(10)),
+        "fig17" => match fig17::run(10) {
+            Ok(r) => fig17::print(&r),
+            Err(e) => {
+                eprintln!("fig17 failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
         "fig18" => fig18::print(&mut fig18::run(scale)),
         "table2" => table2::print(&table2::run(scale)),
         "dataset" => dataset::print(&dataset::from_samples(&sweep::congestion_sweep(scale))),
         "generic" => generic::print(&generic::run(scale)),
         "ablation" => ablation::print(&ablation::run(scale)),
         "mobility" => mobility::print(&mobility::run(scale)),
+        "robustness" => robustness::print(&robustness::run(scale)),
         "strawman" => strawman::print(&strawman::run(scale)),
         other => {
             eprintln!("unknown experiment `{other}`");
@@ -181,7 +204,10 @@ fn negotiate_cmd(flags: &HashMap<String, String>) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let plan = plan_from(flags);
-    let strategy = flags.get("strategy").map(String::as_str).unwrap_or("optimal");
+    let strategy = flags
+        .get("strategy")
+        .map(String::as_str)
+        .unwrap_or("optimal");
     let mk = |seed: u64| -> Box<dyn Strategy> {
         match strategy {
             "honest" => Box::new(HonestStrategy),
@@ -194,7 +220,11 @@ fn negotiate_cmd(flags: &HashMap<String, String>) -> ExitCode {
     let mut edge = Endpoint::new(
         Role::Edge,
         plan,
-        Knowledge { role: Role::Edge, own_truth: sent, inferred_peer_truth: received },
+        Knowledge {
+            role: Role::Edge,
+            own_truth: sent,
+            inferred_peer_truth: received,
+        },
         mk(11),
         ek.private.clone(),
         ok.public.clone(),
@@ -204,13 +234,23 @@ fn negotiate_cmd(flags: &HashMap<String, String>) -> ExitCode {
     let mut op = Endpoint::new(
         Role::Operator,
         plan,
-        Knowledge { role: Role::Operator, own_truth: received, inferred_peer_truth: sent },
+        Knowledge {
+            role: Role::Operator,
+            own_truth: received,
+            inferred_peer_truth: sent,
+        },
         mk(22),
         ok.private.clone(),
         ek.public.clone(),
         [0xBB; NONCE_LEN],
         64,
     );
+    let faulty = ["loss", "dup", "reorder", "seed"]
+        .iter()
+        .any(|k| flags.contains_key(*k));
+    if faulty {
+        return negotiate_faulty(flags, edge, op);
+    }
     match run_negotiation(&mut op, &mut edge) {
         Ok((poc, msgs)) => {
             eprintln!(
@@ -226,6 +266,72 @@ fn negotiate_cmd(flags: &HashMap<String, String>) -> ExitCode {
         Err(e) => {
             eprintln!("negotiation failed: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+/// Runs `negotiate` through the loss-tolerant session layer over a pair of
+/// faulty signaling channels (`--loss`, `--dup`, `--reorder`, `--seed`).
+fn negotiate_faulty(flags: &HashMap<String, String>, edge: Endpoint, op: Endpoint) -> ExitCode {
+    let loss = flag_f64(flags, "loss").unwrap_or(0.0);
+    let dup = flag_f64(flags, "dup").unwrap_or(0.0);
+    let reorder = flag_f64(flags, "reorder").unwrap_or(0.0);
+    let seed = flag_u64(flags, "seed").unwrap_or(1);
+    for (name, p) in [("loss", loss), ("dup", dup), ("reorder", reorder)] {
+        if !(0.0..=1.0).contains(&p) {
+            eprintln!("--{name} must be a probability in [0, 1]");
+            return ExitCode::FAILURE;
+        }
+    }
+    let spec = FaultSpec::with_faults(dup, reorder, 0.0);
+    let mut rng = SimRng::new(seed);
+    let mk = |rng: &mut SimRng| -> FaultyChannel {
+        let model: Box<dyn LossModel> = if loss == 0.0 {
+            Box::new(NoLoss)
+        } else {
+            Box::new(UniformLoss::new(loss))
+        };
+        FaultyChannel::new(spec.clone(), model, SimRng::new(rng.next_u64()))
+    };
+    let mut fwd = mk(&mut rng);
+    let mut back = mk(&mut rng);
+    let mut initiator = Session::new(op, SessionConfig::default());
+    let mut responder = Session::new(edge, SessionConfig::default());
+    let report = match run_session_pair(
+        &mut initiator,
+        &mut responder,
+        &mut fwd,
+        &mut back,
+        SimTime::from_millis(0),
+        SimDuration::from_secs(300),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("negotiation failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "session: loss {loss} dup {dup} reorder {reorder} seed {seed} -> \
+         {} frames, {} retransmits, {:.1} ms virtual latency",
+        report.frames_sent,
+        report.retransmits,
+        report.elapsed.as_secs_f64() * 1e3
+    );
+    match (&report.initiator, &report.responder) {
+        (SessionOutcome::Proof(poc), _) | (_, SessionOutcome::Proof(poc)) => {
+            eprintln!(
+                "negotiated charge: {} bytes (claims: edge {}, operator {})",
+                poc.charge,
+                poc.edge_usage(),
+                poc.operator_usage()
+            );
+            println!("{}", hex(&poc.encode()));
+            ExitCode::SUCCESS
+        }
+        (SessionOutcome::Fallback { reason, charge }, _) => {
+            eprintln!("negotiation abandoned ({reason:?}); legacy fallback charge: {charge} bytes");
+            ExitCode::SUCCESS
         }
     }
 }
@@ -271,7 +377,7 @@ fn hex(data: &[u8]) -> String {
 
 fn unhex(s: &str) -> Option<Vec<u8>> {
     let s = s.trim();
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     (0..s.len())

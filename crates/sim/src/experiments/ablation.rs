@@ -43,8 +43,8 @@ pub fn run(scale: RunScale) -> Vec<AblationRow> {
     for app in [AppKind::WebcamUdp, AppKind::Vr] {
         for bg in [120.0, 160.0] {
             for fair in [false, true] {
-                let mut cfg = ScenarioConfig::new(app, 0xAB1A + bg as u64, scale.cycle())
-                    .with_background(bg);
+                let mut cfg =
+                    ScenarioConfig::new(app, 0xAB1A + bg as u64, scale.cycle()).with_background(bg);
                 if fair {
                     cfg = cfg.with_fair_queueing();
                 }

@@ -60,9 +60,15 @@ mod tests {
     #[test]
     fn crypto_factors_ordered_like_paper() {
         // Z840 fastest; Pixel slowest (per Fig. 17's verification times).
-        assert!(Z840.crypto_factor < EL20.crypto_factor);
-        assert!(EL20.crypto_factor < S7_EDGE.crypto_factor);
-        assert!(S7_EDGE.crypto_factor < PIXEL_2XL.crypto_factor);
+        let ordered = [&Z840, &EL20, &S7_EDGE, &PIXEL_2XL];
+        for pair in ordered.windows(2) {
+            assert!(
+                pair[0].crypto_factor < pair[1].crypto_factor,
+                "{} should be faster than {}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
     }
 
     #[test]

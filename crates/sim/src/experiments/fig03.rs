@@ -64,7 +64,10 @@ pub fn run(scale: RunScale) -> Vec<Fig03Row> {
 /// Prints the series in the paper's layout.
 pub fn print(rows: &[Fig03Row]) {
     println!("Fig. 3 — charging gap/hr (MB) vs background traffic (Mbps)");
-    println!("{:<18} {:>8} {:>14} {:>8}", "app", "bg Mbps", "gap MB/hr", "gap %");
+    println!(
+        "{:<18} {:>8} {:>14} {:>8}",
+        "app", "bg Mbps", "gap MB/hr", "gap %"
+    );
     for r in rows {
         println!(
             "{:<18} {:>8.0} {:>14.2} {:>7.1}%",

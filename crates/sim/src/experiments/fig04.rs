@@ -49,7 +49,7 @@ pub fn run(scale: RunScale) -> (Vec<Fig04Row>, Fig04Summary) {
         RunScale::Quick => SimDuration::from_secs(120),
         RunScale::Full => SimDuration::from_secs(300),
     };
-    let mut cfg = ScenarioConfig::new(AppKind::WebcamUdpDownlink, 0xF16_04, duration)
+    let mut cfg = ScenarioConfig::new(AppKind::WebcamUdpDownlink, 0xF1604, duration)
         .with_radio(RadioSpec::Intermittent { eta: 0.10 });
     cfg.datapath.rrc_periodic_check = SimDuration::from_secs(5);
     // Moderate base-station buffer: buffering partially absorbs outages
@@ -72,7 +72,8 @@ pub fn run(scale: RunScale) -> (Vec<Fig04Row>, Fig04Summary) {
     for s in 0..secs {
         let start = SimTime::from_secs(s);
         let end = SimTime::from_secs(s + 1);
-        let net = r.app.gateway_downlink.bytes_until(end) - r.app.gateway_downlink.bytes_until(start);
+        let net =
+            r.app.gateway_downlink.bytes_until(end) - r.app.gateway_downlink.bytes_until(start);
         let dev = r.app.modem_received.bytes_until(end) - r.app.modem_received.bytes_until(start);
         cum_network += net;
         cum_device += dev;
@@ -171,7 +172,10 @@ mod tests {
         if out_n > 0 && in_n > 0 {
             let out_avg = out_sum / out_n as f64;
             let in_avg = in_sum / in_n as f64;
-            assert!(out_avg < in_avg, "outage avg {out_avg} !< service avg {in_avg}");
+            assert!(
+                out_avg < in_avg,
+                "outage avg {out_avg} !< service avg {in_avg}"
+            );
         }
     }
 }

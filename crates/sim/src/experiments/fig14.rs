@@ -50,7 +50,7 @@ pub fn run(scale: RunScale) -> Vec<Fig14Row> {
         for round in 0..rounds {
             let mut cfg = ScenarioConfig::new(
                 AppKind::WebcamUdp,
-                0xF16_14 + round * 733 + (eta * 1000.0) as u64,
+                0xF1614 + round * 733 + (eta * 1000.0) as u64,
                 scale.cycle(),
             )
             .with_radio(RadioSpec::Intermittent { eta });

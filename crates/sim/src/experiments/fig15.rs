@@ -62,7 +62,10 @@ pub fn from_samples(samples: &[SweepSample]) -> Vec<Fig15Curve> {
 /// Prints each curve's quantiles.
 pub fn print(curves: &mut [Fig15Curve]) {
     println!("Fig. 15 — TLC-optimal gap reduction µ (%) by plan weight c");
-    println!("{:>5} {:>8} {:>8} {:>8} {:>8}", "c", "p25", "p50", "p75", "mean");
+    println!(
+        "{:>5} {:>8} {:>8} {:>8} {:>8}",
+        "c", "p25", "p50", "p75", "mean"
+    );
     for cu in curves.iter_mut() {
         println!(
             "{:>5.2} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
@@ -84,14 +87,7 @@ mod tests {
     fn smaller_c_means_more_reduction() {
         let samples = sweep_over(RunScale::Quick, &[AppKind::Vr], &[150.0]);
         let curves = from_samples(&samples);
-        let mean = |c: f64| {
-            curves
-                .iter()
-                .find(|cu| cu.c == c)
-                .unwrap()
-                .cdf
-                .mean()
-        };
+        let mean = |c: f64| curves.iter().find(|cu| cu.c == c).unwrap().cdf.mean();
         // Downlink: legacy gap = (1−c)·loss, so reduction shrinks as c→1.
         assert!(
             mean(0.0) >= mean(0.75),

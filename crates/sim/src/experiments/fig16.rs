@@ -62,13 +62,26 @@ pub fn ping_rtt_ms(device: &DeviceProfile, n: usize, with_tlc: bool, seed: u64) 
     let mut t = SimTime::from_millis(10);
     for _ in 0..n {
         // Echo request up, echo reply down (64-byte ICMP-sized).
-        let up = Packet::new(alloc.next_id(), PING_FLOW, Direction::Uplink, 64, Qci::DEFAULT, t);
+        let up = Packet::new(
+            alloc.next_id(),
+            PING_FLOW,
+            Direction::Uplink,
+            64,
+            Qci::DEFAULT,
+            t,
+        );
         dp.send_uplink(t, up);
         let t2 = t + SimDuration::from_millis(15);
-        let down =
-            Packet::new(alloc.next_id(), PING_FLOW, Direction::Downlink, 64, Qci::DEFAULT, t2);
+        let down = Packet::new(
+            alloc.next_id(),
+            PING_FLOW,
+            Direction::Downlink,
+            64,
+            Qci::DEFAULT,
+            t2,
+        );
         dp.send_downlink(t2, down);
-        t = t + SimDuration::from_millis(200);
+        t += SimDuration::from_millis(200);
     }
     // Drain.
     let mut now = t;
@@ -129,8 +142,15 @@ pub fn rounds_from_samples(samples: &[SweepSample]) -> Vec<Fig16bRow> {
         let n = mine.len().max(1) as f64;
         rows.push(Fig16bRow {
             app: app.name(),
-            random_rounds: mine.iter().map(|s| s.comparison.tlc_random.rounds as f64).sum::<f64>() / n,
-            optimal_rounds: mine.iter().map(|s| s.comparison.tlc_optimal.rounds as f64).sum::<f64>()
+            random_rounds: mine
+                .iter()
+                .map(|s| s.comparison.tlc_random.rounds as f64)
+                .sum::<f64>()
+                / n,
+            optimal_rounds: mine
+                .iter()
+                .map(|s| s.comparison.tlc_optimal.rounds as f64)
+                .sum::<f64>()
                 / n,
         });
     }
@@ -149,12 +169,18 @@ pub fn print(rtt: &[Fig16aRow], rounds: &[Fig16bRow]) {
     println!("Fig. 16a — RTT within the charging cycle (ms)");
     println!("{:<12} {:>10} {:>10}", "device", "w/o TLC", "w/ TLC");
     for r in rtt {
-        println!("{:<12} {:>10.1} {:>10.1}", r.device, r.rtt_without_ms, r.rtt_with_ms);
+        println!(
+            "{:<12} {:>10.1} {:>10.1}",
+            r.device, r.rtt_without_ms, r.rtt_with_ms
+        );
     }
     println!("Fig. 16b — negotiation rounds after the cycle");
     println!("{:<18} {:>12} {:>12}", "app", "TLC-random", "TLC-optimal");
     for r in rounds {
-        println!("{:<18} {:>12.1} {:>12.1}", r.app, r.random_rounds, r.optimal_rounds);
+        println!(
+            "{:<18} {:>12.1} {:>12.1}",
+            r.app, r.random_rounds, r.optimal_rounds
+        );
     }
 }
 

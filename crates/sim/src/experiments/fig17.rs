@@ -12,7 +12,7 @@ use serde::Serialize;
 use std::time::Instant;
 use tlc_core::messages::NONCE_LEN;
 use tlc_core::plan::DataPlan;
-use tlc_core::protocol::{run_negotiation, Endpoint};
+use tlc_core::protocol::{run_negotiation, Endpoint, ProtocolError};
 use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
 use tlc_core::verify::verify_poc;
 use tlc_crypto::KeyPair;
@@ -60,16 +60,24 @@ pub struct Fig17Report {
 }
 
 /// One complete negotiation, returning the artifacts and wall-clock time.
+///
+/// Propagates [`ProtocolError`] instead of panicking: a non-converging
+/// negotiation (misconfigured strategies, exhausted rounds) surfaces as an
+/// error the caller can report.
 fn negotiate_once(
     edge: &KeyPair,
     op: &KeyPair,
     seed: u8,
-) -> (tlc_core::messages::PocMsg, f64) {
+) -> Result<(tlc_core::messages::PocMsg, f64), ProtocolError> {
     let plan = DataPlan::paper_default();
     let mut e = Endpoint::new(
         Role::Edge,
         plan,
-        Knowledge { role: Role::Edge, own_truth: 1_000_000, inferred_peer_truth: 900_000 },
+        Knowledge {
+            role: Role::Edge,
+            own_truth: 1_000_000,
+            inferred_peer_truth: 900_000,
+        },
         Box::new(OptimalStrategy),
         edge.private.clone(),
         op.public.clone(),
@@ -79,7 +87,11 @@ fn negotiate_once(
     let mut o = Endpoint::new(
         Role::Operator,
         plan,
-        Knowledge { role: Role::Operator, own_truth: 900_000, inferred_peer_truth: 1_000_000 },
+        Knowledge {
+            role: Role::Operator,
+            own_truth: 900_000,
+            inferred_peer_truth: 1_000_000,
+        },
         Box::new(OptimalStrategy),
         op.private.clone(),
         edge.public.clone(),
@@ -87,13 +99,15 @@ fn negotiate_once(
         16,
     );
     let t0 = Instant::now();
-    let (poc, _) = run_negotiation(&mut o, &mut e).expect("negotiation converges");
-    (poc, t0.elapsed().as_secs_f64() * 1e3)
+    let (poc, _) = run_negotiation(&mut o, &mut e)?;
+    Ok((poc, t0.elapsed().as_secs_f64() * 1e3))
 }
 
 /// Runs the measurement. `reps` controls how many timed repetitions to
 /// average (the paper negotiates per experiment round).
-pub fn run(reps: usize) -> Fig17Report {
+///
+/// Errors if any negotiation fails to converge rather than panicking.
+pub fn run(reps: usize) -> Result<Fig17Report, ProtocolError> {
     let edge = KeyPair::generate_for_seed(1024, 0xF17E).expect("keygen");
     let op = KeyPair::generate_for_seed(1024, 0xF170).expect("keygen");
     let plan = DataPlan::paper_default();
@@ -102,7 +116,7 @@ pub fn run(reps: usize) -> Fig17Report {
     let mut crypto_ms = 0.0;
     let mut poc = None;
     for i in 0..reps.max(1) {
-        let (p, ms) = negotiate_once(&edge, &op, i as u8);
+        let (p, ms) = negotiate_once(&edge, &op, i as u8)?;
         crypto_ms += ms;
         poc = Some(p);
     }
@@ -139,13 +153,13 @@ pub fn run(reps: usize) -> Fig17Report {
     });
 
     let sizes = measure_sizes(&poc);
-    Fig17Report {
+    Ok(Fig17Report {
         rows,
         sizes,
         host_crypto_ms,
         host_verify_ms,
         verifications_per_hour: 3600.0 * 1e3 / host_verify_ms.max(1e-9),
-    }
+    })
 }
 
 fn measure_sizes(poc: &tlc_core::messages::PocMsg) -> MessageSizes {
@@ -164,7 +178,10 @@ fn measure_sizes(poc: &tlc_core::messages::PocMsg) -> MessageSizes {
 /// Prints the figure's tables.
 pub fn print(r: &Fig17Report) {
     println!("Fig. 17 — Proof-of-Charging cost (TLC-optimal)");
-    println!("{:<12} {:>16} {:>17}", "device", "negotiation ms", "verification ms");
+    println!(
+        "{:<12} {:>16} {:>17}",
+        "device", "negotiation ms", "verification ms"
+    );
     for row in &r.rows {
         println!(
             "{:<12} {:>16.2} {:>17.3}",
@@ -188,26 +205,46 @@ mod tests {
 
     #[test]
     fn report_shape_and_scaling() {
-        let r = run(2);
+        let r = run(2).expect("optimal pair converges");
         assert_eq!(r.rows.len(), 4);
         // Device ordering by crypto factor: Z840 fastest verification.
         let verify = |name: &str| {
-            r.rows.iter().find(|x| x.device == name).unwrap().verification_ms
+            r.rows
+                .iter()
+                .find(|x| x.device == name)
+                .unwrap()
+                .verification_ms
         };
         assert!(verify("Z840") <= verify("EL20"));
         assert!(verify("EL20") < verify("Pixel 2XL"));
         assert!(r.host_crypto_ms > 0.0);
-        assert!(r.verifications_per_hour > 100_000.0, "{}", r.verifications_per_hour);
+        assert!(
+            r.verifications_per_hour > 100_000.0,
+            "{}",
+            r.verifications_per_hour
+        );
     }
 
     #[test]
     fn sizes_match_paper_scale() {
-        let r = run(1);
+        let r = run(1).expect("optimal pair converges");
         // Paper: 199 / 398 / 796 / 1393 bytes. Our leaner binary framing
         // lands below but within 2x on every row, preserving the ratios.
-        assert!((150..=220).contains(&r.sizes.tlc_cdr), "CDR {}", r.sizes.tlc_cdr);
-        assert!((300..=440).contains(&r.sizes.tlc_cda), "CDA {}", r.sizes.tlc_cda);
-        assert!((500..=900).contains(&r.sizes.tlc_poc), "PoC {}", r.sizes.tlc_poc);
+        assert!(
+            (150..=220).contains(&r.sizes.tlc_cdr),
+            "CDR {}",
+            r.sizes.tlc_cdr
+        );
+        assert!(
+            (300..=440).contains(&r.sizes.tlc_cda),
+            "CDA {}",
+            r.sizes.tlc_cda
+        );
+        assert!(
+            (500..=900).contains(&r.sizes.tlc_poc),
+            "PoC {}",
+            r.sizes.tlc_poc
+        );
         assert!(r.sizes.tlc_cda > r.sizes.tlc_cdr);
         assert!(r.sizes.tlc_poc > r.sizes.tlc_cda);
         assert_eq!(r.sizes.legacy_cdr, 34);

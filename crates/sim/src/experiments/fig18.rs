@@ -36,7 +36,7 @@ pub fn run(scale: RunScale) -> Fig18Curves {
     let mut gamma_o = Cdf::new();
     let mut gamma_e = Cdf::new();
     for round in 0..rounds {
-        let mut cfg = ScenarioConfig::new(AppKind::Vr, 0xF18_00 + round * 977, scale.cycle());
+        let mut cfg = ScenarioConfig::new(AppKind::Vr, 0xF1800 + round * 977, scale.cycle());
         cfg.datapath.rrc_periodic_check = rrc_period_for(scale.cycle());
         // The paper's worst errors come from poorly synchronized cycles;
         // draw a fresh skew per round (σ grows the tail like their 12.7%
@@ -72,7 +72,7 @@ pub fn run(scale: RunScale) -> Fig18Curves {
 /// ((edge record, edge truth), (operator record, operator truth)) for one
 /// clock-synchronized round.
 pub fn uplink_accuracy(scale: RunScale) -> ((u64, u64), (u64, u64)) {
-    let mut cfg = ScenarioConfig::new(AppKind::WebcamUdp, 0xF18_99, scale.cycle());
+    let mut cfg = ScenarioConfig::new(AppKind::WebcamUdp, 0xF1899, scale.cycle());
     cfg.ntp_skew_std_ms = 0.0; // synchronized cycle
     cfg.datapath.rrc_periodic_check = rrc_period_for(scale.cycle());
     let r = run_scenario(&cfg);
@@ -89,7 +89,10 @@ pub fn uplink_accuracy(scale: RunScale) -> ((u64, u64), (u64, u64)) {
 /// Prints the two error CDFs.
 pub fn print(curves: &mut Fig18Curves) {
     println!("Fig. 18 — tamper-resilient CDR accuracy (error %, downlink)");
-    println!("{:<26} {:>8} {:>8} {:>8} {:>8}", "record", "mean", "p50", "p95", "max");
+    println!(
+        "{:<26} {:>8} {:>8} {:>8} {:>8}",
+        "record", "mean", "p50", "p95", "max"
+    );
     println!(
         "{:<26} {:>7.2}% {:>7.2}% {:>7.2}% {:>7.2}%",
         "operator (RRC vs gateway)",
@@ -117,7 +120,11 @@ mod tests {
         let curves = run(RunScale::Quick);
         // Paper: γ_o avg 2.0%, γ_e avg 1.2% — small, with γ_o ≥ γ_e
         // (the RRC lag adds to the skew).
-        assert!(curves.gamma_o.mean() < 10.0, "γ_o {}", curves.gamma_o.mean());
+        assert!(
+            curves.gamma_o.mean() < 10.0,
+            "γ_o {}",
+            curves.gamma_o.mean()
+        );
         assert!(curves.gamma_e.mean() < 5.0, "γ_e {}", curves.gamma_e.mean());
         assert!(
             curves.gamma_o.mean() >= curves.gamma_e.mean(),
@@ -130,8 +137,7 @@ mod tests {
 
     #[test]
     fn uplink_records_are_exact() {
-        let ((edge_record, edge_truth), (op_record, op_truth)) =
-            uplink_accuracy(RunScale::Quick);
+        let ((edge_record, edge_truth), (op_record, op_truth)) = uplink_accuracy(RunScale::Quick);
         assert!(edge_truth > 0 && op_truth > 0);
         assert_eq!(edge_record, edge_truth, "edge uplink record not exact");
         assert_eq!(op_record, op_truth, "operator uplink record not exact");

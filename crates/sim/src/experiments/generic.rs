@@ -45,12 +45,18 @@ pub fn run(scale: RunScale) -> Vec<GenericRow> {
             let server_sent = (core_received as f64 / (1.0 - p)).round() as u64;
             // Intended charge uses core-received (x̂_e at the core).
             let intended = charge_for(
-                UsagePair { edge: core_received, operator: device_received },
+                UsagePair {
+                    edge: core_received,
+                    operator: device_received,
+                },
                 w,
             );
             // The negotiation prices the edge's inflated report.
             let negotiated = charge_for(
-                UsagePair { edge: server_sent, operator: device_received },
+                UsagePair {
+                    edge: server_sent,
+                    operator: device_received,
+                },
                 w,
             );
             let overcharge = negotiated.saturating_sub(intended);
@@ -104,7 +110,10 @@ mod tests {
 
     #[test]
     fn no_internet_loss_means_no_overcharge() {
-        for r in run(RunScale::Quick).iter().filter(|r| r.internet_loss == 0.0) {
+        for r in run(RunScale::Quick)
+            .iter()
+            .filter(|r| r.internet_loss == 0.0)
+        {
             assert_eq!(r.overcharge, 0);
             assert_eq!(r.bound, 0);
         }

@@ -97,7 +97,11 @@ mod tests {
     #[test]
     fn handovers_grow_the_legacy_gap_not_tlcs() {
         let rows = run(RunScale::Quick);
-        let at = |rate: f64| rows.iter().find(|r| r.handovers_per_minute == rate).unwrap();
+        let at = |rate: f64| {
+            rows.iter()
+                .find(|r| r.handovers_per_minute == rate)
+                .unwrap()
+        };
         assert!(
             at(20.0).loss_fraction > at(0.0).loss_fraction,
             "mobility must add loss: {} vs {}",
@@ -106,7 +110,12 @@ mod tests {
         );
         assert!(at(20.0).legacy_ratio > at(0.0).legacy_ratio);
         for r in &rows {
-            assert!(r.tlc_ratio < 0.02, "TLC ε {} at {} HO/min", r.tlc_ratio, r.handovers_per_minute);
+            assert!(
+                r.tlc_ratio < 0.02,
+                "TLC ε {} at {} HO/min",
+                r.tlc_ratio,
+                r.handovers_per_minute
+            );
         }
     }
 }

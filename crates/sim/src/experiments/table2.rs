@@ -54,9 +54,7 @@ pub fn from_samples(samples: &[SweepSample]) -> Vec<Table2Row> {
             let cell = |scheme: Scheme| {
                 let delta = mine
                     .iter()
-                    .map(|s| {
-                        bytes_to_mb_per_hr(s.comparison.gap(scheme.charge(s)), s.cycle_secs)
-                    })
+                    .map(|s| bytes_to_mb_per_hr(s.comparison.gap(scheme.charge(s)), s.cycle_secs))
                     .sum::<f64>()
                     / n;
                 let eps = mine
@@ -117,9 +115,7 @@ mod tests {
             &[0.0],
         );
         let rows = from_samples(&samples);
-        let rate = |name: &str| {
-            rows.iter().find(|r| r.app == name).unwrap().bitrate_mbps
-        };
+        let rate = |name: &str| rows.iter().find(|r| r.app == name).unwrap().bitrate_mbps;
         // Paper: 0.77 / 9.0 / 0.02 Mbps.
         assert!((0.6..=1.1).contains(&rate("WebCam (RTSP)")));
         assert!((8.0..=10.5).contains(&rate("VRidge (GVSP)")));
@@ -132,7 +128,11 @@ mod tests {
         let rows = from_samples(&samples);
         let vr = rows.iter().find(|r| r.app == "VRidge (GVSP)").unwrap();
         // Paper: ε ≤ 2.5% for TLC-optimal; allow slack for short cycles.
-        assert!(vr.tlc_optimal.epsilon < 0.05, "ε {}", vr.tlc_optimal.epsilon);
+        assert!(
+            vr.tlc_optimal.epsilon < 0.05,
+            "ε {}",
+            vr.tlc_optimal.epsilon
+        );
         assert!(vr.legacy.epsilon > vr.tlc_optimal.epsilon);
     }
 }

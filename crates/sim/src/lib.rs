@@ -23,7 +23,9 @@ pub mod metrics;
 pub mod multiop;
 pub mod scenario;
 
-pub use measure::{compare_schemes, cycle_records, evaluate, Comparison, CycleRecords, SchemeOutcome};
+pub use measure::{
+    compare_schemes, cycle_records, evaluate, Comparison, CycleRecords, SchemeOutcome,
+};
 pub use metrics::{bytes_to_mb, bytes_to_mb_per_hr, Cdf};
 pub use multiop::{run_multi_operator, MultiOperatorOutcome, OperatorOutcome, OperatorSlice};
 pub use scenario::{

@@ -10,9 +10,7 @@ use crate::scenario::ScenarioResult;
 use tlc_core::cancellation::{negotiate, NegotiationError, DEFAULT_MAX_ROUNDS};
 use tlc_core::legacy;
 use tlc_core::plan::{intended_charge, DataPlan, UsagePair};
-use tlc_core::strategy::{
-    HonestStrategy, Knowledge, OptimalStrategy, RandomSelfishStrategy, Role,
-};
+use tlc_core::strategy::{HonestStrategy, Knowledge, OptimalStrategy, RandomSelfishStrategy, Role};
 use tlc_net::packet::Direction;
 use tlc_net::rng::SimRng;
 
@@ -188,18 +186,23 @@ pub fn compare_schemes(
     Ok(Comparison {
         intended,
         legacy,
-        tlc_optimal: SchemeOutcome { charge: opt.charge, rounds: opt.rounds },
-        tlc_random: SchemeOutcome { charge: rand.charge, rounds: rand.rounds },
-        tlc_honest: SchemeOutcome { charge: honest.charge, rounds: honest.rounds },
+        tlc_optimal: SchemeOutcome {
+            charge: opt.charge,
+            rounds: opt.rounds,
+        },
+        tlc_random: SchemeOutcome {
+            charge: rand.charge,
+            rounds: rand.rounds,
+        },
+        tlc_honest: SchemeOutcome {
+            charge: honest.charge,
+            rounds: honest.rounds,
+        },
     })
 }
 
 /// Convenience: run the full §7.1 pipeline for a scenario result.
-pub fn evaluate(
-    r: &ScenarioResult,
-    plan: &DataPlan,
-    seed: u64,
-) -> Result<Comparison, PriceError> {
+pub fn evaluate(r: &ScenarioResult, plan: &DataPlan, seed: u64) -> Result<Comparison, PriceError> {
     compare_schemes(&cycle_records(r), plan, seed)
 }
 
@@ -231,8 +234,8 @@ mod tests {
 
     #[test]
     fn tlc_beats_legacy_under_congestion() {
-        let mut cfg = ScenarioConfig::new(AppKind::Vr, 11, SimDuration::from_secs(30))
-            .with_background(150.0);
+        let mut cfg =
+            ScenarioConfig::new(AppKind::Vr, 11, SimDuration::from_secs(30)).with_background(150.0);
         cfg.datapath.rrc_periodic_check = SimDuration::from_secs(5);
         let r = run_scenario(&cfg);
         let plan = DataPlan::paper_default();
@@ -257,7 +260,11 @@ mod tests {
         // Allow a 3% measurement-error margin around the truth bounds.
         let lo = (rec.truth.operator as f64 * 0.97) as u64;
         let hi = (rec.truth.edge as f64 * 1.03) as u64;
-        for charge in [c.tlc_optimal.charge, c.tlc_random.charge, c.tlc_honest.charge] {
+        for charge in [
+            c.tlc_optimal.charge,
+            c.tlc_random.charge,
+            c.tlc_honest.charge,
+        ] {
             assert!(
                 (lo..=hi).contains(&charge),
                 "charge {charge} outside [{lo}, {hi}]"

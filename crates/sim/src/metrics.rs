@@ -20,7 +20,10 @@ impl Cdf {
 
     /// From a sample vector.
     pub fn from_samples(samples: Vec<f64>) -> Self {
-        let mut c = Cdf { samples, sorted: false };
+        let mut c = Cdf {
+            samples,
+            sorted: false,
+        };
         c.sort();
         c
     }

@@ -63,7 +63,10 @@ impl MultiOperatorOutcome {
 
     /// The total plan-intended charge.
     pub fn total_intended(&self) -> u64 {
-        self.per_operator.iter().map(|o| o.comparison.intended).sum()
+        self.per_operator
+            .iter()
+            .map(|o| o.comparison.intended)
+            .sum()
     }
 }
 
@@ -86,8 +89,7 @@ pub fn run_multi_operator(
             let mut cfg = ScenarioConfig::new(app, seed ^ (0x0b0 + i as u64 * 7919), cycle)
                 .with_background(op.background_mbps)
                 .with_radio(op.radio);
-            cfg.datapath.rrc_periodic_check =
-                crate::experiments::sweep::rrc_period_for(cycle);
+            cfg.datapath.rrc_periodic_check = crate::experiments::sweep::rrc_period_for(cycle);
             let r = run_scenario(&cfg);
             let records = cycle_records(&r);
             let comparison =
@@ -100,6 +102,14 @@ pub fn run_multi_operator(
         })
         .collect();
     MultiOperatorOutcome { per_operator }
+}
+
+#[cfg(test)]
+impl OperatorOutcome {
+    /// Test helper: the paper-default plan (operator A's).
+    fn comparison_plan(&self) -> DataPlan {
+        DataPlan::paper_default()
+    }
 }
 
 #[cfg(test)]
@@ -129,12 +139,7 @@ mod tests {
 
     #[test]
     fn per_operator_charges_are_independent_and_bounded() {
-        let out = run_multi_operator(
-            AppKind::Vr,
-            SimDuration::from_secs(30),
-            &operators(),
-            0xAB,
-        );
+        let out = run_multi_operator(AppKind::Vr, SimDuration::from_secs(30), &operators(), 0xAB);
         assert_eq!(out.per_operator.len(), 2);
         for o in &out.per_operator {
             let lo = (o.records.truth.operator as f64 * 0.99) as u64;
@@ -178,27 +183,15 @@ mod tests {
         // Operator B's c = 0.25 discounts lost data more than A's 0.5:
         // same truths would price differently. We check via the intended
         // values directly.
-        let out = run_multi_operator(
-            AppKind::Vr,
-            SimDuration::from_secs(30),
-            &operators(),
-            0xAD,
-        );
+        let out = run_multi_operator(AppKind::Vr, SimDuration::from_secs(30), &operators(), 0xAD);
         let a = &out.per_operator[0];
         let b = &out.per_operator[1];
         // Reprice B's records under A's plan: must differ when loss > 0.
-        let b_under_a =
-            compare_schemes(&b.records, &a.comparison_plan(), 1).unwrap().intended;
+        let b_under_a = compare_schemes(&b.records, &a.comparison_plan(), 1)
+            .unwrap()
+            .intended;
         if b.records.truth.edge > b.records.truth.operator {
             assert_ne!(b_under_a, b.comparison.intended);
         }
-    }
-}
-
-#[cfg(test)]
-impl OperatorOutcome {
-    /// Test helper: the paper-default plan (operator A's).
-    fn comparison_plan(&self) -> DataPlan {
-        DataPlan::paper_default()
     }
 }

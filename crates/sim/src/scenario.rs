@@ -288,11 +288,22 @@ pub fn run_scenario(cfg: &ScenarioConfig) -> ScenarioResult {
         now = t;
         // Emissions first at a tick, then datapath progress.
         while let Some(e) = next_app.as_ref().filter(|e| e.at <= now).copied() {
-            send(&mut dp, &mut alloc, APP_FLOW, app_dir, app_qci, e.at, e.size, e.frame);
+            send(
+                &mut dp, &mut alloc, APP_FLOW, app_dir, app_qci, e.at, e.size, e.frame,
+            );
             next_app = app.next();
         }
         while let Some(e) = next_bg.as_ref().filter(|e| e.at <= now).copied() {
-            send(&mut dp, &mut alloc, BG_FLOW, app_dir, Qci::DEFAULT, e.at, e.size, e.frame);
+            send(
+                &mut dp,
+                &mut alloc,
+                BG_FLOW,
+                app_dir,
+                Qci::DEFAULT,
+                e.at,
+                e.size,
+                e.frame,
+            );
             next_bg = bg.next();
         }
         dp.poll(now);
@@ -370,9 +381,8 @@ mod tests {
     fn congestion_grows_the_gap() {
         let clean = run_scenario(&short(AppKind::Vr, 3));
         let congested = run_scenario(&short(AppKind::Vr, 3).with_background(150.0));
-        let gap = |r: &ScenarioResult| {
-            r.app.gateway_downlink.bytes() - r.app.modem_received.bytes()
-        };
+        let gap =
+            |r: &ScenarioResult| r.app.gateway_downlink.bytes() - r.app.modem_received.bytes();
         assert!(
             gap(&congested) > gap(&clean) * 2,
             "clean {} vs congested {}",
@@ -407,10 +417,13 @@ mod tests {
             &short(AppKind::WebcamUdp, 5).with_radio(RadioSpec::Intermittent { eta: 0.12 }),
         );
         assert!(flaky.eta > 0.05, "eta {}", flaky.eta);
-        let gap = |r: &ScenarioResult| {
-            r.app.device_app_sent.bytes() - r.app.gateway_uplink.bytes()
-        };
-        assert!(gap(&flaky) > gap(&clean), "{} vs {}", gap(&flaky), gap(&clean));
+        let gap = |r: &ScenarioResult| r.app.device_app_sent.bytes() - r.app.gateway_uplink.bytes();
+        assert!(
+            gap(&flaky) > gap(&clean),
+            "{} vs {}",
+            gap(&flaky),
+            gap(&clean)
+        );
         assert!(flaky.mean_outage_secs > 0.5);
     }
 

@@ -55,7 +55,7 @@ impl Workload for BackgroundTraffic {
             frame: self.seq,
         };
         self.seq += 1;
-        self.next_at = self.next_at + self.interval;
+        self.next_at += self.interval;
         Some(e)
     }
 

@@ -71,7 +71,7 @@ impl Workload for GamingStream {
         if at >= self.end {
             return None;
         }
-        let is_snapshot = self.tick % self.params.snapshot_every as u64 == 0;
+        let is_snapshot = self.tick.is_multiple_of(self.params.snapshot_every as u64);
         let mean = if is_snapshot {
             self.params.snapshot_size
         } else {
@@ -157,7 +157,12 @@ mod tests {
         let mut w = GamingStream::king_of_glory(SimDuration::from_secs(30), SimRng::new(4));
         let all = drain(&mut w);
         for pair in all.windows(2) {
-            assert!(pair[1].at >= pair[0].at, "{:?} then {:?}", pair[0].at, pair[1].at);
+            assert!(
+                pair[1].at >= pair[0].at,
+                "{:?} then {:?}",
+                pair[0].at,
+                pair[1].at
+            );
         }
     }
 }

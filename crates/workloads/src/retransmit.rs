@@ -14,8 +14,8 @@
 //! (all copies) — the over-charging gap this cause creates.
 
 use crate::traffic::{Emission, Workload};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use tlc_net::packet::{Direction, Qci};
 use tlc_net::rng::SimRng;
 use tlc_net::time::{SimDuration, SimTime};
@@ -138,12 +138,8 @@ mod tests {
     #[test]
     fn retransmissions_inflate_metered_volume_not_goodput() {
         let inner = WebcamStream::udp(SimDuration::from_secs(30), SimRng::new(1));
-        let mut w = RetransmittingSource::new(
-            inner,
-            0.2,
-            SimDuration::from_millis(200),
-            SimRng::new(2),
-        );
+        let mut w =
+            RetransmittingSource::new(inner, 0.2, SimDuration::from_millis(200), SimRng::new(2));
         let all = drain(&mut w);
         let metered: u64 = all.iter().map(|e| e.size as u64).sum();
         // Goodput: each frame's distinct payload, counted once.
@@ -179,12 +175,8 @@ mod tests {
     #[test]
     fn emissions_stay_time_ordered() {
         let inner = WebcamStream::rtsp(SimDuration::from_secs(10), SimRng::new(5));
-        let mut w = RetransmittingSource::new(
-            inner,
-            0.5,
-            SimDuration::from_millis(150),
-            SimRng::new(6),
-        );
+        let mut w =
+            RetransmittingSource::new(inner, 0.5, SimDuration::from_millis(150), SimRng::new(6));
         let all = drain(&mut w);
         for pair in all.windows(2) {
             assert!(pair[1].at >= pair[0].at);
@@ -209,12 +201,8 @@ mod tests {
     fn nominal_rate_reflects_overhead() {
         let inner = WebcamStream::udp(SimDuration::from_secs(1), SimRng::new(9));
         let base = inner.nominal_rate_mbps();
-        let w = RetransmittingSource::new(
-            inner,
-            0.25,
-            SimDuration::from_millis(100),
-            SimRng::new(10),
-        );
+        let w =
+            RetransmittingSource::new(inner, 0.25, SimDuration::from_millis(100), SimRng::new(10));
         assert!((w.nominal_rate_mbps() - base * 1.25).abs() < 1e-9);
     }
 }

@@ -93,12 +93,7 @@ impl WebcamStream {
     }
 
     /// Custom parameters.
-    pub fn new(
-        params: H264Params,
-        name: &'static str,
-        duration: SimDuration,
-        rng: SimRng,
-    ) -> Self {
+    pub fn new(params: H264Params, name: &'static str, duration: SimDuration, rng: SimRng) -> Self {
         WebcamStream {
             params,
             name,
@@ -115,7 +110,7 @@ impl WebcamStream {
         if at >= self.end {
             return false;
         }
-        let is_i = self.frame_index % self.params.gop as u64 == 0;
+        let is_i = self.frame_index.is_multiple_of(self.params.gop as u64);
         let mean_p = self.params.mean_p_frame_bytes();
         let mean = if is_i {
             mean_p * self.params.i_frame_ratio
@@ -220,7 +215,10 @@ mod tests {
         let mut w = WebcamStream::rtsp(SimDuration::from_secs(30), SimRng::new(5));
         let all = drain(&mut w);
         let frame_bytes = |f: u64| -> u64 {
-            all.iter().filter(|e| e.frame == f).map(|e| e.size as u64).sum()
+            all.iter()
+                .filter(|e| e.frame == f)
+                .map(|e| e.size as u64)
+                .sum()
         };
         let mut i_total = 0u64;
         let mut p_total = 0u64;
@@ -243,8 +241,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = drain(&mut WebcamStream::rtsp(SimDuration::from_secs(5), SimRng::new(9)));
-        let b = drain(&mut WebcamStream::rtsp(SimDuration::from_secs(5), SimRng::new(9)));
+        let a = drain(&mut WebcamStream::rtsp(
+            SimDuration::from_secs(5),
+            SimRng::new(9),
+        ));
+        let b = drain(&mut WebcamStream::rtsp(
+            SimDuration::from_secs(5),
+            SimRng::new(9),
+        ));
         assert_eq!(a, b);
     }
 

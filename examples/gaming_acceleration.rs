@@ -25,8 +25,10 @@ use tlc_workloads::traffic::Workload;
 fn run_with_qci(qci: Qci, seed: u64) -> (u64, u64) {
     let duration = SimDuration::from_secs(60);
     let radio = RadioTimeline::constant(duration, -85.0);
-    let mut cfg = DatapathConfig::default();
-    cfg.dl_capacity_bps = 50_000_000; // a loaded cell
+    let cfg = DatapathConfig {
+        dl_capacity_bps: 50_000_000, // a loaded cell
+        ..Default::default()
+    };
     let mut dp = Datapath::new(cfg, radio, SimRng::new(seed));
     let game_flow = FlowId(1);
     let bg_flow = FlowId(99);
@@ -53,16 +55,28 @@ fn run_with_qci(qci: Qci, seed: u64) -> (u64, u64) {
         }
         now = t;
         if let Some(e) = next_game.as_ref().filter(|e| e.at <= now).copied() {
-            let p = Packet::new(alloc.next_id(), game_flow, Direction::Downlink, e.size, qci, e.at);
+            let p = Packet::new(
+                alloc.next_id(),
+                game_flow,
+                Direction::Downlink,
+                e.size,
+                qci,
+                e.at,
+            );
             dp.send_downlink(e.at, p);
             next_game = game.next();
         }
         if next_bg_at <= now && next_bg_at < horizon {
             let p = Packet::new(
-                alloc.next_id(), bg_flow, Direction::Downlink, 1470, Qci::DEFAULT, next_bg_at,
+                alloc.next_id(),
+                bg_flow,
+                Direction::Downlink,
+                1470,
+                Qci::DEFAULT,
+                next_bg_at,
             );
             dp.send_downlink(next_bg_at, p);
-            next_bg_at = next_bg_at + bg_interval;
+            next_bg_at += bg_interval;
         }
         dp.poll(now);
     }
@@ -86,8 +100,8 @@ fn main() {
 
     // Full pipeline at QCI=7 under the paper's congestion sweep point.
     println!("\ncharging outcome with acceleration (QCI=7), 160 Mbps background:");
-    let cfg = ScenarioConfig::new(AppKind::Gaming, 78, SimDuration::from_secs(90))
-        .with_background(160.0);
+    let cfg =
+        ScenarioConfig::new(AppKind::Gaming, 78, SimDuration::from_secs(90)).with_background(160.0);
     let r = run_scenario(&cfg);
     let cmp = evaluate(&r, &DataPlan::paper_default(), cfg.seed).expect("pricing");
     println!("  intended charge x̂: {} bytes", cmp.intended);

@@ -73,7 +73,10 @@ fn main() {
         RunScale::Quick => 5,
         RunScale::Full => 50,
     };
-    fig17::print(&fig17::run(reps));
+    match fig17::run(reps) {
+        Ok(r) => fig17::print(&r),
+        Err(e) => eprintln!("fig17 skipped: negotiation failed: {e}"),
+    }
 
     println!("\n--- Fig. 18 ---");
     let mut f18 = fig18::run(scale);

@@ -38,7 +38,10 @@ fn main() {
     let records = cycle_records(&result);
     println!("\nground truth for the cycle:");
     println!("  server sent (x̂_e):      {:>12} bytes", records.truth.edge);
-    println!("  device received (x̂_o):  {:>12} bytes", records.truth.operator);
+    println!(
+        "  device received (x̂_o):  {:>12} bytes",
+        records.truth.operator
+    );
     println!(
         "  lost in the network:    {:>12} bytes",
         records.truth.edge - records.truth.operator

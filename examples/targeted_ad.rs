@@ -39,9 +39,18 @@ fn main() {
     let intended = intended_charge(records.truth, plan.loss_weight);
 
     println!("\ncycle ground truth:");
-    println!("  camera sent    {:>9.2} MB", bytes_to_mb(records.truth.edge));
-    println!("  server got     {:>9.2} MB", bytes_to_mb(records.truth.operator));
-    println!("  intended bill  {:>9.2} MB (c = 0.5)", bytes_to_mb(intended));
+    println!(
+        "  camera sent    {:>9.2} MB",
+        bytes_to_mb(records.truth.edge)
+    );
+    println!(
+        "  server got     {:>9.2} MB",
+        bytes_to_mb(records.truth.operator)
+    );
+    println!(
+        "  intended bill  {:>9.2} MB (c = 0.5)",
+        bytes_to_mb(intended)
+    );
 
     // ── Legacy 4G/5G: whatever the operator says, goes ─────────────────
     println!("\nlegacy 4G/5G bills (no recourse for the advertiser):");

@@ -3,7 +3,7 @@
 //! The paper sizes verification throughput at 230K PoCs/hour on one HP
 //! Z840. This example builds a batch of proofs from many edge-operator
 //! pairs, then runs a multi-threaded verification service (scoped threads
-//! + a crossbeam channel, one `Verifier` per relationship), measuring
+//! and a crossbeam channel, one `Verifier` per relationship), measuring
 //! throughput and demonstrating the rejection paths: replays, forgeries,
 //! plan mismatches, and charge tampering.
 //!
@@ -38,7 +38,11 @@ fn build_relationship(id: u64, cycles: usize) -> Relationship {
         let mut e = Endpoint::new(
             Role::Edge,
             plan,
-            Knowledge { role: Role::Edge, own_truth: sent, inferred_peer_truth: recv },
+            Knowledge {
+                role: Role::Edge,
+                own_truth: sent,
+                inferred_peer_truth: recv,
+            },
             Box::new(OptimalStrategy),
             edge.private.clone(),
             op.public.clone(),
@@ -48,7 +52,11 @@ fn build_relationship(id: u64, cycles: usize) -> Relationship {
         let mut o = Endpoint::new(
             Role::Operator,
             plan,
-            Knowledge { role: Role::Operator, own_truth: recv, inferred_peer_truth: sent },
+            Knowledge {
+                role: Role::Operator,
+                own_truth: recv,
+                inferred_peer_truth: sent,
+            },
             Box::new(OptimalStrategy),
             op.private.clone(),
             edge.public.clone(),
@@ -76,7 +84,10 @@ fn main() {
     let plan = DataPlan::paper_default();
     let relationships = 4usize;
     let cycles = 25;
-    println!("building {} edge↔operator relationships × {} cycles…", relationships, cycles);
+    println!(
+        "building {} edge↔operator relationships × {} cycles…",
+        relationships, cycles
+    );
     let rels: Vec<Relationship> = (0..relationships)
         .map(|id| build_relationship(id as u64, cycles))
         .collect();
@@ -101,7 +112,9 @@ fn main() {
     }
     drop(tx);
 
-    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     println!("verifying {} proofs on {} worker threads…", total, workers);
     let t0 = Instant::now();
     let (accepted, replayed) = std::thread::scope(|s| {
@@ -146,7 +159,10 @@ fn main() {
     // Tampered charge: the signature chain breaks.
     let mut tampered = victim.proofs[1].clone();
     tampered.charge *= 2;
-    println!("  tampered charge      -> {:?}", v.verify(&tampered).unwrap_err());
+    println!(
+        "  tampered charge      -> {:?}",
+        v.verify(&tampered).unwrap_err()
+    );
 
     // Plan mismatch: a proof presented against the wrong agreement.
     let other_plan = DataPlan {
@@ -162,5 +178,8 @@ fn main() {
 
     // Forgery: a proof from a different key pair presented as this pair's.
     let stranger = &rels[1].proofs[0];
-    println!("  forged identity      -> {:?}", v.verify(stranger).unwrap_err());
+    println!(
+        "  forged identity      -> {:?}",
+        v.verify(stranger).unwrap_err()
+    );
 }

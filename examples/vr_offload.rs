@@ -24,7 +24,10 @@ fn main() {
     let plan = DataPlan::paper_default();
     let cycle = SimDuration::from_secs(90);
 
-    println!("VR offload ({}), sweeping cell congestion:\n", AppKind::Vr.name());
+    println!(
+        "VR offload ({}), sweeping cell congestion:\n",
+        AppKind::Vr.name()
+    );
     println!(
         "{:>8} {:>12} {:>14} {:>14} {:>12}",
         "bg Mbps", "loss MB/hr", "legacy Δ MB/hr", "TLC Δ MB/hr", "reduction"
@@ -71,6 +74,9 @@ fn main() {
     while replay.next().is_some() {
         n += 1;
     }
-    println!("  replayed {} packets at 0.5x speed ({:.2} Mbps effective)", n,
-        trace.mean_rate_mbps() / 2.0);
+    println!(
+        "  replayed {} packets at 0.5x speed ({:.2} Mbps effective)",
+        n,
+        trace.mean_rate_mbps() / 2.0
+    );
 }

@@ -17,7 +17,11 @@ fn make_proof(sent: u64, received: u64) -> (PocMsg, KeyPair, KeyPair, DataPlan) 
     let mut e = Endpoint::new(
         Role::Edge,
         plan,
-        Knowledge { role: Role::Edge, own_truth: sent, inferred_peer_truth: received },
+        Knowledge {
+            role: Role::Edge,
+            own_truth: sent,
+            inferred_peer_truth: received,
+        },
         Box::new(OptimalStrategy),
         ek.private.clone(),
         ok.public.clone(),
@@ -27,7 +31,11 @@ fn make_proof(sent: u64, received: u64) -> (PocMsg, KeyPair, KeyPair, DataPlan) 
     let mut o = Endpoint::new(
         Role::Operator,
         plan,
-        Knowledge { role: Role::Operator, own_truth: received, inferred_peer_truth: sent },
+        Knowledge {
+            role: Role::Operator,
+            own_truth: received,
+            inferred_peer_truth: sent,
+        },
         Box::new(OptimalStrategy),
         ok.private.clone(),
         ek.public.clone(),

@@ -57,13 +57,20 @@ fn full_pipeline_vr_congested() {
     // Theorem 2 end-to-end (with the 0.3% claim-shade margin).
     let lo = (records.truth.operator as f64 * 0.99) as u64;
     let hi = (records.truth.edge as f64 * 1.01) as u64;
-    assert!((lo..=hi).contains(&poc.charge), "charge {} not in [{lo},{hi}]", poc.charge);
+    assert!(
+        (lo..=hi).contains(&poc.charge),
+        "charge {} not in [{lo},{hi}]",
+        poc.charge
+    );
 
     // TLC's gap beats legacy's by a wide margin on this congested cycle.
     let intended = tlc_core::plan::intended_charge(records.truth, plan.loss_weight);
     let tlc_gap = poc.charge.abs_diff(intended);
     let legacy_gap = records.legacy_metered.abs_diff(intended);
-    assert!(tlc_gap * 5 < legacy_gap, "tlc {tlc_gap} vs legacy {legacy_gap}");
+    assert!(
+        tlc_gap * 5 < legacy_gap,
+        "tlc {tlc_gap} vs legacy {legacy_gap}"
+    );
 }
 
 /// The PoC wire form survives a round trip and still verifies — what a
@@ -77,12 +84,24 @@ fn poc_survives_serialization_to_verifier() {
     let edge_keys = KeyPair::generate_for_seed(1024, 53).unwrap();
     let op_keys = KeyPair::generate_for_seed(1024, 54).unwrap();
     let mut edge = Endpoint::new(
-        Role::Edge, plan, records.edge, Box::new(OptimalStrategy),
-        edge_keys.private.clone(), op_keys.public.clone(), [3; NONCE_LEN], 32,
+        Role::Edge,
+        plan,
+        records.edge,
+        Box::new(OptimalStrategy),
+        edge_keys.private.clone(),
+        op_keys.public.clone(),
+        [3; NONCE_LEN],
+        32,
     );
     let mut op = Endpoint::new(
-        Role::Operator, plan, records.operator, Box::new(OptimalStrategy),
-        op_keys.private.clone(), edge_keys.public.clone(), [4; NONCE_LEN], 32,
+        Role::Operator,
+        plan,
+        records.operator,
+        Box::new(OptimalStrategy),
+        op_keys.private.clone(),
+        edge_keys.public.clone(),
+        [4; NONCE_LEN],
+        32,
     );
     let (poc, _) = run_negotiation(&mut edge, &mut op).expect("negotiation");
 
@@ -90,7 +109,9 @@ fn poc_survives_serialization_to_verifier() {
     let received = tlc_core::messages::PocMsg::decode(&wire).expect("decode");
     assert_eq!(received, poc);
     let mut verifier = Verifier::new(plan, edge_keys.public.clone(), op_keys.public.clone());
-    verifier.verify(&received).expect("verifies after transport");
+    verifier
+        .verify(&received)
+        .expect("verifies after transport");
 }
 
 /// Simulations are bit-for-bit deterministic per seed across the whole
@@ -125,7 +146,10 @@ fn multi_operator_edge_runs_independent_tlc_instances() {
         let c = evaluate(&r, &plan, seed).unwrap();
         let lo = (records.truth.operator as f64 * 0.99) as u64;
         let hi = (records.truth.edge as f64 * 1.01) as u64;
-        assert!((lo..=hi).contains(&c.tlc_optimal.charge), "operator {op_id}");
+        assert!(
+            (lo..=hi).contains(&c.tlc_optimal.charge),
+            "operator {op_id}"
+        );
         charges.push(c.tlc_optimal.charge);
     }
     assert_ne!(charges[0], charges[1], "independent per-operator charging");

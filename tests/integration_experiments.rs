@@ -66,7 +66,10 @@ fn fig12_cdfs_are_complete_distributions() {
             continue;
         }
         let pts = c.cdf.points();
-        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-9, "CDF must end at 1");
+        assert!(
+            (pts.last().unwrap().1 - 1.0).abs() < 1e-9,
+            "CDF must end at 1"
+        );
         for w in pts.windows(2) {
             assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1, "CDF must be monotone");
         }
@@ -90,11 +93,15 @@ fn fig03_and_fig13_congestion_monotonicity() {
     // Legacy ratio for VR grows with congestion; TLC-optimal stays small.
     let legacy_hi = f13
         .iter()
-        .find(|r| r.app == "VRidge (GVSP)" && r.scheme == "Legacy 4G/5G" && r.background_mbps == 160.0)
+        .find(|r| {
+            r.app == "VRidge (GVSP)" && r.scheme == "Legacy 4G/5G" && r.background_mbps == 160.0
+        })
         .unwrap();
     let tlc_hi = f13
         .iter()
-        .find(|r| r.app == "VRidge (GVSP)" && r.scheme == "TLC-optimal" && r.background_mbps == 160.0)
+        .find(|r| {
+            r.app == "VRidge (GVSP)" && r.scheme == "TLC-optimal" && r.background_mbps == 160.0
+        })
         .unwrap();
     assert!(legacy_hi.gap_ratio > 0.2);
     assert!(tlc_hi.gap_ratio < 0.02);
@@ -126,21 +133,40 @@ fn fig15_reduction_falls_with_c() {
 fn fig16_latency_claims() {
     let rtt = fig16::run_rtt(RunScale::Quick);
     for r in &rtt {
-        assert!((r.rtt_with_ms - r.rtt_without_ms).abs() < 3.0, "{}", r.device);
+        assert!(
+            (r.rtt_with_ms - r.rtt_without_ms).abs() < 3.0,
+            "{}",
+            r.device
+        );
         // In-simulation RTTs in the paper's tens-of-ms range.
-        assert!((15.0..90.0).contains(&r.rtt_without_ms), "{}: {}", r.device, r.rtt_without_ms);
+        assert!(
+            (15.0..90.0).contains(&r.rtt_without_ms),
+            "{}: {}",
+            r.device,
+            r.rtt_without_ms
+        );
     }
     let samples = quick_samples();
     let rounds = fig16::rounds_from_samples(&samples);
     for r in &rounds {
-        assert!(r.optimal_rounds < 1.5, "{}: optimal rounds {}", r.app, r.optimal_rounds);
-        assert!(r.random_rounds > 1.0, "{}: random rounds {}", r.app, r.random_rounds);
+        assert!(
+            r.optimal_rounds < 1.5,
+            "{}: optimal rounds {}",
+            r.app,
+            r.optimal_rounds
+        );
+        assert!(
+            r.random_rounds > 1.0,
+            "{}: random rounds {}",
+            r.app,
+            r.random_rounds
+        );
     }
 }
 
 #[test]
 fn fig17_cost_report() {
-    let r = fig17::run(3);
+    let r = fig17::run(3).expect("optimal pair converges");
     // The paper's 230K/hr on 2015 Java hardware; our Rust RSA should
     // comfortably exceed it.
     assert!(r.verifications_per_hour > 230_000.0);
@@ -152,9 +178,17 @@ fn fig17_cost_report() {
 fn fig18_record_errors_in_paper_range() {
     let mut curves = fig18::run(RunScale::Quick);
     // Paper: γ_o mean 2.0%, 95th ≤ 7.7%; γ_e mean 1.2%, 95th ≤ 2.9%.
-    assert!(curves.gamma_o.mean() < 4.0, "γ_o mean {}", curves.gamma_o.mean());
+    assert!(
+        curves.gamma_o.mean() < 4.0,
+        "γ_o mean {}",
+        curves.gamma_o.mean()
+    );
     assert!(curves.gamma_o.quantile(0.95) < 8.0);
-    assert!(curves.gamma_e.mean() < 2.5, "γ_e mean {}", curves.gamma_e.mean());
+    assert!(
+        curves.gamma_e.mean() < 2.5,
+        "γ_e mean {}",
+        curves.gamma_e.mean()
+    );
 }
 
 #[test]

@@ -13,8 +13,16 @@ use tlc_net::rng::SimRng;
 
 fn knowledge(role: Role, sent: u64, received: u64) -> Knowledge {
     match role {
-        Role::Edge => Knowledge { role, own_truth: sent, inferred_peer_truth: received },
-        Role::Operator => Knowledge { role, own_truth: received, inferred_peer_truth: sent },
+        Role::Edge => Knowledge {
+            role,
+            own_truth: sent,
+            inferred_peer_truth: received,
+        },
+        Role::Operator => Knowledge {
+            role,
+            own_truth: received,
+            inferred_peer_truth: sent,
+        },
     }
 }
 
@@ -33,12 +41,24 @@ fn endpoints(
     let ok = KeyPair::generate_for_seed(1024, 62).unwrap();
     (
         Endpoint::new(
-            Role::Edge, plan, knowledge(Role::Edge, sent, received), edge_strategy,
-            ek.private.clone(), ok.public.clone(), [0xE; NONCE_LEN], 48,
+            Role::Edge,
+            plan,
+            knowledge(Role::Edge, sent, received),
+            edge_strategy,
+            ek.private.clone(),
+            ok.public.clone(),
+            [0xE; NONCE_LEN],
+            48,
         ),
         Endpoint::new(
-            Role::Operator, plan, knowledge(Role::Operator, sent, received), op_strategy,
-            ok.private.clone(), ek.public.clone(), [0xF; NONCE_LEN], 48,
+            Role::Operator,
+            plan,
+            knowledge(Role::Operator, sent, received),
+            op_strategy,
+            ok.private.clone(),
+            ek.public.clone(),
+            [0xF; NONCE_LEN],
+            48,
         ),
     )
 }
@@ -63,10 +83,18 @@ fn wire_matches_abstract_for_deterministic_strategies() {
         for honest_edge in [false, true] {
             for honest_op in [false, true] {
                 let mk_e = || -> Box<dyn Strategy> {
-                    if honest_edge { Box::new(HonestStrategy) } else { Box::new(OptimalStrategy) }
+                    if honest_edge {
+                        Box::new(HonestStrategy)
+                    } else {
+                        Box::new(OptimalStrategy)
+                    }
                 };
                 let mk_o = || -> Box<dyn Strategy> {
-                    if honest_op { Box::new(HonestStrategy) } else { Box::new(OptimalStrategy) }
+                    if honest_op {
+                        Box::new(HonestStrategy)
+                    } else {
+                        Box::new(OptimalStrategy)
+                    }
                 };
                 let abstract_out = negotiate(
                     &plan,
@@ -143,8 +171,8 @@ fn random_selfish_wire_negotiations_converge_bounded() {
             1_500_000,
             0.5,
         );
-        let (poc, msgs) = run_negotiation(&mut o, &mut e)
-            .unwrap_or_else(|err| panic!("seed {seed}: {err}"));
+        let (poc, msgs) =
+            run_negotiation(&mut o, &mut e).unwrap_or_else(|err| panic!("seed {seed}: {err}"));
         assert!(
             (1_500_000..=2_000_000).contains(&poc.charge),
             "seed {seed}: charge {}",
@@ -162,12 +190,24 @@ fn zero_usage_cycle_yields_zero_charge_proof() {
     let ek = KeyPair::generate_for_seed(1024, 63).unwrap();
     let ok = KeyPair::generate_for_seed(1024, 64).unwrap();
     let mut e = Endpoint::new(
-        Role::Edge, plan, knowledge(Role::Edge, 0, 0), Box::new(OptimalStrategy),
-        ek.private.clone(), ok.public.clone(), [1; NONCE_LEN], 16,
+        Role::Edge,
+        plan,
+        knowledge(Role::Edge, 0, 0),
+        Box::new(OptimalStrategy),
+        ek.private.clone(),
+        ok.public.clone(),
+        [1; NONCE_LEN],
+        16,
     );
     let mut o = Endpoint::new(
-        Role::Operator, plan, knowledge(Role::Operator, 0, 0), Box::new(OptimalStrategy),
-        ok.private.clone(), ek.public.clone(), [2; NONCE_LEN], 16,
+        Role::Operator,
+        plan,
+        knowledge(Role::Operator, 0, 0),
+        Box::new(OptimalStrategy),
+        ok.private.clone(),
+        ek.public.clone(),
+        [2; NONCE_LEN],
+        16,
     );
     let (poc, _) = run_negotiation(&mut o, &mut e).unwrap();
     assert_eq!(poc.charge, 0);

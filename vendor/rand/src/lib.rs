@@ -1,0 +1,4 @@
+//! Placeholder for the declared-but-unused `rand` dependency. The
+//! workspace's deterministic randomness comes from `tlc_net::rng::SimRng`
+//! (xoshiro256++); nothing in the tree imports `rand` items. This empty
+//! crate satisfies the manifest offline.

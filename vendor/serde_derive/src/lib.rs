@@ -1,0 +1,420 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored serde
+//! stub. No `syn`/`quote` (unavailable offline): the item is parsed
+//! directly from the `proc_macro::TokenStream` and the impl is emitted as
+//! a string. Supports exactly what this workspace uses — non-generic
+//! structs (named / tuple / unit) and enums (unit, tuple, and struct
+//! variants). Generic items and `#[serde(...)]` attributes are rejected
+//! loudly rather than silently miscompiled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
+
+// ── parsing ─────────────────────────────────────────────────────────────
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes and visibility until the `struct` / `enum`
+    // keyword.
+    let is_struct = loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break true,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break false,
+            Some(_) => i += 1,
+            None => panic!("serde_derive: expected struct or enum"),
+        }
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic item `{name}` is not supported");
+        }
+    }
+    let kind = if is_struct {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            _ => Kind::Struct(Fields::Unit),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body for `{name}`, found {other:?}"),
+        }
+    };
+    Item { name, kind }
+}
+
+/// Skip `#[...]` attributes and `pub` / `pub(...)` visibility starting at
+/// `*i`; returns with `*i` on the first token of the item proper.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skip tokens of a type expression until a `,` at angle-bracket depth 0
+/// (or end of stream). `*i` lands just past the comma.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after `{name}`, found {other}"),
+        }
+        skip_type(&toks, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ── codegen ─────────────────────────────────────────────────────────────
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = Vec::new();
+            for (v, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), {inner})]),",
+                            binds = binds.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Map(::std::vec![{}]))]),",
+                            items.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Struct(Fields::Unit) => {
+            format!("{{ let _ = __v; ::std::result::Result::Ok({name}) }}")
+        }
+        Kind::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(__items.get({i}).ok_or_else(|| \
+                         ::serde::DeError::custom(\"tuple struct too short\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Seq(__items) => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"expected sequence for {name}, found {{:?}}\", __other))),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(::serde::field(__v, \"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, f)| matches!(f, Fields::Unit))
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, fields)| match fields {
+                    Fields::Unit => None,
+                    Fields::Tuple(1) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(__items.get({i})\
+                                     .ok_or_else(|| ::serde::DeError::custom(\
+                                     \"variant tuple too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => match __inner {{\n\
+                             ::serde::Value::Seq(__items) => \
+                             ::std::result::Result::Ok({name}::{v}({})),\n\
+                             __other => ::std::result::Result::Err(\
+                             ::serde::DeError::custom(::std::format!(\
+                             \"expected sequence for variant {v}, found {{:?}}\", __other))),\n\
+                             }},",
+                            items.join(", ")
+                        ))
+                    }
+                    Fields::Named(fs) => {
+                        let items: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::field(__inner, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v} {{ {} }}),",
+                            items.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            let map_arm = if data_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                     let (__k, __inner) = &__m[0];\n\
+                     match __k.as_str() {{\n\
+                     {datas}\n\
+                     __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                     ::std::format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                     }}\n\
+                     }},\n",
+                    datas = data_arms.join("\n"),
+                )
+            };
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {units}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown {name} variant `{{}}`\", __other))),\n\
+                 }},\n\
+                 {map_arm}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"expected {name} variant, found {{:?}}\", __other))),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
