@@ -1,14 +1,14 @@
 //! Verifier scalability (the paper's "230K PoCs/hour on one Z840"):
-//! single-thread verification cost and multi-threaded throughput via a
-//! crossbeam work queue.
+//! single-thread verification cost and multi-worker throughput via the
+//! sharded [`tlc_core::verify::service::VerifierService`].
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use crossbeam::channel;
 use std::hint::black_box;
 use tlc_core::messages::{Nonce, PocMsg, NONCE_LEN};
 use tlc_core::plan::DataPlan;
 use tlc_core::protocol::{run_negotiation, Endpoint};
 use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
+use tlc_core::verify::service::VerifierService;
 use tlc_core::verify::verify_poc;
 use tlc_crypto::KeyPair;
 
@@ -58,6 +58,17 @@ fn bench(c: &mut Criterion) {
     let ok = KeyPair::generate_for_seed(1024, 202).unwrap();
     let proofs = make_proofs(64, &ek, &ok, &plan);
 
+    // Four independent relationships × 16 proofs for the sharded service:
+    // with 4 workers every shard owns one relationship.
+    let rels: Vec<(KeyPair, KeyPair, Vec<PocMsg>)> = (0..4u64)
+        .map(|i| {
+            let e = KeyPair::generate_for_seed(1024, 300 + i * 2).unwrap();
+            let o = KeyPair::generate_for_seed(1024, 301 + i * 2).unwrap();
+            let proofs = make_proofs(16, &e, &o, &plan);
+            (e, o, proofs)
+        })
+        .collect();
+
     let mut g = c.benchmark_group("verifier");
     g.throughput(Throughput::Elements(proofs.len() as u64));
     g.sample_size(10);
@@ -68,25 +79,20 @@ fn bench(c: &mut Criterion) {
             }
         })
     });
-    for workers in [2usize, 4] {
-        g.bench_function(format!("{workers}_threads_batch64"), |b| {
+    // Full service lifecycle per iteration (spawn, register, batch-submit,
+    // drain, join) over 4 relationships — the shard workers verify in
+    // parallel, replay caches stay shard-local.
+    for workers in [1usize, 2, 4] {
+        g.bench_function(format!("service_{workers}_workers_batch64"), |b| {
             b.iter(|| {
-                let (tx, rx) = channel::unbounded::<&PocMsg>();
-                for p in &proofs {
-                    tx.send(p).unwrap();
+                let mut svc = VerifierService::new(workers);
+                for (e, o, proofs) in &rels {
+                    let rel = svc.register(plan, e.public.clone(), o.public.clone());
+                    svc.submit_batch(rel, proofs.iter().cloned());
                 }
-                drop(tx);
-                std::thread::scope(|s| {
-                    for _ in 0..workers {
-                        let rx = rx.clone();
-                        let (ek, ok, plan) = (&ek, &ok, &plan);
-                        s.spawn(move || {
-                            while let Ok(p) = rx.recv() {
-                                verify_poc(p, plan, &ek.public, &ok.public).unwrap();
-                            }
-                        });
-                    }
-                });
+                let results = svc.collect_results();
+                assert!(results.iter().all(|r| r.result.is_ok()));
+                black_box(svc.finish());
             })
         });
     }

@@ -164,7 +164,32 @@ pub struct Endpoint {
     /// re-delivery (retransmission on a lossy control channel) re-emits
     /// the cached reply instead of erroring — without advancing state or
     /// overhead counters, so retries are free on the protocol ledger.
-    last_rx: Option<(Message, Option<Message>)>,
+    last_rx: LastRx,
+}
+
+/// Retransmission cache for [`Endpoint::handle`].
+///
+/// The proof-bearing paths are stored *symbolically* against
+/// [`Endpoint::completed`] rather than as owned copies, so accepting a
+/// CDA or consuming a PoC never clones the (large, signature-laden)
+/// proof a second time just to arm the duplicate-delivery cache. The
+/// owned clones are re-derived only on an actual retransmission, which
+/// is the rare path.
+// One cache lives inline per endpoint (as the old tuple field did);
+// boxing the `Msg` variant would put a heap hop on every non-completion
+// `handle` call to save bytes that were always resident anyway.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+enum LastRx {
+    /// Nothing consumed yet.
+    None,
+    /// Ordinary cached `(message, reply)` pair.
+    Msg(Message, Option<Message>),
+    /// Last consumed message was the CDA now embedded in `completed`;
+    /// the reply owed on retransmission is the stored PoC itself.
+    AcceptedCda,
+    /// Last consumed message was the stored PoC; no reply owed.
+    ConsumedPoc,
 }
 
 impl Endpoint {
@@ -198,7 +223,7 @@ impl Endpoint {
             last_peer_claim: None,
             completed: None,
             stats: EndpointStats::default(),
-            last_rx: None,
+            last_rx: LastRx::None,
         }
     }
 
@@ -266,17 +291,37 @@ impl Endpoint {
         // Idempotent duplicate consumption: an exact re-delivery of the
         // last message (a retransmission) re-emits the previous reply
         // without re-running the state machine.
-        if let Some((seen, reply)) = &self.last_rx {
-            if seen == msg {
-                return Ok(reply.clone());
+        match &self.last_rx {
+            LastRx::Msg(seen, reply) if seen == msg => return Ok(reply.clone()),
+            LastRx::AcceptedCda => {
+                if let (Message::Cda(cda), Some(poc)) = (msg, &self.completed) {
+                    if poc.cda == *cda {
+                        return Ok(Some(Message::Poc(poc.clone())));
+                    }
+                }
             }
+            LastRx::ConsumedPoc => {
+                if let (Message::Poc(rx), Some(poc)) = (msg, &self.completed) {
+                    if rx == poc {
+                        return Ok(None);
+                    }
+                }
+            }
+            _ => {}
         }
         let reply = match msg {
             Message::Cdr(cdr) => self.on_cdr(cdr),
             Message::Cda(cda) => self.on_cda(cda),
             Message::Poc(poc) => self.on_poc(poc),
         }?;
-        self.last_rx = Some((msg.clone(), reply.clone()));
+        self.last_rx = match (msg, &reply) {
+            // The completion paths just stored the proof in `completed`;
+            // arm the cache by reference instead of cloning the PoC (and
+            // its three signatures) all over again.
+            (Message::Cda(_), Some(Message::Poc(_))) => LastRx::AcceptedCda,
+            (Message::Poc(_), None) => LastRx::ConsumedPoc,
+            _ => LastRx::Msg(msg.clone(), reply.clone()),
+        };
         Ok(reply)
     }
 
@@ -567,7 +612,7 @@ pub struct EndpointSnapshot {
     last_peer_claim: Option<u64>,
     completed: Option<PocMsg>,
     stats: EndpointStats,
-    last_rx: Option<(Message, Option<Message>)>,
+    last_rx: LastRx,
 }
 
 /// Runs a full negotiation between two endpoints in memory, shuttling

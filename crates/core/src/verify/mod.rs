@@ -16,6 +16,8 @@ use std::collections::{HashSet, VecDeque};
 use tlc_crypto::rng::RngSource;
 use tlc_crypto::{seal, PrivateKey, PublicKey};
 
+pub mod service;
+
 /// Why a PoC failed verification.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VerifyError {

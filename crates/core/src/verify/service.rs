@@ -1,0 +1,517 @@
+//! A sharded, multi-threaded PoC verification service (§5.3.4).
+//!
+//! The paper sizes public verification at 230K PoCs/hour on a single
+//! workstation; a deployment (FCC, court, MVNO) verifies proofs for many
+//! edge↔operator relationships at once. This module promotes the ad-hoc
+//! threading of `examples/verifier_service.rs` into a first-class
+//! subsystem:
+//!
+//! * **N worker threads** over crossbeam channels, one submission queue
+//!   per worker;
+//! * **relationship-sharded state** — every relationship is pinned to
+//!   exactly one shard, so each [`Verifier`] (and in particular its
+//!   replay cache) is owned by a single thread and never shared or
+//!   locked. Replay detection stays exact because a given relationship's
+//!   proofs all land on the same shard;
+//! * **batch submission** with tagged results and per-shard statistics.
+//!
+//! Registering the same `(plan, edge key, operator key)` relationship
+//! twice yields the same [`RelationshipId`] — the registry deduplicates,
+//! which is what makes shard-local replay caches sound (two handles to
+//! one relationship cannot end up on different shards with independent
+//! caches).
+
+use super::{Verdict, Verifier, VerifyError, DEFAULT_REPLAY_CAPACITY};
+use crate::messages::PocMsg;
+use crate::plan::DataPlan;
+use crossbeam::channel::{self, Receiver, Sender};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tlc_crypto::encoding::key_fingerprint;
+use tlc_crypto::PublicKey;
+
+/// Opaque handle to a registered relationship. Issued by
+/// [`VerifierService::register`]; also determines the shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationshipId(u64);
+
+impl RelationshipId {
+    /// The shard a relationship is pinned to, given the worker count.
+    fn shard(self, workers: usize) -> usize {
+        (self.0 % workers as u64) as usize
+    }
+}
+
+/// Work items sent to a shard worker.
+#[derive(Debug)]
+enum Job {
+    Register {
+        rel: RelationshipId,
+        plan: DataPlan,
+        edge_key: PublicKey,
+        operator_key: PublicKey,
+        capacity: usize,
+    },
+    Verify {
+        rel: RelationshipId,
+        tag: u64,
+        poc: PocMsg,
+    },
+}
+
+/// Outcome of one submitted proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmissionResult {
+    /// The relationship the proof was submitted under.
+    pub relationship: RelationshipId,
+    /// The tag returned by [`VerifierService::submit`] for correlation.
+    pub tag: u64,
+    /// The shard that processed the proof.
+    pub shard: usize,
+    /// Verdict or rejection.
+    pub result: Result<Verdict, VerifyError>,
+}
+
+/// Counters for one shard, reported at shutdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index (same as the worker thread index).
+    pub shard: usize,
+    /// Relationships registered on this shard.
+    pub relationships: usize,
+    /// Proofs accepted.
+    pub accepted: u64,
+    /// Proofs rejected for any reason (includes replays).
+    pub rejected: u64,
+    /// Rejections that were replays specifically.
+    pub replayed: u64,
+}
+
+/// Aggregate report returned by [`VerifierService::finish`].
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardStats>,
+    /// Total proofs accepted across shards.
+    pub accepted: u64,
+    /// Total proofs rejected across shards (includes replays).
+    pub rejected: u64,
+    /// Total replays rejected across shards.
+    pub replayed: u64,
+    /// Wall-clock time from the first submission to shutdown.
+    pub elapsed: Duration,
+    /// Throughput over `elapsed`, comparable to the paper's 230K/hour.
+    pub pocs_per_hour: f64,
+}
+
+/// A pool of shard workers verifying PoCs in parallel.
+///
+/// ```no_run
+/// # use tlc_core::verify::service::VerifierService;
+/// # use tlc_core::plan::DataPlan;
+/// # let (edge_key, operator_key, poc): (tlc_crypto::PublicKey, tlc_crypto::PublicKey, tlc_core::messages::PocMsg) = unimplemented!();
+/// let mut svc = VerifierService::new(4);
+/// let rel = svc.register(DataPlan::paper_default(), edge_key, operator_key);
+/// svc.submit(rel, poc);
+/// let results = svc.collect_results();
+/// let report = svc.finish();
+/// ```
+pub struct VerifierService {
+    workers: usize,
+    job_txs: Vec<Sender<Job>>,
+    result_rx: Receiver<SubmissionResult>,
+    stats_rx: Receiver<ShardStats>,
+    handles: Vec<JoinHandle<()>>,
+    /// Dedup registry: key fingerprints -> candidate (plan, id) pairs.
+    registry: HashMap<(u64, u64), Vec<(DataPlan, RelationshipId)>>,
+    next_rel: u64,
+    next_tag: u64,
+    outstanding: usize,
+    first_submit: Option<Instant>,
+}
+
+impl VerifierService {
+    /// Spawns `workers` shard threads (at least one).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (result_tx, result_rx) = channel::unbounded::<SubmissionResult>();
+        let (stats_tx, stats_rx) = channel::unbounded::<ShardStats>();
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for shard in 0..workers {
+            let (tx, rx) = channel::unbounded::<Job>();
+            job_txs.push(tx);
+            let result_tx = result_tx.clone();
+            let stats_tx = stats_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                shard_worker(shard, rx, result_tx, stats_tx)
+            }));
+        }
+        VerifierService {
+            workers,
+            job_txs,
+            result_rx,
+            stats_rx,
+            handles,
+            registry: HashMap::new(),
+            next_rel: 0,
+            next_tag: 0,
+            outstanding: 0,
+            first_submit: None,
+        }
+    }
+
+    /// Worker threads backing the service.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Registers a relationship with the
+    /// [default replay window](DEFAULT_REPLAY_CAPACITY); returns its id.
+    ///
+    /// Idempotent: the same `(plan, edge key, operator key)` triple maps
+    /// to the same id (and therefore the same shard and replay cache).
+    pub fn register(
+        &mut self,
+        plan: DataPlan,
+        edge_key: PublicKey,
+        operator_key: PublicKey,
+    ) -> RelationshipId {
+        self.register_with_capacity(plan, edge_key, operator_key, DEFAULT_REPLAY_CAPACITY)
+    }
+
+    /// [`register`](Self::register) with an explicit replay-cache bound.
+    pub fn register_with_capacity(
+        &mut self,
+        plan: DataPlan,
+        edge_key: PublicKey,
+        operator_key: PublicKey,
+        capacity: usize,
+    ) -> RelationshipId {
+        let fp = (key_fingerprint(&edge_key), key_fingerprint(&operator_key));
+        let bucket = self.registry.entry(fp).or_default();
+        if let Some((_, rel)) = bucket.iter().find(|(p, _)| *p == plan) {
+            return *rel;
+        }
+        let rel = RelationshipId(self.next_rel);
+        self.next_rel += 1;
+        bucket.push((plan, rel));
+        self.job_txs[rel.shard(self.workers)]
+            .send(Job::Register {
+                rel,
+                plan,
+                edge_key,
+                operator_key,
+                capacity,
+            })
+            .expect("shard worker alive");
+        rel
+    }
+
+    /// Submits one proof for verification on its relationship's shard.
+    /// Returns a tag to correlate with the [`SubmissionResult`].
+    pub fn submit(&mut self, rel: RelationshipId, poc: PocMsg) -> u64 {
+        assert!(rel.0 < self.next_rel, "unregistered relationship id");
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.first_submit.get_or_insert_with(Instant::now);
+        self.outstanding += 1;
+        self.job_txs[rel.shard(self.workers)]
+            .send(Job::Verify { rel, tag, poc })
+            .expect("shard worker alive");
+        tag
+    }
+
+    /// Submits a batch under one relationship; returns the tag range as
+    /// `(first, count)`.
+    pub fn submit_batch(
+        &mut self,
+        rel: RelationshipId,
+        pocs: impl IntoIterator<Item = PocMsg>,
+    ) -> (u64, usize) {
+        let first = self.next_tag;
+        let mut count = 0usize;
+        for poc in pocs {
+            self.submit(rel, poc);
+            count += 1;
+        }
+        (first, count)
+    }
+
+    /// Blocks until every submitted proof has a result and returns them
+    /// (unordered across shards).
+    pub fn collect_results(&mut self) -> Vec<SubmissionResult> {
+        let mut out = Vec::with_capacity(self.outstanding);
+        while self.outstanding > 0 {
+            let r = self.result_rx.recv().expect("workers alive");
+            self.outstanding -= 1;
+            out.push(r);
+        }
+        out
+    }
+
+    /// Shuts the pool down: drains remaining work, joins the workers, and
+    /// aggregates per-shard statistics.
+    pub fn finish(mut self) -> ServiceReport {
+        let started = self.first_submit.take();
+        // Close the submission queues; workers drain and report stats.
+        self.job_txs.clear();
+        for h in self.handles.drain(..) {
+            h.join().expect("shard worker panicked");
+        }
+        let elapsed = started.map(|t| t.elapsed()).unwrap_or_default();
+        let mut shards: Vec<ShardStats> = Vec::with_capacity(self.workers);
+        while let Ok(s) = self.stats_rx.recv() {
+            shards.push(s);
+        }
+        shards.sort_by_key(|s| s.shard);
+        let accepted = shards.iter().map(|s| s.accepted).sum();
+        let rejected = shards.iter().map(|s| s.rejected).sum();
+        let replayed = shards.iter().map(|s| s.replayed).sum();
+        let processed = accepted + rejected;
+        let pocs_per_hour = if elapsed.as_secs_f64() > 0.0 {
+            processed as f64 / elapsed.as_secs_f64() * 3600.0
+        } else {
+            0.0
+        };
+        ServiceReport {
+            shards,
+            accepted,
+            rejected,
+            replayed,
+            elapsed,
+            pocs_per_hour,
+        }
+    }
+}
+
+/// One shard: owns the `Verifier` (and replay cache) of every
+/// relationship pinned to it; no locks, no sharing.
+fn shard_worker(
+    shard: usize,
+    jobs: Receiver<Job>,
+    results: Sender<SubmissionResult>,
+    stats: Sender<ShardStats>,
+) {
+    let mut verifiers: HashMap<RelationshipId, Verifier> = HashMap::new();
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut replayed = 0u64;
+    while let Ok(job) = jobs.recv() {
+        match job {
+            Job::Register {
+                rel,
+                plan,
+                edge_key,
+                operator_key,
+                capacity,
+            } => {
+                verifiers.entry(rel).or_insert_with(|| {
+                    Verifier::with_capacity(plan, edge_key, operator_key, capacity)
+                });
+            }
+            Job::Verify { rel, tag, poc } => {
+                let verifier = verifiers
+                    .get_mut(&rel)
+                    .expect("register precedes submit on the same queue");
+                let result = verifier.verify(&poc);
+                match &result {
+                    Ok(_) => accepted += 1,
+                    Err(VerifyError::Replayed) => {
+                        rejected += 1;
+                        replayed += 1;
+                    }
+                    Err(_) => rejected += 1,
+                }
+                // The receiver may have been dropped by an aborting
+                // caller; losing the result then is fine.
+                let _ = results.send(SubmissionResult {
+                    relationship: rel,
+                    tag,
+                    shard,
+                    result,
+                });
+            }
+        }
+    }
+    let _ = stats.send(ShardStats {
+        shard,
+        relationships: verifiers.len(),
+        accepted,
+        rejected,
+        replayed,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{run_negotiation, Endpoint};
+    use crate::strategy::{Knowledge, OptimalStrategy, Role};
+    use tlc_crypto::KeyPair;
+
+    fn negotiate(edge: &KeyPair, op: &KeyPair, plan: DataPlan, ne: u8, no: u8) -> PocMsg {
+        let mut e = Endpoint::new(
+            Role::Edge,
+            plan,
+            Knowledge {
+                role: Role::Edge,
+                own_truth: 1000,
+                inferred_peer_truth: 800,
+            },
+            Box::new(OptimalStrategy),
+            edge.private.clone(),
+            op.public.clone(),
+            [ne; 16],
+            32,
+        );
+        let mut o = Endpoint::new(
+            Role::Operator,
+            plan,
+            Knowledge {
+                role: Role::Operator,
+                own_truth: 800,
+                inferred_peer_truth: 1000,
+            },
+            Box::new(OptimalStrategy),
+            op.private.clone(),
+            edge.public.clone(),
+            [no; 16],
+            32,
+        );
+        run_negotiation(&mut o, &mut e).unwrap().0
+    }
+
+    #[test]
+    fn accepts_and_reports_across_shards() {
+        let plan = DataPlan::paper_default();
+        let mut svc = VerifierService::new(3);
+        let mut rels = Vec::new();
+        for i in 0..4u64 {
+            let edge = KeyPair::generate_for_seed(1024, 7000 + i * 2).unwrap();
+            let op = KeyPair::generate_for_seed(1024, 7001 + i * 2).unwrap();
+            let poc = negotiate(&edge, &op, plan, i as u8 * 2 + 1, i as u8 * 2 + 2);
+            let rel = svc.register(plan, edge.public.clone(), op.public.clone());
+            rels.push(rel);
+            svc.submit(rel, poc);
+        }
+        let results = svc.collect_results();
+        assert_eq!(results.len(), 4);
+        assert!(results.iter().all(|r| r.result.is_ok()));
+        // Each result was processed on its relationship's shard.
+        for r in &results {
+            assert_eq!(r.shard, r.relationship.shard(3));
+        }
+        let report = svc.finish();
+        assert_eq!(report.accepted, 4);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(
+            report.shards.iter().map(|s| s.relationships).sum::<usize>(),
+            4
+        );
+    }
+
+    #[test]
+    fn duplicate_registration_is_deduplicated() {
+        let plan = DataPlan::paper_default();
+        let edge = KeyPair::generate_for_seed(1024, 7100).unwrap();
+        let op = KeyPair::generate_for_seed(1024, 7101).unwrap();
+        let mut svc = VerifierService::new(4);
+        let a = svc.register(plan, edge.public.clone(), op.public.clone());
+        let b = svc.register(plan, edge.public.clone(), op.public.clone());
+        assert_eq!(a, b);
+        // A different plan is a different relationship.
+        let other = DataPlan {
+            loss_weight: crate::plan::LossWeight::from_f64(0.25),
+            ..plan
+        };
+        let c = svc.register(other, edge.public.clone(), op.public.clone());
+        assert_ne!(a, c);
+        svc.finish();
+    }
+
+    #[test]
+    fn shard_isolation_replay_caught_exactly_once() {
+        // The scenario the sharding must defend: one relationship,
+        // registered twice (e.g. by two independent submitters), its
+        // proof submitted once per handle. Dedup pins both handles to
+        // one shard-local cache, so exactly one submission is accepted
+        // and the other rejected as a replay — never two acceptances
+        // from two shards with independent caches.
+        let plan = DataPlan::paper_default();
+        let edge = KeyPair::generate_for_seed(1024, 7200).unwrap();
+        let op = KeyPair::generate_for_seed(1024, 7201).unwrap();
+        let poc = negotiate(&edge, &op, plan, 0x11, 0x22);
+        let mut svc = VerifierService::new(4);
+        let a = svc.register(plan, edge.public.clone(), op.public.clone());
+        let b = svc.register(plan, edge.public.clone(), op.public.clone());
+        svc.submit(a, poc.clone());
+        svc.submit(b, poc.clone());
+        let results = svc.collect_results();
+        let ok = results.iter().filter(|r| r.result.is_ok()).count();
+        let replays = results
+            .iter()
+            .filter(|r| r.result == Err(VerifyError::Replayed))
+            .count();
+        assert_eq!((ok, replays), (1, 1));
+        let report = svc.finish();
+        assert_eq!(report.accepted, 1);
+        assert_eq!(report.replayed, 1);
+        // All of it on a single shard.
+        let active: Vec<_> = report
+            .shards
+            .iter()
+            .filter(|s| s.accepted + s.rejected > 0)
+            .collect();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].replayed, 1);
+    }
+
+    #[test]
+    fn rejection_paths_flow_through_results() {
+        let plan = DataPlan::paper_default();
+        let edge = KeyPair::generate_for_seed(1024, 7300).unwrap();
+        let op = KeyPair::generate_for_seed(1024, 7301).unwrap();
+        let poc = negotiate(&edge, &op, plan, 0x31, 0x32);
+        let mut svc = VerifierService::new(2);
+        let rel = svc.register(plan, edge.public.clone(), op.public.clone());
+        // Distinct nonces so the replay cache does not trip first; the
+        // tampered (signed) charge then breaks the signature chain.
+        let mut tampered = negotiate(&edge, &op, plan, 0x33, 0x34);
+        tampered.charge += 1;
+        let t_ok = svc.submit(rel, poc);
+        let t_bad = svc.submit(rel, tampered);
+        let results = svc.collect_results();
+        let by_tag = |t: u64| results.iter().find(|r| r.tag == t).unwrap();
+        assert!(by_tag(t_ok).result.is_ok());
+        assert!(matches!(
+            by_tag(t_bad).result,
+            Err(VerifyError::Signature(_))
+        ));
+        let report = svc.finish();
+        assert_eq!(
+            (report.accepted, report.rejected, report.replayed),
+            (1, 1, 0)
+        );
+    }
+
+    #[test]
+    fn batch_submit_tags_are_contiguous() {
+        let plan = DataPlan::paper_default();
+        let edge = KeyPair::generate_for_seed(1024, 7400).unwrap();
+        let op = KeyPair::generate_for_seed(1024, 7401).unwrap();
+        let a = negotiate(&edge, &op, plan, 0x41, 0x42);
+        let b = negotiate(&edge, &op, plan, 0x43, 0x44);
+        let mut svc = VerifierService::new(1);
+        let rel = svc.register(plan, edge.public.clone(), op.public.clone());
+        let (first, count) = svc.submit_batch(rel, [a, b]);
+        assert_eq!((first, count), (0, 2));
+        let results = svc.collect_results();
+        let mut tags: Vec<u64> = results.iter().map(|r| r.tag).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, vec![0, 1]);
+        assert!(results.iter().all(|r| r.result.is_ok()));
+        svc.finish();
+    }
+}

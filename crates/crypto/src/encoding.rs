@@ -65,7 +65,7 @@ pub fn decode_public_key(data: &[u8]) -> Result<PublicKey, CryptoError> {
     if n.is_zero() || e.is_zero() {
         return Err(CryptoError::Encoding("zero modulus or exponent"));
     }
-    Ok(PublicKey { n, e })
+    Ok(PublicKey::new(n, e))
 }
 
 /// A stable short fingerprint of a public key (first 8 bytes of SHA-256 of

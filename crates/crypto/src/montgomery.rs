@@ -4,10 +4,37 @@
 //! is always odd, so Montgomery reduction (REDC) is the standard way to
 //! avoid a full division per multiplication. The context precomputes
 //! `n' = -n^{-1} mod 2^64` and `R^2 mod n` (with `R = 2^{64·k}` for a
-//! `k`-limb modulus) once per modulus.
+//! `k`-limb modulus) once per modulus — and is designed to be built once
+//! per *key* and reused across every exponentiation (see
+//! [`crate::rsa::PublicKey::mont_ctx`]).
+//!
+//! Two dedicated compute kernels back [`MontgomeryCtx::modpow`]:
+//!
+//! * [`mont_mul_to`](MontgomeryCtx) — CIOS (coarsely integrated operand
+//!   scanning) multiplication into caller-provided buffers, so the
+//!   exponentiation loop performs no heap allocation per operation;
+//! * [`mont_sqr_to`](MontgomeryCtx) — a squaring kernel that exploits the
+//!   symmetry of the cross products (`a_i·a_j == a_j·a_i`), computing the
+//!   full square with roughly half the limb multiplications and then
+//!   reducing it in a separate SOS (separated operand scanning) pass.
+//!
+//! Squarings dominate fixed-window exponentiation (four per window versus
+//! at most one table multiplication), so the squaring kernel carries most
+//! of the sign/verify hot path.
 
 use crate::bigint::BigUint;
 use std::cmp::Ordering;
+
+/// Exponents at or below this bit length use left-to-right binary
+/// exponentiation instead of the 4-bit window: building the 16-entry
+/// window table costs 14 multiplications, which dwarfs the work for a
+/// short exponent such as the RSA public exponent `e = 65537`
+/// (16 squarings + 1 multiplication on the binary path).
+const SMALL_EXP_BITS: usize = 32;
+
+/// Largest limb count served by the unrolled fixed-width kernels
+/// (16 limbs = the 1024-bit RSA modulus).
+const MAX_FIXED_LIMBS: usize = 16;
 
 /// Precomputed state for Montgomery arithmetic modulo an odd `n`.
 pub struct MontgomeryCtx {
@@ -38,7 +65,7 @@ impl MontgomeryCtx {
         let n_prime = inv.wrapping_neg();
 
         // R^2 mod n, with R = 2^(64k): shift-and-reduce 2^(128k).
-        // Pad to k limbs: mont_mul expects fixed-width operands.
+        // Pad to k limbs: the kernels expect fixed-width operands.
         let mut r2 = BigUint::one().shl(128 * k).rem(modulus).limbs.clone();
         r2.resize(k, 0);
 
@@ -49,14 +76,74 @@ impl MontgomeryCtx {
         self.n.len()
     }
 
-    /// Montgomery multiplication: returns `a * b * R^-1 mod n`.
+    /// The modulus as a normalized `BigUint`.
+    pub fn modulus(&self) -> BigUint {
+        let mut m = BigUint {
+            limbs: self.n.clone(),
+        };
+        normalize(&mut m);
+        m
+    }
+
+    /// CIOS Montgomery multiplication into `out`: `out = a * b * R^-1 mod n`.
     ///
-    /// Inputs are `k`-limb little-endian vectors already reduced mod `n`.
-    fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+    /// `a`, `b`, `out` are `k`-limb little-endian slices (inputs reduced
+    /// mod `n`); `t` is a `k + 2`-limb scratch buffer. `out` must not
+    /// alias `a` or `b`.
+    ///
+    /// The RSA-relevant widths (8 limbs for a CRT prime of RSA-1024,
+    /// 16 limbs for the full modulus) dispatch to fully-unrolled
+    /// const-generic kernels; other widths take the generic loop.
+    fn mont_mul_to(&self, a: &[u64], b: &[u64], out: &mut [u64], t: &mut [u64]) {
+        match self.k() {
+            8 => self.mont_mul_fixed::<8>(a, b, out),
+            16 => self.mont_mul_fixed::<16>(a, b, out),
+            _ => self.mont_mul_generic(a, b, out, t),
+        }
+    }
+
+    /// Fixed-width FIOS kernel: `K` is a compile-time constant so the limb
+    /// loop unrolls and the running product stays in registers. The
+    /// multiply-accumulate and REDC passes are finely interleaved — each
+    /// inner step issues two independent limb multiplications, and the
+    /// intermediate never grows past `K` limbs plus a carry (the running
+    /// value stays below `2n` throughout).
+    fn mont_mul_fixed<const K: usize>(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        let a: &[u64; K] = a.try_into().expect("operand width");
+        let b: &[u64; K] = b.try_into().expect("operand width");
+        let n: &[u64; K] = self.n.as_slice().try_into().expect("modulus width");
+        let mut t = [0u64; K];
+        let mut t_hi = 0u64; // t[K], at most one bit
+        for &ai in a {
+            let ai = ai as u128;
+            let cur = t[0] as u128 + ai * b[0] as u128;
+            let mut c1 = cur >> 64;
+            let m = (cur as u64).wrapping_mul(self.n_prime) as u128;
+            // The low limb of t + ai*b + m*n is zero by construction.
+            let mut c2 = (cur as u64 as u128 + m * n[0] as u128) >> 64;
+            for j in 1..K {
+                let cur = t[j] as u128 + ai * b[j] as u128 + c1;
+                c1 = cur >> 64;
+                let cur2 = cur as u64 as u128 + m * n[j] as u128 + c2;
+                t[j - 1] = cur2 as u64;
+                c2 = cur2 >> 64;
+            }
+            let cur = t_hi as u128 + c1 + c2;
+            t[K - 1] = cur as u64;
+            t_hi = (cur >> 64) as u64;
+        }
+        out.copy_from_slice(&t);
+        if t_hi != 0 || cmp_limbs(out, &self.n) != Ordering::Less {
+            sub_limbs_in_place(out, &self.n);
+        }
+    }
+
+    /// Generic-width CIOS loop used for moduli outside the fixed kernels.
+    fn mont_mul_generic(&self, a: &[u64], b: &[u64], out: &mut [u64], t: &mut [u64]) {
         let k = self.k();
-        // CIOS (coarsely integrated operand scanning).
-        let mut t = vec![0u64; k + 2];
-        for &ai in a.iter().take(k) {
+        debug_assert!(a.len() == k && b.len() == k && out.len() == k && t.len() == k + 2);
+        t.fill(0);
+        for &ai in a {
             // t += ai * b
             let mut carry = 0u128;
             for j in 0..k {
@@ -83,94 +170,316 @@ impl MontgomeryCtx {
             t[k + 1] = 0;
         }
         // Conditional final subtraction to bring the result under n.
-        let mut out = t[..k].to_vec();
-        let overflow = t[k] != 0;
-        if overflow || cmp_limbs(&out, &self.n) != Ordering::Less {
-            sub_limbs_in_place(&mut out, &self.n);
+        out.copy_from_slice(&t[..k]);
+        if t[k] != 0 || cmp_limbs(out, &self.n) != Ordering::Less {
+            sub_limbs_in_place(out, &self.n);
         }
-        out
+    }
+
+    /// Montgomery squaring into `out`: `out = a^2 * R^-1 mod n`.
+    ///
+    /// Exploits cross-product symmetry: the off-diagonal products
+    /// `a_i·a_j` (i < j) are computed once and doubled with a single
+    /// 1-bit shift, then the diagonal squares are added — roughly half
+    /// the limb multiplications of [`mont_mul_to`](Self). The full
+    /// `2k`-limb square is then reduced with a separated REDC pass.
+    ///
+    /// `a` and `out` are `k`-limb slices; `t` is a `2k + 1`-limb scratch
+    /// buffer. `out` must not alias `a`.
+    ///
+    /// Like [`mont_mul_to`](Self::mont_mul_to), the RSA widths dispatch to
+    /// unrolled const-generic kernels.
+    fn mont_sqr_to(&self, a: &[u64], out: &mut [u64], t: &mut [u64]) {
+        match self.k() {
+            8 => self.mont_sqr_fixed::<8>(a, out),
+            16 => self.mont_sqr_fixed::<16>(a, out),
+            _ => self.mont_sqr_generic(a, out, t),
+        }
+    }
+
+    /// Fixed-width squaring kernel: same cross-product symmetry as the
+    /// generic path, with compile-time loop bounds and a stack scratch
+    /// buffer (sized for the largest fixed width).
+    fn mont_sqr_fixed<const K: usize>(&self, a: &[u64], out: &mut [u64]) {
+        const { assert!(K <= MAX_FIXED_LIMBS) };
+        let a: &[u64; K] = a.try_into().expect("operand width");
+        let n: &[u64; K] = self.n.as_slice().try_into().expect("modulus width");
+        let mut t = [0u64; 2 * MAX_FIXED_LIMBS + 1];
+
+        // Off-diagonal cross products a[i] * a[j] for i < j.
+        for i in 0..K {
+            let ai = a[i] as u128;
+            let mut carry = 0u128;
+            for j in (i + 1)..K {
+                let cur = t[i + j] as u128 + ai * a[j] as u128 + carry;
+                t[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            t[i + K] = carry as u64;
+        }
+
+        // Double the cross products (one whole-array 1-bit shift).
+        let mut top = 0u64;
+        for limb in t[..2 * K].iter_mut() {
+            let new_top = *limb >> 63;
+            *limb = (*limb << 1) | top;
+            top = new_top;
+        }
+        debug_assert_eq!(top, 0, "doubled cross products fit in 2K limbs");
+
+        // Add the diagonal squares a[i]^2 at position 2i.
+        let mut carry = 0u64;
+        for i in 0..K {
+            let sq = a[i] as u128 * a[i] as u128;
+            let (lo, hi) = (sq as u64, (sq >> 64) as u64);
+            let (s0, c0) = t[2 * i].overflowing_add(lo);
+            let (s0, c0b) = s0.overflowing_add(carry);
+            t[2 * i] = s0;
+            let mid = c0 as u64 + c0b as u64;
+            let (s1, c1) = t[2 * i + 1].overflowing_add(hi);
+            let (s1, c1b) = s1.overflowing_add(mid);
+            t[2 * i + 1] = s1;
+            carry = c1 as u64 + c1b as u64;
+        }
+        debug_assert_eq!(carry, 0, "a^2 fits in 2K limbs");
+
+        // Separated REDC of the full 2K-limb square, two rows per
+        // iteration: row i+1's reduction factor only needs t[i+1] after
+        // row i's j ≤ 1 terms have landed, so the bulk of both rows runs
+        // in one loop with two independent multiplications per step.
+        const { assert!(K.is_multiple_of(2)) };
+        for i in (0..K).step_by(2) {
+            let m0 = t[i].wrapping_mul(self.n_prime) as u128;
+            let cur = t[i] as u128 + m0 * n[0] as u128;
+            let mut c0 = cur >> 64;
+            let cur = t[i + 1] as u128 + m0 * n[1] as u128 + c0;
+            t[i + 1] = cur as u64;
+            c0 = cur >> 64;
+            let m1 = t[i + 1].wrapping_mul(self.n_prime) as u128;
+            let cur = t[i + 1] as u128 + m1 * n[0] as u128;
+            let mut c1 = cur >> 64;
+            for j in 2..K {
+                let cur = t[i + j] as u128 + m0 * n[j] as u128 + c0;
+                c0 = cur >> 64;
+                let cur2 = cur as u64 as u128 + m1 * n[j - 1] as u128 + c1;
+                t[i + j] = cur2 as u64;
+                c1 = cur2 >> 64;
+            }
+            // Both rows' final terms land at position i+K: row i's carry
+            // c0 and row i+1's last product m1*n[K-1] plus carry c1.
+            // Split the additions: product + limb + one carry tops out at
+            // 2^128 - 1, but a fourth term could wrap the u128.
+            let cur = t[i + K] as u128 + m1 * n[K - 1] as u128 + c0;
+            let cur2 = cur as u64 as u128 + c1;
+            t[i + K] = cur2 as u64;
+            let mut carry = (cur >> 64) + (cur2 >> 64);
+            let mut idx = i + K + 1;
+            while carry != 0 {
+                let cur = t[idx] as u128 + carry;
+                t[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+        }
+        out.copy_from_slice(&t[K..2 * K]);
+        if t[2 * K] != 0 || cmp_limbs(out, &self.n) != Ordering::Less {
+            sub_limbs_in_place(out, &self.n);
+        }
+    }
+
+    /// Generic-width squaring loop used for moduli outside the fixed
+    /// kernels.
+    fn mont_sqr_generic(&self, a: &[u64], out: &mut [u64], t: &mut [u64]) {
+        let k = self.k();
+        debug_assert!(a.len() == k && out.len() == k && t.len() == 2 * k + 1);
+        t.fill(0);
+
+        // Off-diagonal cross products a[i] * a[j] for i < j.
+        for i in 0..k {
+            let ai = a[i] as u128;
+            let mut carry = 0u128;
+            for j in (i + 1)..k {
+                let cur = t[i + j] as u128 + ai * a[j] as u128 + carry;
+                t[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            // Rows are processed in increasing i, so t[i + k] has not been
+            // touched yet when row i's carry lands there.
+            t[i + k] = carry as u64;
+        }
+
+        // Double the cross products (one whole-array 1-bit shift).
+        let mut top = 0u64;
+        for limb in t[..2 * k].iter_mut() {
+            let new_top = *limb >> 63;
+            *limb = (*limb << 1) | top;
+            top = new_top;
+        }
+        debug_assert_eq!(top, 0, "doubled cross products fit in 2k limbs");
+
+        // Add the diagonal squares a[i]^2 at position 2i.
+        let mut carry = 0u64;
+        for i in 0..k {
+            let sq = a[i] as u128 * a[i] as u128;
+            let (lo, hi) = (sq as u64, (sq >> 64) as u64);
+            let (s0, c0) = t[2 * i].overflowing_add(lo);
+            let (s0, c0b) = s0.overflowing_add(carry);
+            t[2 * i] = s0;
+            let mid = c0 as u64 + c0b as u64;
+            let (s1, c1) = t[2 * i + 1].overflowing_add(hi);
+            let (s1, c1b) = s1.overflowing_add(mid);
+            t[2 * i + 1] = s1;
+            carry = c1 as u64 + c1b as u64;
+        }
+        debug_assert_eq!(carry, 0, "a^2 fits in 2k limbs");
+
+        // Separated REDC of the full 2k-limb square.
+        for i in 0..k {
+            let m = t[i].wrapping_mul(self.n_prime);
+            let mut carry = 0u128;
+            for j in 0..k {
+                let cur = t[i + j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut idx = i + k;
+            while carry != 0 {
+                let cur = t[idx] as u128 + carry;
+                t[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+        }
+        out.copy_from_slice(&t[k..2 * k]);
+        if t[2 * k] != 0 || cmp_limbs(out, &self.n) != Ordering::Less {
+            sub_limbs_in_place(out, &self.n);
+        }
     }
 
     /// Converts a plain value (reduced mod n) to Montgomery form.
     fn to_mont(&self, v: &BigUint) -> Vec<u64> {
+        let k = self.k();
         let mut limbs = v.limbs.clone();
-        limbs.resize(self.k(), 0);
-        self.mont_mul(&limbs, &self.r2)
+        limbs.resize(k, 0);
+        let mut out = vec![0u64; k];
+        let mut t = vec![0u64; k + 2];
+        self.mont_mul_to(&limbs, &self.r2, &mut out, &mut t);
+        out
     }
 
     /// Converts out of Montgomery form into a normalized `BigUint`.
     fn to_plain(&self, v: &[u64]) -> BigUint {
-        let one = {
-            let mut o = vec![0u64; self.k()];
-            o[0] = 1;
-            o
-        };
-        let plain = self.mont_mul(v, &one);
+        let k = self.k();
+        let mut one = vec![0u64; k];
+        one[0] = 1;
+        let mut plain = vec![0u64; k];
+        let mut t = vec![0u64; k + 2];
+        self.mont_mul_to(v, &one, &mut plain, &mut t);
         let mut out = BigUint { limbs: plain };
         normalize(&mut out);
         out
     }
 
-    /// Computes `base^exp mod n` with 4-bit fixed-window exponentiation.
+    /// Computes `base^exp mod n`.
+    ///
+    /// Short exponents (≤ [`SMALL_EXP_BITS`] bits, e.g. the RSA public
+    /// exponent 65537) take a left-to-right binary path that skips the
+    /// window table entirely; longer exponents use sliding-window
+    /// exponentiation over a table of odd powers, with the squaring
+    /// kernel on the window gaps.
     pub fn modpow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
-        let modulus = {
-            let mut m = BigUint {
-                limbs: self.n.clone(),
-            };
-            normalize(&mut m);
-            m
-        };
+        let modulus = self.modulus();
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
         if exp.is_zero() {
-            return if modulus.is_one() {
-                BigUint::zero()
-            } else {
-                BigUint::one()
-            };
+            return BigUint::one();
         }
-        let base = base.rem(&modulus);
+        let k = self.k();
+        // CRT callers pass already-reduced bases; skip the division then.
+        let base = if base.cmp_to(&modulus) == Ordering::Less {
+            base.clone()
+        } else {
+            base.rem(&modulus)
+        };
         let base_m = self.to_mont(&base);
-        let one_m = self.to_mont(&BigUint::one());
+        let bits = exp.bit_len();
 
-        // Precompute base^0..base^15 in Montgomery form.
-        let mut table = Vec::with_capacity(16);
-        table.push(one_m.clone());
-        table.push(base_m.clone());
-        for i in 2..16 {
-            let prev: &Vec<u64> = &table[i - 1];
-            table.push(self.mont_mul(prev, &base_m));
+        let mut acc = vec![0u64; k];
+        let mut tmp = vec![0u64; k];
+        let mut mul_t = vec![0u64; k + 2];
+        let mut sqr_t = vec![0u64; 2 * k + 1];
+
+        if bits <= SMALL_EXP_BITS {
+            // Left-to-right binary: bits-1 squarings plus one
+            // multiplication per set bit below the top.
+            acc.copy_from_slice(&base_m);
+            for i in (0..bits - 1).rev() {
+                self.mont_sqr_to(&acc, &mut tmp, &mut sqr_t);
+                std::mem::swap(&mut acc, &mut tmp);
+                if exp.bit(i) {
+                    self.mont_mul_to(&acc, &base_m, &mut tmp, &mut mul_t);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+            }
+            return self.to_plain(&acc);
         }
 
-        let bits = exp.bit_len();
-        let windows = bits.div_ceil(4);
-        let mut acc = one_m;
+        // Sliding windows of up to `w` bits: table holds only the odd
+        // powers (a window always starts and ends on a set bit), so a
+        // 5-bit window needs 16 entries and long exponents average one
+        // multiplication per ~w+1 bits instead of one per 4.
+        let w = if bits > 160 { 5 } else { 4 };
+        let half = 1usize << (w - 1);
+
+        // table[i] = base^(2i+1) in Montgomery form.
+        let mut base2 = vec![0u64; k];
+        self.mont_sqr_to(&base_m, &mut base2, &mut sqr_t);
+        let mut table: Vec<Vec<u64>> = Vec::with_capacity(half);
+        table.push(base_m);
+        for i in 1..half {
+            let mut next = vec![0u64; k];
+            self.mont_mul_to(&table[i - 1], &base2, &mut next, &mut mul_t);
+            table.push(next);
+        }
+
         let mut started = false;
-        for w in (0..windows).rev() {
+        let mut i = bits as isize - 1;
+        while i >= 0 {
+            if !exp.bit(i as usize) {
+                if started {
+                    self.mont_sqr_to(&acc, &mut tmp, &mut sqr_t);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+                i -= 1;
+                continue;
+            }
+            // Widest window [l, i] (≤ w bits) ending on a set bit, so the
+            // digit is odd and indexes the half-size table.
+            let mut l = (i - w as isize + 1).max(0);
+            while !exp.bit(l as usize) {
+                l += 1;
+            }
             if started {
-                for _ in 0..4 {
-                    acc = self.mont_mul(&acc, &acc);
+                for _ in 0..(i - l + 1) {
+                    self.mont_sqr_to(&acc, &mut tmp, &mut sqr_t);
+                    std::mem::swap(&mut acc, &mut tmp);
                 }
             }
             let mut digit = 0usize;
-            for b in 0..4 {
-                let bit_idx = w * 4 + (3 - b);
-                digit <<= 1;
-                if bit_idx < bits && exp.bit(bit_idx) {
-                    digit |= 1;
-                }
+            for b in (l..=i).rev() {
+                digit = (digit << 1) | exp.bit(b as usize) as usize;
             }
-            if digit != 0 {
-                acc = self.mont_mul(&acc, &table[digit]);
-                started = true;
-            } else if started {
-                // squarings above already account for the zero window
+            if started {
+                self.mont_mul_to(&acc, &table[digit >> 1], &mut tmp, &mut mul_t);
+                std::mem::swap(&mut acc, &mut tmp);
             } else {
-                // still leading zeros; nothing accumulated yet
+                acc.copy_from_slice(&table[digit >> 1]);
+                started = true;
             }
-            if !started && digit == 0 {
-                continue;
-            }
-            started = true;
+            i = l - 1;
         }
+        debug_assert!(started, "nonzero exponent has a set top bit");
         self.to_plain(&acc)
     }
 }
@@ -254,6 +563,41 @@ mod tests {
         let a = big(0x1234_5678);
         assert_eq!(ctx.modpow(&a, &BigUint::zero()), BigUint::one());
         assert_eq!(ctx.modpow(&a, &BigUint::one()), a);
+    }
+
+    #[test]
+    fn long_exponents_cross_window_path() {
+        // Exponents beyond SMALL_EXP_BITS exercise the window table;
+        // compare against the even-modulus-capable schoolbook fallback by
+        // checking Fermat on a two-limb prime with a long exponent.
+        let p = BigUint::one().shl(89).sub(&BigUint::one());
+        let ctx = MontgomeryCtx::new(&p);
+        // a^(2(p-1)) = 1 as well; 2(p-1) is 90 bits -> window path.
+        let e = p.sub(&BigUint::one()).shl(1);
+        let a = big(0xdead_beef_cafe);
+        assert_eq!(ctx.modpow(&a, &e), BigUint::one());
+    }
+
+    #[test]
+    fn squaring_kernel_matches_mul_kernel() {
+        // a^2 computed by the squaring kernel must equal a*a from the
+        // general kernel for values exercising carries in every limb.
+        let m = BigUint::from_bytes_be(&[0xff; 33]).sub(&BigUint::from_u64(18)); // odd, 5 limbs
+        assert!(!m.is_even());
+        let ctx = MontgomeryCtx::new(&m);
+        let k = ctx.k();
+        for seed in [0x01u8, 0x7f, 0xaa, 0xfe] {
+            let a = BigUint::from_bytes_be(&[seed; 31]).rem(&m);
+            let mut a_limbs = a.limbs.clone();
+            a_limbs.resize(k, 0);
+            let mut sq = vec![0u64; k];
+            let mut sq_t = vec![0u64; 2 * k + 1];
+            ctx.mont_sqr_to(&a_limbs, &mut sq, &mut sq_t);
+            let mut mu = vec![0u64; k];
+            let mut mu_t = vec![0u64; k + 2];
+            ctx.mont_mul_to(&a_limbs, &a_limbs.clone(), &mut mu, &mut mu_t);
+            assert_eq!(sq, mu, "seed {seed:#x}");
+        }
     }
 
     #[test]

@@ -2,6 +2,10 @@
 //!
 //! This is what `java.security`'s `SHA256withRSA` produces, i.e. the
 //! signature scheme the paper's prototype uses for CDR/CDA/PoC messages.
+//!
+//! Both [`sign`] and [`verify`] go through the key's raw RSA operations,
+//! which reuse the per-key cached [`crate::montgomery::MontgomeryCtx`]
+//! (see [`crate::rsa`]) — no REDC constants are recomputed per signature.
 
 use crate::bigint::BigUint;
 use crate::error::CryptoError;

@@ -45,6 +45,8 @@ fn miller_rabin(n: &BigUint, rounds: usize, rng: &mut dyn RngSource) -> bool {
     let two = BigUint::from_u64(2);
     let n_minus_1 = n.sub(&one);
     let n_minus_3 = n.sub(&BigUint::from_u64(3));
+    // One REDC context per candidate, shared by all witness exponentiations.
+    let ctx = crate::montgomery::MontgomeryCtx::new(n);
 
     // n - 1 = 2^s * d with d odd.
     let mut d = n_minus_1.clone();
@@ -57,7 +59,7 @@ fn miller_rabin(n: &BigUint, rounds: usize, rng: &mut dyn RngSource) -> bool {
     'witness: for _ in 0..rounds {
         // Base a uniform in [2, n-2].
         let a = random_below(&n_minus_3, rng).add(&two);
-        let mut x = a.modpow(&d, n);
+        let mut x = a.modpow_with_ctx(&d, &ctx);
         if x.is_one() || x == n_minus_1 {
             continue 'witness;
         }

@@ -10,8 +10,10 @@
 
 use crate::bigint::BigUint;
 use crate::error::CryptoError;
+use crate::montgomery::MontgomeryCtx;
 use crate::prime::generate_prime;
 use crate::rng::RngSource;
+use std::sync::{Arc, OnceLock};
 
 /// The public exponent used throughout (F4).
 pub const PUBLIC_EXPONENT: u64 = 65537;
@@ -20,15 +22,43 @@ pub const PUBLIC_EXPONENT: u64 = 65537;
 pub const DEFAULT_MODULUS_BITS: usize = 1024;
 
 /// An RSA public key `(n, e)`.
-#[derive(Clone, PartialEq, Eq, Debug)]
+///
+/// Carries a lazily-built, shared [`MontgomeryCtx`] for `n`, so the REDC
+/// constants are computed once per key lifetime rather than once per
+/// exponentiation. Clones share the cached context.
+#[derive(Clone)]
 pub struct PublicKey {
     /// Modulus.
     pub n: BigUint,
     /// Public exponent.
     pub e: BigUint,
+    /// Cached Montgomery context for `n` (built on first use).
+    ctx: OnceLock<Arc<MontgomeryCtx>>,
+}
+
+impl PartialEq for PublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached context is derived state; identity is (n, e).
+        self.n == other.n && self.e == other.e
+    }
+}
+
+impl Eq for PublicKey {}
+
+impl std::fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PublicKey")
+            .field("n", &self.n)
+            .field("e", &self.e)
+            .finish()
+    }
 }
 
 /// An RSA private key with CRT parameters.
+///
+/// Like [`PublicKey`], caches one Montgomery context per CRT prime so the
+/// two half-size exponentiations of every signature reuse precomputed
+/// REDC constants.
 #[derive(Clone)]
 pub struct PrivateKey {
     /// Matching public key.
@@ -45,6 +75,10 @@ pub struct PrivateKey {
     dq: BigUint,
     /// `q^-1 mod p`.
     qinv: BigUint,
+    /// Cached Montgomery context for `p`.
+    p_ctx: OnceLock<Arc<MontgomeryCtx>>,
+    /// Cached Montgomery context for `q`.
+    q_ctx: OnceLock<Arc<MontgomeryCtx>>,
 }
 
 impl std::fmt::Debug for PrivateKey {
@@ -66,9 +100,32 @@ pub struct KeyPair {
 }
 
 impl PublicKey {
+    /// Builds a public key from its components.
+    pub fn new(n: BigUint, e: BigUint) -> Self {
+        PublicKey {
+            n,
+            e,
+            ctx: OnceLock::new(),
+        }
+    }
+
     /// Modulus length in whole bytes (e.g. 128 for RSA-1024).
     pub fn modulus_len(&self) -> usize {
         self.n.bit_len().div_ceil(8)
+    }
+
+    /// The cached Montgomery context for `n`, built on first use.
+    ///
+    /// Returns `None` when `n` is even or zero (REDC requires an odd
+    /// modulus); such keys never verify anything anyway.
+    pub fn mont_ctx(&self) -> Option<&MontgomeryCtx> {
+        if self.n.is_zero() || !self.n.bit(0) {
+            return None;
+        }
+        Some(
+            self.ctx
+                .get_or_init(|| Arc::new(MontgomeryCtx::new(&self.n))),
+        )
     }
 
     /// Raw public-key operation `m^e mod n`.
@@ -76,7 +133,10 @@ impl PublicKey {
         if m.cmp_to(&self.n) != std::cmp::Ordering::Less {
             return Err(CryptoError::MessageTooLarge);
         }
-        Ok(m.modpow(&self.e, &self.n))
+        match self.mont_ctx() {
+            Some(ctx) => Ok(m.modpow_with_ctx(&self.e, ctx)),
+            None => Ok(m.modpow(&self.e, &self.n)),
+        }
     }
 }
 
@@ -87,7 +147,22 @@ impl PrivateKey {
         if c.cmp_to(&self.public.n) != std::cmp::Ordering::Less {
             return Err(CryptoError::MessageTooLarge);
         }
-        Ok(c.modpow(&self.d, &self.public.n))
+        match self.public.mont_ctx() {
+            Some(ctx) => Ok(c.modpow_with_ctx(&self.d, ctx)),
+            None => Ok(c.modpow(&self.d, &self.public.n)),
+        }
+    }
+
+    /// Cached Montgomery context for prime `p` (primes are always odd).
+    fn p_ctx(&self) -> &MontgomeryCtx {
+        self.p_ctx
+            .get_or_init(|| Arc::new(MontgomeryCtx::new(&self.p)))
+    }
+
+    /// Cached Montgomery context for prime `q`.
+    fn q_ctx(&self) -> &MontgomeryCtx {
+        self.q_ctx
+            .get_or_init(|| Arc::new(MontgomeryCtx::new(&self.q)))
     }
 
     /// Raw private-key operation `c^d mod n` via CRT.
@@ -97,8 +172,8 @@ impl PrivateKey {
         }
         // Garner: m1 = c^dp mod p, m2 = c^dq mod q,
         // h = qinv * (m1 - m2) mod p, m = m2 + h*q.
-        let m1 = c.rem(&self.p).modpow(&self.dp, &self.p);
-        let m2 = c.rem(&self.q).modpow(&self.dq, &self.q);
+        let m1 = c.rem(&self.p).modpow_with_ctx(&self.dp, self.p_ctx());
+        let m2 = c.rem(&self.q).modpow_with_ctx(&self.dq, self.q_ctx());
         let diff = m1.sub_mod(&m2.rem(&self.p), &self.p);
         let h = self.qinv.mul_mod(&diff, &self.p);
         Ok(m2.add(&h.mul(&self.q)))
@@ -141,7 +216,7 @@ impl KeyPair {
                 Some(v) => v,
                 None => continue,
             };
-            let public = PublicKey { n, e: e.clone() };
+            let public = PublicKey::new(n, e.clone());
             return Ok(KeyPair {
                 public: public.clone(),
                 private: PrivateKey {
@@ -152,6 +227,8 @@ impl KeyPair {
                     dp,
                     dq,
                     qinv,
+                    p_ctx: OnceLock::new(),
+                    q_ctx: OnceLock::new(),
                 },
             });
         }

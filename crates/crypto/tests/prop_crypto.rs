@@ -96,6 +96,46 @@ proptest! {
         let v = big(&data);
         prop_assert_eq!(v.shl(bits).shr(bits), v);
     }
+
+    /// Karatsuba agrees with schoolbook on operands straddling the
+    /// 16-limb threshold (12..40 limbs ≈ 96..320 bytes), including the
+    /// uneven-split and trailing-zero-limb corners.
+    #[test]
+    fn karatsuba_matches_schoolbook(a in proptest::collection::vec(any::<u8>(), 96..320),
+                                    b in proptest::collection::vec(any::<u8>(), 96..320)) {
+        let a = big(&a);
+        let b = big(&b);
+        prop_assert_eq!(a.mul(&b), a.mul_schoolbook(&b));
+    }
+}
+
+proptest! {
+    // Wide modular exponentiation is slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The Montgomery fast paths agree with the plain square-and-multiply
+    /// reference on arbitrary (base, exp, odd modulus) triples: a cached
+    /// per-key context, a freshly built context, and the ctx-free entry
+    /// point all produce the same residue. Modulus widths cross both
+    /// fixed-width kernels (8/16 limbs) and the generic path.
+    #[test]
+    fn modpow_ctx_paths_agree(base in proptest::collection::vec(any::<u8>(), 0..96),
+                              exp in proptest::collection::vec(any::<u8>(), 0..24),
+                              modulus in proptest::collection::vec(any::<u8>(), 1..160)) {
+        let base = big(&base);
+        let exp = big(&exp);
+        let mut modulus = big(&modulus);
+        if !modulus.bit(0) {
+            modulus = modulus.add(&BigUint::from_u64(1)); // odd -> Montgomery applies
+        }
+        prop_assume!(!modulus.is_one());
+        let reference = base.modpow_simple(&exp, &modulus);
+        let ctx = tlc_crypto::montgomery::MontgomeryCtx::new(&modulus);
+        prop_assert_eq!(base.modpow_with_ctx(&exp, &ctx), reference.clone());
+        // Second use of the same ctx (the per-key caching pattern).
+        prop_assert_eq!(base.modpow_with_ctx(&exp, &ctx), reference.clone());
+        prop_assert_eq!(base.modpow(&exp, &modulus), reference);
+    }
 }
 
 proptest! {

@@ -2,23 +2,22 @@
 //!
 //! The paper sizes verification throughput at 230K PoCs/hour on one HP
 //! Z840. This example builds a batch of proofs from many edge-operator
-//! pairs, then runs a multi-threaded verification service (scoped threads
-//! and a crossbeam channel, one `Verifier` per relationship), measuring
-//! throughput and demonstrating the rejection paths: replays, forgeries,
-//! plan mismatches, and charge tampering.
+//! pairs, then feeds them through [`tlc_core::verify::service`] — the
+//! sharded worker pool that pins each relationship (and its replay
+//! cache) to exactly one thread — measuring throughput and
+//! demonstrating the rejection paths: replays, forgeries, plan
+//! mismatches, and charge tampering.
 //!
 //! ```sh
 //! cargo run --release --example verifier_service
 //! ```
 
-use crossbeam::channel;
-use parking_lot::Mutex;
-use std::time::Instant;
 use tlc_core::messages::{PocMsg, NONCE_LEN};
 use tlc_core::plan::DataPlan;
 use tlc_core::protocol::{run_negotiation, Endpoint};
 use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
-use tlc_core::verify::{Verifier, VerifyError};
+use tlc_core::verify::service::VerifierService;
+use tlc_core::verify::VerifyError;
 use tlc_crypto::{KeyPair, PublicKey};
 
 struct Relationship {
@@ -92,94 +91,107 @@ fn main() {
         .map(|id| build_relationship(id as u64, cycles))
         .collect();
 
-    // One stateful verifier (with its replay cache) per relationship.
-    let verifiers: Vec<Mutex<Verifier>> = rels
-        .iter()
-        .map(|r| Mutex::new(Verifier::new(plan, r.edge_pub.clone(), r.op_pub.clone())))
-        .collect();
-
-    // Queue of (relationship index, proof), fed to a worker pool.
-    let (tx, rx) = channel::unbounded::<(usize, PocMsg)>();
-    let mut total = 0usize;
-    for (i, r) in rels.iter().enumerate() {
-        for p in &r.proofs {
-            tx.send((i, p.clone())).expect("queue");
-            total += 1;
-        }
-        // One replayed proof per relationship — must be rejected.
-        tx.send((i, r.proofs[0].clone())).expect("queue");
-        total += 1;
-    }
-    drop(tx);
-
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
-    println!("verifying {} proofs on {} worker threads…", total, workers);
-    let t0 = Instant::now();
-    let (accepted, replayed) = std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for _ in 0..workers {
-            let rx = rx.clone();
-            let verifiers = &verifiers;
-            handles.push(s.spawn(move || {
-                let mut ok = 0u64;
-                let mut replay = 0u64;
-                while let Ok((i, poc)) = rx.recv() {
-                    match verifiers[i].lock().verify(&poc) {
-                        Ok(_) => ok += 1,
-                        Err(VerifyError::Replayed) => replay += 1,
-                        Err(e) => panic!("unexpected rejection: {e}"),
-                    }
-                }
-                (ok, replay)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker"))
-            .fold((0, 0), |(a, b), (x, y)| (a + x, b + y))
-    });
-    let elapsed = t0.elapsed().as_secs_f64();
+    let mut svc = VerifierService::new(workers);
+
+    // Register every relationship, then batch-submit its proofs plus one
+    // replay — the shard-local replay cache must reject exactly that one.
+    let mut total = 0usize;
+    let mut handles = Vec::with_capacity(rels.len());
+    for r in &rels {
+        let rel = svc.register(plan, r.edge_pub.clone(), r.op_pub.clone());
+        let (_, count) = svc.submit_batch(rel, r.proofs.iter().cloned());
+        svc.submit(rel, r.proofs[0].clone());
+        total += count + 1;
+        handles.push(rel);
+    }
+    println!(
+        "verifying {} proofs on {} shard workers…",
+        total,
+        svc.workers()
+    );
+
+    let results = svc.collect_results();
+    let accepted = results.iter().filter(|r| r.result.is_ok()).count();
+    let replayed = results
+        .iter()
+        .filter(|r| r.result == Err(VerifyError::Replayed))
+        .count();
+    let report = svc.finish();
     println!(
         "  accepted {}, rejected {} replays in {:.2} s -> {:.0} verifications/hour",
         accepted,
         replayed,
-        elapsed,
-        total as f64 / elapsed * 3600.0
+        report.elapsed.as_secs_f64(),
+        report.pocs_per_hour,
     );
-    assert_eq!(accepted as usize, relationships * cycles);
-    assert_eq!(replayed as usize, relationships);
+    for s in &report.shards {
+        println!(
+            "  shard {}: {} relationships, {} accepted, {} rejected ({} replays)",
+            s.shard, s.relationships, s.accepted, s.rejected, s.replayed
+        );
+    }
+    assert_eq!(accepted, relationships * cycles);
+    assert_eq!(replayed, relationships);
+    assert_eq!(report.accepted as usize, accepted);
 
     // ── Rejection paths ─────────────────────────────────────────────────
+    // All four flow through the same sharded pipeline as acceptances.
     println!("\nrejection paths:");
     let victim = &rels[0];
-    let mut v = Verifier::new(plan, victim.edge_pub.clone(), victim.op_pub.clone());
+    let mut svc = VerifierService::new(2);
+    let rel = svc.register(plan, victim.edge_pub.clone(), victim.op_pub.clone());
 
     // Tampered charge: the signature chain breaks.
     let mut tampered = victim.proofs[1].clone();
     tampered.charge *= 2;
-    println!(
-        "  tampered charge      -> {:?}",
-        v.verify(&tampered).unwrap_err()
-    );
+    let t_tamper = svc.submit(rel, tampered);
 
     // Plan mismatch: a proof presented against the wrong agreement.
     let other_plan = DataPlan {
         loss_weight: tlc_core::plan::LossWeight::from_f64(0.25),
         ..plan
     };
-    let mut wrong_plan_verifier =
-        Verifier::new(other_plan, victim.edge_pub.clone(), victim.op_pub.clone());
-    println!(
-        "  wrong plan           -> {:?}",
-        wrong_plan_verifier.verify(&victim.proofs[2]).unwrap_err()
-    );
+    let wrong_rel = svc.register(other_plan, victim.edge_pub.clone(), victim.op_pub.clone());
+    let t_plan = svc.submit(wrong_rel, victim.proofs[2].clone());
 
     // Forgery: a proof from a different key pair presented as this pair's.
-    let stranger = &rels[1].proofs[0];
+    let t_forge = svc.submit(rel, rels[1].proofs[0].clone());
+
+    // Replay: the same proof twice through the same relationship.
+    let t_first = svc.submit(rel, victim.proofs[3].clone());
+    let t_replay = svc.submit(rel, victim.proofs[3].clone());
+
+    let results = svc.collect_results();
+    let by_tag = |t: u64| {
+        &results
+            .iter()
+            .find(|r| r.tag == t)
+            .expect("every tag resolves")
+            .result
+    };
+    assert!(by_tag(t_first).is_ok());
+    println!(
+        "  tampered charge      -> {:?}",
+        by_tag(t_tamper).clone().unwrap_err()
+    );
+    println!(
+        "  wrong plan           -> {:?}",
+        by_tag(t_plan).clone().unwrap_err()
+    );
     println!(
         "  forged identity      -> {:?}",
-        v.verify(stranger).unwrap_err()
+        by_tag(t_forge).clone().unwrap_err()
+    );
+    println!(
+        "  replayed proof       -> {:?}",
+        by_tag(t_replay).clone().unwrap_err()
+    );
+    let report = svc.finish();
+    assert_eq!(
+        (report.accepted, report.rejected, report.replayed),
+        (1, 4, 1)
     );
 }
