@@ -8,8 +8,8 @@ use tlc_core::messages::{Nonce, PocMsg, NONCE_LEN};
 use tlc_core::plan::DataPlan;
 use tlc_core::protocol::{run_negotiation, Endpoint};
 use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
-use tlc_core::verify::service::VerifierService;
-use tlc_core::verify::verify_poc;
+use tlc_core::verify::service::{ServiceConfig, VerifierService};
+use tlc_core::verify::{verify_poc, verify_poc_batch};
 use tlc_crypto::KeyPair;
 
 fn make_proofs(n: usize, ek: &KeyPair, ok: &KeyPair, plan: &DataPlan) -> Vec<PocMsg> {
@@ -79,6 +79,19 @@ fn bench(c: &mut Criterion) {
             }
         })
     });
+    // Same 64 proofs through the batch entry point at several signature
+    // batch sizes — isolates the wide-kernel win from service overheads.
+    for batch in [8usize, 32, 64] {
+        g.bench_function(format!("single_thread_batched_{batch}"), |b| {
+            b.iter(|| {
+                for chunk in proofs.chunks(batch) {
+                    let refs: Vec<&PocMsg> = chunk.iter().collect();
+                    let r = verify_poc_batch(black_box(&refs), &plan, &ek.public, &ok.public);
+                    assert!(r.iter().all(|v| v.is_ok()));
+                }
+            })
+        });
+    }
     // Full service lifecycle per iteration (spawn, register, batch-submit,
     // drain, join) over 4 relationships — the shard workers verify in
     // parallel, replay caches stay shard-local.
@@ -86,6 +99,26 @@ fn bench(c: &mut Criterion) {
         g.bench_function(format!("service_{workers}_workers_batch64"), |b| {
             b.iter(|| {
                 let mut svc = VerifierService::new(workers);
+                for (e, o, proofs) in &rels {
+                    let rel = svc.register(plan, e.public.clone(), o.public.clone());
+                    svc.submit_batch(rel, proofs.iter().cloned());
+                }
+                let results = svc.collect_results();
+                assert!(results.iter().all(|r| r.result.is_ok()));
+                black_box(svc.finish());
+            })
+        });
+    }
+    // Signature-batch-size sensitivity inside the pipelined service
+    // (workers fixed at 2: one hash stage + one signature stage per shard).
+    for batch_size in [1usize, 16, 64] {
+        g.bench_function(format!("service_2_workers_sigbatch_{batch_size}"), |b| {
+            b.iter(|| {
+                let mut svc = VerifierService::with_config(ServiceConfig {
+                    workers: 2,
+                    batch_size,
+                    ..ServiceConfig::default()
+                });
                 for (e, o, proofs) in &rels {
                     let rel = svc.register(plan, e.public.clone(), o.public.clone());
                     svc.submit_batch(rel, proofs.iter().cloned());

@@ -23,7 +23,8 @@ use tlc_core::plan::DataPlan;
 use tlc_core::protocol::{run_negotiation, Endpoint};
 use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
 use tlc_core::verify::service::VerifierService;
-use tlc_core::verify::verify_poc;
+use tlc_core::verify::{verify_poc, verify_poc_batch};
+use tlc_crypto::montgomery::MontgomeryCtx;
 use tlc_crypto::{pkcs1, KeyPair};
 
 /// Pre-optimization reference (mean methodology, same host class),
@@ -130,6 +131,21 @@ fn main() {
     }) / proofs.len() as f64;
     let single_thread_pocs_per_hour = 3.6e12 / poc_verify_ns;
 
+    // Batch-size sensitivity: per-PoC cost of the batched verification
+    // entry point at 1/8/32/128 proofs per call. The same 64 proofs are
+    // cycled, so every batch carries real, distinct signatures.
+    let batch_kernel = MontgomeryCtx::new(&ek.public.n).batch_kernel();
+    let mut batch_rows = Vec::new();
+    for batch in [1usize, 8, 32, 128] {
+        let refs: Vec<&PocMsg> = (0..batch).map(|i| &proofs[i % proofs.len()]).collect();
+        let reps = (256 / batch).max(2);
+        let per_poc_ns = min_ns(5, reps, || {
+            let r = verify_poc_batch(&refs, &plan, &ek.public, &ok.public);
+            assert!(r.iter().all(|v| v.is_ok()));
+        }) / batch as f64;
+        batch_rows.push((batch, per_poc_ns, poc_verify_ns / per_poc_ns));
+    }
+
     // Multi-worker scaling through the sharded verification service:
     // 4 relationships × 16 proofs, full lifecycle (spawn, register,
     // submit, drain, join) per repetition, best of 5 repetitions.
@@ -180,6 +196,16 @@ fn main() {
     );
     println!("  \"single_thread_pocs_per_hour\": {single_thread_pocs_per_hour:.0},");
     println!("  \"paper_pocs_per_hour\": 230000,");
+    println!("  \"batch_kernel\": \"{batch_kernel}\",");
+    println!("  \"poc_verify_batched\": {{");
+    for (i, (batch, ns, speedup)) in batch_rows.iter().enumerate() {
+        let comma = if i + 1 == batch_rows.len() { "" } else { "," };
+        println!(
+            "    \"batch_{batch}\": {{ \"per_poc_ns\": {ns:.0}, \"speedup_vs_sequential\": {speedup:.2} }}{comma}"
+        );
+    }
+    println!("  }},");
+    println!("  \"service_note\": \"worker rows beyond host_cpus measure pipelining over shared cores, not parallel speedup\",");
     println!("  \"service_pocs_per_sec\": {{");
     for (i, (w, per_sec)) in scaling.iter().enumerate() {
         let comma = if i + 1 == scaling.len() { "" } else { "," };

@@ -16,6 +16,7 @@ use crate::plan::DataPlan;
 use crate::strategy::Role;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use tlc_crypto::pkcs1;
+use tlc_crypto::sha256;
 use tlc_crypto::{CryptoError, PrivateKey, PublicKey};
 
 /// Nonce length in bytes.
@@ -255,6 +256,12 @@ pub struct CdaMsg {
 
 impl CdaMsg {
     fn body(&self) -> BytesMut {
+        self.body_with(&self.peer_cdr.encode())
+    }
+
+    /// Canonical body given the already-encoded embedded CDR, so batch
+    /// chain hashing can encode each message in the chain exactly once.
+    fn body_with(&self, peer_encoded: &[u8]) -> BytesMut {
         let mut b = BytesMut::with_capacity(256);
         b.put_u8(MsgType::Cda as u8);
         put_role(&mut b, self.role);
@@ -262,9 +269,8 @@ impl CdaMsg {
         b.put_u64(self.seq);
         b.put_slice(&self.nonce);
         b.put_u64(self.usage);
-        let peer = self.peer_cdr.encode();
-        b.put_u16(peer.len() as u16);
-        b.put_slice(&peer);
+        b.put_u16(peer_encoded.len() as u16);
+        b.put_slice(peer_encoded);
         b
     }
 
@@ -374,15 +380,39 @@ pub struct PocMsg {
 
 impl PocMsg {
     fn body(&self) -> BytesMut {
+        self.body_with(&self.cda.encode())
+    }
+
+    /// Canonical body given the already-encoded embedded CDA.
+    fn body_with(&self, cda_encoded: &[u8]) -> BytesMut {
         let mut b = BytesMut::with_capacity(512);
         b.put_u8(MsgType::Poc as u8);
         put_role(&mut b, self.role);
         put_plan(&mut b, &self.plan);
         b.put_u64(self.charge);
-        let cda = self.cda.encode();
-        b.put_u16(cda.len() as u16);
-        b.put_slice(&cda);
+        b.put_u16(cda_encoded.len() as u16);
+        b.put_slice(cda_encoded);
         b
+    }
+
+    /// SHA-256 digests of the three signed bodies in the chain (PoC,
+    /// embedded CDA, doubly-embedded CDR), with each message encoded
+    /// exactly once — the hash half of chain verification, split out so
+    /// a pipelined service can run it on a different thread from the
+    /// RSA half.
+    pub fn chain_digests(&self) -> PocDigests {
+        let mut cdr = self.cda.peer_cdr.body();
+        let cdr_digest = sha256::digest(&cdr);
+        put_signature(&mut cdr, &self.cda.peer_cdr.signature);
+        let mut cda = self.cda.body_with(&cdr);
+        let cda_digest = sha256::digest(&cda);
+        put_signature(&mut cda, &self.cda.signature);
+        let poc_body = self.body_with(&cda);
+        PocDigests {
+            poc: sha256::digest(&poc_body),
+            cda: cda_digest,
+            cdr: cdr_digest,
+        }
     }
 
     /// Builds and signs a PoC finalizing `cda`.
@@ -513,6 +543,82 @@ impl PocMsg {
             self.cda.peer_cdr.nonce
         }
     }
+}
+
+/// SHA-256 digests of the three signed bodies inside one PoC chain,
+/// produced by [`PocMsg::chain_digests`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PocDigests {
+    /// Digest of the PoC's own signed body.
+    pub poc: [u8; sha256::DIGEST_LEN],
+    /// Digest of the embedded CDA's signed body.
+    pub cda: [u8; sha256::DIGEST_LEN],
+    /// Digest of the doubly-embedded CDR's signed body.
+    pub cdr: [u8; sha256::DIGEST_LEN],
+}
+
+/// Batch form of [`PocMsg::verify_chain`] over pre-hashed chains: all
+/// 3·N RSA verifications go through [`pkcs1::verify_batch`] (which
+/// amortizes per-key Montgomery setup and runs a multi-lane kernel),
+/// and each element's result matches the sequential path bit for bit —
+/// same verdicts, same error precedence (PoC signature, then role
+/// coherence, then CDA signature, then CDR signature).
+pub fn verify_chains_batch_prehashed(
+    items: &[(&PocMsg, &PocDigests)],
+    edge_key: &PublicKey,
+    operator_key: &PublicKey,
+) -> Vec<Result<(), MessageError>> {
+    let mut reqs = Vec::with_capacity(items.len() * 3);
+    for (poc, d) in items {
+        let (finalizer_key, other_key) = match poc.role {
+            Role::Edge => (edge_key, operator_key),
+            Role::Operator => (operator_key, edge_key),
+        };
+        reqs.push(pkcs1::VerifyRequest {
+            key: finalizer_key,
+            digest: d.poc,
+            signature: &poc.signature,
+        });
+        reqs.push(pkcs1::VerifyRequest {
+            key: other_key,
+            digest: d.cda,
+            signature: &poc.cda.signature,
+        });
+        reqs.push(pkcs1::VerifyRequest {
+            key: finalizer_key,
+            digest: d.cdr,
+            signature: &poc.cda.peer_cdr.signature,
+        });
+    }
+    let verdicts = pkcs1::verify_batch(&reqs);
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, (poc, _))| {
+            verdicts[3 * i].clone()?;
+            if poc.cda.role == poc.role {
+                return Err(MessageError::Malformed("CDA role matches finalizer"));
+            }
+            if poc.cda.peer_cdr.role != poc.role {
+                return Err(MessageError::Malformed("embedded CDR role mismatch"));
+            }
+            verdicts[3 * i + 1].clone()?;
+            verdicts[3 * i + 2].clone()?;
+            Ok(())
+        })
+        .collect()
+}
+
+/// Batch chain verification that hashes and verifies in one call; see
+/// [`verify_chains_batch_prehashed`] for the equivalence guarantee.
+pub fn verify_chains_batch(
+    pocs: &[&PocMsg],
+    edge_key: &PublicKey,
+    operator_key: &PublicKey,
+) -> Vec<Result<(), MessageError>> {
+    let digests: Vec<PocDigests> = pocs.iter().map(|p| p.chain_digests()).collect();
+    let items: Vec<(&PocMsg, &PocDigests)> = pocs.iter().copied().zip(digests.iter()).collect();
+    verify_chains_batch_prehashed(&items, edge_key, operator_key)
 }
 
 #[cfg(test)]
@@ -686,6 +792,95 @@ mod tests {
             poc.verify_chain(&edge.public, &op.public),
             Err(MessageError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn chain_digests_match_single_encodings() {
+        let (edge, op) = keys();
+        let (_, _, poc) = build_chain(&edge, &op);
+        let d = poc.chain_digests();
+        assert_eq!(d.poc, sha256::digest(&poc.body()));
+        assert_eq!(d.cda, sha256::digest(&poc.cda.body()));
+        assert_eq!(d.cdr, sha256::digest(&poc.cda.peer_cdr.body()));
+    }
+
+    #[test]
+    fn batch_chain_verify_matches_sequential() {
+        let (edge, op) = keys();
+        let (_, _, good) = build_chain(&edge, &op);
+
+        let plan = DataPlan::paper_default();
+        // A PoC whose outer signature is corrupted.
+        let mut bad_poc_sig = good.clone();
+        bad_poc_sig.signature[10] ^= 0x40;
+        // Corrupted CDA signature under a *valid* outer signature (the
+        // finalizer re-signs over the tampered embedding), so the batch
+        // must fail at the CDA arm specifically.
+        let bad_cda_sig = {
+            let mut cda = good.cda.clone();
+            cda.signature[3] ^= 0x01;
+            PocMsg::sign(
+                good.role,
+                plan,
+                good.charge,
+                cda,
+                good.nonce_e,
+                good.nonce_o,
+                &op.private,
+            )
+            .unwrap()
+        };
+        // Corrupted CDR signature under valid CDA and PoC signatures.
+        let bad_cdr_sig = {
+            let mut cdr = good.cda.peer_cdr.clone();
+            cdr.signature[0] ^= 0x80;
+            let cda = CdaMsg::sign(
+                Role::Edge,
+                plan,
+                good.cda.nonce,
+                good.cda.usage,
+                cdr,
+                &edge.private,
+            )
+            .unwrap();
+            PocMsg::sign(
+                good.role,
+                plan,
+                good.charge,
+                cda,
+                good.nonce_e,
+                good.nonce_o,
+                &op.private,
+            )
+            .unwrap()
+        };
+        // Role confusion: CDA signed under the finalizer's own role.
+        let cdr_o = CdrMsg::sign(Role::Operator, plan, 1, nonce(2), 1000, &op.private).unwrap();
+        let cda_o = CdaMsg::sign(Role::Operator, plan, nonce(1), 800, cdr_o, &op.private).unwrap();
+        let confused = PocMsg::sign(
+            Role::Operator,
+            plan,
+            900,
+            cda_o,
+            nonce(1),
+            nonce(2),
+            &op.private,
+        )
+        .unwrap();
+
+        let pocs = [&good, &bad_poc_sig, &bad_cda_sig, &bad_cdr_sig, &confused];
+        let batch = verify_chains_batch(&pocs, &edge.public, &op.public);
+        assert_eq!(batch.len(), pocs.len());
+        for (i, poc) in pocs.iter().enumerate() {
+            let sequential = poc.verify_chain(&edge.public, &op.public);
+            assert_eq!(batch[i], sequential, "element {i} diverged");
+        }
+        // A failure isolates to its element: the good proof still passes.
+        assert!(batch[0].is_ok());
+        assert_eq!(batch[1], Err(MessageError::BadSignature));
+        assert_eq!(batch[2], Err(MessageError::BadSignature));
+        assert_eq!(batch[3], Err(MessageError::BadSignature));
+        assert!(matches!(batch[4], Err(MessageError::Malformed(_))));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! 4. that the charged volume replays Algorithm 1's pricing of the
 //!    embedded claims.
 
-use crate::messages::{MessageError, PocMsg};
+use crate::messages::{self, MessageError, PocDigests, PocMsg};
 use crate::plan::{charge_for, DataPlan, UsagePair};
 use std::collections::{HashSet, VecDeque};
 use tlc_crypto::rng::RngSource;
@@ -70,17 +70,10 @@ pub struct Verdict {
     pub rounds: u64,
 }
 
-/// Stateless single-proof verification — Algorithm 2 verbatim.
-pub fn verify_poc(
-    poc: &PocMsg,
-    plan: &DataPlan,
-    edge_key: &PublicKey,
-    operator_key: &PublicKey,
-) -> Result<Verdict, VerifyError> {
-    // Line 1: "decrypt" — check the full signature chain.
-    poc.verify_chain(edge_key, operator_key)
-        .map_err(VerifyError::Signature)?;
-
+/// Algorithm 2 lines 2–9: the cheap non-crypto checks, shared by the
+/// sequential and batched paths (the signature chain — line 1 — is
+/// checked by the caller first).
+fn check_poc_body(poc: &PocMsg, plan: &DataPlan) -> Result<Verdict, VerifyError> {
     // Lines 2–4: plan consistency.
     if poc.plan != *plan || poc.cda.plan != *plan || poc.cda.peer_cdr.plan != *plan {
         return Err(VerifyError::PlanMismatch);
@@ -114,6 +107,51 @@ pub fn verify_poc(
         operator_claim: claims.operator,
         rounds: poc.cda.seq,
     })
+}
+
+/// Stateless single-proof verification — Algorithm 2 verbatim.
+pub fn verify_poc(
+    poc: &PocMsg,
+    plan: &DataPlan,
+    edge_key: &PublicKey,
+    operator_key: &PublicKey,
+) -> Result<Verdict, VerifyError> {
+    // Line 1: "decrypt" — check the full signature chain.
+    poc.verify_chain(edge_key, operator_key)
+        .map_err(VerifyError::Signature)?;
+    check_poc_body(poc, plan)
+}
+
+/// Batched Algorithm 2 over pre-hashed chains: all RSA verifications of
+/// the batch run through the multi-lane kernel, and element `i`'s result
+/// equals `verify_poc(items[i].0, ..)` exactly.
+pub fn verify_poc_batch_prehashed(
+    items: &[(&PocMsg, &PocDigests)],
+    plan: &DataPlan,
+    edge_key: &PublicKey,
+    operator_key: &PublicKey,
+) -> Vec<Result<Verdict, VerifyError>> {
+    let chains = messages::verify_chains_batch_prehashed(items, edge_key, operator_key);
+    items
+        .iter()
+        .zip(chains)
+        .map(|((poc, _), chain)| {
+            chain.map_err(VerifyError::Signature)?;
+            check_poc_body(poc, plan)
+        })
+        .collect()
+}
+
+/// [`verify_poc_batch_prehashed`] that hashes the chains itself.
+pub fn verify_poc_batch(
+    pocs: &[&PocMsg],
+    plan: &DataPlan,
+    edge_key: &PublicKey,
+    operator_key: &PublicKey,
+) -> Vec<Result<Verdict, VerifyError>> {
+    let digests: Vec<PocDigests> = pocs.iter().map(|p| p.chain_digests()).collect();
+    let items: Vec<(&PocMsg, &PocDigests)> = pocs.iter().copied().zip(digests.iter()).collect();
+    verify_poc_batch_prehashed(&items, plan, edge_key, operator_key)
 }
 
 /// Seals a PoC for confidential submission to a specific verifier
@@ -193,10 +231,58 @@ impl Verifier {
     pub fn verify(&mut self, poc: &PocMsg) -> Result<Verdict, VerifyError> {
         let key = (poc.nonce_e, poc.nonce_o);
         if self.seen.contains(&key) {
+            // Replay check precedes crypto — same short-circuit as the
+            // batched path.
             self.rejected += 1;
             return Err(VerifyError::Replayed);
         }
-        match verify_poc(poc, &self.plan, &self.edge_key, &self.operator_key) {
+        let judged = verify_poc(poc, &self.plan, &self.edge_key, &self.operator_key);
+        self.commit(poc, judged)
+    }
+
+    /// Verifies a batch of proofs with the multi-lane RSA kernel. The
+    /// results (and the verifier's state afterwards) are exactly what a
+    /// [`verify`](Self::verify) loop over `pocs` in order would produce:
+    /// the replay cache is walked sequentially, so a proof duplicated
+    /// *within* the batch is `Replayed` iff its first occurrence was
+    /// accepted (the crypto verdicts themselves are stateless, so
+    /// computing them up front does not change any outcome).
+    pub fn verify_batch(&mut self, pocs: &[&PocMsg]) -> Vec<Result<Verdict, VerifyError>> {
+        let digests: Vec<PocDigests> = pocs.iter().map(|p| p.chain_digests()).collect();
+        let items: Vec<(&PocMsg, &PocDigests)> = pocs.iter().copied().zip(digests.iter()).collect();
+        self.verify_batch_prehashed(&items)
+    }
+
+    /// [`verify_batch`](Self::verify_batch) over chains hashed elsewhere
+    /// (the pipelined service's hash stage).
+    pub fn verify_batch_prehashed(
+        &mut self,
+        items: &[(&PocMsg, &PocDigests)],
+    ) -> Vec<Result<Verdict, VerifyError>> {
+        let judged =
+            verify_poc_batch_prehashed(items, &self.plan, &self.edge_key, &self.operator_key);
+        items
+            .iter()
+            .zip(judged)
+            .map(|((poc, _), j)| {
+                let key = (poc.nonce_e, poc.nonce_o);
+                if self.seen.contains(&key) {
+                    self.rejected += 1;
+                    return Err(VerifyError::Replayed);
+                }
+                self.commit(poc, j)
+            })
+            .collect()
+    }
+
+    /// Applies one stateless verdict to the replay cache and counters.
+    fn commit(
+        &mut self,
+        poc: &PocMsg,
+        judged: Result<Verdict, VerifyError>,
+    ) -> Result<Verdict, VerifyError> {
+        let key = (poc.nonce_e, poc.nonce_o);
+        match judged {
             Ok(v) => {
                 if self.order.len() == self.capacity {
                     let oldest = self.order.pop_front().expect("capacity > 0");
@@ -425,6 +511,89 @@ mod tests {
         assert_eq!(v.capacity(), 2);
         assert_eq!(v.accepted(), 4);
         assert_eq!(v.rejected(), 3);
+    }
+
+    fn negotiate_with_nonces(
+        plan: &DataPlan,
+        edge: &KeyPair,
+        op: &KeyPair,
+        ne: u8,
+        no: u8,
+    ) -> PocMsg {
+        let mut e = Endpoint::new(
+            Role::Edge,
+            *plan,
+            Knowledge {
+                role: Role::Edge,
+                own_truth: 1000,
+                inferred_peer_truth: 800,
+            },
+            Box::new(OptimalStrategy),
+            edge.private.clone(),
+            op.public.clone(),
+            [ne; 16],
+            32,
+        );
+        let mut o = Endpoint::new(
+            Role::Operator,
+            *plan,
+            Knowledge {
+                role: Role::Operator,
+                own_truth: 800,
+                inferred_peer_truth: 1000,
+            },
+            Box::new(OptimalStrategy),
+            op.private.clone(),
+            edge.public.clone(),
+            [no; 16],
+            32,
+        );
+        run_negotiation(&mut o, &mut e).unwrap().0
+    }
+
+    #[test]
+    fn batch_verify_matches_sequential_walk_exactly() {
+        let plan = DataPlan::paper_default();
+        let edge = KeyPair::generate_for_seed(1024, 31).unwrap();
+        let op = KeyPair::generate_for_seed(1024, 32).unwrap();
+        let a = negotiate_with_nonces(&plan, &edge, &op, 1, 2);
+        let b = negotiate_with_nonces(&plan, &edge, &op, 3, 4);
+        let c = negotiate_with_nonces(&plan, &edge, &op, 5, 6);
+        let mut tampered = negotiate_with_nonces(&plan, &edge, &op, 7, 8);
+        tampered.charge += 1; // breaks the (signed) charge
+
+        // `a` duplicated after acceptance → Replayed; `tampered`
+        // duplicated after rejection → judged on its own (Signature).
+        let batch = [&a, &b, &a, &tampered, &c, &tampered];
+
+        let mut v_batch = Verifier::new(plan, edge.public.clone(), op.public.clone());
+        let got = v_batch.verify_batch(&batch);
+        let mut v_seq = Verifier::new(plan, edge.public.clone(), op.public.clone());
+        let want: Vec<_> = batch.iter().map(|p| v_seq.verify(p)).collect();
+        assert_eq!(got, want);
+        assert_eq!(v_batch.accepted(), v_seq.accepted());
+        assert_eq!(v_batch.rejected(), v_seq.rejected());
+        assert_eq!(v_batch.replay_window_len(), v_seq.replay_window_len());
+
+        assert!(got[0].is_ok() && got[1].is_ok() && got[4].is_ok());
+        assert_eq!(got[2], Err(VerifyError::Replayed));
+        assert!(matches!(got[3], Err(VerifyError::Signature(_))));
+        assert!(matches!(got[5], Err(VerifyError::Signature(_))));
+    }
+
+    #[test]
+    fn batch_rejects_cross_call_replays() {
+        let plan = DataPlan::paper_default();
+        let edge = KeyPair::generate_for_seed(1024, 31).unwrap();
+        let op = KeyPair::generate_for_seed(1024, 32).unwrap();
+        let a = negotiate_with_nonces(&plan, &edge, &op, 0x0A, 0x0B);
+        let b = negotiate_with_nonces(&plan, &edge, &op, 0x0C, 0x0D);
+        let mut v = Verifier::new(plan, edge.public.clone(), op.public.clone());
+        v.verify(&a).unwrap();
+        let got = v.verify_batch(&[&a, &b]);
+        assert_eq!(got[0], Err(VerifyError::Replayed));
+        assert!(got[1].is_ok());
+        assert_eq!((v.accepted(), v.rejected()), (2, 1));
     }
 
     #[test]

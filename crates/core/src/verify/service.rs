@@ -1,4 +1,4 @@
-//! A sharded, multi-threaded PoC verification service (§5.3.4).
+//! A sharded, pipelined, batch-native PoC verification service (§5.3.4).
 //!
 //! The paper sizes public verification at 230K PoCs/hour on a single
 //! workstation; a deployment (FCC, court, MVNO) verifies proofs for many
@@ -6,14 +6,24 @@
 //! threading of `examples/verifier_service.rs` into a first-class
 //! subsystem:
 //!
-//! * **N worker threads** over crossbeam channels, one submission queue
-//!   per worker;
 //! * **relationship-sharded state** — every relationship is pinned to
 //!   exactly one shard, so each [`Verifier`] (and in particular its
 //!   replay cache) is owned by a single thread and never shared or
 //!   locked. Replay detection stays exact because a given relationship's
 //!   proofs all land on the same shard;
-//! * **batch submission** with tagged results and per-shard statistics.
+//! * **a two-stage pipeline per shard** — a *hash* worker decodes and
+//!   SHA-256-hashes each chain ([`PocMsg::chain_digests`]) and hands the
+//!   prepared proof over a bounded queue to a *signature* worker, so
+//!   hashing of proof `i+1` overlaps the RSA work of proof `i`;
+//! * **signature batching** — the signature worker accumulates prepared
+//!   proofs per relationship and verifies them through the multi-lane
+//!   RSA kernel ([`Verifier::verify_batch_prehashed`]). A batch flushes
+//!   when it reaches [`ServiceConfig::batch_size`] or when its oldest
+//!   entry has waited [`ServiceConfig::flush_deadline`], so a trickle of
+//!   submissions still completes promptly. Results for a relationship
+//!   are always delivered in submission order, and the replay-cache
+//!   semantics are exactly those of sequential [`Verifier::verify`]
+//!   calls.
 //!
 //! Registering the same `(plan, edge key, operator key)` relationship
 //! twice yields the same [`RelationshipId`] — the registry deduplicates,
@@ -22,9 +32,9 @@
 //! caches).
 
 use super::{Verdict, Verifier, VerifyError, DEFAULT_REPLAY_CAPACITY};
-use crate::messages::PocMsg;
+use crate::messages::{PocDigests, PocMsg};
 use crate::plan::DataPlan;
-use crossbeam::channel::{self, Receiver, Sender};
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -43,7 +53,34 @@ impl RelationshipId {
     }
 }
 
-/// Work items sent to a shard worker.
+/// Tuning knobs for the pipelined service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Shard count; each shard runs a hash thread and a signature thread.
+    pub workers: usize,
+    /// Proofs per relationship accumulated before a signature batch is
+    /// verified (the multi-lane kernel saturates around 32).
+    pub batch_size: usize,
+    /// Longest a prepared proof may wait for its batch to fill before
+    /// the partial batch is flushed anyway.
+    pub flush_deadline: Duration,
+    /// Capacity of the bounded hash→signature queue per shard; bounds
+    /// memory and applies backpressure to the hash stage.
+    pub stage_queue_depth: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 1,
+            batch_size: 32,
+            flush_deadline: Duration::from_millis(2),
+            stage_queue_depth: 256,
+        }
+    }
+}
+
+/// Work items sent to a shard's hash worker.
 #[derive(Debug)]
 enum Job {
     Register {
@@ -57,6 +94,28 @@ enum Job {
         rel: RelationshipId,
         tag: u64,
         poc: PocMsg,
+    },
+}
+
+/// Items flowing from a shard's hash stage to its signature stage.
+// `Prepared` dwarfs `Register`, but it is also ~all of the traffic:
+// boxing it would buy nothing on the rare variant and cost one heap
+// round trip per verified proof.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum StageMsg {
+    Register {
+        rel: RelationshipId,
+        plan: DataPlan,
+        edge_key: PublicKey,
+        operator_key: PublicKey,
+        capacity: usize,
+    },
+    Prepared {
+        rel: RelationshipId,
+        tag: u64,
+        poc: PocMsg,
+        digests: PocDigests,
     },
 }
 
@@ -86,6 +145,10 @@ pub struct ShardStats {
     pub rejected: u64,
     /// Rejections that were replays specifically.
     pub replayed: u64,
+    /// Signature batches verified (including partial flushes).
+    pub batches: u64,
+    /// Batches flushed because the deadline expired before they filled.
+    pub deadline_flushes: u64,
 }
 
 /// Aggregate report returned by [`VerifierService::finish`].
@@ -99,13 +162,15 @@ pub struct ServiceReport {
     pub rejected: u64,
     /// Total replays rejected across shards.
     pub replayed: u64,
+    /// Total signature batches verified across shards.
+    pub batches: u64,
     /// Wall-clock time from the first submission to shutdown.
     pub elapsed: Duration,
     /// Throughput over `elapsed`, comparable to the paper's 230K/hour.
     pub pocs_per_hour: f64,
 }
 
-/// A pool of shard workers verifying PoCs in parallel.
+/// A pool of pipelined shard workers verifying PoCs in batches.
 ///
 /// ```no_run
 /// # use tlc_core::verify::service::VerifierService;
@@ -118,7 +183,7 @@ pub struct ServiceReport {
 /// let report = svc.finish();
 /// ```
 pub struct VerifierService {
-    workers: usize,
+    config: ServiceConfig,
     job_txs: Vec<Sender<Job>>,
     result_rx: Receiver<SubmissionResult>,
     stats_rx: Receiver<ShardStats>,
@@ -132,24 +197,41 @@ pub struct VerifierService {
 }
 
 impl VerifierService {
-    /// Spawns `workers` shard threads (at least one).
+    /// Spawns `workers` pipelined shards (at least one) with default
+    /// batching parameters.
     pub fn new(workers: usize) -> Self {
-        let workers = workers.max(1);
+        Self::with_config(ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        })
+    }
+
+    /// Spawns a service with explicit [`ServiceConfig`] knobs.
+    pub fn with_config(config: ServiceConfig) -> Self {
+        let config = ServiceConfig {
+            workers: config.workers.max(1),
+            batch_size: config.batch_size.max(1),
+            flush_deadline: config.flush_deadline,
+            stage_queue_depth: config.stage_queue_depth.max(1),
+        };
         let (result_tx, result_rx) = channel::unbounded::<SubmissionResult>();
         let (stats_tx, stats_rx) = channel::unbounded::<ShardStats>();
-        let mut job_txs = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
-        for shard in 0..workers {
-            let (tx, rx) = channel::unbounded::<Job>();
-            job_txs.push(tx);
+        let mut job_txs = Vec::with_capacity(config.workers);
+        let mut handles = Vec::with_capacity(config.workers * 2);
+        for shard in 0..config.workers {
+            let (job_tx, job_rx) = channel::unbounded::<Job>();
+            let (stage_tx, stage_rx) = channel::bounded::<StageMsg>(config.stage_queue_depth);
+            job_txs.push(job_tx);
             let result_tx = result_tx.clone();
             let stats_tx = stats_tx.clone();
+            handles.push(std::thread::spawn(move || hash_worker(job_rx, stage_tx)));
+            let (batch_size, deadline) = (config.batch_size, config.flush_deadline);
             handles.push(std::thread::spawn(move || {
-                shard_worker(shard, rx, result_tx, stats_tx)
+                signature_worker(shard, batch_size, deadline, stage_rx, result_tx, stats_tx)
             }));
         }
         VerifierService {
-            workers,
+            config,
             job_txs,
             result_rx,
             stats_rx,
@@ -162,9 +244,14 @@ impl VerifierService {
         }
     }
 
-    /// Worker threads backing the service.
+    /// Worker shards backing the service.
     pub fn workers(&self) -> usize {
-        self.workers
+        self.config.workers
+    }
+
+    /// The batching configuration in effect.
+    pub fn config(&self) -> ServiceConfig {
+        self.config
     }
 
     /// Registers a relationship with the
@@ -197,7 +284,7 @@ impl VerifierService {
         let rel = RelationshipId(self.next_rel);
         self.next_rel += 1;
         bucket.push((plan, rel));
-        self.job_txs[rel.shard(self.workers)]
+        self.job_txs[rel.shard(self.config.workers)]
             .send(Job::Register {
                 rel,
                 plan,
@@ -217,7 +304,7 @@ impl VerifierService {
         self.next_tag += 1;
         self.first_submit.get_or_insert_with(Instant::now);
         self.outstanding += 1;
-        self.job_txs[rel.shard(self.workers)]
+        self.job_txs[rel.shard(self.config.workers)]
             .send(Job::Verify { rel, tag, poc })
             .expect("shard worker alive");
         tag
@@ -240,7 +327,7 @@ impl VerifierService {
     }
 
     /// Blocks until every submitted proof has a result and returns them
-    /// (unordered across shards).
+    /// (unordered across shards; per relationship, in submission order).
     pub fn collect_results(&mut self) -> Vec<SubmissionResult> {
         let mut out = Vec::with_capacity(self.outstanding);
         while self.outstanding > 0 {
@@ -251,17 +338,18 @@ impl VerifierService {
         out
     }
 
-    /// Shuts the pool down: drains remaining work, joins the workers, and
-    /// aggregates per-shard statistics.
+    /// Shuts the pool down: drains remaining work (flushing partial
+    /// batches), joins the workers, and aggregates per-shard statistics.
     pub fn finish(mut self) -> ServiceReport {
         let started = self.first_submit.take();
-        // Close the submission queues; workers drain and report stats.
+        // Close the submission queues; hash workers drain and hang up on
+        // the signature workers, which flush their partial batches.
         self.job_txs.clear();
         for h in self.handles.drain(..) {
             h.join().expect("shard worker panicked");
         }
         let elapsed = started.map(|t| t.elapsed()).unwrap_or_default();
-        let mut shards: Vec<ShardStats> = Vec::with_capacity(self.workers);
+        let mut shards: Vec<ShardStats> = Vec::with_capacity(self.config.workers);
         while let Ok(s) = self.stats_rx.recv() {
             shards.push(s);
         }
@@ -269,7 +357,8 @@ impl VerifierService {
         let accepted = shards.iter().map(|s| s.accepted).sum();
         let rejected = shards.iter().map(|s| s.rejected).sum();
         let replayed = shards.iter().map(|s| s.replayed).sum();
-        let processed = accepted + rejected;
+        let batches = shards.iter().map(|s| s.batches).sum();
+        let processed: u64 = accepted + rejected;
         let pocs_per_hour = if elapsed.as_secs_f64() > 0.0 {
             processed as f64 / elapsed.as_secs_f64() * 3600.0
         } else {
@@ -280,27 +369,125 @@ impl VerifierService {
             accepted,
             rejected,
             replayed,
+            batches,
             elapsed,
             pocs_per_hour,
         }
     }
 }
 
-/// One shard: owns the `Verifier` (and replay cache) of every
-/// relationship pinned to it; no locks, no sharing.
-fn shard_worker(
+/// Stage 1 of a shard: decode/hash. Chain digests are pure functions of
+/// the proof bytes, so computing them here (before the replay check on
+/// the signature stage) cannot change any verdict.
+fn hash_worker(jobs: Receiver<Job>, stage: Sender<StageMsg>) {
+    while let Ok(job) = jobs.recv() {
+        let msg = match job {
+            Job::Register {
+                rel,
+                plan,
+                edge_key,
+                operator_key,
+                capacity,
+            } => StageMsg::Register {
+                rel,
+                plan,
+                edge_key,
+                operator_key,
+                capacity,
+            },
+            Job::Verify { rel, tag, poc } => {
+                let digests = poc.chain_digests();
+                StageMsg::Prepared {
+                    rel,
+                    tag,
+                    poc,
+                    digests,
+                }
+            }
+        };
+        if stage.send(msg).is_err() {
+            // Signature stage gone (service torn down mid-flight).
+            return;
+        }
+    }
+}
+
+/// A signature batch accumulating for one relationship.
+struct PendingBatch {
+    /// When the oldest entry was enqueued (deadline base).
+    since: Instant,
+    tags: Vec<u64>,
+    items: Vec<(PocMsg, PocDigests)>,
+}
+
+struct ShardCounters {
+    accepted: u64,
+    rejected: u64,
+    replayed: u64,
+    batches: u64,
+    deadline_flushes: u64,
+}
+
+/// Stage 2 of a shard: owns the `Verifier` (and replay cache) of every
+/// relationship pinned to it; no locks, no sharing. Accumulates prepared
+/// proofs into per-relationship batches and verifies them through the
+/// multi-lane RSA kernel.
+fn signature_worker(
     shard: usize,
-    jobs: Receiver<Job>,
+    batch_size: usize,
+    flush_deadline: Duration,
+    stage: Receiver<StageMsg>,
     results: Sender<SubmissionResult>,
     stats: Sender<ShardStats>,
 ) {
     let mut verifiers: HashMap<RelationshipId, Verifier> = HashMap::new();
-    let mut accepted = 0u64;
-    let mut rejected = 0u64;
-    let mut replayed = 0u64;
-    while let Ok(job) = jobs.recv() {
-        match job {
-            Job::Register {
+    let mut pending: HashMap<RelationshipId, PendingBatch> = HashMap::new();
+    let mut counters = ShardCounters {
+        accepted: 0,
+        rejected: 0,
+        replayed: 0,
+        batches: 0,
+        deadline_flushes: 0,
+    };
+    loop {
+        let msg = if pending.is_empty() {
+            match stage.recv() {
+                Ok(m) => m,
+                Err(_) => break,
+            }
+        } else {
+            let now = Instant::now();
+            let earliest = pending.values().map(|p| p.since).min().expect("non-empty");
+            let deadline = earliest + flush_deadline;
+            if deadline <= now {
+                flush_due(
+                    shard,
+                    flush_deadline,
+                    &mut pending,
+                    &mut verifiers,
+                    &results,
+                    &mut counters,
+                );
+                continue;
+            }
+            match stage.recv_timeout(deadline - now) {
+                Ok(m) => m,
+                Err(RecvTimeoutError::Timeout) => {
+                    flush_due(
+                        shard,
+                        flush_deadline,
+                        &mut pending,
+                        &mut verifiers,
+                        &results,
+                        &mut counters,
+                    );
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        };
+        match msg {
+            StageMsg::Register {
                 rel,
                 plan,
                 edge_key,
@@ -311,37 +498,102 @@ fn shard_worker(
                     Verifier::with_capacity(plan, edge_key, operator_key, capacity)
                 });
             }
-            Job::Verify { rel, tag, poc } => {
-                let verifier = verifiers
-                    .get_mut(&rel)
-                    .expect("register precedes submit on the same queue");
-                let result = verifier.verify(&poc);
-                match &result {
-                    Ok(_) => accepted += 1,
-                    Err(VerifyError::Replayed) => {
-                        rejected += 1;
-                        replayed += 1;
-                    }
-                    Err(_) => rejected += 1,
-                }
-                // The receiver may have been dropped by an aborting
-                // caller; losing the result then is fine.
-                let _ = results.send(SubmissionResult {
-                    relationship: rel,
-                    tag,
-                    shard,
-                    result,
+            StageMsg::Prepared {
+                rel,
+                tag,
+                poc,
+                digests,
+            } => {
+                let batch = pending.entry(rel).or_insert_with(|| PendingBatch {
+                    since: Instant::now(),
+                    tags: Vec::with_capacity(batch_size),
+                    items: Vec::with_capacity(batch_size),
                 });
+                batch.tags.push(tag);
+                batch.items.push((poc, digests));
+                if batch.items.len() >= batch_size {
+                    let batch = pending.remove(&rel).expect("just inserted");
+                    flush_batch(shard, rel, batch, &mut verifiers, &results, &mut counters);
+                }
             }
         }
+    }
+    // Hash stage hung up: flush whatever is still pending, in stable
+    // (relationship id) order for determinism.
+    let mut leftover: Vec<(RelationshipId, PendingBatch)> = pending.drain().collect();
+    leftover.sort_by_key(|(rel, _)| *rel);
+    for (rel, batch) in leftover {
+        flush_batch(shard, rel, batch, &mut verifiers, &results, &mut counters);
     }
     let _ = stats.send(ShardStats {
         shard,
         relationships: verifiers.len(),
-        accepted,
-        rejected,
-        replayed,
+        accepted: counters.accepted,
+        rejected: counters.rejected,
+        replayed: counters.replayed,
+        batches: counters.batches,
+        deadline_flushes: counters.deadline_flushes,
     });
+}
+
+/// Flushes every pending batch whose oldest entry has exceeded the
+/// deadline.
+fn flush_due(
+    shard: usize,
+    flush_deadline: Duration,
+    pending: &mut HashMap<RelationshipId, PendingBatch>,
+    verifiers: &mut HashMap<RelationshipId, Verifier>,
+    results: &Sender<SubmissionResult>,
+    counters: &mut ShardCounters,
+) {
+    let now = Instant::now();
+    let mut due: Vec<RelationshipId> = pending
+        .iter()
+        .filter(|(_, b)| b.since + flush_deadline <= now)
+        .map(|(rel, _)| *rel)
+        .collect();
+    due.sort();
+    for rel in due {
+        let batch = pending.remove(&rel).expect("selected above");
+        counters.deadline_flushes += 1;
+        flush_batch(shard, rel, batch, verifiers, results, counters);
+    }
+}
+
+/// Verifies one accumulated batch and emits its results in submission
+/// order.
+fn flush_batch(
+    shard: usize,
+    rel: RelationshipId,
+    batch: PendingBatch,
+    verifiers: &mut HashMap<RelationshipId, Verifier>,
+    results: &Sender<SubmissionResult>,
+    counters: &mut ShardCounters,
+) {
+    let verifier = verifiers
+        .get_mut(&rel)
+        .expect("register precedes submit on the same queue");
+    let items: Vec<(&PocMsg, &PocDigests)> = batch.items.iter().map(|(p, d)| (p, d)).collect();
+    let verdicts = verifier.verify_batch_prehashed(&items);
+    counters.batches += 1;
+    for (tag, result) in batch.tags.into_iter().zip(verdicts) {
+        match &result {
+            Ok(_) => counters.accepted += 1,
+            Err(VerifyError::Replayed) => {
+                counters.rejected += 1;
+                counters.replayed += 1;
+            }
+            Err(_) => counters.rejected += 1,
+        }
+        // The receiver may have been dropped by an aborting caller;
+        // losing the result then is fine.
+        let _ = results.send(SubmissionResult {
+            relationship: rel,
+            tag,
+            shard,
+            result,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -438,7 +690,9 @@ mod tests {
         // proof submitted once per handle. Dedup pins both handles to
         // one shard-local cache, so exactly one submission is accepted
         // and the other rejected as a replay — never two acceptances
-        // from two shards with independent caches.
+        // from two shards with independent caches. With batching the
+        // two submissions may even land in the same signature batch;
+        // the sequential-walk replay semantics still hold.
         let plan = DataPlan::paper_default();
         let edge = KeyPair::generate_for_seed(1024, 7200).unwrap();
         let op = KeyPair::generate_for_seed(1024, 7201).unwrap();
@@ -513,5 +767,138 @@ mod tests {
         assert_eq!(tags, vec![0, 1]);
         assert!(results.iter().all(|r| r.result.is_ok()));
         svc.finish();
+    }
+
+    #[test]
+    fn size_triggered_flush_fills_batches() {
+        // With a long deadline, only the size trigger can flush — so
+        // results arriving at all proves the size path works, and the
+        // stats must show full batches with no deadline flushes before
+        // shutdown.
+        let plan = DataPlan::paper_default();
+        let edge = KeyPair::generate_for_seed(1024, 7500).unwrap();
+        let op = KeyPair::generate_for_seed(1024, 7501).unwrap();
+        let mut svc = VerifierService::with_config(ServiceConfig {
+            workers: 1,
+            batch_size: 4,
+            flush_deadline: Duration::from_secs(600),
+            stage_queue_depth: 16,
+        });
+        let rel = svc.register(plan, edge.public.clone(), op.public.clone());
+        for i in 0..8u8 {
+            let poc = negotiate(&edge, &op, plan, 2 * i + 1, 2 * i + 2);
+            svc.submit(rel, poc);
+        }
+        let results = svc.collect_results();
+        assert_eq!(results.len(), 8);
+        assert!(results.iter().all(|r| r.result.is_ok()));
+        let report = svc.finish();
+        assert_eq!(report.accepted, 8);
+        assert_eq!(report.batches, 2);
+        assert_eq!(report.shards[0].deadline_flushes, 0);
+    }
+
+    #[test]
+    fn deadline_flush_preserves_submission_order() {
+        // Fewer proofs than a batch: only the deadline can flush them.
+        let plan = DataPlan::paper_default();
+        let edge = KeyPair::generate_for_seed(1024, 7600).unwrap();
+        let op = KeyPair::generate_for_seed(1024, 7601).unwrap();
+        let mut svc = VerifierService::with_config(ServiceConfig {
+            workers: 1,
+            batch_size: 64,
+            flush_deadline: Duration::from_millis(5),
+            stage_queue_depth: 16,
+        });
+        let rel = svc.register(plan, edge.public.clone(), op.public.clone());
+        let mut tags = Vec::new();
+        for i in 0..3u8 {
+            let poc = negotiate(&edge, &op, plan, 2 * i + 1, 2 * i + 2);
+            tags.push(svc.submit(rel, poc));
+        }
+        let results = svc.collect_results();
+        // Per relationship, results come back in submission order.
+        let seen: Vec<u64> = results.iter().map(|r| r.tag).collect();
+        assert_eq!(seen, tags);
+        assert!(results.iter().all(|r| r.result.is_ok()));
+        let report = svc.finish();
+        assert_eq!(report.accepted, 3);
+        assert!(report.shards[0].deadline_flushes >= 1);
+    }
+
+    #[test]
+    fn concurrent_batches_across_relationships_stay_pinned_and_ordered() {
+        // Several relationships interleaved under small batches: every
+        // result must land on its relationship's shard, and each
+        // relationship's results must arrive in submission order even
+        // though batches from different relationships flush concurrently.
+        let plan = DataPlan::paper_default();
+        let mut svc = VerifierService::with_config(ServiceConfig {
+            workers: 3,
+            batch_size: 2,
+            flush_deadline: Duration::from_millis(2),
+            stage_queue_depth: 8,
+        });
+        let mut expected: HashMap<RelationshipId, Vec<u64>> = HashMap::new();
+        for i in 0..3u64 {
+            let edge = KeyPair::generate_for_seed(1024, 7700 + i * 2).unwrap();
+            let op = KeyPair::generate_for_seed(1024, 7701 + i * 2).unwrap();
+            let rel = svc.register(plan, edge.public.clone(), op.public.clone());
+            for j in 0..4u8 {
+                let poc = negotiate(
+                    &edge,
+                    &op,
+                    plan,
+                    8 * i as u8 + 2 * j + 1,
+                    8 * i as u8 + 2 * j + 2,
+                );
+                let tag = svc.submit(rel, poc);
+                expected.entry(rel).or_default().push(tag);
+            }
+        }
+        let results = svc.collect_results();
+        assert_eq!(results.len(), 12);
+        assert!(results.iter().all(|r| r.result.is_ok()));
+        let mut got: HashMap<RelationshipId, Vec<u64>> = HashMap::new();
+        for r in &results {
+            assert_eq!(r.shard, r.relationship.shard(3));
+            got.entry(r.relationship).or_default().push(r.tag);
+        }
+        assert_eq!(got, expected);
+        let report = svc.finish();
+        assert_eq!(report.accepted, 12);
+        assert!(report.batches >= 6, "12 proofs at batch size 2");
+    }
+
+    #[test]
+    fn replay_rejected_within_and_across_batches() {
+        let plan = DataPlan::paper_default();
+        let edge = KeyPair::generate_for_seed(1024, 7800).unwrap();
+        let op = KeyPair::generate_for_seed(1024, 7801).unwrap();
+        let fresh = negotiate(&edge, &op, plan, 0x51, 0x52);
+        let other = negotiate(&edge, &op, plan, 0x53, 0x54);
+        let mut svc = VerifierService::with_config(ServiceConfig {
+            workers: 1,
+            batch_size: 3,
+            flush_deadline: Duration::from_millis(2),
+            stage_queue_depth: 8,
+        });
+        let rel = svc.register(plan, edge.public.clone(), op.public.clone());
+        // One batch of [fresh, fresh, other]: within-batch replay.
+        let t0 = svc.submit(rel, fresh.clone());
+        let t1 = svc.submit(rel, fresh.clone());
+        let t2 = svc.submit(rel, other);
+        let first = svc.collect_results();
+        // A later submission of the same proof: cross-batch replay.
+        let t3 = svc.submit(rel, fresh);
+        let second = svc.collect_results();
+        let all: Vec<_> = first.iter().chain(second.iter()).collect();
+        let by_tag = |t: u64| all.iter().find(|r| r.tag == t).unwrap();
+        assert!(by_tag(t0).result.is_ok());
+        assert_eq!(by_tag(t1).result, Err(VerifyError::Replayed));
+        assert!(by_tag(t2).result.is_ok());
+        assert_eq!(by_tag(t3).result, Err(VerifyError::Replayed));
+        let report = svc.finish();
+        assert_eq!((report.accepted, report.replayed), (2, 2));
     }
 }

@@ -1,0 +1,288 @@
+//! 8-lane batched modular exponentiation for 1024-bit moduli using
+//! AVX-512 IFMA (`vpmadd52{lo,hi}uq`).
+//!
+//! This is the multi-buffer RSA technique from Gueron & Krasnov's
+//! vectorized modular arithmetic line of work: operands are recoded into
+//! radix-2^52 (20 digits for a 1024-bit modulus), eight independent
+//! exponentiations ride in the eight 64-bit elements of a `__m512i`, and
+//! every digit-by-digit product uses the 52-bit fused multiply-add
+//! instructions. The almost-Montgomery multiplication (AMM) step keeps
+//! per-digit accumulators in redundant (unnormalized) 64-bit containers
+//! so no carry propagates inside the hot loop; one short vectorized
+//! carry-propagation pass renormalizes per AMM.
+//!
+//! Values travel the exponentiation chain in the almost-reduced range
+//! `[0, 2M)` (valid because `R = 2^1040 > 4M` for a 1024-bit `M`); only
+//! the final conversion out of Montgomery form fully reduces, so results
+//! are bit-for-bit the canonical `base^exp mod M` the scalar kernels
+//! produce.
+//!
+//! Everything here is runtime-gated: [`available`] reports whether the
+//! CPU has AVX-512 IFMA, and `MontgomeryCtx::modpow_batch`
+//! (`crate::montgomery`) only routes full blocks of [`IFMA_LANES`] here
+//! when it does. On other architectures this module compiles to a stub
+//! that reports unavailability.
+
+#[cfg(target_arch = "x86_64")]
+pub use imp::{available, IfmaCtx1024};
+
+#[cfg(not(target_arch = "x86_64"))]
+pub use stub::{available, IfmaCtx1024};
+
+/// Number of exponentiations carried per IFMA batch (one per 64-bit
+/// element of a 512-bit vector).
+pub const IFMA_LANES: usize = 8;
+
+/// Radix-2^52 digits in a 1024-bit operand (`ceil(1040 / 52)`).
+pub const DIGITS: usize = 20;
+
+#[cfg(target_arch = "x86_64")]
+mod imp {
+    use super::{DIGITS, IFMA_LANES};
+    use crate::bigint::BigUint;
+    use core::arch::x86_64::{
+        __m512i, _mm512_add_epi64, _mm512_and_si512, _mm512_madd52hi_epu64, _mm512_madd52lo_epu64,
+        _mm512_set1_epi64, _mm512_setzero_si512, _mm512_srli_epi64,
+    };
+    use std::cmp::Ordering;
+
+    const MASK52: u64 = (1u64 << 52) - 1;
+
+    /// True when the running CPU can execute the IFMA kernels.
+    pub fn available() -> bool {
+        std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx512ifma")
+    }
+
+    /// Per-modulus constants for the 8-lane 1024-bit IFMA path, derived
+    /// once per key (cached inside `MontgomeryCtx`).
+    pub struct IfmaCtx1024 {
+        /// Modulus in radix-2^52.
+        m: [u64; DIGITS],
+        /// `2^(2·52·DIGITS) mod m` in radix-2^52: the Montgomery-entry
+        /// constant for `R = 2^1040`.
+        r2: [u64; DIGITS],
+        /// `-m^{-1} mod 2^52`.
+        k0: u64,
+        /// The modulus as a `BigUint` for the final exact reduction.
+        modulus: BigUint,
+    }
+
+    /// Slices a little-endian u64 limb array into radix-2^52 digits.
+    fn to_digits52(limbs: &[u64]) -> [u64; DIGITS] {
+        let mut out = [0u64; DIGITS];
+        for (d, digit) in out.iter_mut().enumerate() {
+            let bit = 52 * d;
+            let idx = bit / 64;
+            let off = bit % 64;
+            let mut v = limbs.get(idx).copied().unwrap_or(0) >> off;
+            if off > 12 {
+                v |= limbs.get(idx + 1).copied().unwrap_or(0) << (64 - off);
+            }
+            *digit = v & MASK52;
+        }
+        out
+    }
+
+    /// Reassembles radix-2^52 digits into a normalized `BigUint`.
+    fn from_digits52(digits: &[u64; DIGITS]) -> BigUint {
+        let mut limbs = vec![0u64; (52 * DIGITS).div_ceil(64)];
+        for (d, &digit) in digits.iter().enumerate() {
+            let bit = 52 * d;
+            let idx = bit / 64;
+            let off = bit % 64;
+            limbs[idx] |= digit << off;
+            if off > 12 {
+                limbs[idx + 1] |= digit >> (64 - off);
+            }
+        }
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// `__m512i` ↔ lane-array views (pure reinterpretation, no AVX
+    /// instruction involved).
+    fn lanes_of(v: __m512i) -> [u64; IFMA_LANES] {
+        // SAFETY: __m512i and [u64; 8] have identical size and layout.
+        unsafe { core::mem::transmute::<__m512i, [u64; IFMA_LANES]>(v) }
+    }
+
+    fn vec_of(lanes: [u64; IFMA_LANES]) -> __m512i {
+        // SAFETY: __m512i and [u64; 8] have identical size and layout.
+        unsafe { core::mem::transmute::<[u64; IFMA_LANES], __m512i>(lanes) }
+    }
+
+    impl IfmaCtx1024 {
+        /// Builds the constants for an odd 16-limb (1024-bit) modulus.
+        /// `n_prime64` is `-modulus^{-1} mod 2^64` from the scalar
+        /// Montgomery context; its low 52 bits are the radix-2^52
+        /// reduction factor.
+        pub fn new(modulus: &BigUint, n_prime64: u64) -> Self {
+            debug_assert_eq!(modulus.limbs.len(), 16);
+            let m = to_digits52(&modulus.limbs);
+            let r2_big = BigUint::one().shl(2 * 52 * DIGITS).rem(modulus);
+            let mut r2_limbs = r2_big.limbs.clone();
+            r2_limbs.resize(16, 0);
+            let r2 = to_digits52(&r2_limbs);
+            IfmaCtx1024 {
+                m,
+                r2,
+                k0: n_prime64 & MASK52,
+                modulus: modulus.clone(),
+            }
+        }
+
+        /// Computes `bases[l]^exp mod m` for exactly [`IFMA_LANES`] bases,
+        /// each already reduced below the modulus. `exp` must be nonzero.
+        pub fn modpow8(&self, bases: &[BigUint], exp: &BigUint) -> Vec<BigUint> {
+            debug_assert_eq!(bases.len(), IFMA_LANES);
+            debug_assert!(!exp.is_zero());
+            // SAFETY: callers only construct IfmaCtx1024 after
+            // `available()` confirmed AVX-512F + IFMA at runtime.
+            unsafe { self.modpow8_inner(bases, exp) }
+        }
+
+        #[target_feature(enable = "avx512f,avx512ifma")]
+        unsafe fn modpow8_inner(&self, bases: &[BigUint], exp: &BigUint) -> Vec<BigUint> {
+            let zero = _mm512_setzero_si512();
+
+            // Transpose the 8 operands into digit-major vectors: a[d]
+            // holds digit d of every lane.
+            let mut lane_digits = [[0u64; DIGITS]; IFMA_LANES];
+            for (l, base) in bases.iter().enumerate() {
+                debug_assert!(base.cmp_to(&self.modulus) == Ordering::Less);
+                let mut limbs = base.limbs.clone();
+                limbs.resize(16, 0);
+                lane_digits[l] = to_digits52(&limbs);
+            }
+            let a: [__m512i; DIGITS] = core::array::from_fn(|d| {
+                let mut lanes = [0u64; IFMA_LANES];
+                for (l, ld) in lane_digits.iter().enumerate() {
+                    lanes[l] = ld[d];
+                }
+                vec_of(lanes)
+            });
+
+            let m: [__m512i; DIGITS] =
+                core::array::from_fn(|d| _mm512_set1_epi64(self.m[d] as i64));
+            let r2: [__m512i; DIGITS] =
+                core::array::from_fn(|d| _mm512_set1_epi64(self.r2[d] as i64));
+            let k0 = _mm512_set1_epi64(self.k0 as i64);
+
+            // Into Montgomery form, then a left-to-right binary ladder
+            // (the same schedule as the scalar short-exponent path).
+            let base_m = amm(&a, &r2, &m, k0);
+            let mut acc = base_m;
+            let bits = exp.bit_len();
+            for i in (0..bits - 1).rev() {
+                acc = amm(&acc, &acc, &m, k0);
+                if exp.bit(i) {
+                    acc = amm(&acc, &base_m, &m, k0);
+                }
+            }
+
+            // Out of Montgomery form: multiply by 1.
+            let mut one = [zero; DIGITS];
+            one[0] = _mm512_set1_epi64(1);
+            let plain = amm(&acc, &one, &m, k0);
+
+            // Exact reduction per lane: AMM leaves values almost reduced.
+            (0..IFMA_LANES)
+                .map(|l| {
+                    let mut digits = [0u64; DIGITS];
+                    for (d, digit_vec) in plain.iter().enumerate() {
+                        digits[d] = lanes_of(*digit_vec)[l];
+                    }
+                    let mut v = from_digits52(&digits);
+                    while v.cmp_to(&self.modulus) != Ordering::Less {
+                        v = v.sub(&self.modulus);
+                    }
+                    v
+                })
+                .collect()
+        }
+    }
+
+    /// One almost-Montgomery multiplication over all 8 lanes:
+    /// `AMM(a, b) = a·b·2^(-52·DIGITS) mod m`, result in `[0, 2m)` with
+    /// normalized 52-bit digits. Inputs must have 52-bit digits and value
+    /// `< 2m`.
+    ///
+    /// Accumulators are redundant 64-bit containers: each of the `DIGITS`
+    /// rounds adds at most four sub-2^52 terms per container before the
+    /// one-digit shift, so containers peak well below 2^63 and no carry
+    /// propagates inside the hot loop.
+    #[target_feature(enable = "avx512f,avx512ifma")]
+    fn amm(
+        a: &[__m512i; DIGITS],
+        b: &[__m512i; DIGITS],
+        m: &[__m512i; DIGITS],
+        k0: __m512i,
+    ) -> [__m512i; DIGITS] {
+        let zero = _mm512_setzero_si512();
+        let mut r = [zero; DIGITS + 1];
+        for &bi in b.iter().take(DIGITS) {
+            // r += a * b[i]
+            for j in 0..DIGITS {
+                r[j] = _mm512_madd52lo_epu64(r[j], a[j], bi);
+                r[j + 1] = _mm512_madd52hi_epu64(r[j + 1], a[j], bi);
+            }
+            // y = r[0] · (-m^{-1}) mod 2^52; adding m·y zeroes the low
+            // digit (mod 2^52).
+            let y = _mm512_madd52lo_epu64(zero, r[0], k0);
+            for j in 0..DIGITS {
+                r[j] = _mm512_madd52lo_epu64(r[j], m[j], y);
+                r[j + 1] = _mm512_madd52hi_epu64(r[j + 1], m[j], y);
+            }
+            // Divide by 2^52: digit 0's container is ≡ 0 mod 2^52, so
+            // only its upper bits carry into the next digit.
+            let carry = _mm512_srli_epi64::<52>(r[0]);
+            r[0] = _mm512_add_epi64(r[1], carry);
+            for j in 1..DIGITS {
+                r[j] = r[j + 1];
+            }
+            r[DIGITS] = zero;
+        }
+        // Renormalize the redundant containers to 52-bit digits.
+        let mask = _mm512_set1_epi64(MASK52 as i64);
+        let mut out = [zero; DIGITS];
+        let mut carry = zero;
+        for (j, slot) in out.iter_mut().enumerate() {
+            let v = _mm512_add_epi64(r[j], carry);
+            *slot = _mm512_and_si512(v, mask);
+            carry = _mm512_srli_epi64::<52>(v);
+        }
+        // The value is < 2m < 2^1040, so nothing carries out of the top
+        // digit.
+        debug_assert_eq!(lanes_of(carry), [0u64; IFMA_LANES]);
+        out
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod stub {
+    use crate::bigint::BigUint;
+
+    /// IFMA is an x86-64 extension; never available elsewhere.
+    pub fn available() -> bool {
+        false
+    }
+
+    /// Uninhabited on non-x86-64 targets: `available()` is false, so the
+    /// dispatcher never constructs one.
+    pub struct IfmaCtx1024 {
+        never: core::convert::Infallible,
+    }
+
+    impl IfmaCtx1024 {
+        pub fn new(_modulus: &BigUint, _n_prime64: u64) -> Self {
+            unreachable!("IFMA context constructed on non-x86-64 target")
+        }
+
+        pub fn modpow8(&self, _bases: &[BigUint], _exp: &BigUint) -> Vec<BigUint> {
+            match self.never {}
+        }
+    }
+}

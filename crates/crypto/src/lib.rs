@@ -45,6 +45,7 @@ pub mod bigint;
 pub mod encoding;
 pub mod error;
 pub mod hmac;
+pub mod ifma;
 pub mod montgomery;
 pub mod pkcs1;
 pub mod prime;

@@ -21,7 +21,16 @@ const SHA256_DIGEST_INFO_PREFIX: [u8; 19] = [
 
 /// EMSA-PKCS1-v1_5 encoding of a SHA-256 digest into `em_len` bytes.
 fn emsa_encode(message: &[u8], em_len: usize) -> Result<Vec<u8>, CryptoError> {
-    let digest = sha256::digest(message);
+    emsa_encode_digest(&sha256::digest(message), em_len)
+}
+
+/// EMSA-PKCS1-v1_5 encoding of an already-computed SHA-256 digest — the
+/// second half of [`emsa_encode`], split out so pipelined verifiers can
+/// hash in one stage and encode/compare in another.
+fn emsa_encode_digest(
+    digest: &[u8; sha256::DIGEST_LEN],
+    em_len: usize,
+) -> Result<Vec<u8>, CryptoError> {
     let t_len = SHA256_DIGEST_INFO_PREFIX.len() + digest.len();
     // RFC 8017: emLen must be at least tLen + 11.
     if em_len < t_len + 11 {
@@ -33,7 +42,7 @@ fn emsa_encode(message: &[u8], em_len: usize) -> Result<Vec<u8>, CryptoError> {
     em.resize(em_len - t_len - 1, 0xff); // PS of 0xff, at least 8 bytes
     em.push(0x00);
     em.extend_from_slice(&SHA256_DIGEST_INFO_PREFIX);
-    em.extend_from_slice(&digest);
+    em.extend_from_slice(digest);
     debug_assert_eq!(em.len(), em_len);
     Ok(em)
 }
@@ -54,6 +63,17 @@ pub fn sign(key: &PrivateKey, message: &[u8]) -> Result<Vec<u8>, CryptoError> {
 /// Returns `Ok(())` on success; any structural or cryptographic mismatch is
 /// an error so callers cannot forget to check a boolean.
 pub fn verify(key: &PublicKey, message: &[u8], signature: &[u8]) -> Result<(), CryptoError> {
+    verify_prehashed(key, &sha256::digest(message), signature)
+}
+
+/// Verifies a signature over a message whose SHA-256 digest the caller has
+/// already computed. `verify(key, msg, sig)` is exactly
+/// `verify_prehashed(key, &sha256::digest(msg), sig)`.
+pub fn verify_prehashed(
+    key: &PublicKey,
+    digest: &[u8; sha256::DIGEST_LEN],
+    signature: &[u8],
+) -> Result<(), CryptoError> {
     let k = key.modulus_len();
     if signature.len() != k {
         return Err(CryptoError::SignatureLength {
@@ -63,14 +83,95 @@ pub fn verify(key: &PublicKey, message: &[u8], signature: &[u8]) -> Result<(), C
     }
     let s = BigUint::from_bytes_be(signature);
     let m = key.raw_encrypt(&s)?;
+    finish_verify(&m, digest, k)
+}
+
+/// Encode-then-compare tail shared by the scalar and batch paths.
+fn finish_verify(
+    m: &BigUint,
+    digest: &[u8; sha256::DIGEST_LEN],
+    k: usize,
+) -> Result<(), CryptoError> {
     let em = m.to_bytes_be_padded(k).ok_or(CryptoError::Internal)?;
-    let expected = emsa_encode(message, k)?;
+    let expected = emsa_encode_digest(digest, k)?;
     // Constant-time-style full comparison (encode-then-compare per RFC 8017).
     if constant_time_eq(&em, &expected) {
         Ok(())
     } else {
         Err(CryptoError::BadSignature)
     }
+}
+
+/// One element of a [`verify_batch`] call.
+pub struct VerifyRequest<'a> {
+    /// Signer's public key. Requests sharing a key (by `(n, e)` value)
+    /// are exponentiated together through the interleaved lane kernels.
+    pub key: &'a PublicKey,
+    /// SHA-256 digest of the signed message.
+    pub digest: [u8; sha256::DIGEST_LEN],
+    /// Signature bytes.
+    pub signature: &'a [u8],
+}
+
+/// Verifies a batch of signatures, amortizing each key's Montgomery
+/// context across its requests and interleaving independent modpows.
+///
+/// Result `i` is exactly what
+/// `verify_prehashed(reqs[i].key, &reqs[i].digest, reqs[i].signature)`
+/// returns: a bad element fails alone without disturbing its neighbours,
+/// and every error variant and precedence matches the scalar path.
+pub fn verify_batch(reqs: &[VerifyRequest<'_>]) -> Vec<Result<(), CryptoError>> {
+    let mut results: Vec<Option<Result<(), CryptoError>>> = Vec::new();
+    results.resize_with(reqs.len(), || None);
+
+    // Group requests by key: `groups` holds (representative index, member
+    // indices). Batches are small (tens of requests over a handful of
+    // keys), so a linear scan beats hashing the moduli.
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for (i, req) in reqs.iter().enumerate() {
+        let k = req.key.modulus_len();
+        if req.signature.len() != k {
+            results[i] = Some(Err(CryptoError::SignatureLength {
+                expected: k,
+                got: req.signature.len(),
+            }));
+            continue;
+        }
+        match groups.iter_mut().find(|(rep, _)| reqs[*rep].key == req.key) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((i, vec![i])),
+        }
+    }
+
+    for (rep, members) in groups {
+        let key = reqs[rep].key;
+        let k = key.modulus_len();
+        // The scalar path rejects s >= n before exponentiating.
+        let mut bases = Vec::with_capacity(members.len());
+        let mut live = Vec::with_capacity(members.len());
+        for &i in &members {
+            let s = BigUint::from_bytes_be(reqs[i].signature);
+            if s.cmp_to(&key.n) != std::cmp::Ordering::Less {
+                results[i] = Some(Err(CryptoError::MessageTooLarge));
+            } else {
+                bases.push(s);
+                live.push(i);
+            }
+        }
+        let ms: Vec<BigUint> = match key.mont_ctx() {
+            Some(ctx) => ctx.modpow_batch(&bases, &key.e),
+            // Even/zero modulus: mirror `raw_encrypt`'s schoolbook fallback.
+            None => bases.iter().map(|s| s.modpow(&key.e, &key.n)).collect(),
+        };
+        for (m, &i) in ms.iter().zip(&live) {
+            results[i] = Some(finish_verify(m, &reqs[i].digest, k));
+        }
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every request resolved"))
+        .collect()
 }
 
 fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
@@ -165,6 +266,90 @@ mod tests {
             emsa_encode(b"x", 40),
             Err(CryptoError::KeyTooSmallForDigest)
         ));
+    }
+
+    #[test]
+    fn batch_mixed_keys_matches_scalar_and_isolates_failures() {
+        let a = kp();
+        let b = KeyPair::generate_for_seed(1024, 0xbeef).unwrap();
+        let msgs: Vec<Vec<u8>> = (0..7u8).map(|i| vec![i; 40 + i as usize]).collect();
+        let mut sigs: Vec<Vec<u8>> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| {
+                let key = if i % 2 == 0 { &a.private } else { &b.private };
+                sign(key, m).unwrap()
+            })
+            .collect();
+        sigs[3][10] ^= 0x40; // corrupt one element only
+        let reqs: Vec<VerifyRequest<'_>> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| VerifyRequest {
+                key: if i % 2 == 0 { &a.public } else { &b.public },
+                digest: sha256::digest(m),
+                signature: &sigs[i],
+            })
+            .collect();
+        let batch = verify_batch(&reqs);
+        for (i, r) in batch.iter().enumerate() {
+            let scalar = verify_prehashed(reqs[i].key, &reqs[i].digest, reqs[i].signature);
+            assert_eq!(*r, scalar, "element {i}");
+            if i == 3 {
+                assert_eq!(*r, Err(CryptoError::BadSignature));
+            } else {
+                assert!(r.is_ok(), "element {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_structural_errors_match_scalar() {
+        let kp = kp();
+        let good_msg = b"ok".to_vec();
+        let good_sig = sign(&kp.private, &good_msg).unwrap();
+        // s >= n: an all-0xff "signature" of the right length.
+        let too_large = vec![0xffu8; 128];
+        let short = vec![0u8; 64];
+        let reqs = vec![
+            VerifyRequest {
+                key: &kp.public,
+                digest: sha256::digest(&good_msg),
+                signature: &good_sig,
+            },
+            VerifyRequest {
+                key: &kp.public,
+                digest: sha256::digest(b"x"),
+                signature: &too_large,
+            },
+            VerifyRequest {
+                key: &kp.public,
+                digest: sha256::digest(b"y"),
+                signature: &short,
+            },
+        ];
+        let batch = verify_batch(&reqs);
+        assert_eq!(batch[0], Ok(()));
+        assert_eq!(batch[1], Err(CryptoError::MessageTooLarge));
+        assert_eq!(
+            batch[2],
+            Err(CryptoError::SignatureLength {
+                expected: 128,
+                got: 64
+            })
+        );
+        for (i, r) in batch.iter().enumerate() {
+            assert_eq!(
+                *r,
+                verify_prehashed(reqs[i].key, &reqs[i].digest, reqs[i].signature),
+                "element {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(verify_batch(&[]).is_empty());
     }
 
     #[test]

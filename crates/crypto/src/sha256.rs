@@ -52,6 +52,11 @@ impl Sha256 {
     }
 
     /// Absorbs `data` into the hash state.
+    ///
+    /// Aligned full blocks are compressed straight out of `data` — the
+    /// internal buffer is only touched for a partial leading block (left
+    /// over from a previous `update`) and the trailing remainder, so long
+    /// canonical encodings hash with no per-block copy.
     pub fn update(&mut self, data: &[u8]) {
         self.total_len = self.total_len.wrapping_add(data.len() as u64);
         let mut rest = data;
@@ -66,13 +71,12 @@ impl Sha256 {
                 self.buf_len = 0;
             }
         }
-        while rest.len() >= BLOCK_LEN {
-            let (block, tail) = rest.split_at(BLOCK_LEN);
-            let mut b = [0u8; BLOCK_LEN];
-            b.copy_from_slice(block);
-            self.compress(&b);
-            rest = tail;
+        let mut blocks = rest.chunks_exact(BLOCK_LEN);
+        for block in &mut blocks {
+            let block: &[u8; BLOCK_LEN] = block.try_into().expect("exact chunk");
+            self.compress(block);
         }
+        let rest = blocks.remainder();
         if !rest.is_empty() {
             self.buf[..rest.len()].copy_from_slice(rest);
             self.buf_len = rest.len();
@@ -161,6 +165,17 @@ pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
     h.finalize()
 }
 
+/// One-shot SHA-256 over the concatenation of `parts`, without
+/// materializing the concatenated buffer. Equivalent to
+/// `digest(parts.concat())`.
+pub fn digest_parts(parts: &[&[u8]]) -> [u8; DIGEST_LEN] {
+    let mut h = Sha256::new();
+    for part in parts {
+        h.update(part);
+    }
+    h.finalize()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +229,18 @@ mod tests {
             }
             assert_eq!(h.finalize(), digest(&data), "chunk {chunk_size}");
         }
+    }
+
+    #[test]
+    fn digest_parts_matches_concat() {
+        let a: Vec<u8> = (0..200u8).collect();
+        let b = vec![0x5au8; 77];
+        let c = b"tail";
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        concat.extend_from_slice(c);
+        assert_eq!(digest_parts(&[&a, &b, c]), digest(&concat));
+        assert_eq!(digest_parts(&[]), digest(b""));
     }
 
     #[test]

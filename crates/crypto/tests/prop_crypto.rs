@@ -138,6 +138,19 @@ proptest! {
     }
 }
 
+/// Fixed key pair cache for the signature properties (generation is the
+/// expensive part; the properties vary messages and batch shapes).
+fn cached_keys() -> &'static (KeyPair, KeyPair) {
+    use std::sync::OnceLock;
+    static KEYS: OnceLock<(KeyPair, KeyPair)> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        (
+            KeyPair::generate_for_seed(1024, 0xF00D).unwrap(),
+            KeyPair::generate_for_seed(1024, 0xBEEF).unwrap(),
+        )
+    })
+}
+
 proptest! {
     // Signatures are slow; fewer cases.
     #![proptest_config(ProptestConfig::with_cases(8))]
@@ -148,7 +161,7 @@ proptest! {
     fn sign_verify_roundtrip_and_tamper(msg in proptest::collection::vec(any::<u8>(), 0..256),
                                         flip in any::<u8>()) {
         // Fixed key (generation is expensive); message varies.
-        let kp = KeyPair::generate_for_seed(1024, 0xF00D).unwrap();
+        let kp = &cached_keys().0;
         let sig = pkcs1::sign(&kp.private, &msg).unwrap();
         prop_assert!(pkcs1::verify(&kp.public, &msg, &sig).is_ok());
         if !msg.is_empty() {
@@ -157,6 +170,62 @@ proptest! {
             tampered[idx] ^= 0x01;
             if tampered != msg {
                 prop_assert!(pkcs1::verify(&kp.public, &tampered, &sig).is_err());
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case runs up to two dozen 1024-bit verifications; few cases.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Batched verification is element-for-element identical to calling
+    /// the sequential verifier on each request, across random batch
+    /// sizes, corrupted/truncated signatures, and batches mixing two
+    /// keys (so the lane kernels see multi-key grouping).
+    #[test]
+    fn batched_verify_matches_sequential(
+        n in 0usize..24,
+        key_pick in proptest::collection::vec(any::<bool>(), 24),
+        corrupt in proptest::collection::vec(0u8..3, 24),
+        flip in proptest::collection::vec(any::<u8>(), 24),
+    ) {
+        let (ka, kb) = cached_keys();
+        let mut digests = Vec::with_capacity(n);
+        let mut sigs = Vec::with_capacity(n);
+        for i in 0..n {
+            let kp = if key_pick[i] { ka } else { kb };
+            let msg = [i as u8, flip[i], 0xA5];
+            digests.push(tlc_crypto::sha256::digest(&msg));
+            let mut sig = pkcs1::sign(&kp.private, &msg).unwrap();
+            match corrupt[i] {
+                1 => {
+                    let idx = flip[i] as usize % sig.len();
+                    sig[idx] ^= 0x01; // bad signature, right length
+                }
+                2 => {
+                    sig.truncate(sig.len() / 2); // wrong length
+                }
+                _ => {}
+            }
+            sigs.push(sig);
+        }
+        let reqs: Vec<pkcs1::VerifyRequest<'_>> = (0..n)
+            .map(|i| pkcs1::VerifyRequest {
+                key: if key_pick[i] { &ka.public } else { &kb.public },
+                digest: digests[i],
+                signature: &sigs[i],
+            })
+            .collect();
+        let batched = pkcs1::verify_batch(&reqs);
+        prop_assert_eq!(batched.len(), n);
+        for (i, req) in reqs.iter().enumerate() {
+            let sequential = pkcs1::verify_prehashed(req.key, &req.digest, req.signature);
+            prop_assert_eq!(&batched[i], &sequential, "element {}", i);
+            if corrupt[i] == 0 {
+                prop_assert!(batched[i].is_ok(), "untouched element {} rejected", i);
+            } else {
+                prop_assert!(batched[i].is_err(), "corrupted element {} accepted", i);
             }
         }
     }

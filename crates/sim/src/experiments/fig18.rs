@@ -33,9 +33,11 @@ pub fn run(scale: RunScale) -> Fig18Curves {
         RunScale::Quick => 10,
         RunScale::Full => 60,
     };
-    let mut gamma_o = Cdf::new();
-    let mut gamma_e = Cdf::new();
-    for round in 0..rounds {
+    // The rounds fan out across the sweep thread pool; each yields its
+    // (γ_o, γ_e) pair and the CDF pushes happen afterwards in round
+    // order, so the curves are byte-identical to a sequential run.
+    let round_ids: Vec<u64> = (0..rounds).collect();
+    let pairs = crate::par::par_map(&round_ids, |&round| {
         let mut cfg = ScenarioConfig::new(AppKind::Vr, 0xF1800 + round * 977, scale.cycle());
         cfg.datapath.rrc_periodic_check = rrc_period_for(scale.cycle());
         // The paper's worst errors come from poorly synchronized cycles;
@@ -50,9 +52,7 @@ pub fn run(scale: RunScale) -> Fig18Curves {
         // use the modem truth so real radio loss is not misread as a
         // record error).
         let modem = r.app.modem_received.bytes();
-        if modem > 0 {
-            gamma_o.push(gap_ratio(r.rrc_view_at_cycle_end, modem) * 100.0);
-        }
+        let o = (modem > 0).then(|| gap_ratio(r.rrc_view_at_cycle_end, modem) * 100.0);
         // γ_e: the edge server monitor (its clock) vs the gateway-based
         // record (the operator's clock) — both meter the pre-loss stream,
         // so the residual is pure cycle-boundary skew.
@@ -60,8 +60,17 @@ pub fn run(scale: RunScale) -> Fig18Curves {
         let gateway = r.app.gateway_downlink.bytes_until(t_op);
         let t_edge = r.edge_clock.true_time_of(r.cycle_end());
         let edge_monitor = r.app.server_sent.bytes_until(t_edge);
-        if gateway > 0 {
-            gamma_e.push(gap_ratio(edge_monitor, gateway) * 100.0);
+        let e = (gateway > 0).then(|| gap_ratio(edge_monitor, gateway) * 100.0);
+        (o, e)
+    });
+    let mut gamma_o = Cdf::new();
+    let mut gamma_e = Cdf::new();
+    for (o, e) in pairs {
+        if let Some(v) = o {
+            gamma_o.push(v);
+        }
+        if let Some(v) = e {
+            gamma_e.push(v);
         }
     }
     Fig18Curves { gamma_o, gamma_e }

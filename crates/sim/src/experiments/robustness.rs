@@ -130,7 +130,9 @@ fn run_one(
 }
 
 /// Runs the sweep: `scale` controls sessions per loss point
-/// (Quick: 20, Full: 200).
+/// (Quick: 20, Full: 200). Loss points fan out across the sweep thread
+/// pool; each point's sessions stay sequential with per-session seeds,
+/// so every row is byte-identical to a single-threaded run.
 pub fn run(scale: RunScale) -> Vec<RobustnessRow> {
     let sessions = match scale {
         RunScale::Quick => 20u64,
@@ -139,40 +141,37 @@ pub fn run(scale: RunScale) -> Vec<RobustnessRow> {
     let edge_keys = KeyPair::generate_for_seed(1024, 0x10B1).expect("keygen");
     let op_keys = KeyPair::generate_for_seed(1024, 0x10B2).expect("keygen");
     let spec = FaultSpec::with_faults(DUPLICATE_P, REORDER_P, 0.0);
-    LOSS_PCTS
-        .iter()
-        .map(|&pct| {
-            let loss = pct as f64 / 100.0;
-            let mut latencies_ms = Vec::with_capacity(sessions as usize);
-            let mut converged = 0u64;
-            let mut frames = 0u64;
-            let mut retransmits = 0u64;
-            for i in 0..sessions {
-                let seed = 0xC0DE_0000 + (pct as u64) * 10_000 + i;
-                let (ok, elapsed, f, r) = run_one(&edge_keys, &op_keys, loss, &spec, seed, seed);
-                if ok {
-                    converged += 1;
-                }
-                latencies_ms.push(elapsed.as_secs_f64() * 1e3);
-                frames += f;
-                retransmits += r;
+    crate::par::par_map(&LOSS_PCTS, |&pct| {
+        let loss = pct as f64 / 100.0;
+        let mut latencies_ms = Vec::with_capacity(sessions as usize);
+        let mut converged = 0u64;
+        let mut frames = 0u64;
+        let mut retransmits = 0u64;
+        for i in 0..sessions {
+            let seed = 0xC0DE_0000 + (pct as u64) * 10_000 + i;
+            let (ok, elapsed, f, r) = run_one(&edge_keys, &op_keys, loss, &spec, seed, seed);
+            if ok {
+                converged += 1;
             }
-            latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            let mean = latencies_ms.iter().sum::<f64>() / sessions as f64;
-            let p95_idx = ((sessions as f64 * 0.95).ceil() as usize).min(latencies_ms.len()) - 1;
-            RobustnessRow {
-                loss_pct: pct,
-                sessions,
-                converged,
-                fallbacks: sessions - converged,
-                convergence_rate: converged as f64 / sessions as f64,
-                mean_latency_ms: mean,
-                p95_latency_ms: latencies_ms[p95_idx],
-                mean_frames: frames as f64 / sessions as f64,
-                retransmits,
-            }
-        })
-        .collect()
+            latencies_ms.push(elapsed.as_secs_f64() * 1e3);
+            frames += f;
+            retransmits += r;
+        }
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mean = latencies_ms.iter().sum::<f64>() / sessions as f64;
+        let p95_idx = ((sessions as f64 * 0.95).ceil() as usize).min(latencies_ms.len()) - 1;
+        RobustnessRow {
+            loss_pct: pct,
+            sessions,
+            converged,
+            fallbacks: sessions - converged,
+            convergence_rate: converged as f64 / sessions as f64,
+            mean_latency_ms: mean,
+            p95_latency_ms: latencies_ms[p95_idx],
+            mean_frames: frames as f64 / sessions as f64,
+            retransmits,
+        }
+    })
 }
 
 /// Prints the sweep as a table plus one JSON row per loss point.

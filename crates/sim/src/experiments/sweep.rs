@@ -57,19 +57,41 @@ pub fn congestion_sweep(scale: RunScale) -> Vec<SweepSample> {
     sweep_over(scale, &ALL_APPS, background_levels(scale))
 }
 
-/// Runs a sweep over chosen apps and background levels.
-pub fn sweep_over(scale: RunScale, apps: &[AppKind], bgs: &[f64]) -> Vec<SweepSample> {
-    let plan = DataPlan::paper_default();
-    let mut out = Vec::new();
+/// The (app, background, seed) cross product of a sweep, in the
+/// canonical (sequential) order. Seeds are a pure function of the point,
+/// so the parallel and sequential runners price identical rounds.
+pub fn sweep_points(scale: RunScale, apps: &[AppKind], bgs: &[f64]) -> Vec<(AppKind, f64, u64)> {
+    let mut points = Vec::with_capacity(apps.len() * bgs.len() * scale.rounds() as usize);
     for &app in apps {
         for &bg in bgs {
             for round in 0..scale.rounds() {
-                let seed = seed_for(app, bg, round);
-                out.push(run_one(app, bg, seed, scale.cycle(), &plan));
+                points.push((app, bg, seed_for(app, bg, round)));
             }
         }
     }
-    out
+    points
+}
+
+/// Runs a sweep over chosen apps and background levels, fanning the
+/// points across a scoped thread pool ([`crate::par::par_map`]). Results
+/// come back in canonical point order, so the output is byte-identical
+/// to [`sweep_over_sequential`] for the same inputs.
+pub fn sweep_over(scale: RunScale, apps: &[AppKind], bgs: &[f64]) -> Vec<SweepSample> {
+    let plan = DataPlan::paper_default();
+    let points = sweep_points(scale, apps, bgs);
+    crate::par::par_map(&points, |&(app, bg, seed)| {
+        run_one(app, bg, seed, scale.cycle(), &plan)
+    })
+}
+
+/// The sequential twin of [`sweep_over`]: same points, same seeds, same
+/// order, one thread. Kept for determinism audits and profiling.
+pub fn sweep_over_sequential(scale: RunScale, apps: &[AppKind], bgs: &[f64]) -> Vec<SweepSample> {
+    let plan = DataPlan::paper_default();
+    sweep_points(scale, apps, bgs)
+        .into_iter()
+        .map(|(app, bg, seed)| run_one(app, bg, seed, scale.cycle(), &plan))
+        .collect()
 }
 
 /// Runs a single sweep round.
@@ -150,6 +172,36 @@ mod tests {
             SimDuration::from_secs(30)
         );
         assert!(rrc_period_for(SimDuration::from_secs(30)) < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_sequential() {
+        // Force real multi-threading (the host may report 1 CPU) and
+        // check the parallel runner reproduces the sequential twin
+        // exactly, down to the serialized experiment JSON.
+        let apps = [AppKind::Gaming];
+        let bgs = [150.0];
+        let plan = DataPlan::paper_default();
+        let points = sweep_points(RunScale::Quick, &apps, &bgs);
+        let par = crate::par::par_map_threads(3, &points, |&(app, bg, seed)| {
+            run_one(app, bg, seed, RunScale::Quick.cycle(), &plan)
+        });
+        let seq = sweep_over_sequential(RunScale::Quick, &apps, &bgs);
+        assert_eq!(par.len(), seq.len());
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.app, s.app);
+            assert_eq!(p.seed, s.seed);
+            assert_eq!(p.counter_check_msgs, s.counter_check_msgs);
+            assert_eq!(format!("{:?}", p.records), format!("{:?}", s.records));
+            assert_eq!(format!("{:?}", p.comparison), format!("{:?}", s.comparison));
+        }
+        let rows_par = crate::experiments::fig13::from_samples(&par);
+        let rows_seq = crate::experiments::fig13::from_samples(&seq);
+        assert_eq!(
+            serde_json::to_string(&rows_par).unwrap(),
+            serde_json::to_string(&rows_seq).unwrap(),
+            "experiment JSON must be byte-identical"
+        );
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! * [`metrics`] — CDFs and unit conversions,
 //! * [`experiments`] — one module per paper table/figure, each emitting
 //!   the same rows/series the paper reports,
+//! * [`par`] — the deterministic parallel sweep runner (order-preserving
+//!   scoped thread pool; `TLC_SWEEP_THREADS` override),
 //! * [`multiop`] — the §8 multi-operator extension: per-operator TLC
 //!   instances over classified traffic.
 
@@ -21,6 +23,7 @@ pub mod experiments;
 pub mod measure;
 pub mod metrics;
 pub mod multiop;
+pub mod par;
 pub mod scenario;
 
 pub use measure::{

@@ -1,18 +1,27 @@
-//! Minimal stand-in for `crossbeam` (offline environment): an unbounded
-//! MPMC channel built on `Mutex<VecDeque>` + `Condvar`. Semantics match
-//! what the workspace relies on: cloneable senders and receivers,
-//! blocking `recv` that errors once the queue is drained and every
-//! sender is dropped.
+//! Minimal stand-in for `crossbeam` (offline environment): MPMC channels
+//! built on `Mutex<VecDeque>` + `Condvar`. Semantics match what the
+//! workspace relies on: cloneable senders and receivers, blocking `recv`
+//! that errors once the queue is drained and every sender is dropped,
+//! `bounded` channels whose `send` blocks while the queue is full, and
+//! `recv_timeout` for deadline-driven consumers.
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
+        /// Signalled when an item is pushed or the last sender departs.
         ready: Condvar,
+        /// Signalled when an item is popped or the last receiver departs
+        /// (only waited on by bounded senders).
+        space: Condvar,
         senders: AtomicUsize,
+        receivers: AtomicUsize,
+        /// `usize::MAX` marks an unbounded channel.
+        capacity: usize,
     }
 
     pub struct Sender<T> {
@@ -29,6 +38,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// Outcome of [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The deadline passed with the queue still empty.
+        Timeout,
+        /// Every sender dropped and the queue is drained.
+        Disconnected,
+    }
+
     impl std::fmt::Display for RecvError {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             write!(f, "receiving on an empty and disconnected channel")
@@ -37,17 +55,33 @@ pub mod channel {
 
     impl std::error::Error for RecvError {}
 
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     impl<T> std::fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             write!(f, "sending on a disconnected channel")
         }
     }
 
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_capacity<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
             senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+            capacity,
         });
         (
             Sender {
@@ -57,9 +91,27 @@ pub mod channel {
         )
     }
 
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(usize::MAX)
+    }
+
+    /// A channel holding at most `cap` queued items; `send` blocks while
+    /// full (and errors instead of blocking forever once every receiver
+    /// is gone). `cap` must be >= 1.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap >= 1, "bounded channel capacity must be >= 1");
+        with_capacity(cap)
+    }
+
     impl<T> Sender<T> {
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            while q.len() >= self.shared.capacity {
+                if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(value));
+                }
+                q = self.shared.space.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
             q.push_back(value);
             drop(q);
             self.shared.ready.notify_one();
@@ -91,6 +143,8 @@ pub mod channel {
             let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.shared.space.notify_one();
                     return Ok(v);
                 }
                 if self.shared.senders.load(Ordering::SeqCst) == 0 {
@@ -100,16 +154,57 @@ pub mod channel {
             }
         }
 
+        /// Blocking `recv` with a deadline: waits up to `timeout` for an
+        /// item before reporting [`RecvTimeoutError::Timeout`].
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(v) = q.pop_front() {
+                    drop(q);
+                    self.shared.space.notify_one();
+                    return Ok(v);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _) = self
+                    .shared
+                    .ready
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        }
+
         pub fn try_recv(&self) -> Result<T, RecvError> {
             let mut q = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            q.pop_front().ok_or(RecvError)
+            let v = q.pop_front().ok_or(RecvError)?;
+            drop(q);
+            self.shared.space.notify_one();
+            Ok(v)
         }
     }
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
             Receiver {
                 shared: self.shared.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last receiver gone: wake bounded senders blocked on a
+                // full queue so they can observe disconnection.
+                self.shared.space.notify_all();
             }
         }
     }
@@ -143,6 +238,48 @@ pub mod channel {
                     .sum()
             });
             assert_eq!(total, 99 * 100 / 2);
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_space() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            std::thread::scope(|s| {
+                let h = s.spawn(move || {
+                    // Queue is full: this blocks until the main thread pops.
+                    tx.send(3).unwrap();
+                });
+                std::thread::sleep(Duration::from_millis(20));
+                assert_eq!(rx.recv().unwrap(), 1);
+                h.join().unwrap();
+            });
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(rx.recv().unwrap(), 3);
+        }
+
+        #[test]
+        fn bounded_send_errors_when_receiver_gone() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            drop(rx);
+            assert_eq!(tx.send(2), Err(SendError(2)));
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            let (tx, rx) = unbounded::<u32>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(7).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
     }
 }
