@@ -100,10 +100,12 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut svc = VerifierService::new(workers);
                 for (e, o, proofs) in &rels {
-                    let rel = svc.register(plan, e.public.clone(), o.public.clone());
-                    svc.submit_batch(rel, proofs.iter().cloned());
+                    let rel = svc
+                        .register(plan, e.public.clone(), o.public.clone())
+                        .unwrap();
+                    svc.submit_batch(rel, proofs.iter().cloned()).unwrap();
                 }
-                let results = svc.collect_results();
+                let results = svc.collect_results().unwrap();
                 assert!(results.iter().all(|r| r.result.is_ok()));
                 black_box(svc.finish());
             })
@@ -120,10 +122,12 @@ fn bench(c: &mut Criterion) {
                     ..ServiceConfig::default()
                 });
                 for (e, o, proofs) in &rels {
-                    let rel = svc.register(plan, e.public.clone(), o.public.clone());
-                    svc.submit_batch(rel, proofs.iter().cloned());
+                    let rel = svc
+                        .register(plan, e.public.clone(), o.public.clone())
+                        .unwrap();
+                    svc.submit_batch(rel, proofs.iter().cloned()).unwrap();
                 }
-                let results = svc.collect_results();
+                let results = svc.collect_results().unwrap();
                 assert!(results.iter().all(|r| r.result.is_ok()));
                 black_box(svc.finish());
             })

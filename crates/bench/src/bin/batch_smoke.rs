@@ -174,10 +174,12 @@ fn service_level() -> f64 {
     let t0 = Instant::now();
     let mut svc = VerifierService::new(2);
     for (e, o, proofs) in &rels {
-        let rel = svc.register(plan, e.public.clone(), o.public.clone());
-        svc.submit_batch(rel, proofs.iter().cloned());
+        let rel = svc
+            .register(plan, e.public.clone(), o.public.clone())
+            .unwrap();
+        svc.submit_batch(rel, proofs.iter().cloned()).unwrap();
     }
-    let results = svc.collect_results();
+    let results = svc.collect_results().unwrap();
     assert_eq!(results.len(), total, "every proof reported exactly once");
     assert!(results.iter().all(|r| r.result.is_ok()));
     let report = svc.finish();

@@ -165,10 +165,12 @@ fn main() {
                 let t0 = Instant::now();
                 let mut svc = VerifierService::new(workers);
                 for (e, o, proofs) in &rels {
-                    let rel = svc.register(plan, e.public.clone(), o.public.clone());
-                    svc.submit_batch(rel, proofs.iter().cloned());
+                    let rel = svc
+                        .register(plan, e.public.clone(), o.public.clone())
+                        .unwrap();
+                    svc.submit_batch(rel, proofs.iter().cloned()).unwrap();
                 }
-                let results = svc.collect_results();
+                let results = svc.collect_results().unwrap();
                 assert!(results.iter().all(|r| r.result.is_ok()));
                 svc.finish();
                 t0.elapsed().as_secs_f64()

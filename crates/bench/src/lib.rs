@@ -1,1 +1,4 @@
-pub fn placeholder() {}
+//! Library stub for the bench crate; the real content lives in
+//! `benches/` and `src/bin/`.
+
+#![forbid(unsafe_code)]

@@ -18,6 +18,7 @@
 //! * [`clock`] — NTP-residual clock skew between edge and core, the cause
 //!   of the paper's Fig. 18 CDR errors.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cdr;

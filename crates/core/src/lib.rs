@@ -55,6 +55,7 @@
 //! assert_eq!(out.charge, 950_000_000);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cancellation;

@@ -38,6 +38,10 @@ pub enum VerifyError {
     },
     /// This PoC's nonce pair was already presented (replay).
     Replayed,
+    /// The proof reached a verification shard that holds no verifier
+    /// for its relationship (service-internal protocol violation;
+    /// surfaced as a rejection instead of a worker panic).
+    Unregistered,
 }
 
 impl std::fmt::Display for VerifyError {
@@ -51,6 +55,9 @@ impl std::fmt::Display for VerifyError {
                 write!(f, "charge {claimed} does not replay (expected {expected})")
             }
             VerifyError::Replayed => write!(f, "proof already presented (replay)"),
+            VerifyError::Unregistered => {
+                write!(f, "relationship not registered on the verifying shard")
+            }
         }
     }
 }

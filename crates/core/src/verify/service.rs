@@ -53,6 +53,52 @@ impl RelationshipId {
     }
 }
 
+/// Shutdown-aware failures surfaced by the service API.
+///
+/// Every channel operation between the caller and the shard pipelines
+/// can observe a torn-down peer (a worker that panicked and dropped its
+/// receiver, or a caller races teardown). Those used to be `expect`s;
+/// tlc-lint's `no-panic` rule now forbids that in protocol paths, so
+/// they are typed instead: a dead shard yields an error the caller can
+/// handle (re-register elsewhere, drain, report) rather than a panic in
+/// the verification plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The shard's pipeline threads have hung up; submissions to it can
+    /// no longer be accepted.
+    ShardDown {
+        /// Index of the unreachable shard.
+        shard: usize,
+    },
+    /// The result channel closed while submissions were still
+    /// outstanding (every shard worker is gone).
+    ResultsClosed {
+        /// Submissions that will never produce a result.
+        outstanding: usize,
+    },
+    /// The relationship id was never issued by [`VerifierService::register`].
+    UnknownRelationship(RelationshipId),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::ShardDown { shard } => {
+                write!(f, "verification shard {shard} is down")
+            }
+            ServiceError::ResultsClosed { outstanding } => write!(
+                f,
+                "result channel closed with {outstanding} submissions outstanding"
+            ),
+            ServiceError::UnknownRelationship(rel) => {
+                write!(f, "relationship {rel:?} was never registered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
 /// Tuning knobs for the pipelined service.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceConfig {
@@ -164,6 +210,9 @@ pub struct ServiceReport {
     pub replayed: u64,
     /// Total signature batches verified across shards.
     pub batches: u64,
+    /// Shard worker threads that terminated by panicking instead of
+    /// draining cleanly (0 on every healthy run).
+    pub worker_panics: usize,
     /// Wall-clock time from the first submission to shutdown.
     pub elapsed: Duration,
     /// Throughput over `elapsed`, comparable to the paper's 230K/hour.
@@ -177,10 +226,11 @@ pub struct ServiceReport {
 /// # use tlc_core::plan::DataPlan;
 /// # let (edge_key, operator_key, poc): (tlc_crypto::PublicKey, tlc_crypto::PublicKey, tlc_core::messages::PocMsg) = unimplemented!();
 /// let mut svc = VerifierService::new(4);
-/// let rel = svc.register(DataPlan::paper_default(), edge_key, operator_key);
-/// svc.submit(rel, poc);
-/// let results = svc.collect_results();
+/// let rel = svc.register(DataPlan::paper_default(), edge_key, operator_key)?;
+/// svc.submit(rel, poc)?;
+/// let results = svc.collect_results()?;
 /// let report = svc.finish();
+/// # Ok::<(), tlc_core::verify::service::ServiceError>(())
 /// ```
 pub struct VerifierService {
     config: ServiceConfig,
@@ -259,12 +309,14 @@ impl VerifierService {
     ///
     /// Idempotent: the same `(plan, edge key, operator key)` triple maps
     /// to the same id (and therefore the same shard and replay cache).
+    /// Fails with [`ServiceError::ShardDown`] when the pinned shard's
+    /// workers are gone.
     pub fn register(
         &mut self,
         plan: DataPlan,
         edge_key: PublicKey,
         operator_key: PublicKey,
-    ) -> RelationshipId {
+    ) -> Result<RelationshipId, ServiceError> {
         self.register_with_capacity(plan, edge_key, operator_key, DEFAULT_REPLAY_CAPACITY)
     }
 
@@ -275,16 +327,18 @@ impl VerifierService {
         edge_key: PublicKey,
         operator_key: PublicKey,
         capacity: usize,
-    ) -> RelationshipId {
+    ) -> Result<RelationshipId, ServiceError> {
         let fp = (key_fingerprint(&edge_key), key_fingerprint(&operator_key));
-        let bucket = self.registry.entry(fp).or_default();
-        if let Some((_, rel)) = bucket.iter().find(|(p, _)| *p == plan) {
-            return *rel;
+        if let Some((_, rel)) = self
+            .registry
+            .get(&fp)
+            .and_then(|bucket| bucket.iter().find(|(p, _)| *p == plan))
+        {
+            return Ok(*rel);
         }
         let rel = RelationshipId(self.next_rel);
-        self.next_rel += 1;
-        bucket.push((plan, rel));
-        self.job_txs[rel.shard(self.config.workers)]
+        let shard = rel.shard(self.config.workers);
+        self.job_txs[shard]
             .send(Job::Register {
                 rel,
                 plan,
@@ -292,61 +346,88 @@ impl VerifierService {
                 operator_key,
                 capacity,
             })
-            .expect("shard worker alive");
-        rel
+            .map_err(|_| ServiceError::ShardDown { shard })?;
+        // Only a registration the shard will actually see is recorded;
+        // a failed send must not burn the id or poison the dedup map.
+        self.next_rel += 1;
+        self.registry.entry(fp).or_default().push((plan, rel));
+        Ok(rel)
     }
 
     /// Submits one proof for verification on its relationship's shard.
     /// Returns a tag to correlate with the [`SubmissionResult`].
-    pub fn submit(&mut self, rel: RelationshipId, poc: PocMsg) -> u64 {
-        assert!(rel.0 < self.next_rel, "unregistered relationship id");
+    pub fn submit(&mut self, rel: RelationshipId, poc: PocMsg) -> Result<u64, ServiceError> {
+        if rel.0 >= self.next_rel {
+            return Err(ServiceError::UnknownRelationship(rel));
+        }
+        let shard = rel.shard(self.config.workers);
         let tag = self.next_tag;
+        self.job_txs[shard]
+            .send(Job::Verify { rel, tag, poc })
+            .map_err(|_| ServiceError::ShardDown { shard })?;
         self.next_tag += 1;
         self.first_submit.get_or_insert_with(Instant::now);
         self.outstanding += 1;
-        self.job_txs[rel.shard(self.config.workers)]
-            .send(Job::Verify { rel, tag, poc })
-            .expect("shard worker alive");
-        tag
+        Ok(tag)
     }
 
     /// Submits a batch under one relationship; returns the tag range as
-    /// `(first, count)`.
+    /// `(first, count)`. Stops at the first shard failure (proofs
+    /// already handed over stay in flight and will produce results).
     pub fn submit_batch(
         &mut self,
         rel: RelationshipId,
         pocs: impl IntoIterator<Item = PocMsg>,
-    ) -> (u64, usize) {
+    ) -> Result<(u64, usize), ServiceError> {
         let first = self.next_tag;
         let mut count = 0usize;
         for poc in pocs {
-            self.submit(rel, poc);
+            self.submit(rel, poc)?;
             count += 1;
         }
-        (first, count)
+        Ok((first, count))
     }
 
     /// Blocks until every submitted proof has a result and returns them
     /// (unordered across shards; per relationship, in submission order).
-    pub fn collect_results(&mut self) -> Vec<SubmissionResult> {
+    ///
+    /// If every worker died with submissions outstanding the channel
+    /// disconnects and [`ServiceError::ResultsClosed`] reports how many
+    /// results are lost; the service remains usable for [`finish`].
+    ///
+    /// [`finish`]: Self::finish
+    pub fn collect_results(&mut self) -> Result<Vec<SubmissionResult>, ServiceError> {
         let mut out = Vec::with_capacity(self.outstanding);
         while self.outstanding > 0 {
-            let r = self.result_rx.recv().expect("workers alive");
-            self.outstanding -= 1;
-            out.push(r);
+            match self.result_rx.recv() {
+                Ok(r) => {
+                    self.outstanding -= 1;
+                    out.push(r);
+                }
+                Err(_) => {
+                    let outstanding = self.outstanding;
+                    self.outstanding = 0;
+                    return Err(ServiceError::ResultsClosed { outstanding });
+                }
+            }
         }
-        out
+        Ok(out)
     }
 
     /// Shuts the pool down: drains remaining work (flushing partial
     /// batches), joins the workers, and aggregates per-shard statistics.
+    /// A worker that panicked instead of draining is counted in
+    /// [`ServiceReport::worker_panics`] rather than propagated.
     pub fn finish(mut self) -> ServiceReport {
         let started = self.first_submit.take();
         // Close the submission queues; hash workers drain and hang up on
         // the signature workers, which flush their partial batches.
         self.job_txs.clear();
+        let mut worker_panics = 0usize;
         for h in self.handles.drain(..) {
-            h.join().expect("shard worker panicked");
+            if h.join().is_err() {
+                worker_panics += 1;
+            }
         }
         let elapsed = started.map(|t| t.elapsed()).unwrap_or_default();
         let mut shards: Vec<ShardStats> = Vec::with_capacity(self.config.workers);
@@ -370,6 +451,7 @@ impl VerifierService {
             rejected,
             replayed,
             batches,
+            worker_panics,
             elapsed,
             pocs_per_hour,
         }
@@ -457,7 +539,11 @@ fn signature_worker(
             }
         } else {
             let now = Instant::now();
-            let earliest = pending.values().map(|p| p.since).min().expect("non-empty");
+            let Some(earliest) = pending.values().map(|p| p.since).min() else {
+                // `pending.is_empty()` was checked above; unreachable, but
+                // an empty map simply means nothing is due yet.
+                continue;
+            };
             let deadline = earliest + flush_deadline;
             if deadline <= now {
                 flush_due(
@@ -512,8 +598,9 @@ fn signature_worker(
                 batch.tags.push(tag);
                 batch.items.push((poc, digests));
                 if batch.items.len() >= batch_size {
-                    let batch = pending.remove(&rel).expect("just inserted");
-                    flush_batch(shard, rel, batch, &mut verifiers, &results, &mut counters);
+                    if let Some(batch) = pending.remove(&rel) {
+                        flush_batch(shard, rel, batch, &mut verifiers, &results, &mut counters);
+                    }
                 }
             }
         }
@@ -554,9 +641,10 @@ fn flush_due(
         .collect();
     due.sort();
     for rel in due {
-        let batch = pending.remove(&rel).expect("selected above");
-        counters.deadline_flushes += 1;
-        flush_batch(shard, rel, batch, verifiers, results, counters);
+        if let Some(batch) = pending.remove(&rel) {
+            counters.deadline_flushes += 1;
+            flush_batch(shard, rel, batch, verifiers, results, counters);
+        }
     }
 }
 
@@ -570,9 +658,21 @@ fn flush_batch(
     results: &Sender<SubmissionResult>,
     counters: &mut ShardCounters,
 ) {
-    let verifier = verifiers
-        .get_mut(&rel)
-        .expect("register precedes submit on the same queue");
+    let Some(verifier) = verifiers.get_mut(&rel) else {
+        // Register precedes submit on the same queue, so this is a
+        // protocol violation; surface it as per-proof rejections rather
+        // than taking the shard down.
+        counters.rejected += batch.tags.len() as u64;
+        for tag in batch.tags {
+            let _ = results.send(SubmissionResult {
+                relationship: rel,
+                tag,
+                shard,
+                result: Err(VerifyError::Unregistered),
+            });
+        }
+        return;
+    };
     let items: Vec<(&PocMsg, &PocDigests)> = batch.items.iter().map(|(p, d)| (p, d)).collect();
     let verdicts = verifier.verify_batch_prehashed(&items);
     counters.batches += 1;
@@ -644,11 +744,13 @@ mod tests {
             let edge = KeyPair::generate_for_seed(1024, 7000 + i * 2).unwrap();
             let op = KeyPair::generate_for_seed(1024, 7001 + i * 2).unwrap();
             let poc = negotiate(&edge, &op, plan, i as u8 * 2 + 1, i as u8 * 2 + 2);
-            let rel = svc.register(plan, edge.public.clone(), op.public.clone());
+            let rel = svc
+                .register(plan, edge.public.clone(), op.public.clone())
+                .unwrap();
             rels.push(rel);
-            svc.submit(rel, poc);
+            svc.submit(rel, poc).unwrap();
         }
-        let results = svc.collect_results();
+        let results = svc.collect_results().unwrap();
         assert_eq!(results.len(), 4);
         assert!(results.iter().all(|r| r.result.is_ok()));
         // Each result was processed on its relationship's shard.
@@ -670,15 +772,21 @@ mod tests {
         let edge = KeyPair::generate_for_seed(1024, 7100).unwrap();
         let op = KeyPair::generate_for_seed(1024, 7101).unwrap();
         let mut svc = VerifierService::new(4);
-        let a = svc.register(plan, edge.public.clone(), op.public.clone());
-        let b = svc.register(plan, edge.public.clone(), op.public.clone());
+        let a = svc
+            .register(plan, edge.public.clone(), op.public.clone())
+            .unwrap();
+        let b = svc
+            .register(plan, edge.public.clone(), op.public.clone())
+            .unwrap();
         assert_eq!(a, b);
         // A different plan is a different relationship.
         let other = DataPlan {
             loss_weight: crate::plan::LossWeight::from_f64(0.25),
             ..plan
         };
-        let c = svc.register(other, edge.public.clone(), op.public.clone());
+        let c = svc
+            .register(other, edge.public.clone(), op.public.clone())
+            .unwrap();
         assert_ne!(a, c);
         svc.finish();
     }
@@ -698,11 +806,15 @@ mod tests {
         let op = KeyPair::generate_for_seed(1024, 7201).unwrap();
         let poc = negotiate(&edge, &op, plan, 0x11, 0x22);
         let mut svc = VerifierService::new(4);
-        let a = svc.register(plan, edge.public.clone(), op.public.clone());
-        let b = svc.register(plan, edge.public.clone(), op.public.clone());
-        svc.submit(a, poc.clone());
-        svc.submit(b, poc.clone());
-        let results = svc.collect_results();
+        let a = svc
+            .register(plan, edge.public.clone(), op.public.clone())
+            .unwrap();
+        let b = svc
+            .register(plan, edge.public.clone(), op.public.clone())
+            .unwrap();
+        svc.submit(a, poc.clone()).unwrap();
+        svc.submit(b, poc.clone()).unwrap();
+        let results = svc.collect_results().unwrap();
         let ok = results.iter().filter(|r| r.result.is_ok()).count();
         let replays = results
             .iter()
@@ -729,14 +841,16 @@ mod tests {
         let op = KeyPair::generate_for_seed(1024, 7301).unwrap();
         let poc = negotiate(&edge, &op, plan, 0x31, 0x32);
         let mut svc = VerifierService::new(2);
-        let rel = svc.register(plan, edge.public.clone(), op.public.clone());
+        let rel = svc
+            .register(plan, edge.public.clone(), op.public.clone())
+            .unwrap();
         // Distinct nonces so the replay cache does not trip first; the
         // tampered (signed) charge then breaks the signature chain.
         let mut tampered = negotiate(&edge, &op, plan, 0x33, 0x34);
         tampered.charge += 1;
-        let t_ok = svc.submit(rel, poc);
-        let t_bad = svc.submit(rel, tampered);
-        let results = svc.collect_results();
+        let t_ok = svc.submit(rel, poc).unwrap();
+        let t_bad = svc.submit(rel, tampered).unwrap();
+        let results = svc.collect_results().unwrap();
         let by_tag = |t: u64| results.iter().find(|r| r.tag == t).unwrap();
         assert!(by_tag(t_ok).result.is_ok());
         assert!(matches!(
@@ -758,10 +872,12 @@ mod tests {
         let a = negotiate(&edge, &op, plan, 0x41, 0x42);
         let b = negotiate(&edge, &op, plan, 0x43, 0x44);
         let mut svc = VerifierService::new(1);
-        let rel = svc.register(plan, edge.public.clone(), op.public.clone());
-        let (first, count) = svc.submit_batch(rel, [a, b]);
+        let rel = svc
+            .register(plan, edge.public.clone(), op.public.clone())
+            .unwrap();
+        let (first, count) = svc.submit_batch(rel, [a, b]).unwrap();
         assert_eq!((first, count), (0, 2));
-        let results = svc.collect_results();
+        let results = svc.collect_results().unwrap();
         let mut tags: Vec<u64> = results.iter().map(|r| r.tag).collect();
         tags.sort_unstable();
         assert_eq!(tags, vec![0, 1]);
@@ -784,12 +900,14 @@ mod tests {
             flush_deadline: Duration::from_secs(600),
             stage_queue_depth: 16,
         });
-        let rel = svc.register(plan, edge.public.clone(), op.public.clone());
+        let rel = svc
+            .register(plan, edge.public.clone(), op.public.clone())
+            .unwrap();
         for i in 0..8u8 {
             let poc = negotiate(&edge, &op, plan, 2 * i + 1, 2 * i + 2);
-            svc.submit(rel, poc);
+            svc.submit(rel, poc).unwrap();
         }
-        let results = svc.collect_results();
+        let results = svc.collect_results().unwrap();
         assert_eq!(results.len(), 8);
         assert!(results.iter().all(|r| r.result.is_ok()));
         let report = svc.finish();
@@ -810,13 +928,15 @@ mod tests {
             flush_deadline: Duration::from_millis(5),
             stage_queue_depth: 16,
         });
-        let rel = svc.register(plan, edge.public.clone(), op.public.clone());
+        let rel = svc
+            .register(plan, edge.public.clone(), op.public.clone())
+            .unwrap();
         let mut tags = Vec::new();
         for i in 0..3u8 {
             let poc = negotiate(&edge, &op, plan, 2 * i + 1, 2 * i + 2);
-            tags.push(svc.submit(rel, poc));
+            tags.push(svc.submit(rel, poc).unwrap());
         }
-        let results = svc.collect_results();
+        let results = svc.collect_results().unwrap();
         // Per relationship, results come back in submission order.
         let seen: Vec<u64> = results.iter().map(|r| r.tag).collect();
         assert_eq!(seen, tags);
@@ -843,7 +963,9 @@ mod tests {
         for i in 0..3u64 {
             let edge = KeyPair::generate_for_seed(1024, 7700 + i * 2).unwrap();
             let op = KeyPair::generate_for_seed(1024, 7701 + i * 2).unwrap();
-            let rel = svc.register(plan, edge.public.clone(), op.public.clone());
+            let rel = svc
+                .register(plan, edge.public.clone(), op.public.clone())
+                .unwrap();
             for j in 0..4u8 {
                 let poc = negotiate(
                     &edge,
@@ -852,11 +974,11 @@ mod tests {
                     8 * i as u8 + 2 * j + 1,
                     8 * i as u8 + 2 * j + 2,
                 );
-                let tag = svc.submit(rel, poc);
+                let tag = svc.submit(rel, poc).unwrap();
                 expected.entry(rel).or_default().push(tag);
             }
         }
-        let results = svc.collect_results();
+        let results = svc.collect_results().unwrap();
         assert_eq!(results.len(), 12);
         assert!(results.iter().all(|r| r.result.is_ok()));
         let mut got: HashMap<RelationshipId, Vec<u64>> = HashMap::new();
@@ -883,15 +1005,17 @@ mod tests {
             flush_deadline: Duration::from_millis(2),
             stage_queue_depth: 8,
         });
-        let rel = svc.register(plan, edge.public.clone(), op.public.clone());
+        let rel = svc
+            .register(plan, edge.public.clone(), op.public.clone())
+            .unwrap();
         // One batch of [fresh, fresh, other]: within-batch replay.
-        let t0 = svc.submit(rel, fresh.clone());
-        let t1 = svc.submit(rel, fresh.clone());
-        let t2 = svc.submit(rel, other);
-        let first = svc.collect_results();
+        let t0 = svc.submit(rel, fresh.clone()).unwrap();
+        let t1 = svc.submit(rel, fresh.clone()).unwrap();
+        let t2 = svc.submit(rel, other).unwrap();
+        let first = svc.collect_results().unwrap();
         // A later submission of the same proof: cross-batch replay.
-        let t3 = svc.submit(rel, fresh);
-        let second = svc.collect_results();
+        let t3 = svc.submit(rel, fresh).unwrap();
+        let second = svc.collect_results().unwrap();
         let all: Vec<_> = first.iter().chain(second.iter()).collect();
         let by_tag = |t: u64| all.iter().find(|r| r.tag == t).unwrap();
         assert!(by_tag(t0).result.is_ok());

@@ -1,0 +1,257 @@
+//! Concurrency models for the verification pipeline, compiled only
+//! under `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```sh
+//! RUSTFLAGS="--cfg loom" cargo test -p tlc-core --test loom_service
+//! ```
+//!
+//! Three models, from most abstract to most concrete:
+//!
+//! 1. the bounded hash→signature stage queue (the protocol the vendored
+//!    crossbeam bounded channel implements): producers block on a full
+//!    queue, the consumer wakes them, nothing is lost or reordered;
+//! 2. the signature stage's flush-on-shutdown protocol: size-triggered
+//!    flushes racing a producer hang-up must still deliver exactly one
+//!    result per submission, in submission order;
+//! 3. the real [`VerifierService`] torn down with a partial batch still
+//!    buffered: `finish()` must flush it and account every proof.
+//!
+//! `loom::model` re-runs each body under perturbed schedules
+//! (`LOOM_ITERS` controls how many), so the assertions hold across
+//! interleavings, not just the lucky one.
+
+#![cfg(loom)]
+
+use loom::sync::{Arc, Condvar, Mutex};
+use loom::thread;
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use tlc_core::plan::DataPlan;
+use tlc_core::protocol::{run_negotiation, Endpoint};
+use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
+use tlc_core::verify::service::{ServiceConfig, VerifierService};
+use tlc_core::PocMsg;
+use tlc_crypto::KeyPair;
+
+/// Minimal bounded MPSC queue built on loom primitives, mirroring the
+/// protocol of `vendor/crossbeam`'s bounded channel (mutex + condvars,
+/// senders block while full, disconnect observed on drop).
+struct BoundedQueue<T> {
+    inner: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+struct QueueState<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    senders: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(cap: usize, senders: usize) -> Self {
+        BoundedQueue {
+            inner: Mutex::new(QueueState {
+                buf: VecDeque::new(),
+                cap,
+                senders,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    fn send(&self, v: T) {
+        let mut st = self.inner.lock().unwrap();
+        while st.buf.len() >= st.cap {
+            st = self.not_full.wait(st).unwrap();
+        }
+        st.buf.push_back(v);
+        drop(st);
+        self.not_empty.notify_one();
+    }
+
+    fn sender_done(&self) {
+        let mut st = self.inner.lock().unwrap();
+        st.senders -= 1;
+        drop(st);
+        self.not_empty.notify_all();
+    }
+
+    /// `None` once every sender hung up and the buffer drained.
+    fn recv(&self) -> Option<T> {
+        let mut st = self.inner.lock().unwrap();
+        loop {
+            if let Some(v) = st.buf.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(v);
+            }
+            if st.senders == 0 {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+}
+
+#[test]
+fn bounded_stage_queue_delivers_everything_in_order() {
+    loom::model(|| {
+        const PER_PRODUCER: u64 = 8;
+        // Capacity far below the item count, so producers must block
+        // and be woken (the interesting schedules).
+        let q = Arc::new(BoundedQueue::new(2, 2));
+        let mut producers = Vec::new();
+        for p in 0..2u64 {
+            let q = Arc::clone(&q);
+            producers.push(thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    q.send((p, i));
+                }
+                q.sender_done();
+            }));
+        }
+        let mut last = [None::<u64>; 2];
+        let mut total = 0u64;
+        while let Some((p, i)) = q.recv() {
+            // Per-producer FIFO: sequence numbers strictly increase.
+            assert!(last[p as usize].is_none_or(|prev| i > prev));
+            last[p as usize] = Some(i);
+            total += 1;
+        }
+        assert_eq!(total, 2 * PER_PRODUCER, "no item lost or duplicated");
+        for h in producers {
+            h.join().unwrap();
+        }
+    });
+}
+
+#[test]
+fn flush_on_shutdown_delivers_exactly_one_result_per_tag() {
+    loom::model(|| {
+        // 11 submissions at batch size 4: two size-triggered flushes
+        // race the hang-up, and a 3-entry partial batch must be flushed
+        // by the shutdown path — the same protocol signature_worker
+        // runs when the hash stage disconnects.
+        const SUBMITTED: u64 = 11;
+        const BATCH: usize = 4;
+        let q = Arc::new(BoundedQueue::new(4, 1));
+        let results = Arc::new(Mutex::new(Vec::new()));
+
+        let worker = {
+            let q = Arc::clone(&q);
+            let results = Arc::clone(&results);
+            thread::spawn(move || {
+                let mut pending: Vec<u64> = Vec::new();
+                loop {
+                    match q.recv() {
+                        Some(tag) => {
+                            pending.push(tag);
+                            if pending.len() >= BATCH {
+                                results.lock().unwrap().extend(pending.drain(..));
+                            }
+                        }
+                        None => {
+                            // Producer hung up: flush the partial batch.
+                            results.lock().unwrap().extend(pending.drain(..));
+                            return;
+                        }
+                    }
+                }
+            })
+        };
+
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                for tag in 0..SUBMITTED {
+                    q.send(tag);
+                }
+                q.sender_done();
+            })
+        };
+
+        producer.join().unwrap();
+        worker.join().unwrap();
+        let got = results.lock().unwrap().clone();
+        let want: Vec<u64> = (0..SUBMITTED).collect();
+        assert_eq!(got, want, "every tag exactly once, in submission order");
+    });
+}
+
+/// Keys and proofs are expensive to make and pure data — generate them
+/// once, clone per iteration.
+fn proof_corpus() -> &'static (DataPlan, KeyPair, KeyPair, Vec<PocMsg>) {
+    static CORPUS: OnceLock<(DataPlan, KeyPair, KeyPair, Vec<PocMsg>)> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let plan = DataPlan::paper_default();
+        let edge = KeyPair::generate_for_seed(1024, 9400).unwrap();
+        let op = KeyPair::generate_for_seed(1024, 9401).unwrap();
+        let pocs = (0..3u8)
+            .map(|i| {
+                let mut e = Endpoint::new(
+                    Role::Edge,
+                    plan,
+                    Knowledge {
+                        role: Role::Edge,
+                        own_truth: 1000,
+                        inferred_peer_truth: 800,
+                    },
+                    Box::new(OptimalStrategy),
+                    edge.private.clone(),
+                    op.public.clone(),
+                    [2 * i + 1; 16],
+                    32,
+                );
+                let mut o = Endpoint::new(
+                    Role::Operator,
+                    plan,
+                    Knowledge {
+                        role: Role::Operator,
+                        own_truth: 800,
+                        inferred_peer_truth: 1000,
+                    },
+                    Box::new(OptimalStrategy),
+                    op.private.clone(),
+                    edge.public.clone(),
+                    [2 * i + 2; 16],
+                    32,
+                );
+                run_negotiation(&mut o, &mut e).unwrap().0
+            })
+            .collect();
+        (plan, edge, op, pocs)
+    })
+}
+
+#[test]
+fn service_finish_flushes_partial_batches() {
+    let (plan, edge, op, pocs) = proof_corpus();
+    loom::model(move || {
+        // Batch size far above the submission count and an hour-long
+        // deadline: only the shutdown path can flush these, and it
+        // races the submissions still crossing the stage queue.
+        let mut svc = VerifierService::with_config(ServiceConfig {
+            workers: 2,
+            batch_size: 64,
+            flush_deadline: Duration::from_secs(3600),
+            stage_queue_depth: 2,
+        });
+        let rel = svc
+            .register(*plan, edge.public.clone(), op.public.clone())
+            .unwrap();
+        for poc in pocs {
+            svc.submit(rel, poc.clone()).unwrap();
+        }
+        let report = svc.finish();
+        assert_eq!(report.worker_panics, 0);
+        assert_eq!(
+            (report.accepted, report.rejected),
+            (pocs.len() as u64, 0),
+            "shutdown must flush the partial batch, dropping nothing"
+        );
+    });
+}

@@ -144,6 +144,9 @@ mod imp {
             unsafe { self.modpow8_inner(bases, exp) }
         }
 
+        // SAFETY: unsafe to *call* (not unsafe internally): the caller
+        // must guarantee the CPU supports AVX-512F + AVX-512 IFMA, as
+        // `modpow8` does by construction-gating on `available()`.
         #[target_feature(enable = "avx512f,avx512ifma")]
         unsafe fn modpow8_inner(&self, bases: &[BigUint], exp: &BigUint) -> Vec<BigUint> {
             let zero = _mm512_setzero_si512();

@@ -39,6 +39,7 @@
 //! protect real data; RSA-1024 itself is below modern minimums (the paper
 //! chose it in 2019 for prototype parity).
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod bigint;

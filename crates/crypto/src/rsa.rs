@@ -83,20 +83,74 @@ pub struct PrivateKey {
 
 impl std::fmt::Debug for PrivateKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        // Never print private material.
+        // Never print private material: key id (public fingerprint)
+        // and modulus size only. Enforced by tlc-lint's secret-hygiene
+        // rule.
         f.debug_struct("PrivateKey")
+            .field("key_id", &format_args!("{:#018x}", self.key_id()))
             .field("modulus_bits", &self.public.n.bit_len())
             .finish_non_exhaustive()
     }
 }
 
+impl std::fmt::Display for PrivateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PrivateKey({:#018x}, {} bits)",
+            self.key_id(),
+            self.public.n.bit_len()
+        )
+    }
+}
+
+impl Drop for PrivateKey {
+    fn drop(&mut self) {
+        // Best-effort scrubbing of long-lived secret material: the CRT
+        // limbs and the private exponent are overwritten before the
+        // buffers return to the allocator. Volatile writes keep the
+        // stores from being elided as dead. Transient `BigUint`
+        // temporaries inside an exponentiation are *not* covered, nor
+        // are the per-prime Montgomery contexts (shared via `Arc` with
+        // any clone, so scrubbing them here could corrupt a live
+        // sibling).
+        for secret in [
+            &mut self.d,
+            &mut self.p,
+            &mut self.q,
+            &mut self.dp,
+            &mut self.dq,
+            &mut self.qinv,
+        ] {
+            for limb in secret.limbs.iter_mut() {
+                // SAFETY: `limb` is a valid, aligned, exclusive
+                // reference into a live Vec<u64>; writing 0 through it
+                // is an ordinary store made volatile only to survive
+                // dead-store elimination.
+                unsafe { core::ptr::write_volatile(limb, 0) };
+            }
+        }
+    }
+}
+
 /// A public/private key pair.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct KeyPair {
     /// Public half, safe to publish.
     pub public: PublicKey,
     /// Private half.
     pub private: PrivateKey,
+}
+
+impl std::fmt::Debug for KeyPair {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Hand-written (not derived) so the private half is visibly
+        // routed through PrivateKey's redacted Debug.
+        f.debug_struct("KeyPair")
+            .field("public", &self.public)
+            .field("private", &self.private)
+            .finish()
+    }
 }
 
 impl PublicKey {
@@ -141,6 +195,12 @@ impl PublicKey {
 }
 
 impl PrivateKey {
+    /// Stable identifier for logs and diagnostics: the fingerprint of
+    /// the *public* half (safe to reveal by definition).
+    pub fn key_id(&self) -> u64 {
+        crate::encoding::key_fingerprint(&self.public)
+    }
+
     /// Raw private-key operation `c^d mod n` *without* CRT; retained to
     /// cross-check the CRT path in tests and for constant-structure use.
     pub fn raw_decrypt_no_crt(&self, c: &BigUint) -> Result<BigUint, CryptoError> {
@@ -351,7 +411,15 @@ mod tests {
     fn debug_does_not_leak_private_material() {
         let kp = test_keypair(512);
         let s = format!("{:?}", kp.private);
+        assert!(s.contains("key_id"));
         assert!(s.contains("modulus_bits"));
-        assert!(!s.contains("0x"), "debug output must not dump numbers: {s}");
+        assert!(s.contains(".."), "must be marked non-exhaustive: {s}");
+        // A 512-bit modulus is 128 hex digits; the redacted form is a
+        // 16-digit fingerprint plus field names. Anything long enough
+        // to hold a limb dump fails.
+        assert!(s.len() < 120, "suspiciously long debug output: {s}");
+        let display = format!("{}", kp.private);
+        assert!(display.starts_with("PrivateKey("), "{display}");
+        assert!(display.len() < 60, "{display}");
     }
 }

@@ -1,0 +1,292 @@
+//! # tlc-lint
+//!
+//! The workspace static-analysis plane for the TLC reproduction: a
+//! purpose-built linter that machine-checks the repo-specific
+//! invariants TLC's trust story rests on (§5.3 public verifiability
+//! means the verification code itself must be auditable).
+//!
+//! Five rules, all token-sequence based (see [`rules`]):
+//!
+//! 1. **safety-comment** — every `unsafe` block/fn carries an adjacent
+//!    `// SAFETY:` comment,
+//! 2. **unsafe-scope** — `unsafe` only inside `tlc-crypto`, and every
+//!    other crate declares `#![forbid(unsafe_code)]` (tlc-crypto itself
+//!    must `#![deny(unsafe_op_in_unsafe_fn)]`),
+//! 3. **no-panic** — no `unwrap`/`expect`/`panic!` in non-test code of
+//!    the tlc-core protocol paths and tlc-crypto,
+//! 4. **secret-hygiene** — `PrivateKey`/CRT material never reaches
+//!    `#[derive(Debug)]` or `format!`-family macro arguments,
+//! 5. **determinism** — no `Instant::now`/`SystemTime::now`/ambient RNG
+//!    outside allowlisted modules (protects the byte-identical parallel
+//!    sweep guarantee of `tlc_sim::par`).
+//!
+//! Grandfathered / invariant-true sites live in the checked allowlist
+//! `LINT_ALLOW` at the workspace root ([`allow`]); stale entries are
+//! themselves errors. Run with `cargo run -p tlc-lint -- check`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod rules;
+pub mod scan;
+
+use rules::{rules_for, Finding};
+use scan::ScannedFile;
+use std::fs;
+use std::path::{Path, PathBuf};
+use syn::{Token, TokenKind};
+
+/// tlc-core modules that count as "protocol paths" for the no-panic
+/// rule (plus the whole of tlc-crypto): the code a third-party verifier
+/// must be able to trust not to fall over on adversarial input.
+pub const NO_PANIC_PATHS: &[&str] = &[
+    "crates/crypto/src/",
+    "crates/core/src/messages.rs",
+    "crates/core/src/protocol.rs",
+    "crates/core/src/session.rs",
+    "crates/core/src/verify/",
+];
+
+/// Crates that must carry `#![forbid(unsafe_code)]` in `src/lib.rs`.
+pub const FORBID_UNSAFE_CRATES: &[&str] =
+    &["core", "net", "sim", "workloads", "cell", "bench", "lint"];
+
+/// Default allowlist file name at the workspace root.
+pub const ALLOWLIST_FILE: &str = "LINT_ALLOW";
+
+/// Outcome of a workspace check.
+#[derive(Debug)]
+pub struct Report {
+    /// Surviving findings (allowlist already applied), sorted by path
+    /// then line.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Clean means zero findings.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Shared attribute scanner used by rules: if significant position `si`
+/// starts an attribute (`#…[…]`), returns its identifiers and the
+/// significant position just past the closing bracket.
+pub fn scan_attr(file: &ScannedFile, si: usize) -> Option<(Vec<String>, usize)> {
+    let tokens = &file.tokens;
+    let sig = &file.sig;
+    let mut i = si;
+    if !tokens[*sig.get(i)?].is_punct('#') {
+        return None;
+    }
+    i += 1;
+    if tokens.get(*sig.get(i)?).is_some_and(|t| t.is_punct('!')) {
+        i += 1;
+    }
+    if !tokens.get(*sig.get(i)?).is_some_and(|t| t.is_punct('[')) {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut idents = Vec::new();
+    while i < sig.len() {
+        let t: &Token = &tokens[sig[i]];
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some((idents, i + 1));
+            }
+        } else if t.kind == TokenKind::Ident {
+            idents.push(t.text.clone());
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Whether a file declares an inner attribute whose identifier list is
+/// exactly `want` (e.g. `["forbid", "unsafe_code"]`).
+pub fn has_inner_attr(file: &ScannedFile, want: &[&str]) -> bool {
+    let mut si = 0usize;
+    while si < file.sig.len() {
+        let t = file.sig_tok(si);
+        if t.is_punct('#')
+            && file
+                .sig
+                .get(si + 1)
+                .is_some_and(|&r| file.tokens[r].is_punct('!'))
+        {
+            if let Some((idents, after)) = scan_attr(file, si) {
+                if idents.iter().map(String::as_str).eq(want.iter().copied()) {
+                    return true;
+                }
+                si = after;
+                continue;
+            }
+        }
+        // Inner attributes only appear before items; stop at the first
+        // non-attribute significant token for speed.
+        if !t.is_punct('#') && !t.is_punct('!') && !t.is_punct('[') {
+            // Keep scanning: doc comments are insignificant, but an
+            // inner attr can follow outer doc text only at file top.
+            if si > 64 {
+                return false;
+            }
+        }
+        si += 1;
+    }
+    false
+}
+
+/// Lints a single in-memory source file under its workspace-relative
+/// path (what the fixture tests drive).
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    match ScannedFile::parse(rel_path, src) {
+        Ok(file) => {
+            let mut out = Vec::new();
+            for rule in rules_for(&file, NO_PANIC_PATHS) {
+                out.extend(rule(&file));
+            }
+            out
+        }
+        Err(e) => vec![Finding {
+            rule: "parse",
+            path: rel_path.to_string(),
+            line: e.line,
+            col: 1,
+            item: String::new(),
+            message: format!("lexer error: {}", e.message),
+        }],
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            // The bad-fixture corpus is linted by its own tests, not as
+            // part of the workspace; target/ and vendor/ never are.
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "fixtures" || name == "target" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative, `/`-separated form of `path`.
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Runs the full workspace check rooted at `root`, applying the
+/// allowlist at `allow_path` (pass the default [`ALLOWLIST_FILE`] under
+/// `root` unless overridden).
+pub fn run_check(root: &Path, allow_path: &Path) -> std::io::Result<Report> {
+    let mut files = Vec::new();
+    for top in ["crates", "examples", "tests"] {
+        collect_rs_files(&root.join(top), &mut files)?;
+    }
+    let mut findings = Vec::new();
+    let files_scanned = files.len();
+    for path in &files {
+        let src = fs::read_to_string(path)?;
+        let rel = rel_path(root, path);
+        findings.extend(lint_source(&rel, &src));
+    }
+
+    // Crate-manifest half of the unsafe-scope rule.
+    for krate in FORBID_UNSAFE_CRATES {
+        let lib = root.join("crates").join(krate).join("src/lib.rs");
+        let rel = format!("crates/{krate}/src/lib.rs");
+        let missing = match fs::read_to_string(&lib) {
+            Ok(src) => match ScannedFile::parse(&rel, &src) {
+                Ok(f) => !has_inner_attr(&f, &["forbid", "unsafe_code"]),
+                Err(_) => true,
+            },
+            Err(_) => true,
+        };
+        if missing {
+            findings.push(Finding {
+                rule: "unsafe-scope",
+                path: rel,
+                line: 1,
+                col: 1,
+                item: String::new(),
+                message: format!("crate tlc-{krate} must declare #![forbid(unsafe_code)]"),
+            });
+        }
+    }
+    {
+        let rel = "crates/crypto/src/lib.rs".to_string();
+        let ok = fs::read_to_string(root.join(&rel))
+            .ok()
+            .and_then(|src| ScannedFile::parse(&rel, &src).ok())
+            .is_some_and(|f| has_inner_attr(&f, &["deny", "unsafe_op_in_unsafe_fn"]));
+        if !ok {
+            findings.push(Finding {
+                rule: "unsafe-scope",
+                path: rel,
+                line: 1,
+                col: 1,
+                item: String::new(),
+                message: "tlc-crypto must declare #![deny(unsafe_op_in_unsafe_fn)]".to_string(),
+            });
+        }
+    }
+
+    // Allowlist.
+    let allow_rel = rel_path(root, allow_path);
+    let findings = match fs::read_to_string(allow_path) {
+        Ok(text) => {
+            let (entries, mut errs) = allow::parse(&allow_rel, &text);
+            let mut kept = allow::apply(&allow_rel, &entries, findings);
+            kept.append(&mut errs);
+            kept
+        }
+        // No allowlist file: nothing suppressed.
+        Err(_) => findings,
+    };
+
+    let mut findings = findings;
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(Report {
+        findings,
+        files_scanned,
+    })
+}
+
+/// Walks upward from `start` to the first directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}

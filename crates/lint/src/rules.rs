@@ -1,0 +1,528 @@
+//! The five repo-specific lint rules.
+//!
+//! Every rule is a pure function from a [`ScannedFile`] to findings;
+//! the workspace runner in `lib.rs` decides which files each rule sees
+//! and layers the allowlist on top. Rules match *token sequences* (via
+//! [`ScannedFile::sig`]), never raw text, so code inside strings,
+//! comments, or doc examples can not trip them.
+
+use crate::scan::{FileKind, ScannedFile};
+use syn::TokenKind;
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`safety-comment`, `unsafe-scope`, `no-panic`,
+    /// `secret-hygiene`, `determinism`, or the meta rules `parse` and
+    /// `allowlist`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Innermost enclosing named item (allowlist key; may be empty).
+    pub item: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Rule ids, in report order.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "safety-comment",
+        "every `unsafe` block or fn carries an adjacent `// SAFETY:` (or `# Safety` doc) comment",
+    ),
+    (
+        "unsafe-scope",
+        "`unsafe` code is confined to tlc-crypto; every other crate must `#![forbid(unsafe_code)]`",
+    ),
+    (
+        "no-panic",
+        "no unwrap/expect/panic!/unreachable!/todo! in non-test tlc-crypto or tlc-core protocol paths",
+    ),
+    (
+        "secret-hygiene",
+        "PrivateKey/CRT material never reaches #[derive(Debug)] or format!-family macro arguments",
+    ),
+    (
+        "determinism",
+        "no wall-clock (Instant/SystemTime::now) or ambient randomness outside allowlisted modules",
+    ),
+];
+
+fn finding(
+    rule: &'static str,
+    file: &ScannedFile,
+    si: usize,
+    item: &str,
+    message: String,
+) -> Finding {
+    let t = file.sig_tok(si);
+    Finding {
+        rule,
+        path: file.rel_path.clone(),
+        line: t.line,
+        col: t.col,
+        item: item.to_string(),
+        message,
+    }
+}
+
+/// Rule `safety-comment`: each `unsafe` block / `unsafe fn` must have a
+/// `SAFETY`-bearing comment adjacent: either the nearest comment walking
+/// backwards over attributes, or the first token just inside the block.
+pub fn safety_comment(file: &ScannedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for si in 0..file.sig.len() {
+        let t = file.sig_tok(si);
+        if !(t.kind == TokenKind::Ident && t.text == "unsafe") {
+            continue;
+        }
+        let next = match file.sig.get(si + 1).map(|&r| &file.tokens[r]) {
+            Some(n) => n,
+            None => continue,
+        };
+        let form = if next.is_punct('{') {
+            "unsafe block"
+        } else if next.is_ident("fn") {
+            "unsafe fn"
+        } else {
+            // `unsafe impl` / `unsafe trait` / `unsafe extern` carry
+            // their obligations at the use sites; out of scope here.
+            continue;
+        };
+        if has_adjacent_safety_comment(file, si) {
+            continue;
+        }
+        out.push(finding(
+            "safety-comment",
+            file,
+            si,
+            file.sig_item(si),
+            format!("{form} without an adjacent `// SAFETY:` comment"),
+        ));
+    }
+    out
+}
+
+fn comment_is_safety(text: &str) -> bool {
+    text.contains("SAFETY") || text.contains("# Safety")
+}
+
+fn has_adjacent_safety_comment(file: &ScannedFile, si: usize) -> bool {
+    // Forward: `unsafe { // SAFETY: … }` — first raw token after the
+    // opening brace.
+    let unsafe_raw = file.sig[si];
+    if let Some(&brace_raw) = file.sig.get(si + 1) {
+        if file.tokens[brace_raw].is_punct('{') {
+            if let Some(tok) = file.tokens.get(brace_raw + 1) {
+                if !tok.is_significant() && comment_is_safety(&tok.text) {
+                    return true;
+                }
+            }
+        }
+    }
+    // Backward: skip comments (checking each) and whole attributes;
+    // stop at the first other significant token.
+    let mut raw = unsafe_raw;
+    loop {
+        if raw == 0 {
+            return false;
+        }
+        raw -= 1;
+        let tok = &file.tokens[raw];
+        if !tok.is_significant() {
+            if comment_is_safety(&tok.text) {
+                return true;
+            }
+            continue; // earlier lines of a comment stack
+        }
+        if tok.is_punct(']') {
+            // Skip the attribute: …`#` `[` … `]`.
+            let mut depth = 1usize;
+            while raw > 0 && depth > 0 {
+                raw -= 1;
+                let t = &file.tokens[raw];
+                if t.is_punct(']') {
+                    depth += 1;
+                } else if t.is_punct('[') {
+                    depth -= 1;
+                }
+            }
+            // Consume `!` and `#` if present.
+            while raw > 0 {
+                let t = &file.tokens[raw - 1];
+                if t.is_punct('#') || t.is_punct('!') {
+                    raw -= 1;
+                    if file.tokens[raw].is_punct('#') {
+                        break;
+                    }
+                } else {
+                    break;
+                }
+            }
+            continue;
+        }
+        // Keywords that legally sit between a comment and the `unsafe`
+        // token itself (`pub unsafe fn`, `pub(crate) unsafe fn`, …).
+        if tok.kind == TokenKind::Ident
+            && matches!(tok.text.as_str(), "pub" | "crate" | "const" | "extern")
+        {
+            continue;
+        }
+        if tok.is_punct('(') || tok.is_punct(')') {
+            continue; // pub(crate)
+        }
+        return false;
+    }
+}
+
+/// Rule `unsafe-scope`: any `unsafe` token outside `crates/crypto/`.
+/// (The crate-manifest half — `#![forbid(unsafe_code)]` attributes —
+/// is checked by the workspace runner, which sees whole files.)
+pub fn unsafe_scope(file: &ScannedFile) -> Vec<Finding> {
+    if file.rel_path.starts_with("crates/crypto/") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for si in 0..file.sig.len() {
+        let t = file.sig_tok(si);
+        if t.kind == TokenKind::Ident && t.text == "unsafe" {
+            out.push(finding(
+                "unsafe-scope",
+                file,
+                si,
+                file.sig_item(si),
+                "`unsafe` outside tlc-crypto".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Macros whose expansion panics.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Rule `no-panic` for one in-scope file: `.unwrap()` / `.expect(…)`
+/// method calls and panicking macros in non-test code.
+pub fn no_panic(file: &ScannedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for si in 0..file.sig.len() {
+        if file.sig_in_test(si) {
+            continue;
+        }
+        let t = file.sig_tok(si);
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let prev_dot = si > 0 && file.sig_tok(si - 1).is_punct('.');
+        let next = file.sig.get(si + 1).map(|&r| &file.tokens[r]);
+        match t.text.as_str() {
+            "unwrap" | "expect" if prev_dot && next.is_some_and(|n| n.is_punct('(')) => {
+                out.push(finding(
+                    "no-panic",
+                    file,
+                    si,
+                    file.sig_item(si),
+                    format!(".{}() in a protocol/crypto path", t.text),
+                ));
+            }
+            m if PANIC_MACROS.contains(&m) && next.is_some_and(|n| n.is_punct('!')) => {
+                out.push(finding(
+                    "no-panic",
+                    file,
+                    si,
+                    file.sig_item(si),
+                    format!("{m}! in a protocol/crypto path"),
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Identifiers that name private-key material. `private` catches field
+/// accesses like `kp.private`; the CRT names catch the raw limbs.
+const SECRET_IDENTS: &[&str] = &["PrivateKey", "private", "private_key", "dp", "dq", "qinv"];
+
+/// Macros that format their arguments (logging included).
+const FORMAT_MACROS: &[&str] = &[
+    "format",
+    "format_args",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "write",
+    "writeln",
+    "panic",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+    "trace",
+    "debug",
+    "info",
+    "warn",
+    "error",
+];
+
+/// Rule `secret-hygiene`: (a) `#[derive(.. Debug ..)]` on a struct whose
+/// body mentions `PrivateKey`, (b) secret identifiers inside the
+/// argument list of a format!-family macro.
+pub fn secret_hygiene(file: &ScannedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let sig_len = file.sig.len();
+    let mut si = 0usize;
+    while si < sig_len {
+        if file.sig_in_test(si) {
+            si += 1;
+            continue;
+        }
+        let t = file.sig_tok(si);
+
+        // (a) derive(Debug) on a secret-bearing struct.
+        if t.is_punct('#') {
+            if let Some((idents, after)) = crate::scan_attr(file, si) {
+                if idents.first().map(String::as_str) == Some("derive")
+                    && idents.iter().any(|s| s == "Debug")
+                {
+                    if let Some(name_si) = struct_after_attrs(file, after) {
+                        let name = file.sig_tok(name_si).text.clone();
+                        let secret_struct = name == "PrivateKey"
+                            || struct_body_mentions(file, name_si, "PrivateKey");
+                        if secret_struct {
+                            out.push(finding(
+                                "secret-hygiene",
+                                file,
+                                si,
+                                &name,
+                                format!("#[derive(Debug)] on `{name}` exposes PrivateKey material; implement a redacted Debug by hand"),
+                            ));
+                        }
+                    }
+                }
+                si = after;
+                continue;
+            }
+        }
+
+        // (b) secrets in format!-family macro arguments.
+        if t.kind == TokenKind::Ident
+            && FORMAT_MACROS.contains(&t.text.as_str())
+            && file
+                .sig
+                .get(si + 1)
+                .is_some_and(|&r| file.tokens[r].is_punct('!'))
+        {
+            if let Some((leak_si, end)) = macro_args_mention(file, si + 2, SECRET_IDENTS) {
+                if let Some(leak) = leak_si {
+                    out.push(finding(
+                        "secret-hygiene",
+                        file,
+                        leak,
+                        file.sig_item(leak),
+                        format!(
+                            "`{}` appears in a {}! argument; private-key material must never be formatted",
+                            file.sig_tok(leak).text,
+                            t.text
+                        ),
+                    ));
+                }
+                si = end;
+                continue;
+            }
+        }
+        si += 1;
+    }
+    out
+}
+
+/// If significant position `si` starts the macro's delimiter, scans the
+/// delimited group; returns `(first position mentioning one of
+/// `needles` (if any), position past the group)`.
+fn macro_args_mention(
+    file: &ScannedFile,
+    si: usize,
+    needles: &[&str],
+) -> Option<(Option<usize>, usize)> {
+    let open = file.sig.get(si).map(|&r| &file.tokens[r])?;
+    let (open_c, close_c) = match open.text.chars().next()? {
+        '(' => ('(', ')'),
+        '[' => ('[', ']'),
+        '{' => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    let mut hit = None;
+    let mut i = si;
+    while i < file.sig.len() {
+        let t = file.sig_tok(i);
+        if t.is_punct(open_c) {
+            depth += 1;
+        } else if t.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some((hit, i + 1));
+            }
+        } else if hit.is_none() && t.kind == TokenKind::Ident && needles.contains(&t.text.as_str())
+        {
+            hit = Some(i);
+        }
+        i += 1;
+    }
+    Some((hit, file.sig.len()))
+}
+
+/// Past the attributes starting at `si`, finds `struct <Name>` and
+/// returns the significant position of the name.
+fn struct_after_attrs(file: &ScannedFile, mut si: usize) -> Option<usize> {
+    while let Some((_, after)) = crate::scan_attr(file, si) {
+        si = after;
+    }
+    // Allow visibility / `pub(crate)` before the keyword.
+    let mut guard = 0;
+    while si < file.sig.len() && guard < 8 {
+        let t = file.sig_tok(si);
+        if t.is_ident("struct") {
+            return Some(si + 1).filter(|&n| n < file.sig.len());
+        }
+        if t.is_ident("pub") || t.is_punct('(') || t.is_punct(')') || t.is_ident("crate") {
+            si += 1;
+            guard += 1;
+            continue;
+        }
+        return None; // enum / fn / … — not a struct
+    }
+    None
+}
+
+/// Whether the struct whose name sits at `name_si` mentions `needle`
+/// anywhere in its body (brace or tuple form).
+fn struct_body_mentions(file: &ScannedFile, name_si: usize, needle: &str) -> bool {
+    let mut depth = 0usize;
+    let mut opened = false;
+    for i in name_si + 1..file.sig.len() {
+        let t = file.sig_tok(i);
+        match t.text.chars().next() {
+            Some('{') | Some('(') => {
+                depth += 1;
+                opened = true;
+            }
+            Some('}') | Some(')') => {
+                depth = depth.saturating_sub(1);
+                if opened && depth == 0 {
+                    return false;
+                }
+            }
+            Some(';') if depth == 0 => return false,
+            _ => {
+                if t.kind == TokenKind::Ident && t.text == needle {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Nondeterminism sources: `Type::method` pairs and bare identifiers.
+const TIME_PATHS: &[(&str, &str)] = &[("Instant", "now"), ("SystemTime", "now")];
+const RNG_IDENTS: &[&str] = &["thread_rng", "OsRng", "from_entropy"];
+
+/// Rule `determinism`: wall-clock reads and ambient (OS-seeded)
+/// randomness in non-test source code. Byte-identical parallel sweeps
+/// (`tlc_sim::par`) depend on nothing in a result row deriving from
+/// either.
+pub fn determinism(file: &ScannedFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for si in 0..file.sig.len() {
+        if file.sig_in_test(si) {
+            continue;
+        }
+        let t = file.sig_tok(si);
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let path_call = |offset: usize, want: &str| -> bool {
+            file.sig
+                .get(si + offset)
+                .is_some_and(|&r| file.tokens[r].is_punct(':'))
+                && file
+                    .sig
+                    .get(si + offset + 1)
+                    .is_some_and(|&r| file.tokens[r].is_punct(':'))
+                && file
+                    .sig
+                    .get(si + offset + 2)
+                    .is_some_and(|&r| file.tokens[r].is_ident(want))
+        };
+        for &(ty, method) in TIME_PATHS {
+            if t.text == ty && path_call(1, method) {
+                out.push(finding(
+                    "determinism",
+                    file,
+                    si,
+                    file.sig_item(si),
+                    format!("{ty}::{method} breaks deterministic replay"),
+                ));
+            }
+        }
+        if RNG_IDENTS.contains(&t.text.as_str()) {
+            out.push(finding(
+                "determinism",
+                file,
+                si,
+                file.sig_item(si),
+                format!(
+                    "`{}` is OS-seeded randomness; use the seeded RngSource",
+                    t.text
+                ),
+            ));
+        }
+        if t.text == "rand" && path_call(1, "random") {
+            out.push(finding(
+                "determinism",
+                file,
+                si,
+                file.sig_item(si),
+                "rand::random draws from ambient entropy".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Which rules run on a file of this kind/path. Scope decisions live
+/// here so `lib.rs` and the fixture tests agree exactly.
+pub fn rules_for(
+    file: &ScannedFile,
+    no_panic_paths: &[&str],
+) -> Vec<fn(&ScannedFile) -> Vec<Finding>> {
+    let mut rules: Vec<fn(&ScannedFile) -> Vec<Finding>> = vec![safety_comment, unsafe_scope];
+    if file.kind == FileKind::Src {
+        if no_panic_paths.iter().any(|p| file.rel_path.starts_with(p)) {
+            rules.push(no_panic);
+        }
+        rules.push(secret_hygiene);
+        if !file.rel_path.starts_with("crates/bench/") {
+            rules.push(determinism);
+        }
+    }
+    rules
+}

@@ -1,0 +1,15 @@
+//! Good fixture: passes every rule even under the strictest
+//! (tlc-crypto) path.
+
+/// Wrapping addition; no panics, no unsafe, no ambient state.
+pub fn add(a: u32, b: u32) -> u32 {
+    a.wrapping_add(b)
+}
+
+/// Fallible decode returning a Result instead of unwrapping.
+pub fn decode(bytes: &[u8]) -> Result<u32, &'static str> {
+    match bytes.first() {
+        Some(b) => Ok(u32::from(*b)),
+        None => Err("empty frame"),
+    }
+}

@@ -1,0 +1,17 @@
+//! Good fixture: every `unsafe` site carries its SAFETY justification.
+
+/// Reads through a raw pointer.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn peek(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+/// Safe wrapper over a byte copy.
+pub fn first(bytes: &[u8]) -> u8 {
+    // SAFETY: the slice is non-empty; checked by the caller's len gate.
+    unsafe { *bytes.as_ptr() }
+}

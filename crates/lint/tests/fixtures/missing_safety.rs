@@ -1,0 +1,11 @@
+//! Bad fixture: an `unsafe` block with no adjacent SAFETY comment.
+
+/// Reads through a raw pointer without justifying why that is sound.
+pub fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+/// An `unsafe fn` is equally required to carry the comment.
+pub unsafe fn poke(p: *mut u8, v: u8) {
+    unsafe { *p = v }
+}

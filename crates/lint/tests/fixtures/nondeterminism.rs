@@ -1,0 +1,23 @@
+//! Bad fixture: ambient wall-clock and entropy in simulation code
+//! breaks byte-identical replay.
+
+use std::time::Instant;
+
+/// Timestamps an event with the wall clock.
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+/// Wall-clock epoch time is no better.
+pub fn epoch() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Ambient RNG instead of the seeded workspace PRNG.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

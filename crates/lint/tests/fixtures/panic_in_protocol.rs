@@ -1,0 +1,31 @@
+//! Bad fixture: panicking operations in a protocol path. The unwraps in
+//! the test module at the bottom must NOT be flagged.
+
+/// Decodes a frame header, falling over on adversarial input.
+pub fn decode(bytes: &[u8]) -> u32 {
+    let first = bytes.first().unwrap();
+    if *first > 8 {
+        panic!("bad frame");
+    }
+    let tail = bytes.get(1).copied().expect("frame has a tail");
+    u32::from(*first) + u32::from(tail)
+}
+
+// A comment saying .unwrap() and a string "x.unwrap()" must not trip
+// the rule either.
+/// Doc text mentioning panic!("nope") is also fine.
+pub fn describe() -> &'static str {
+    ".unwrap() in a string literal"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::decode;
+
+    #[test]
+    fn decodes() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        assert_eq!(decode(&[1, 2]), 3);
+    }
+}

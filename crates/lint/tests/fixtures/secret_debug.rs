@@ -1,0 +1,11 @@
+//! Bad fixture: deriving `Debug` on a struct that holds private-key
+//! material would print CRT limbs into logs.
+
+/// A bundle that embeds the secret half of a keypair.
+#[derive(Debug, Clone)]
+pub struct KeyBundle {
+    /// The secret half; must never be `Debug`-printed.
+    pub private: PrivateKey,
+    /// Public counterpart (fine on its own).
+    pub label: String,
+}

@@ -1,0 +1,11 @@
+//! Bad fixture: secret material flowing into format-family macros.
+
+/// Logs a key — straight into stdout.
+pub fn log_key(private_key: &PrivateKey) {
+    println!("negotiated with key {:?}", private_key);
+}
+
+/// CRT exponents as format arguments are just as bad.
+pub fn trace_crt(dp: &[u64], dq: &[u64]) -> String {
+    format!("dp={:?} dq={:?}", dp, dq)
+}

@@ -1,0 +1,8 @@
+//! Bad fixture: `unsafe` in a crate other than tlc-crypto, even with a
+//! perfectly good SAFETY comment.
+
+/// Reads through a raw pointer outside the sanctioned crate.
+pub fn peek(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}

@@ -27,6 +27,7 @@
 //! * [`radio`] — precomputed RSS timelines with intermittent outages,
 //! * [`stats`] — byte counters and 1 Hz usage series.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel;

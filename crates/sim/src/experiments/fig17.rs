@@ -168,9 +168,11 @@ pub fn run(reps: usize) -> Result<Fig17Report, ProtocolError> {
         .unwrap_or(1);
     let mut svc = VerifierService::new(service_workers);
     let svc_config = svc.config();
-    let rel = svc.register(plan, edge.public.clone(), op.public.clone());
-    svc.submit_batch(rel, pocs.iter().cloned());
-    let results = svc.collect_results();
+    let rel = svc
+        .register(plan, edge.public.clone(), op.public.clone())
+        .unwrap();
+    svc.submit_batch(rel, pocs.iter().cloned()).unwrap();
+    let results = svc.collect_results().unwrap();
     debug_assert!(results.iter().all(|r| r.result.is_ok()));
     let service_report = svc.finish();
 

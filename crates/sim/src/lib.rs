@@ -17,6 +17,7 @@
 //! * [`multiop`] — the §8 multi-operator extension: per-operator TLC
 //!   instances over classified traffic.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

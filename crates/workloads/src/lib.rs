@@ -19,6 +19,7 @@
 //! [`trace`] module provides the equivalent record/replay machinery for
 //! any workload.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod background;

@@ -101,9 +101,11 @@ fn main() {
     let mut total = 0usize;
     let mut handles = Vec::with_capacity(rels.len());
     for r in &rels {
-        let rel = svc.register(plan, r.edge_pub.clone(), r.op_pub.clone());
-        let (_, count) = svc.submit_batch(rel, r.proofs.iter().cloned());
-        svc.submit(rel, r.proofs[0].clone());
+        let rel = svc
+            .register(plan, r.edge_pub.clone(), r.op_pub.clone())
+            .unwrap();
+        let (_, count) = svc.submit_batch(rel, r.proofs.iter().cloned()).unwrap();
+        svc.submit(rel, r.proofs[0].clone()).unwrap();
         total += count + 1;
         handles.push(rel);
     }
@@ -113,7 +115,7 @@ fn main() {
         svc.workers()
     );
 
-    let results = svc.collect_results();
+    let results = svc.collect_results().unwrap();
     let accepted = results.iter().filter(|r| r.result.is_ok()).count();
     let replayed = results
         .iter()
@@ -142,29 +144,33 @@ fn main() {
     println!("\nrejection paths:");
     let victim = &rels[0];
     let mut svc = VerifierService::new(2);
-    let rel = svc.register(plan, victim.edge_pub.clone(), victim.op_pub.clone());
+    let rel = svc
+        .register(plan, victim.edge_pub.clone(), victim.op_pub.clone())
+        .unwrap();
 
     // Tampered charge: the signature chain breaks.
     let mut tampered = victim.proofs[1].clone();
     tampered.charge *= 2;
-    let t_tamper = svc.submit(rel, tampered);
+    let t_tamper = svc.submit(rel, tampered).unwrap();
 
     // Plan mismatch: a proof presented against the wrong agreement.
     let other_plan = DataPlan {
         loss_weight: tlc_core::plan::LossWeight::from_f64(0.25),
         ..plan
     };
-    let wrong_rel = svc.register(other_plan, victim.edge_pub.clone(), victim.op_pub.clone());
-    let t_plan = svc.submit(wrong_rel, victim.proofs[2].clone());
+    let wrong_rel = svc
+        .register(other_plan, victim.edge_pub.clone(), victim.op_pub.clone())
+        .unwrap();
+    let t_plan = svc.submit(wrong_rel, victim.proofs[2].clone()).unwrap();
 
     // Forgery: a proof from a different key pair presented as this pair's.
-    let t_forge = svc.submit(rel, rels[1].proofs[0].clone());
+    let t_forge = svc.submit(rel, rels[1].proofs[0].clone()).unwrap();
 
     // Replay: the same proof twice through the same relationship.
-    let t_first = svc.submit(rel, victim.proofs[3].clone());
-    let t_replay = svc.submit(rel, victim.proofs[3].clone());
+    let t_first = svc.submit(rel, victim.proofs[3].clone()).unwrap();
+    let t_replay = svc.submit(rel, victim.proofs[3].clone()).unwrap();
 
-    let results = svc.collect_results();
+    let results = svc.collect_results().unwrap();
     let by_tag = |t: u64| {
         &results
             .iter()

@@ -1,0 +1,143 @@
+//! Minimal stand-in for `loom` (offline environment).
+//!
+//! Real loom exhaustively explores thread interleavings by replacing
+//! the `std::sync` primitives with modeled versions and backtracking
+//! over every schedule. That engine cannot be vendored as a stub, so —
+//! per the repo's policy of vendoring exactly the API surface the
+//! workspace uses — this crate keeps loom's *API shape* and substitutes
+//! **iterated stress scheduling**: [`model`] runs the closure many
+//! times (`LOOM_ITERS`, default 64), and the [`thread::spawn`] wrapper
+//! perturbs each iteration's schedule with a deterministic,
+//! iteration-seeded pattern of `yield_now` calls so distinct
+//! interleavings of the spawned threads are actually exercised.
+//!
+//! That is strictly weaker than loom's exhaustive exploration — it can
+//! miss rare schedules — but it honours the same contract model code
+//! writes against: assertions must hold on *every* explored schedule,
+//! and a failure aborts the run with the iteration number. Models
+//! written here port unchanged to real loom when a registry is
+//! available.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Iteration count taken from `LOOM_ITERS` (default 64).
+fn iterations() -> u64 {
+    std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Per-process schedule perturbation seed; distinct per [`model`]
+/// iteration so spawned threads yield in different patterns.
+static SCHEDULE_SEED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Per-thread splitmix64 state driving that thread's yield pattern.
+    static YIELD_STATE: Cell<u64> = const { Cell::new(0) };
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Explores the closure under perturbed schedules; panics (propagating
+/// the model's own assertion) on the first failing iteration.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters = iterations();
+    for iter in 0..iters {
+        SCHEDULE_SEED.store(iter.wrapping_mul(0x2545f4914f6cdd1d) | 1, Ordering::SeqCst);
+        f();
+    }
+}
+
+/// Threads whose startup schedule is perturbed per model iteration.
+pub mod thread {
+    pub use std::thread::{current, yield_now, JoinHandle};
+
+    use super::{splitmix64, Ordering, SCHEDULE_SEED, YIELD_STATE};
+
+    /// Spawns a thread that first yields an iteration-dependent number
+    /// of times, shifting its start relative to its siblings, and then
+    /// occasionally yields again via [`explore`] points.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let seed = SCHEDULE_SEED.load(Ordering::SeqCst);
+        std::thread::spawn(move || {
+            YIELD_STATE.with(|s| s.set(seed ^ (std::process::id() as u64)));
+            let mut state = seed;
+            for _ in 0..(splitmix64(&mut state) % 8) {
+                yield_now();
+            }
+            f()
+        })
+    }
+
+    /// An explicit interleaving point: yields on a pseudorandom subset
+    /// of iterations. Models may sprinkle this between steps; the
+    /// workspace's models rely on the spawn-time perturbation plus the
+    /// natural preemption of the stress loop.
+    pub fn explore() {
+        YIELD_STATE.with(|s| {
+            let mut state = s.get();
+            let v = splitmix64(&mut state);
+            s.set(state);
+            if v.is_multiple_of(4) {
+                yield_now();
+            }
+        });
+    }
+}
+
+/// `loom::sync` mirrors `std::sync` (the stub models run against the
+/// real primitives; see the crate docs for the fidelity trade-off).
+pub mod sync {
+    pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
+
+    /// Atomics, same layout as `std::sync::atomic`.
+    pub mod atomic {
+        pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+    }
+}
+
+/// Spin-loop hint, mirroring `loom::hint`.
+pub mod hint {
+    pub use std::hint::spin_loop;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_configured_iterations() {
+        std::env::set_var("LOOM_ITERS", "7");
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = count.clone();
+        super::model(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        std::env::remove_var("LOOM_ITERS");
+        assert_eq!(count.load(Ordering::SeqCst), 7);
+    }
+
+    #[test]
+    fn spawned_threads_join_with_results() {
+        super::model(|| {
+            let h = super::thread::spawn(|| 21 * 2);
+            assert_eq!(h.join().unwrap(), 42);
+        });
+    }
+}

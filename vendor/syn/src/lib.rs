@@ -1,0 +1,568 @@
+//! Minimal stand-in for `syn` (offline environment).
+//!
+//! The real `syn` parses Rust source into a full AST and discards
+//! comments. `tlc-lint` needs the opposite trade-off: exact source
+//! spans, *preserved* comments (the `// SAFETY:` audit is about
+//! comments), and total coverage of every file in the workspace. So —
+//! following the repo's vendored-stub policy of "exactly the API
+//! surface the workspace uses" — this crate implements a complete
+//! Rust *lexer* and exposes it through a `syn`-shaped entry point:
+//! [`parse_file`] returns a [`File`] whose token stream the lint rules
+//! walk with their own lightweight item tracking.
+//!
+//! The lexer is total over valid Rust 2021 source: line/block comments
+//! (doc and plain, nested blocks), string/char/byte/raw/C literals,
+//! numeric literals with suffixes, lifetimes vs. char literals, raw
+//! identifiers, and single-character punctuation (rules match
+//! multi-character operators as token sequences, e.g. `Instant::now`
+//! is `Ident(":")(":")Ident`). Unterminated literals or comments are
+//! reported as [`Error`]s with the offending line.
+
+/// One lexed token with its source position (1-based line, column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification used by lint rules.
+    pub kind: TokenKind,
+    /// Exact source text of the token.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// 1-based column (in bytes) the token starts at.
+    pub col: u32,
+}
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `Instant`, `r#type`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `{`, `#`, …).
+    Punct,
+    /// String/char/byte/numeric literal (text includes quotes/prefix).
+    Literal,
+    /// Lifetime such as `'a` or `'static` (text includes the quote).
+    Lifetime,
+    /// Comment; `doc` distinguishes `///`, `//!`, `/** */`, `/*! */`.
+    Comment {
+        /// Block (`/* */`) rather than line (`//`) comment.
+        block: bool,
+        /// Doc comment (`///`, `//!`, `/** */`, `/*! */`).
+        doc: bool,
+    },
+}
+
+impl Token {
+    /// True for tokens that carry code semantics (everything except
+    /// comments).
+    pub fn is_significant(&self) -> bool {
+        !matches!(self.kind, TokenKind::Comment { .. })
+    }
+
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True when the token is the single punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.starts_with(c)
+    }
+}
+
+/// A lexed source file.
+#[derive(Debug, Clone)]
+pub struct File {
+    /// Every token in source order, comments included.
+    pub tokens: Vec<Token>,
+}
+
+impl File {
+    /// Indices of the non-comment tokens, in order. Rules that match
+    /// token sequences walk this so interleaved comments cannot split
+    /// a pattern like `Instant :: now`.
+    pub fn significant(&self) -> Vec<usize> {
+        (0..self.tokens.len())
+            .filter(|&i| self.tokens[i].is_significant())
+            .collect()
+    }
+}
+
+/// A lexing error (unterminated literal or comment).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    /// 1-based line where the problem was detected.
+    pub line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn err(&self, line: u32, message: &str) -> Error {
+        Error {
+            line,
+            message: message.to_string(),
+        }
+    }
+
+    fn text_since(&self, start: usize) -> String {
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+
+    /// Consumes a `"`-terminated body honouring `\` escapes.
+    fn quoted_body(&mut self, quote: u8, start_line: u32) -> Result<(), Error> {
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                _ if b == quote => return Ok(()),
+                _ => {}
+            }
+        }
+        Err(self.err(start_line, "unterminated string literal"))
+    }
+
+    /// Consumes `###"…"###` given the number of leading hashes already
+    /// seen (cursor sits just past the opening quote).
+    fn raw_body(&mut self, hashes: usize, start_line: u32) -> Result<(), Error> {
+        'outer: while let Some(b) = self.bump() {
+            if b == b'"' {
+                for i in 0..hashes {
+                    if self.peek_at(i) != Some(b'#') {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                return Ok(());
+            }
+        }
+        Err(self.err(start_line, "unterminated raw string literal"))
+    }
+
+    fn ident_body(&mut self) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80 {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Numeric literal: ints, floats, exponents, underscores, radix
+    /// prefixes, and type suffixes. Stops before `..` so ranges like
+    /// `0..n` lex as three tokens.
+    fn number_body(&mut self) {
+        // Radix prefix digits, suffix letters, underscores.
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+                continue;
+            }
+            if b == b'.' {
+                // `1..x` is a range, `1.f64()` is a method call on an
+                // integer literal; only consume the dot when a digit
+                // follows (a plain trailing `1.` also lexes here).
+                match self.peek_at(1) {
+                    Some(n) if n.is_ascii_digit() => {
+                        self.bump();
+                        continue;
+                    }
+                    Some(b'.') => break,
+                    Some(n) if n.is_ascii_alphabetic() || n == b'_' => break,
+                    _ => {
+                        self.bump();
+                        break;
+                    }
+                }
+            }
+            if (b == b'+' || b == b'-') && self.pos > 0 {
+                // Exponent sign, only directly after `e`/`E`.
+                let prev = self.src[self.pos - 1];
+                if prev == b'e' || prev == b'E' {
+                    self.bump();
+                    continue;
+                }
+            }
+            break;
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, Error> {
+        // Skip whitespace.
+        while let Some(b) = self.peek() {
+            if b.is_ascii_whitespace() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let (line, col, start) = (self.line, self.col, self.pos);
+        let Some(b) = self.peek() else {
+            return Ok(None);
+        };
+
+        // Comments.
+        if b == b'/' {
+            match self.peek_at(1) {
+                Some(b'/') => {
+                    let doc = matches!(self.peek_at(2), Some(b'/') | Some(b'!'))
+                        // `////…` dividers are plain comments.
+                        && self.peek_at(3) != Some(b'/');
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    return Ok(Some(Token {
+                        kind: TokenKind::Comment { block: false, doc },
+                        text: self.text_since(start),
+                        line,
+                        col,
+                    }));
+                }
+                Some(b'*') => {
+                    let doc = matches!(self.peek_at(2), Some(b'*') | Some(b'!'))
+                        && self.peek_at(3) != Some(b'/');
+                    self.bump();
+                    self.bump();
+                    let mut depth = 1usize;
+                    while depth > 0 {
+                        match (self.peek(), self.peek_at(1)) {
+                            (Some(b'/'), Some(b'*')) => {
+                                depth += 1;
+                                self.bump();
+                                self.bump();
+                            }
+                            (Some(b'*'), Some(b'/')) => {
+                                depth -= 1;
+                                self.bump();
+                                self.bump();
+                            }
+                            (Some(_), _) => {
+                                self.bump();
+                            }
+                            (None, _) => {
+                                return Err(self.err(line, "unterminated block comment"));
+                            }
+                        }
+                    }
+                    return Ok(Some(Token {
+                        kind: TokenKind::Comment { block: true, doc },
+                        text: self.text_since(start),
+                        line,
+                        col,
+                    }));
+                }
+                _ => {}
+            }
+        }
+
+        // Lifetimes and char literals.
+        if b == b'\'' {
+            // `'\…'` or `'x'` (any single char then `'`) is a char
+            // literal; `'ident` not followed by `'` is a lifetime.
+            if self.peek_at(1) == Some(b'\\') {
+                self.bump();
+                self.quoted_body(b'\'', line)?;
+                return Ok(Some(Token {
+                    kind: TokenKind::Literal,
+                    text: self.text_since(start),
+                    line,
+                    col,
+                }));
+            }
+            let second_is_ident = self
+                .peek_at(1)
+                .map(|c| c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80)
+                .unwrap_or(false);
+            if second_is_ident && self.peek_at(2) != Some(b'\'') {
+                self.bump(); // '
+                self.ident_body();
+                return Ok(Some(Token {
+                    kind: TokenKind::Lifetime,
+                    text: self.text_since(start),
+                    line,
+                    col,
+                }));
+            }
+            self.bump();
+            self.quoted_body(b'\'', line)?;
+            return Ok(Some(Token {
+                kind: TokenKind::Literal,
+                text: self.text_since(start),
+                line,
+                col,
+            }));
+        }
+
+        // String-ish literals with prefixes: r"", r#""#, b"", br"",
+        // b'', c"", cr"", and raw identifiers r#ident.
+        if b == b'r' || b == b'b' || b == b'c' {
+            let mut off = 1;
+            let mut saw_r = b == b'r';
+            if (b == b'b' || b == b'c') && self.peek_at(off) == Some(b'r') {
+                saw_r = true;
+                off += 1;
+            }
+            let mut hashes = 0usize;
+            while saw_r && self.peek_at(off + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            let quote_at = off + hashes;
+            match self.peek_at(quote_at) {
+                Some(b'"') if saw_r => {
+                    for _ in 0..=quote_at {
+                        self.bump();
+                    }
+                    self.raw_body(hashes, line)?;
+                    return Ok(Some(Token {
+                        kind: TokenKind::Literal,
+                        text: self.text_since(start),
+                        line,
+                        col,
+                    }));
+                }
+                _ if b == b'r' && hashes == 1 => {
+                    // Raw identifier `r#ident` (but `r#"` handled above).
+                    let id_start = self
+                        .peek_at(2)
+                        .map(|c| c.is_ascii_alphabetic() || c == b'_' || c >= 0x80)
+                        .unwrap_or(false);
+                    if id_start {
+                        self.bump();
+                        self.bump();
+                        self.ident_body();
+                        return Ok(Some(Token {
+                            kind: TokenKind::Ident,
+                            text: self.text_since(start),
+                            line,
+                            col,
+                        }));
+                    }
+                }
+                _ => {}
+            }
+            if self.peek_at(1) == Some(b'"') && !saw_r {
+                // b"…" or c"…"
+                self.bump();
+                self.bump();
+                self.quoted_body(b'"', line)?;
+                return Ok(Some(Token {
+                    kind: TokenKind::Literal,
+                    text: self.text_since(start),
+                    line,
+                    col,
+                }));
+            }
+            if b == b'b' && self.peek_at(1) == Some(b'\'') {
+                self.bump();
+                self.bump();
+                self.quoted_body(b'\'', line)?;
+                return Ok(Some(Token {
+                    kind: TokenKind::Literal,
+                    text: self.text_since(start),
+                    line,
+                    col,
+                }));
+            }
+            // Fall through: plain identifier starting with r/b/c.
+        }
+
+        if b == b'"' {
+            self.bump();
+            self.quoted_body(b'"', line)?;
+            return Ok(Some(Token {
+                kind: TokenKind::Literal,
+                text: self.text_since(start),
+                line,
+                col,
+            }));
+        }
+
+        if b.is_ascii_digit() {
+            self.number_body();
+            return Ok(Some(Token {
+                kind: TokenKind::Literal,
+                text: self.text_since(start),
+                line,
+                col,
+            }));
+        }
+
+        if b.is_ascii_alphabetic() || b == b'_' || b >= 0x80 {
+            self.ident_body();
+            return Ok(Some(Token {
+                kind: TokenKind::Ident,
+                text: self.text_since(start),
+                line,
+                col,
+            }));
+        }
+
+        // Everything else: one punctuation character per token.
+        self.bump();
+        Ok(Some(Token {
+            kind: TokenKind::Punct,
+            text: self.text_since(start),
+            line,
+            col,
+        }))
+    }
+}
+
+/// Lexes a whole source file into its token stream.
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let mut lexer = Lexer::new(src);
+    let mut tokens = Vec::new();
+    // A shebang line is legal at the very top of a crate root.
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        while let Some(b) = lexer.peek() {
+            if b == b'\n' {
+                break;
+            }
+            lexer.bump();
+        }
+    }
+    while let Some(tok) = lexer.next_token()? {
+        tokens.push(tok);
+    }
+    Ok(File { tokens })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        parse_file(src)
+            .unwrap()
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn lexes_idents_puncts_and_spans() {
+        let f = parse_file("fn main() {\n    x.unwrap();\n}\n").unwrap();
+        let unwrap = f.tokens.iter().find(|t| t.text == "unwrap").unwrap();
+        assert_eq!((unwrap.line, unwrap.kind), (2, TokenKind::Ident));
+    }
+
+    #[test]
+    fn comments_are_preserved_and_classified() {
+        let toks = kinds("// SAFETY: fine\n/// doc\n//! inner\n/* b */ /** d */ x");
+        let comments: Vec<bool> = toks
+            .iter()
+            .filter_map(|(k, _)| match k {
+                TokenKind::Comment { doc, .. } => Some(*doc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(comments, vec![false, true, true, false, true]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("<'a, 'static> 'x' '\\n' b'q'");
+        let lifetimes = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .count();
+        let chars = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Literal)
+            .count();
+        assert_eq!((lifetimes, chars), (2, 3));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds(r###"r#"has "quotes" inside"# r#type br"bytes""###);
+        assert_eq!(toks[0].0, TokenKind::Literal);
+        assert_eq!(toks[1], (TokenKind::Ident, "r#type".to_string()));
+        assert_eq!(toks[2].0, TokenKind::Literal);
+    }
+
+    #[test]
+    fn strings_hide_code_looking_content() {
+        let toks = kinds(r#"let s = "unsafe { unwrap() } // SAFETY";"#);
+        assert!(toks.iter().all(|(_, t)| t != "unsafe"));
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| matches!(k, TokenKind::Comment { .. }))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("0..10 1.5e-3 0xffu64 2.pow(3)");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&"10"));
+        assert!(texts.contains(&"1.5e-3"));
+        assert!(texts.contains(&"0xffu64"));
+        assert!(texts.contains(&"pow"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(parse_file("let s = \"oops").is_err());
+    }
+}
