@@ -1,0 +1,159 @@
+//! CI smoke benchmark for the TCP ingress: measures verified PoCs/sec
+//! through a real socket against the in-process service on the same
+//! proof set, and checks the verdict sequences agree bit-for-bit.
+//! Exits nonzero on any divergence. Bounded iteration counts, no
+//! criterion baselines; scale with `TLC_BENCH_POCS` (proofs per
+//! relationship, default 40).
+
+use std::time::Instant;
+use tlc_core::messages::{PocMsg, NONCE_LEN};
+use tlc_core::plan::DataPlan;
+use tlc_core::protocol::{run_negotiation, Endpoint};
+use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
+use tlc_core::verify::remote::{IngressConfig, IngressServer, RemoteVerifier};
+use tlc_core::verify::service::{ServiceConfig, VerifierService};
+use tlc_crypto::{KeyPair, PublicKey};
+
+const RELATIONSHIPS: u64 = 4;
+
+struct Rel {
+    edge_pub: PublicKey,
+    op_pub: PublicKey,
+    proofs: Vec<PocMsg>,
+}
+
+fn nonce(id: u64, cycle: u64, side: u8) -> [u8; NONCE_LEN] {
+    let mut n = [side; NONCE_LEN];
+    n[..8].copy_from_slice(&id.to_be_bytes());
+    n[8..16].copy_from_slice(&cycle.to_be_bytes());
+    n
+}
+
+fn build_rel(id: u64, cycles: usize) -> Rel {
+    let plan = DataPlan::paper_default();
+    let edge = KeyPair::generate_for_seed(1024, 31_000 + id * 2).expect("keygen");
+    let op = KeyPair::generate_for_seed(1024, 31_001 + id * 2).expect("keygen");
+    let mut proofs = Vec::with_capacity(cycles);
+    for c in 0..cycles {
+        let sent = 2_000_000 + id * 1000 + c as u64;
+        let mut e = Endpoint::new(
+            Role::Edge,
+            plan,
+            Knowledge {
+                role: Role::Edge,
+                own_truth: sent,
+                inferred_peer_truth: sent - 40_000,
+            },
+            Box::new(OptimalStrategy),
+            edge.private.clone(),
+            op.public.clone(),
+            nonce(id, c as u64, 0),
+            16,
+        );
+        let mut o = Endpoint::new(
+            Role::Operator,
+            plan,
+            Knowledge {
+                role: Role::Operator,
+                own_truth: sent - 40_000,
+                inferred_peer_truth: sent,
+            },
+            Box::new(OptimalStrategy),
+            op.private.clone(),
+            edge.public.clone(),
+            nonce(id, c as u64, 1),
+            16,
+        );
+        proofs.push(run_negotiation(&mut o, &mut e).expect("negotiation").0);
+    }
+    Rel {
+        edge_pub: edge.public,
+        op_pub: op.public,
+        proofs,
+    }
+}
+
+fn main() {
+    let cycles: usize = std::env::var("TLC_BENCH_POCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(40);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(2);
+    let plan = DataPlan::paper_default();
+
+    println!("building {RELATIONSHIPS} relationships × {cycles} cycles…");
+    let rels: Vec<Rel> = (0..RELATIONSHIPS).map(|id| build_rel(id, cycles)).collect();
+    let total = RELATIONSHIPS as usize * cycles;
+
+    // ── In-process baseline ─────────────────────────────────────────────
+    let mut svc = VerifierService::new(workers);
+    let start = Instant::now();
+    for r in &rels {
+        let rel = svc
+            .register(plan, r.edge_pub.clone(), r.op_pub.clone())
+            .expect("register");
+        svc.submit_batch(rel, r.proofs.iter().cloned())
+            .expect("submit");
+    }
+    let mut local = svc.collect_results().expect("collect");
+    let local_elapsed = start.elapsed();
+    svc.finish();
+    local.sort_by_key(|r| r.tag);
+
+    // ── Over TCP ────────────────────────────────────────────────────────
+    let server = IngressServer::bind(
+        ("127.0.0.1", 0),
+        ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        },
+        IngressConfig::default(),
+    )
+    .expect("bind");
+    let handle = server.spawn().expect("spawn ingress");
+    let mut client = RemoteVerifier::connect(handle.addr(), 0).expect("connect");
+    let start = Instant::now();
+    for r in &rels {
+        let rel = client
+            .register(plan, r.edge_pub.clone(), r.op_pub.clone())
+            .expect("register");
+        client.submit_batch(rel, r.proofs.iter()).expect("submit");
+    }
+    let mut remote = client.collect_results().expect("collect");
+    let remote_elapsed = start.elapsed();
+    client.goodbye().expect("goodbye");
+    let report = handle.shutdown().expect("report");
+    remote.sort_by_key(|r| r.tag);
+
+    assert_eq!(local.len(), total);
+    assert_eq!(remote.len(), total);
+    for (l, r) in local.iter().zip(remote.iter()) {
+        assert_eq!(l.tag, r.tag, "tag sequence diverged");
+        assert_eq!(l.result, r.result, "verdict diverged at tag {}", l.tag);
+    }
+    assert_eq!(report.ingress.submissions, total as u64);
+    assert_eq!(report.ingress.orphaned_verdicts, 0);
+
+    let local_rate = total as f64 / local_elapsed.as_secs_f64();
+    let remote_rate = total as f64 / remote_elapsed.as_secs_f64();
+    println!(
+        "in-process: {total} PoCs in {:.3} s -> {:.0}/s ({:.0}/hour)",
+        local_elapsed.as_secs_f64(),
+        local_rate,
+        local_rate * 3600.0
+    );
+    println!(
+        "over TCP:   {total} PoCs in {:.3} s -> {:.0}/s ({:.0}/hour)",
+        remote_elapsed.as_secs_f64(),
+        remote_rate,
+        remote_rate * 3600.0
+    );
+    println!(
+        "ingress overhead: {:.1}% (pauses: {})",
+        (local_rate / remote_rate - 1.0) * 100.0,
+        report.ingress.pauses
+    );
+}

@@ -86,14 +86,14 @@ fn get_role(buf: &mut Bytes) -> Result<Role, MessageError> {
     }
 }
 
-fn put_plan(buf: &mut BytesMut, plan: &DataPlan) {
+pub(crate) fn put_plan(buf: &mut BytesMut, plan: &DataPlan) {
     buf.put_u64(plan.cycle.start_secs);
     buf.put_u64(plan.cycle.end_secs);
     // The loss weight as its exact rational, 1e-4 resolution.
     buf.put_u32((plan.loss_weight.as_f64() * 10_000.0).round() as u32);
 }
 
-fn get_plan(buf: &mut Bytes) -> Result<DataPlan, MessageError> {
+pub(crate) fn get_plan(buf: &mut Bytes) -> Result<DataPlan, MessageError> {
     if buf.remaining() < 20 {
         return Err(MessageError::Malformed("truncated plan"));
     }

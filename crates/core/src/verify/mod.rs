@@ -16,6 +16,7 @@ use std::collections::{HashSet, VecDeque};
 use tlc_crypto::rng::RngSource;
 use tlc_crypto::{seal, PrivateKey, PublicKey};
 
+pub mod remote;
 pub mod service;
 
 /// Why a PoC failed verification.

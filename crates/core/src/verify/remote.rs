@@ -1,0 +1,975 @@
+//! Network ingress for the PoC verifier service (§5.3 deployed).
+//!
+//! The paper positions public verification as something a third party —
+//! an MVNO, a regulator, an FCC-style auditor — runs against operator
+//! and vendor claims. [`VerifierService`] shards and batch-pipelines
+//! that verification but is only callable in-process; this module puts
+//! it behind a TCP boundary with explicit framing, backpressure, and
+//! failure semantics:
+//!
+//! * [`codec`] — payload grammars for every [`FrameKind`]; the byte-
+//!   exact conformance surface pinned by `tests/wire_conformance.rs`,
+//! * [`IngressServer`] — a non-blocking poll loop multiplexing many
+//!   client connections onto one service, pausing reads per connection
+//!   when its in-flight window (or the service's global outstanding
+//!   cap) is exceeded,
+//! * [`RemoteVerifier`] — a blocking client mirroring the in-process
+//!   API: `register` / `submit` / `submit_batch` / `collect_results`
+//!   with the same typed [`ServiceError`] / [`VerifyError`] surface.
+//!
+//! ## Session shape
+//!
+//! ```text
+//! client                                server
+//!   | -- HELLO{magic,version,window} -->  |
+//!   | <-- HELLO_ACK{version,window,max} --|
+//!   | -- REGISTER{req,...} ------------>  |
+//!   | <-- REGISTERED{req,rel} -----------|
+//!   | -- SUBMIT / SUBMIT_BATCH -------->  |
+//!   | <-- VERDICT (streamed, per rel in  |
+//!   |      submission order) ------------|
+//!   | -- GOODBYE ---------------------->  |
+//!   | <-- GOODBYE_ACK -------------------|
+//! ```
+//!
+//! Errors the in-process API returns as values travel as ERROR frames
+//! and are mapped back to the same types client-side. Verdict payloads
+//! round-trip the full [`VerifyError`] structure (including
+//! `ChargeMismatch` operands) so a tampered PoC rejected over TCP is
+//! indistinguishable from one rejected in-process.
+//!
+//! No wall-clock time is read anywhere here (tlc-lint's determinism
+//! rule): the poll loop paces itself with a fixed `thread::sleep` when
+//! idle, and all ordering comes from the sockets and channels.
+
+use crate::messages::PocMsg;
+use crate::plan::DataPlan;
+use crate::verify::service::{
+    RelationshipId, ServiceConfig, ServiceError, ServiceReport, SubmissionResult, VerifierService,
+};
+use crate::verify::DEFAULT_REPLAY_CAPACITY;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tlc_net::ingress::{ConnDriver, DriverError};
+use tlc_net::wire::{Frame, FrameDecoder, FrameKind, WireError, DEFAULT_MAX_PAYLOAD};
+
+pub mod codec;
+
+use codec::{
+    Fault, Hello, HelloAck, Register, Registered, StatsSnapshot, Submit, SubmitBatch, VerdictMsg,
+    MAGIC, PROTOCOL_VERSION,
+};
+
+/// Failures surfaced by the remote client (and, internally, the
+/// server). The `Service` variant carries the exact in-process error
+/// type so callers can match on one surface regardless of transport.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteError {
+    /// The far side reported a service-level failure; identical to what
+    /// the in-process API would have returned.
+    Service(ServiceError),
+    /// The byte stream violated the framing layer.
+    Wire(WireError),
+    /// Transport-level I/O failure.
+    Io(io::ErrorKind),
+    /// The peer broke the session protocol (bad payload, wrong frame
+    /// for the current phase, bad magic, …).
+    Protocol(&'static str),
+    /// The server speaks a different protocol version.
+    BadVersion {
+        /// Version the server offered.
+        server: u16,
+    },
+    /// The server shut down while the session was open.
+    ServerShutdown,
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteError::Service(e) => write!(f, "service error: {e}"),
+            RemoteError::Wire(e) => write!(f, "framing error: {e}"),
+            RemoteError::Io(k) => write!(f, "i/o error: {k:?}"),
+            RemoteError::Protocol(s) => write!(f, "protocol violation: {s}"),
+            RemoteError::BadVersion { server } => {
+                write!(
+                    f,
+                    "server speaks protocol version {server}, not {PROTOCOL_VERSION}"
+                )
+            }
+            RemoteError::ServerShutdown => write!(f, "server shut down"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<WireError> for RemoteError {
+    fn from(e: WireError) -> Self {
+        RemoteError::Wire(e)
+    }
+}
+
+impl From<ServiceError> for RemoteError {
+    fn from(e: ServiceError) -> Self {
+        RemoteError::Service(e)
+    }
+}
+
+/// Tuning knobs for [`IngressServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngressConfig {
+    /// Per-connection in-flight submission window granted in HELLO_ACK;
+    /// reads pause once a connection has this many verdicts pending.
+    pub window: u32,
+    /// Frame payload cap enforced by the decoder before allocation.
+    pub max_payload: u32,
+    /// Global cap: when the service's outstanding count exceeds this,
+    /// every connection's reads pause until verdicts drain.
+    pub service_inflight_cap: usize,
+    /// Maximum proofs accepted in one SUBMIT_BATCH frame.
+    pub max_batch: u32,
+    /// Sleep between poll iterations when no I/O happened.
+    pub poll_sleep: Duration,
+    /// Frame budget per connection per poll iteration.
+    pub frames_per_poll: usize,
+}
+
+impl Default for IngressConfig {
+    fn default() -> Self {
+        IngressConfig {
+            window: 64,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            service_inflight_cap: 4096,
+            max_batch: 1024,
+            poll_sleep: Duration::from_micros(200),
+            frames_per_poll: 32,
+        }
+    }
+}
+
+/// Ingress-side counters, reported at shutdown and over STATS frames.
+pub type IngressStats = StatsSnapshot;
+
+/// Aggregate report returned by [`IngressServer::run`]: the wrapped
+/// service's report plus ingress counters.
+#[derive(Debug, Clone)]
+pub struct IngressReport {
+    /// The verification pool's own shutdown report.
+    pub service: ServiceReport,
+    /// Ingress counters accumulated over the server's lifetime.
+    pub ingress: IngressStats,
+}
+
+/// Connection phases of the ingress state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Nothing accepted yet but HELLO.
+    AwaitHello,
+    /// Session established; submissions flow.
+    Ready,
+    /// Marked for removal at the end of the iteration.
+    Closed,
+}
+
+struct Conn {
+    id: u64,
+    driver: ConnDriver<TcpStream>,
+    phase: Phase,
+    /// Submissions relayed to the service, verdicts not yet returned.
+    in_flight: u32,
+    /// Window granted to this connection in HELLO_ACK.
+    window: u32,
+    /// Peer sent GOODBYE: drain in-flight verdicts, ack, close.
+    goodbye: bool,
+}
+
+struct Route {
+    conn_id: u64,
+    client_tag: u64,
+}
+
+/// TCP front-end for a [`VerifierService`].
+///
+/// Single-threaded: [`run`](Self::run) owns the accept loop, every
+/// connection, and the service, so no locking is needed anywhere. Use
+/// [`spawn`](Self::spawn) to run it on a background thread with a stop
+/// handle.
+pub struct IngressServer {
+    listener: TcpListener,
+    service: VerifierService,
+    config: IngressConfig,
+    conns: Vec<Conn>,
+    /// service tag -> originating connection + the tag it used.
+    routes: HashMap<u64, Route>,
+    next_conn: u64,
+    stats: IngressStats,
+}
+
+impl IngressServer {
+    /// Binds a listener and wraps a freshly spawned service.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service_config: ServiceConfig,
+        config: IngressConfig,
+    ) -> io::Result<IngressServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(IngressServer {
+            listener,
+            service: VerifierService::with_config(service_config),
+            config,
+            conns: Vec::new(),
+            routes: HashMap::new(),
+            next_conn: 0,
+            stats: IngressStats::default(),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the poll loop until `stop` is set, then tears the service
+    /// down and returns the combined report. Open sessions receive an
+    /// ERROR/Shutdown frame (best-effort) before their sockets drop.
+    pub fn run(mut self, stop: &AtomicBool) -> IngressReport {
+        while !stop.load(Ordering::Relaxed) {
+            let mut activity = false;
+            activity |= self.accept_new();
+            activity |= self.poll_conns();
+            activity |= self.pump_verdicts();
+            self.apply_backpressure();
+            activity |= self.flush_and_reap();
+            if !activity {
+                std::thread::sleep(self.config.poll_sleep);
+            }
+        }
+        // Best-effort shutdown notice to every open session.
+        let bye = Fault::Shutdown.to_frame();
+        for conn in &mut self.conns {
+            if conn.phase == Phase::Ready {
+                let _ = conn.driver.queue(&bye);
+                let _ = conn.driver.flush();
+            }
+        }
+        IngressReport {
+            service: self.service.finish(),
+            ingress: self.stats,
+        }
+    }
+
+    /// Spawns [`run`](Self::run) on a background thread.
+    pub fn spawn(self) -> io::Result<IngressHandle> {
+        let addr = self.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("tlc-ingress".into())
+            .spawn(move || self.run(&flag))?;
+        Ok(IngressHandle { addr, stop, thread })
+    }
+
+    /// Accepts every connection currently pending. Returns whether any
+    /// arrived.
+    fn accept_new(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    // Non-blocking and low-latency; failures here just
+                    // leave the socket with default options.
+                    let _ = stream.set_nonblocking(true);
+                    let _ = stream.set_nodelay(true);
+                    let id = self.next_conn;
+                    self.next_conn += 1;
+                    self.conns.push(Conn {
+                        id,
+                        driver: ConnDriver::new(stream, self.config.max_payload),
+                        phase: Phase::AwaitHello,
+                        in_flight: 0,
+                        window: self.config.window,
+                        goodbye: false,
+                    });
+                    self.stats.connections += 1;
+                    any = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        any
+    }
+
+    /// Polls every connection for inbound frames and handles them.
+    fn poll_conns(&mut self) -> bool {
+        let mut any = false;
+        let mut frames = Vec::new();
+        for i in 0..self.conns.len() {
+            if self.conns[i].phase == Phase::Closed {
+                continue;
+            }
+            frames.clear();
+            let budget = self.config.frames_per_poll;
+            if let Err(e) = self.conns[i].driver.poll_frames(budget, &mut frames) {
+                // Framing violation or transport failure: tell the peer
+                // if we still can, then close.
+                if let DriverError::Wire(_) = e {
+                    self.protocol_fault(i, "framing violation");
+                } else {
+                    self.conns[i].phase = Phase::Closed;
+                }
+                continue;
+            }
+            if !frames.is_empty() {
+                any = true;
+            }
+            for frame in frames.drain(..) {
+                if self.conns[i].phase == Phase::Closed {
+                    break;
+                }
+                self.handle_frame(i, frame);
+            }
+            // EOF with nothing left to send: reap.
+            if self.conns[i].driver.at_eof() && self.conns[i].driver.outbox_bytes() == 0 {
+                self.conns[i].phase = Phase::Closed;
+            }
+        }
+        any
+    }
+
+    /// Queues an ERROR/Protocol frame and closes the connection.
+    fn protocol_fault(&mut self, i: usize, detail: &'static str) {
+        self.stats.protocol_errors += 1;
+        let frame = Fault::Protocol(detail).to_frame();
+        let _ = self.conns[i].driver.queue(&frame);
+        let _ = self.conns[i].driver.flush();
+        self.conns[i].phase = Phase::Closed;
+    }
+
+    /// Queues a frame on connection `i`, closing it if the outbox
+    /// rejects the frame (payload over the codec's length range —
+    /// impossible for protocol-layer frames, but stay total).
+    fn send(&mut self, i: usize, frame: &Frame) {
+        if self.conns[i].driver.queue(frame).is_err() {
+            self.conns[i].phase = Phase::Closed;
+        }
+    }
+
+    fn handle_frame(&mut self, i: usize, frame: Frame) {
+        match (self.conns[i].phase, frame.kind) {
+            (Phase::AwaitHello, FrameKind::Hello) => self.handle_hello(i, &frame.payload),
+            (Phase::AwaitHello, _) => self.protocol_fault(i, "expected HELLO"),
+            (Phase::Ready, FrameKind::Register) => self.handle_register(i, &frame.payload),
+            (Phase::Ready, FrameKind::Submit) => self.handle_submit(i, &frame.payload),
+            (Phase::Ready, FrameKind::SubmitBatch) => self.handle_submit_batch(i, &frame.payload),
+            (Phase::Ready, FrameKind::StatsReq) => {
+                let snapshot = self.stats_snapshot();
+                self.send(i, &snapshot.to_frame(FrameKind::Stats));
+            }
+            (Phase::Ready, FrameKind::Goodbye) => {
+                self.conns[i].goodbye = true;
+                self.maybe_finish_goodbye(i);
+            }
+            (Phase::Ready, _) => self.protocol_fault(i, "unexpected frame kind"),
+            (Phase::Closed, _) => {}
+        }
+    }
+
+    fn handle_hello(&mut self, i: usize, payload: &[u8]) {
+        let hello = match Hello::decode(payload) {
+            Ok(h) => h,
+            Err(detail) => return self.protocol_fault(i, detail),
+        };
+        if hello.magic != MAGIC {
+            return self.protocol_fault(i, "bad magic");
+        }
+        if hello.version != PROTOCOL_VERSION {
+            self.stats.protocol_errors += 1;
+            let frame = Fault::BadVersion {
+                server: PROTOCOL_VERSION,
+            }
+            .to_frame();
+            let _ = self.conns[i].driver.queue(&frame);
+            let _ = self.conns[i].driver.flush();
+            self.conns[i].phase = Phase::Closed;
+            return;
+        }
+        // Window 0 means "server's choice"; otherwise grant at most the
+        // configured window.
+        let granted = if hello.window == 0 {
+            self.config.window
+        } else {
+            hello.window.min(self.config.window)
+        };
+        self.conns[i].window = granted.max(1);
+        self.conns[i].phase = Phase::Ready;
+        let ack = HelloAck {
+            version: PROTOCOL_VERSION,
+            window: self.conns[i].window,
+            max_payload: self.config.max_payload,
+        };
+        self.send(i, &ack.to_frame());
+    }
+
+    fn handle_register(&mut self, i: usize, payload: &[u8]) {
+        let reg = match Register::decode(payload) {
+            Ok(r) => r,
+            Err(detail) => return self.protocol_fault(i, detail),
+        };
+        match self.service.register_with_capacity(
+            reg.plan,
+            reg.edge_key,
+            reg.operator_key,
+            reg.capacity as usize,
+        ) {
+            Ok(rel) => {
+                self.stats.registers += 1;
+                let ack = Registered {
+                    req: reg.req,
+                    rel: rel.raw(),
+                };
+                self.send(i, &ack.to_frame());
+            }
+            Err(e) => self.service_fault(i, e),
+        }
+    }
+
+    fn handle_submit(&mut self, i: usize, payload: &[u8]) {
+        let sub = match Submit::decode(payload) {
+            Ok(s) => s,
+            Err(detail) => return self.protocol_fault(i, detail),
+        };
+        self.relay_submission(i, sub.rel, sub.tag, &sub.poc);
+    }
+
+    fn handle_submit_batch(&mut self, i: usize, payload: &[u8]) {
+        let batch = match SubmitBatch::decode(payload) {
+            Ok(b) => b,
+            Err(detail) => return self.protocol_fault(i, detail),
+        };
+        if batch.pocs.len() as u64 > self.config.max_batch as u64 {
+            return self.protocol_fault(i, "batch exceeds server limit");
+        }
+        for (k, poc) in batch.pocs.iter().enumerate() {
+            if self.conns[i].phase == Phase::Closed {
+                break;
+            }
+            self.relay_submission(i, batch.rel, batch.first_tag.wrapping_add(k as u64), poc);
+        }
+    }
+
+    /// Decodes one PoC and hands it to the service, recording the route
+    /// for the verdict on the way back.
+    fn relay_submission(&mut self, i: usize, rel_raw: u64, client_tag: u64, poc_bytes: &[u8]) {
+        let poc = match PocMsg::decode(poc_bytes) {
+            Ok(p) => p,
+            // An undecodable PoC is a client bug, not a verdict: the
+            // in-process API takes `PocMsg` values, so decode failures
+            // cannot reach `submit` there either.
+            Err(_) => return self.protocol_fault(i, "undecodable PoC payload"),
+        };
+        let rel = RelationshipId::from_raw(rel_raw);
+        match self.service.submit(rel, poc) {
+            Ok(service_tag) => {
+                self.stats.submissions += 1;
+                self.conns[i].in_flight += 1;
+                self.routes.insert(
+                    service_tag,
+                    Route {
+                        conn_id: self.conns[i].id,
+                        client_tag,
+                    },
+                );
+            }
+            Err(e) => self.service_fault(i, e),
+        }
+    }
+
+    /// Relays a [`ServiceError`] as an ERROR frame. Unknown-relationship
+    /// and shard-down errors keep the session open (other relationships
+    /// and shards still work), mirroring the in-process API where these
+    /// are recoverable `Err` returns.
+    fn service_fault(&mut self, i: usize, e: ServiceError) {
+        let fault = match e {
+            ServiceError::ShardDown { shard } => Fault::ShardDown {
+                shard: shard as u32,
+            },
+            ServiceError::ResultsClosed { outstanding } => Fault::ResultsClosed {
+                outstanding: outstanding as u32,
+            },
+            ServiceError::UnknownRelationship(rel) => Fault::UnknownRelationship(rel.raw()),
+        };
+        self.send(i, &fault.to_frame());
+    }
+
+    /// Streams ready verdicts back to their connections.
+    fn pump_verdicts(&mut self) -> bool {
+        let results = self.service.try_collect_results();
+        let any = !results.is_empty();
+        for r in results {
+            let Some(route) = self.routes.remove(&r.tag) else {
+                // A tag the server never issued cannot come back; stay
+                // total and count it rather than panic.
+                self.stats.orphaned_verdicts += 1;
+                continue;
+            };
+            match r.result {
+                Ok(_) => self.stats.accepted += 1,
+                Err(_) => self.stats.rejected += 1,
+            }
+            let Some(i) = self.conns.iter().position(|c| c.id == route.conn_id) else {
+                // Client disconnected mid-batch: the verdict is
+                // discarded deterministically and counted.
+                self.stats.orphaned_verdicts += 1;
+                continue;
+            };
+            self.conns[i].in_flight = self.conns[i].in_flight.saturating_sub(1);
+            if self.conns[i].phase == Phase::Closed {
+                self.stats.orphaned_verdicts += 1;
+                continue;
+            }
+            let msg = VerdictMsg {
+                rel: r.relationship.raw(),
+                tag: route.client_tag,
+                shard: r.shard as u32,
+                result: r.result,
+            };
+            self.stats.verdicts += 1;
+            self.send(i, &msg.to_frame());
+            self.maybe_finish_goodbye(i);
+        }
+        any
+    }
+
+    /// After GOODBYE, once every in-flight verdict has been streamed,
+    /// acknowledge and close.
+    fn maybe_finish_goodbye(&mut self, i: usize) {
+        if self.conns[i].goodbye && self.conns[i].in_flight == 0 {
+            self.send(i, &Frame::new(FrameKind::GoodbyeAck, Vec::new()));
+            self.conns[i].phase = Phase::Closed;
+        }
+    }
+
+    /// Pauses reads on connections over their window (or globally when
+    /// the service backlog is too deep); resumes the rest.
+    fn apply_backpressure(&mut self) {
+        let global = self.service.outstanding() >= self.config.service_inflight_cap;
+        for conn in &mut self.conns {
+            let over_window = conn.in_flight >= conn.window;
+            if global || over_window {
+                if !conn.paused() {
+                    self.stats.pauses += 1;
+                }
+                conn.driver.pause();
+            } else {
+                conn.driver.resume();
+            }
+        }
+    }
+
+    /// Flushes outboxes and drops closed connections. A `Closed`
+    /// connection gets one last best-effort flush so final frames
+    /// (GOODBYE_ACK, ERROR) usually reach the peer.
+    fn flush_and_reap(&mut self) -> bool {
+        let mut any = false;
+        let mut closed = 0u64;
+        for conn in &mut self.conns {
+            let before = conn.driver.outbox_bytes();
+            if conn.driver.flush().is_err() {
+                conn.phase = Phase::Closed;
+            }
+            if conn.driver.outbox_bytes() != before {
+                any = true;
+            }
+        }
+        self.conns.retain(|c| {
+            // Keep a closed conn alive while its farewell bytes are
+            // still draining and the socket is healthy.
+            let done =
+                c.phase == Phase::Closed && (c.driver.outbox_bytes() == 0 || c.driver.at_eof());
+            if done {
+                closed += 1;
+            }
+            !done
+        });
+        self.stats.connections_closed += closed;
+        any
+    }
+
+    fn stats_snapshot(&self) -> IngressStats {
+        let mut s = self.stats;
+        s.open_connections = self.conns.len() as u64;
+        s.service_outstanding = self.service.outstanding() as u64;
+        s
+    }
+}
+
+impl Conn {
+    fn paused(&self) -> bool {
+        self.driver.paused()
+    }
+}
+
+/// Handle to a server spawned with [`IngressServer::spawn`].
+pub struct IngressHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<IngressReport>,
+}
+
+impl IngressHandle {
+    /// Address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the poll loop to stop and joins it, returning the
+    /// combined report. A worker panic inside the loop yields a report
+    /// with an empty service section rather than propagating.
+    pub fn shutdown(self) -> Option<IngressReport> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.thread.join().ok()
+    }
+}
+
+/// Read chunk for the blocking client.
+const CLIENT_READ_CHUNK: usize = 8 * 1024;
+
+/// Blocking TCP client mirroring the in-process [`VerifierService`]
+/// API. One instance is one session; it is not `Sync` — run one per
+/// thread (the soak test does exactly that).
+pub struct RemoteVerifier {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Window granted by the server; `submit` drains verdicts once this
+    /// many submissions are outstanding.
+    window: u32,
+    /// Max frame payload the server accepts; batches are chunked to it.
+    max_payload: u32,
+    outstanding: usize,
+    next_tag: u64,
+    /// Verdicts read while waiting for some other frame.
+    ready: VecDeque<SubmissionResult>,
+    /// Relationships the server has confirmed, for the client-side
+    /// `UnknownRelationship` mirror of the in-process API.
+    rels: std::collections::HashSet<u64>,
+    next_req: u32,
+}
+
+impl RemoteVerifier {
+    /// Connects and performs the HELLO handshake. `window_hint` of 0
+    /// accepts the server's default window.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        window_hint: u32,
+    ) -> Result<RemoteVerifier, RemoteError> {
+        let stream = TcpStream::connect(addr).map_err(|e| RemoteError::Io(e.kind()))?;
+        let _ = stream.set_nodelay(true);
+        let mut client = RemoteVerifier {
+            stream,
+            decoder: FrameDecoder::new(DEFAULT_MAX_PAYLOAD),
+            window: 1,
+            max_payload: DEFAULT_MAX_PAYLOAD,
+            outstanding: 0,
+            next_tag: 0,
+            ready: VecDeque::new(),
+            rels: std::collections::HashSet::new(),
+            next_req: 0,
+        };
+        let hello = Hello {
+            magic: MAGIC,
+            version: PROTOCOL_VERSION,
+            window: window_hint,
+        };
+        client.send_frame(&hello.to_frame())?;
+        let frame = client.read_non_verdict()?;
+        if frame.kind != FrameKind::HelloAck {
+            return Err(RemoteError::Protocol("expected HELLO_ACK"));
+        }
+        let ack = HelloAck::decode(&frame.payload).map_err(RemoteError::Protocol)?;
+        if ack.version != PROTOCOL_VERSION {
+            return Err(RemoteError::BadVersion {
+                server: ack.version,
+            });
+        }
+        client.window = ack.window.max(1);
+        client.max_payload = ack.max_payload;
+        Ok(client)
+    }
+
+    /// Registers a relationship with the default replay window;
+    /// idempotent for the same `(plan, keys)` triple, like the
+    /// in-process API.
+    pub fn register(
+        &mut self,
+        plan: DataPlan,
+        edge_key: tlc_crypto::PublicKey,
+        operator_key: tlc_crypto::PublicKey,
+    ) -> Result<RelationshipId, RemoteError> {
+        self.register_with_capacity(plan, edge_key, operator_key, DEFAULT_REPLAY_CAPACITY)
+    }
+
+    /// [`register`](Self::register) with an explicit replay-cache bound.
+    pub fn register_with_capacity(
+        &mut self,
+        plan: DataPlan,
+        edge_key: tlc_crypto::PublicKey,
+        operator_key: tlc_crypto::PublicKey,
+        capacity: usize,
+    ) -> Result<RelationshipId, RemoteError> {
+        let req = self.next_req;
+        self.next_req = self.next_req.wrapping_add(1);
+        let msg = Register {
+            req,
+            capacity: capacity as u64,
+            plan,
+            edge_key,
+            operator_key,
+        };
+        self.send_frame(&msg.to_frame())?;
+        let frame = self.read_non_verdict()?;
+        if frame.kind != FrameKind::Registered {
+            return Err(RemoteError::Protocol("expected REGISTERED"));
+        }
+        let ack = Registered::decode(&frame.payload).map_err(RemoteError::Protocol)?;
+        if ack.req != req {
+            return Err(RemoteError::Protocol("REGISTERED for a different request"));
+        }
+        self.rels.insert(ack.rel);
+        Ok(RelationshipId::from_raw(ack.rel))
+    }
+
+    /// Submits one proof; returns its tag, exactly like the in-process
+    /// `submit`. Blocks draining verdicts when the window is full.
+    pub fn submit(&mut self, rel: RelationshipId, poc: &PocMsg) -> Result<u64, RemoteError> {
+        if !self.rels.contains(&rel.raw()) {
+            return Err(RemoteError::Service(ServiceError::UnknownRelationship(rel)));
+        }
+        while self.outstanding >= self.window as usize {
+            self.pull_verdict()?;
+        }
+        let tag = self.next_tag;
+        let msg = Submit {
+            rel: rel.raw(),
+            tag,
+            poc: poc.encode(),
+        };
+        self.send_frame(&msg.to_frame())?;
+        self.next_tag += 1;
+        self.outstanding += 1;
+        Ok(tag)
+    }
+
+    /// Submits a batch under one relationship; returns `(first_tag,
+    /// count)`. Chunked to respect the server's frame payload cap.
+    pub fn submit_batch<'a>(
+        &mut self,
+        rel: RelationshipId,
+        pocs: impl IntoIterator<Item = &'a PocMsg>,
+    ) -> Result<(u64, usize), RemoteError> {
+        if !self.rels.contains(&rel.raw()) {
+            return Err(RemoteError::Service(ServiceError::UnknownRelationship(rel)));
+        }
+        let first = self.next_tag;
+        let mut count = 0usize;
+        let mut chunk: Vec<Vec<u8>> = Vec::new();
+        let mut chunk_bytes = 0usize;
+        // Stay well under the payload cap: the batch header plus
+        // per-item length prefixes ride along.
+        let budget = (self.max_payload as usize).saturating_sub(1024);
+        for poc in pocs {
+            let bytes = poc.encode();
+            if !chunk.is_empty() && chunk_bytes + bytes.len() + 4 > budget {
+                self.send_batch_chunk(rel, &mut chunk, &mut chunk_bytes, &mut count)?;
+            }
+            chunk_bytes += bytes.len() + 4;
+            chunk.push(bytes);
+        }
+        if !chunk.is_empty() {
+            self.send_batch_chunk(rel, &mut chunk, &mut chunk_bytes, &mut count)?;
+        }
+        Ok((first, count))
+    }
+
+    fn send_batch_chunk(
+        &mut self,
+        rel: RelationshipId,
+        chunk: &mut Vec<Vec<u8>>,
+        chunk_bytes: &mut usize,
+        count: &mut usize,
+    ) -> Result<(), RemoteError> {
+        while self.outstanding >= self.window as usize {
+            self.pull_verdict()?;
+        }
+        let n = chunk.len();
+        let msg = SubmitBatch {
+            rel: rel.raw(),
+            first_tag: self.next_tag,
+            pocs: std::mem::take(chunk),
+        };
+        self.send_frame(&msg.to_frame())?;
+        self.next_tag += n as u64;
+        self.outstanding += n;
+        *count += n;
+        *chunk_bytes = 0;
+        Ok(())
+    }
+
+    /// Blocks until every submitted proof has a verdict and returns
+    /// them (per relationship, in submission order — the service's own
+    /// guarantee, preserved by the ordered byte stream).
+    ///
+    /// If the server goes away first, the same
+    /// [`ServiceError::ResultsClosed`] the in-process API raises is
+    /// returned, carrying the number of results lost.
+    pub fn collect_results(&mut self) -> Result<Vec<SubmissionResult>, RemoteError> {
+        let mut out = Vec::with_capacity(self.outstanding + self.ready.len());
+        while let Some(r) = self.ready.pop_front() {
+            out.push(r);
+        }
+        while self.outstanding > 0 {
+            match self.pull_verdict() {
+                Ok(()) => {
+                    while let Some(r) = self.ready.pop_front() {
+                        out.push(r);
+                    }
+                }
+                Err(RemoteError::Io(io::ErrorKind::UnexpectedEof))
+                | Err(RemoteError::ServerShutdown) => {
+                    let outstanding = self.outstanding;
+                    self.outstanding = 0;
+                    return Err(RemoteError::Service(ServiceError::ResultsClosed {
+                        outstanding,
+                    }));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Verdicts received so far without blocking for the rest.
+    pub fn take_ready(&mut self) -> Vec<SubmissionResult> {
+        self.ready.drain(..).collect()
+    }
+
+    /// Submissions awaiting verdicts.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// The in-flight window granted by the server.
+    pub fn window(&self) -> u32 {
+        self.window
+    }
+
+    /// Requests the server's ingress counters.
+    pub fn stats(&mut self) -> Result<IngressStats, RemoteError> {
+        self.send_frame(&Frame::new(FrameKind::StatsReq, Vec::new()))?;
+        let frame = self.read_non_verdict()?;
+        if frame.kind != FrameKind::Stats {
+            return Err(RemoteError::Protocol("expected STATS"));
+        }
+        StatsSnapshot::decode(&frame.payload).map_err(RemoteError::Protocol)
+    }
+
+    /// Ends the session: the server streams any remaining verdicts
+    /// (returned here), acks, and closes. Consumes the client.
+    pub fn goodbye(mut self) -> Result<Vec<SubmissionResult>, RemoteError> {
+        self.send_frame(&Frame::new(FrameKind::Goodbye, Vec::new()))?;
+        let frame = self.read_non_verdict()?;
+        if frame.kind != FrameKind::GoodbyeAck {
+            return Err(RemoteError::Protocol("expected GOODBYE_ACK"));
+        }
+        self.outstanding = 0;
+        Ok(self.ready.drain(..).collect())
+    }
+
+    /// Reads frames until one that is not a VERDICT arrives; verdicts
+    /// encountered on the way are buffered (and count against
+    /// `outstanding`). ERROR frames become typed errors.
+    fn read_non_verdict(&mut self) -> Result<Frame, RemoteError> {
+        loop {
+            let frame = self.read_frame()?;
+            match frame.kind {
+                FrameKind::Verdict => self.absorb_verdict(&frame.payload)?,
+                FrameKind::Error => return Err(self.map_fault(&frame.payload)),
+                _ => return Ok(frame),
+            }
+        }
+    }
+
+    /// Reads exactly one VERDICT into the ready buffer (ERRORs mapped).
+    fn pull_verdict(&mut self) -> Result<(), RemoteError> {
+        let frame = self.read_frame()?;
+        match frame.kind {
+            FrameKind::Verdict => self.absorb_verdict(&frame.payload),
+            FrameKind::Error => Err(self.map_fault(&frame.payload)),
+            _ => Err(RemoteError::Protocol("expected VERDICT")),
+        }
+    }
+
+    fn absorb_verdict(&mut self, payload: &[u8]) -> Result<(), RemoteError> {
+        let v = VerdictMsg::decode(payload).map_err(RemoteError::Protocol)?;
+        self.outstanding = self.outstanding.saturating_sub(1);
+        self.ready.push_back(SubmissionResult {
+            relationship: RelationshipId::from_raw(v.rel),
+            tag: v.tag,
+            shard: v.shard as usize,
+            result: v.result,
+        });
+        Ok(())
+    }
+
+    fn map_fault(&self, payload: &[u8]) -> RemoteError {
+        match Fault::decode(payload) {
+            Ok(Fault::ShardDown { shard }) => RemoteError::Service(ServiceError::ShardDown {
+                shard: shard as usize,
+            }),
+            Ok(Fault::ResultsClosed { outstanding }) => {
+                RemoteError::Service(ServiceError::ResultsClosed {
+                    outstanding: outstanding as usize,
+                })
+            }
+            Ok(Fault::UnknownRelationship(rel)) => RemoteError::Service(
+                ServiceError::UnknownRelationship(RelationshipId::from_raw(rel)),
+            ),
+            Ok(Fault::BadVersion { server }) => RemoteError::BadVersion { server },
+            Ok(Fault::Protocol(detail)) => RemoteError::Protocol(detail),
+            Ok(Fault::Shutdown) => RemoteError::ServerShutdown,
+            Err(detail) => RemoteError::Protocol(detail),
+        }
+    }
+
+    fn send_frame(&mut self, frame: &Frame) -> Result<(), RemoteError> {
+        let bytes = frame.encode()?;
+        self.stream
+            .write_all(&bytes)
+            .map_err(|e| RemoteError::Io(e.kind()))
+    }
+
+    fn read_frame(&mut self) -> Result<Frame, RemoteError> {
+        loop {
+            if let Some(f) = self.decoder.next_frame() {
+                return Ok(f);
+            }
+            if let Some(e) = self.decoder.poisoned() {
+                return Err(RemoteError::Wire(e));
+            }
+            let mut buf = [0u8; CLIENT_READ_CHUNK];
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Err(RemoteError::Io(io::ErrorKind::UnexpectedEof)),
+                Ok(n) => self.decoder.push(&buf[..n])?,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(RemoteError::Io(e.kind())),
+            }
+        }
+    }
+}

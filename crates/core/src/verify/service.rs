@@ -51,6 +51,20 @@ impl RelationshipId {
     fn shard(self, workers: usize) -> usize {
         (self.0 % workers as u64) as usize
     }
+
+    /// The raw id, for the network ingress that must name relationships
+    /// on the wire. Not part of the public API: only `verify::remote`
+    /// serializes ids.
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id decoded from the wire. The caller (the ingress
+    /// server) is responsible for only reconstructing ids it previously
+    /// issued; `submit` re-checks range regardless.
+    pub(crate) fn from_raw(raw: u64) -> RelationshipId {
+        RelationshipId(raw)
+    }
 }
 
 /// Shutdown-aware failures surfaced by the service API.
@@ -213,6 +227,10 @@ pub struct ServiceReport {
     /// Shard worker threads that terminated by panicking instead of
     /// draining cleanly (0 on every healthy run).
     pub worker_panics: usize,
+    /// Results that were produced but never collected before shutdown
+    /// (e.g. a remote client disconnected mid-batch). Drained at
+    /// teardown rather than dropped with the channel.
+    pub unclaimed_results: usize,
     /// Wall-clock time from the first submission to shutdown.
     pub elapsed: Duration,
     /// Throughput over `elapsed`, comparable to the paper's 230K/hour.
@@ -302,6 +320,12 @@ impl VerifierService {
     /// The batching configuration in effect.
     pub fn config(&self) -> ServiceConfig {
         self.config
+    }
+
+    /// Submissions whose results have not been collected yet. The
+    /// ingress server uses this as its global backpressure signal.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
     }
 
     /// Registers a relationship with the
@@ -414,10 +438,35 @@ impl VerifierService {
         Ok(out)
     }
 
+    /// Non-blocking variant of [`collect_results`]: returns whatever
+    /// results are ready right now (possibly none) without waiting for
+    /// the rest. The ingress poll loop pumps this between socket polls
+    /// so verdicts stream back while submissions are still arriving.
+    ///
+    /// [`collect_results`]: Self::collect_results
+    pub fn try_collect_results(&mut self) -> Vec<SubmissionResult> {
+        let mut out = Vec::new();
+        while self.outstanding > 0 {
+            match self.result_rx.try_recv() {
+                Ok(r) => {
+                    self.outstanding -= 1;
+                    out.push(r);
+                }
+                Err(_) => break,
+            }
+        }
+        out
+    }
+
     /// Shuts the pool down: drains remaining work (flushing partial
     /// batches), joins the workers, and aggregates per-shard statistics.
     /// A worker that panicked instead of draining is counted in
     /// [`ServiceReport::worker_panics`] rather than propagated.
+    ///
+    /// Results the caller never collected (e.g. a remote client
+    /// disconnected mid-batch) are not silently dropped: after the
+    /// workers drain, the result queue is emptied deterministically and
+    /// the count reported in [`ServiceReport::unclaimed_results`].
     pub fn finish(mut self) -> ServiceReport {
         let started = self.first_submit.take();
         // Close the submission queues; hash workers drain and hang up on
@@ -430,6 +479,14 @@ impl VerifierService {
             }
         }
         let elapsed = started.map(|t| t.elapsed()).unwrap_or_default();
+        // Workers are joined: every in-flight submission has either
+        // produced a result or died with its worker. Drain what the
+        // caller left behind so teardown semantics are deterministic.
+        let mut unclaimed_results = 0usize;
+        while self.result_rx.try_recv().is_ok() {
+            unclaimed_results += 1;
+        }
+        self.outstanding = self.outstanding.saturating_sub(unclaimed_results);
         let mut shards: Vec<ShardStats> = Vec::with_capacity(self.config.workers);
         while let Ok(s) = self.stats_rx.recv() {
             shards.push(s);
@@ -452,6 +509,7 @@ impl VerifierService {
             replayed,
             batches,
             worker_panics,
+            unclaimed_results,
             elapsed,
             pocs_per_hour,
         }
@@ -883,6 +941,57 @@ mod tests {
         assert_eq!(tags, vec![0, 1]);
         assert!(results.iter().all(|r| r.result.is_ok()));
         svc.finish();
+    }
+
+    #[test]
+    fn finish_drains_unclaimed_results_deterministically() {
+        // Regression: a remote client that disconnects mid-batch never
+        // calls collect_results. Teardown used to drop the queued
+        // verdicts on the floor with the channel; they must instead be
+        // drained and counted so the report reconciles.
+        let plan = DataPlan::paper_default();
+        let edge = KeyPair::generate_for_seed(1024, 7900).unwrap();
+        let op = KeyPair::generate_for_seed(1024, 7901).unwrap();
+        let mut svc = VerifierService::new(1);
+        let rel = svc
+            .register(plan, edge.public.clone(), op.public.clone())
+            .unwrap();
+        for i in 0..3u8 {
+            let poc = negotiate(&edge, &op, plan, 2 * i + 1, 2 * i + 2);
+            svc.submit(rel, poc).unwrap();
+        }
+        assert_eq!(svc.outstanding(), 3);
+        // Simulated disconnect: the caller walks away without collecting.
+        let report = svc.finish();
+        assert_eq!(report.accepted, 3);
+        assert_eq!(report.unclaimed_results, 3);
+    }
+
+    #[test]
+    fn try_collect_results_streams_without_blocking() {
+        let plan = DataPlan::paper_default();
+        let edge = KeyPair::generate_for_seed(1024, 7910).unwrap();
+        let op = KeyPair::generate_for_seed(1024, 7911).unwrap();
+        let mut svc = VerifierService::new(1);
+        let rel = svc
+            .register(plan, edge.public.clone(), op.public.clone())
+            .unwrap();
+        // Empty pump is a cheap no-op.
+        assert!(svc.try_collect_results().is_empty());
+        for i in 0..2u8 {
+            let poc = negotiate(&edge, &op, plan, 2 * i + 1, 2 * i + 2);
+            svc.submit(rel, poc).unwrap();
+        }
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            got.extend(svc.try_collect_results());
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(svc.outstanding(), 0);
+        let tags: Vec<u64> = got.iter().map(|r| r.tag).collect();
+        assert_eq!(tags, vec![0, 1]);
+        let report = svc.finish();
+        assert_eq!(report.unclaimed_results, 0);
     }
 
     #[test]

@@ -37,15 +37,19 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use syn::{Token, TokenKind};
 
-/// tlc-core modules that count as "protocol paths" for the no-panic
-/// rule (plus the whole of tlc-crypto): the code a third-party verifier
-/// must be able to trust not to fall over on adversarial input.
+/// Modules that count as "protocol paths" for the no-panic rule (plus
+/// the whole of tlc-crypto): the code a third-party verifier must be
+/// able to trust not to fall over on adversarial input. The ingress
+/// framing and connection driver qualify — they parse bytes straight
+/// off the network.
 pub const NO_PANIC_PATHS: &[&str] = &[
     "crates/crypto/src/",
     "crates/core/src/messages.rs",
     "crates/core/src/protocol.rs",
     "crates/core/src/session.rs",
     "crates/core/src/verify/",
+    "crates/net/src/wire.rs",
+    "crates/net/src/ingress.rs",
 ];
 
 /// Crates that must carry `#![forbid(unsafe_code)]` in `src/lib.rs`.

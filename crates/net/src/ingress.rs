@@ -1,0 +1,379 @@
+//! Non-blocking connection driver for the verifier ingress.
+//!
+//! [`ConnDriver`] owns one byte stream (a `TcpStream` in deployment, any
+//! `Read + Write` in tests) and adapts it to the frame world of
+//! [`wire`](crate::wire): it pumps readable bytes through a
+//! [`FrameDecoder`], stages outbound frames in a write buffer that
+//! drains as the peer accepts bytes, and exposes an explicit *pause*
+//! switch — the backpressure primitive the ingress server flips when a
+//! connection's in-flight window or the verification pipeline is full.
+//! While paused the driver stops *reading*, so the kernel receive buffer
+//! fills and TCP flow control pushes back on the submitting client; no
+//! frame is ever dropped.
+//!
+//! The driver is sans-IO-scheduler: it never blocks and never sleeps.
+//! `WouldBlock` from the stream simply ends the current poll, which is
+//! what lets one thread drive many connections round-robin.
+
+use crate::wire::{Frame, FrameDecoder, WireError, HEADER_LEN};
+use std::io::{self, Read, Write};
+
+/// Failures surfaced by a connection poll. Either the peer broke framing
+/// ([`WireError`], connection must close) or the transport failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriverError {
+    /// Framing violation from the peer; the stream cannot be resynced.
+    Wire(WireError),
+    /// Transport-level I/O failure (reset, broken pipe, …).
+    Io(io::ErrorKind),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Wire(e) => write!(f, "framing error: {e}"),
+            DriverError::Io(k) => write!(f, "connection i/o error: {k:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<WireError> for DriverError {
+    fn from(e: WireError) -> Self {
+        DriverError::Wire(e)
+    }
+}
+
+/// Per-connection byte/frame counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Bytes read from the stream.
+    pub bytes_rx: u64,
+    /// Bytes written to the stream.
+    pub bytes_tx: u64,
+    /// Frames decoded.
+    pub frames_rx: u64,
+    /// Frames queued for sending.
+    pub frames_tx: u64,
+    /// Transitions into the paused state.
+    pub pauses: u64,
+}
+
+/// Read chunk size per `read` call. Small enough to keep per-poll work
+/// bounded, large enough to drain a window of verdict-sized frames.
+const READ_CHUNK: usize = 8 * 1024;
+
+/// One framed, pausable, non-blocking connection.
+pub struct ConnDriver<S> {
+    stream: S,
+    decoder: FrameDecoder,
+    out_buf: Vec<u8>,
+    out_pos: usize,
+    paused: bool,
+    eof: bool,
+    stats: ConnStats,
+}
+
+impl<S> ConnDriver<S> {
+    /// Wraps a stream with a decoder enforcing `max_payload`. For a
+    /// `TcpStream` the caller must have set it non-blocking.
+    pub fn new(stream: S, max_payload: u32) -> ConnDriver<S> {
+        ConnDriver {
+            stream,
+            decoder: FrameDecoder::new(max_payload),
+            out_buf: Vec::new(),
+            out_pos: 0,
+            paused: false,
+            eof: false,
+            stats: ConnStats::default(),
+        }
+    }
+
+    /// The wrapped stream (e.g. for `peer_addr`).
+    pub fn stream(&self) -> &S {
+        &self.stream
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> ConnStats {
+        self.stats
+    }
+
+    /// Whether reads are currently paused (backpressure engaged).
+    pub fn paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Pauses reads: buffered bytes stay in the kernel, TCP flow control
+    /// propagates to the peer. Already-decoded frames remain poppable.
+    pub fn pause(&mut self) {
+        if !self.paused {
+            self.paused = true;
+            self.stats.pauses += 1;
+        }
+    }
+
+    /// Resumes reads after a [`pause`](Self::pause).
+    pub fn resume(&mut self) {
+        self.paused = false;
+    }
+
+    /// Whether the peer has closed its sending half.
+    pub fn at_eof(&self) -> bool {
+        self.eof
+    }
+
+    /// Unsent bytes staged in the write buffer.
+    pub fn outbox_bytes(&self) -> usize {
+        self.out_buf.len() - self.out_pos
+    }
+
+    /// Bytes buffered for the frame currently being decoded.
+    pub fn partial_bytes(&self) -> usize {
+        self.decoder.partial_bytes()
+    }
+
+    /// Stages a frame for sending; bytes move on the next
+    /// [`flush`](Self::flush). Fails if the payload exceeds the codec's
+    /// length-prefix range (never for protocol-layer frames).
+    pub fn queue(&mut self, frame: &Frame) -> Result<(), WireError> {
+        // Compact the buffer once the unsent tail is small relative to
+        // the consumed prefix, so long-lived connections don't grow it
+        // without bound.
+        if self.out_pos > 4096 && self.out_pos * 2 > self.out_buf.len() {
+            self.out_buf.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        frame.encode_into(&mut self.out_buf)?;
+        self.stats.frames_tx += 1;
+        Ok(())
+    }
+}
+
+impl<S: Read + Write> ConnDriver<S> {
+    /// Writes as much of the staged outbox as the stream accepts right
+    /// now. Returns `true` when the outbox is fully drained.
+    pub fn flush(&mut self) -> Result<bool, DriverError> {
+        while self.out_pos < self.out_buf.len() {
+            match self.stream.write(&self.out_buf[self.out_pos..]) {
+                Ok(0) => return Err(DriverError::Io(io::ErrorKind::WriteZero)),
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.stats.bytes_tx += n as u64;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(DriverError::Io(e.kind())),
+            }
+        }
+        self.out_buf.clear();
+        self.out_pos = 0;
+        Ok(true)
+    }
+
+    /// Reads available bytes (unless paused) and appends up to `budget`
+    /// decoded frames to `out`. Reading stops as soon as the budget is
+    /// met, which bounds both decode work and frame-queue memory per
+    /// poll; undrained stream bytes wait in the kernel buffer.
+    pub fn poll_frames(&mut self, budget: usize, out: &mut Vec<Frame>) -> Result<(), DriverError> {
+        let mut taken = 0usize;
+        while taken < budget {
+            match self.decoder.next_frame() {
+                Some(f) => {
+                    self.stats.frames_rx += 1;
+                    out.push(f);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        if self.paused || self.eof {
+            return Ok(());
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        while taken < budget {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.stats.bytes_rx += n as u64;
+                    self.decoder.push(&chunk[..n])?;
+                    while taken < budget {
+                        match self.decoder.next_frame() {
+                            Some(f) => {
+                                self.stats.frames_rx += 1;
+                                out.push(f);
+                                taken += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(DriverError::Io(e.kind())),
+            }
+        }
+        Ok(())
+    }
+
+    /// Upper bound on bytes this driver buffers for *reading*: the
+    /// in-progress partial frame only (decoded frames are handed off by
+    /// [`poll_frames`](Self::poll_frames) under its budget).
+    pub fn read_buffer_cap(&self) -> usize {
+        HEADER_LEN + self.decoder.max_payload() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::FrameKind;
+    use std::collections::VecDeque;
+
+    /// An in-memory stream: reads pop from `rx` (empty → WouldBlock),
+    /// writes append to `tx` accepting at most `write_quota` per call.
+    struct MemStream {
+        rx: VecDeque<Vec<u8>>,
+        tx: Vec<u8>,
+        write_quota: usize,
+        closed: bool,
+    }
+
+    impl MemStream {
+        fn new() -> Self {
+            MemStream {
+                rx: VecDeque::new(),
+                tx: Vec::new(),
+                write_quota: usize::MAX,
+                closed: false,
+            }
+        }
+    }
+
+    impl Read for MemStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.rx.pop_front() {
+                Some(chunk) => {
+                    let n = chunk.len().min(buf.len());
+                    buf[..n].copy_from_slice(&chunk[..n]);
+                    if n < chunk.len() {
+                        self.rx.push_front(chunk[n..].to_vec());
+                    }
+                    Ok(n)
+                }
+                None if self.closed => Ok(0),
+                None => Err(io::Error::new(io::ErrorKind::WouldBlock, "empty")),
+            }
+        }
+    }
+
+    impl Write for MemStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.write_quota == 0 {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = buf.len().min(self.write_quota);
+            self.tx.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn frames_flow_both_ways() {
+        let mut s = MemStream::new();
+        let inbound = Frame::new(FrameKind::Submit, vec![1, 2, 3]);
+        s.rx.push_back(inbound.encode().unwrap());
+        let mut d = ConnDriver::new(s, 1024);
+        let mut got = Vec::new();
+        d.poll_frames(8, &mut got).unwrap();
+        assert_eq!(got, vec![inbound]);
+        let outbound = Frame::new(FrameKind::Verdict, vec![9]);
+        d.queue(&outbound).unwrap();
+        assert!(d.flush().unwrap());
+        assert_eq!(d.stream().tx, outbound.encode().unwrap());
+        assert_eq!(d.stats().frames_rx, 1);
+        assert_eq!(d.stats().frames_tx, 1);
+    }
+
+    #[test]
+    fn paused_driver_reads_nothing_and_loses_nothing() {
+        let mut s = MemStream::new();
+        let f = Frame::new(FrameKind::Submit, vec![7; 10]);
+        s.rx.push_back(f.encode().unwrap());
+        let mut d = ConnDriver::new(s, 1024);
+        d.pause();
+        let mut got = Vec::new();
+        d.poll_frames(8, &mut got).unwrap();
+        assert!(got.is_empty());
+        assert_eq!(d.stats().bytes_rx, 0);
+        d.resume();
+        d.poll_frames(8, &mut got).unwrap();
+        assert_eq!(got, vec![f]);
+        assert_eq!(d.stats().pauses, 1);
+    }
+
+    #[test]
+    fn budget_bounds_frames_per_poll() {
+        let mut s = MemStream::new();
+        let mut bytes = Vec::new();
+        for i in 0..5u8 {
+            bytes.extend(Frame::new(FrameKind::Submit, vec![i]).encode().unwrap());
+        }
+        s.rx.push_back(bytes);
+        let mut d = ConnDriver::new(s, 1024);
+        let mut got = Vec::new();
+        d.poll_frames(2, &mut got).unwrap();
+        assert_eq!(got.len(), 2);
+        d.poll_frames(2, &mut got).unwrap();
+        assert_eq!(got.len(), 4);
+        d.poll_frames(2, &mut got).unwrap();
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn partial_writes_drain_incrementally() {
+        let mut s = MemStream::new();
+        s.write_quota = 3;
+        let mut d = ConnDriver::new(s, 1024);
+        d.queue(&Frame::new(FrameKind::Stats, vec![1, 2, 3, 4, 5, 6, 7]))
+            .unwrap();
+        // 12 wire bytes at 3 per call: needs four successful writes.
+        let mut flushes = 0;
+        while !d.flush().unwrap() {
+            flushes += 1;
+            assert!(flushes < 100, "flush diverged");
+        }
+        assert_eq!(d.outbox_bytes(), 0);
+        assert_eq!(d.stats().bytes_tx, 12);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let mut s = MemStream::new();
+        s.closed = true;
+        let mut d = ConnDriver::new(s, 64);
+        let mut got = Vec::new();
+        d.poll_frames(4, &mut got).unwrap();
+        assert!(d.at_eof());
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn framing_violation_surfaces_as_wire_error() {
+        let mut s = MemStream::new();
+        s.rx.push_back(vec![0xEE, 0, 0, 0, 0]);
+        let mut d = ConnDriver::new(s, 64);
+        let mut got = Vec::new();
+        assert_eq!(
+            d.poll_frames(4, &mut got),
+            Err(DriverError::Wire(WireError::UnknownKind(0xEE)))
+        );
+    }
+}

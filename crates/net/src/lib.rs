@@ -26,6 +26,12 @@
 //!   reorder, corrupt, partition) for negotiation robustness testing,
 //! * [`radio`] — precomputed RSS timelines with intermittent outages,
 //! * [`stats`] — byte counters and 1 Hz usage series.
+//!
+//! Two modules step outside the simulation and speak real I/O — they carry
+//! the network ingress for the standalone PoC verifier service:
+//!
+//! * [`wire`] — length-prefixed binary framing codec (payload-agnostic),
+//! * [`ingress`] — non-blocking, pausable per-connection frame driver.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +39,7 @@
 pub mod channel;
 pub mod event;
 pub mod fair;
+pub mod ingress;
 pub mod link;
 pub mod loss;
 pub mod packet;
@@ -41,10 +48,12 @@ pub mod radio;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod wire;
 
 pub use channel::{ChannelStats, FaultSpec, FaultyChannel};
 pub use event::EventQueue;
 pub use fair::{FairQueue, DRR_QUANTUM};
+pub use ingress::{ConnDriver, ConnStats, DriverError};
 pub use link::{Link, LinkParams, LinkStats};
 pub use loss::{GilbertElliott, LossModel, NoLoss, RssDrivenLoss, UniformLoss};
 pub use packet::{Direction, FlowId, Packet, PacketIdAlloc, Qci};
@@ -53,3 +62,4 @@ pub use radio::{RadioTimeline, RssWalkParams, NO_SERVICE_THRESHOLD_DBM, RLF_DETA
 pub use rng::SimRng;
 pub use stats::{ByteCounter, UsageSeries};
 pub use time::{SimDuration, SimTime};
+pub use wire::{Frame, FrameDecoder, FrameKind, WireError, DEFAULT_MAX_PAYLOAD, HEADER_LEN};

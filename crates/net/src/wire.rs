@@ -1,0 +1,408 @@
+//! Length-prefixed binary framing for the verifier ingress (DESIGN.md §10).
+//!
+//! The public-verification service (tlc-core's `verify::service`) becomes
+//! network-reachable through a minimal, dependency-free wire protocol:
+//! every message is one *frame*,
+//!
+//! ```text
+//! frame := kind:u8 | len:u32 (big-endian) | payload[len]
+//! ```
+//!
+//! This module owns the *envelope* only — the eleven frame kinds, their
+//! tag bytes, and a streaming decoder with a hard payload cap enforced
+//! **before** any payload allocation. Payload grammars (what the bytes of
+//! a `REGISTER` or `VERDICT` mean) belong to the protocol layer in
+//! `tlc-core::verify::remote`, which keeps this crate free of any
+//! dependency on the charging types.
+//!
+//! Decoding is adversary-facing (the ingress listens on a public socket),
+//! so the decoder never panics, never allocates more than
+//! [`FrameDecoder::max_payload`] + [`HEADER_LEN`] bytes for a partial
+//! frame, and turns every malformed input into a typed [`WireError`].
+//! After an error the decoder is *poisoned*: the byte stream has lost
+//! framing and cannot be resynchronised, so the connection must be torn
+//! down.
+
+use std::collections::VecDeque;
+
+/// Bytes in a frame header: 1 kind byte + 4 length bytes.
+pub const HEADER_LEN: usize = 5;
+
+/// Default cap on a frame payload (256 KiB): comfortably above the
+/// largest legitimate frame (a `SUBMIT_BATCH` of 256 ~800-byte PoCs) and
+/// small enough that a hostile peer cannot balloon per-connection memory.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 256 * 1024;
+
+/// Frame type tags of the verifier-ingress protocol.
+///
+/// The discriminants are the on-the-wire kind bytes and are part of the
+/// frozen wire format (pinned by the golden-frame conformance tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client → server: protocol magic, version, requested window.
+    Hello = 1,
+    /// Server → client: accepted version, granted window, payload cap.
+    HelloAck = 2,
+    /// Client → server: register a (plan, edge key, operator key)
+    /// relationship.
+    Register = 3,
+    /// Server → client: the relationship id a `REGISTER` was issued.
+    Registered = 4,
+    /// Client → server: one PoC for verification under a relationship.
+    Submit = 5,
+    /// Client → server: a batch of PoCs under one relationship.
+    SubmitBatch = 6,
+    /// Server → client: one verification result, streamed as the service
+    /// produces it.
+    Verdict = 7,
+    /// Client → server: request a service statistics snapshot.
+    StatsReq = 8,
+    /// Server → client: the statistics snapshot.
+    Stats = 9,
+    /// Server → client: a typed failure (service error, protocol fault).
+    Error = 10,
+    /// Client → server: drain my outstanding verdicts, then close.
+    Goodbye = 11,
+    /// Server → client: all verdicts delivered; closing now.
+    GoodbyeAck = 12,
+}
+
+impl FrameKind {
+    /// Every frame kind, in tag order (fixture tests iterate this).
+    pub const ALL: [FrameKind; 12] = [
+        FrameKind::Hello,
+        FrameKind::HelloAck,
+        FrameKind::Register,
+        FrameKind::Registered,
+        FrameKind::Submit,
+        FrameKind::SubmitBatch,
+        FrameKind::Verdict,
+        FrameKind::StatsReq,
+        FrameKind::Stats,
+        FrameKind::Error,
+        FrameKind::Goodbye,
+        FrameKind::GoodbyeAck,
+    ];
+
+    /// The wire tag byte.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a wire tag byte.
+    pub fn from_u8(b: u8) -> Option<FrameKind> {
+        Self::ALL.get(b.wrapping_sub(1) as usize).copied()
+    }
+}
+
+/// Typed framing failures. Every adversarial input maps to one of these;
+/// the codec has no panicking path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The kind byte is not a known [`FrameKind`].
+    UnknownKind(u8),
+    /// The length prefix exceeds the decoder's payload cap. Raised from
+    /// the 5-byte header alone, before any payload is buffered.
+    Oversize {
+        /// Length the peer declared.
+        len: u32,
+        /// The configured cap.
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnknownKind(b) => write!(f, "unknown frame kind byte 0x{b:02x}"),
+            WireError::Oversize { len, max } => {
+                write!(f, "frame payload length {len} exceeds cap {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One decoded (or to-be-encoded) frame: a kind plus an opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame type.
+    pub kind: FrameKind,
+    /// Payload bytes; their grammar is the protocol layer's business.
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Builds a frame.
+    pub fn new(kind: FrameKind, payload: Vec<u8>) -> Frame {
+        Frame { kind, payload }
+    }
+
+    /// Encoded size on the wire.
+    pub fn wire_len(&self) -> usize {
+        HEADER_LEN + self.payload.len()
+    }
+
+    /// Serialises the frame, appending to `out`. Fails (without writing)
+    /// if the payload cannot be length-prefixed in a `u32`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> Result<(), WireError> {
+        let len = u32::try_from(self.payload.len()).map_err(|_| WireError::Oversize {
+            len: u32::MAX,
+            max: u32::MAX,
+        })?;
+        out.reserve(HEADER_LEN + self.payload.len());
+        out.push(self.kind.as_u8());
+        out.extend_from_slice(&len.to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        Ok(())
+    }
+
+    /// Serialises the frame to a fresh buffer.
+    pub fn encode(&self) -> Result<Vec<u8>, WireError> {
+        let mut out = Vec::with_capacity(self.wire_len());
+        self.encode_into(&mut out)?;
+        Ok(out)
+    }
+}
+
+/// Decoder state for the frame currently being assembled.
+enum Partial {
+    /// Collecting the 5 header bytes.
+    Header { buf: [u8; HEADER_LEN], have: usize },
+    /// Header accepted; collecting `need` more payload bytes.
+    Payload {
+        kind: FrameKind,
+        payload: Vec<u8>,
+        need: usize,
+    },
+}
+
+/// A streaming frame decoder: feed it byte chunks of any size (including
+/// frames split across reads), pop completed frames.
+///
+/// Memory is bounded by construction: the partial frame holds at most
+/// `HEADER_LEN + max_payload` bytes, and the payload buffer is only
+/// allocated *after* the length prefix has been checked against the cap.
+/// Completed frames queue in arrival order until drained with
+/// [`next_frame`](Self::next_frame); callers bound that queue by bounding
+/// how many bytes they feed per poll (see `ingress::ConnDriver`).
+pub struct FrameDecoder {
+    max_payload: u32,
+    partial: Partial,
+    done: VecDeque<Frame>,
+    poison: Option<WireError>,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing the given payload cap.
+    pub fn new(max_payload: u32) -> FrameDecoder {
+        FrameDecoder {
+            max_payload,
+            partial: Partial::Header {
+                buf: [0; HEADER_LEN],
+                have: 0,
+            },
+            done: VecDeque::new(),
+            poison: None,
+        }
+    }
+
+    /// The payload cap this decoder enforces.
+    pub fn max_payload(&self) -> u32 {
+        self.max_payload
+    }
+
+    /// Bytes currently buffered for the in-progress frame (header +
+    /// partial payload). Always ≤ `HEADER_LEN + max_payload`.
+    pub fn partial_bytes(&self) -> usize {
+        match &self.partial {
+            Partial::Header { have, .. } => *have,
+            Partial::Payload { payload, .. } => HEADER_LEN + payload.len(),
+        }
+    }
+
+    /// Completed frames awaiting [`next_frame`](Self::next_frame).
+    pub fn pending_frames(&self) -> usize {
+        self.done.len()
+    }
+
+    /// The error that poisoned this decoder, if any. Frames completed
+    /// before the poisoning byte remain poppable.
+    pub fn poisoned(&self) -> Option<WireError> {
+        self.poison
+    }
+
+    /// Pops the next completed frame, in arrival order.
+    pub fn next_frame(&mut self) -> Option<Frame> {
+        self.done.pop_front()
+    }
+
+    /// Consumes a chunk of stream bytes. On a framing violation the
+    /// decoder poisons itself and every subsequent call returns the same
+    /// error; the connection should be closed.
+    pub fn push(&mut self, mut bytes: &[u8]) -> Result<(), WireError> {
+        if let Some(e) = self.poison {
+            return Err(e);
+        }
+        while !bytes.is_empty() {
+            // Header findings are copied out of the borrow so the poison
+            // path below can re-borrow `self`.
+            let mut header: Option<[u8; HEADER_LEN]> = None;
+            let mut bad_kind: Option<u8> = None;
+            match &mut self.partial {
+                Partial::Header { buf, have } => {
+                    let take = (HEADER_LEN - *have).min(bytes.len());
+                    buf[*have..*have + take].copy_from_slice(&bytes[..take]);
+                    *have += take;
+                    bytes = &bytes[take..];
+                    // Fail fast: the kind byte is checked the moment it
+                    // arrives, before waiting for a length word.
+                    if *have >= 1 && FrameKind::from_u8(buf[0]).is_none() {
+                        bad_kind = Some(buf[0]);
+                    } else if *have < HEADER_LEN {
+                        break;
+                    } else {
+                        header = Some(*buf);
+                    }
+                }
+                Partial::Payload {
+                    kind,
+                    payload,
+                    need,
+                } => {
+                    let take = (*need).min(bytes.len());
+                    payload.extend_from_slice(&bytes[..take]);
+                    *need -= take;
+                    bytes = &bytes[take..];
+                    if *need == 0 {
+                        let frame = Frame::new(*kind, std::mem::take(payload));
+                        self.done.push_back(frame);
+                        self.partial = Partial::Header {
+                            buf: [0; HEADER_LEN],
+                            have: 0,
+                        };
+                    }
+                }
+            }
+            if let Some(b) = bad_kind {
+                return self.poison_with(WireError::UnknownKind(b));
+            }
+            if let Some(buf) = header {
+                let kind = match FrameKind::from_u8(buf[0]) {
+                    Some(k) => k,
+                    // Unreachable: the eager check above rejected bad
+                    // kind bytes, but stay total rather than panic.
+                    None => return self.poison_with(WireError::UnknownKind(buf[0])),
+                };
+                let len = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]);
+                if len > self.max_payload {
+                    return self.poison_with(WireError::Oversize {
+                        len,
+                        max: self.max_payload,
+                    });
+                }
+                if len == 0 {
+                    self.done.push_back(Frame::new(kind, Vec::new()));
+                    self.partial = Partial::Header {
+                        buf: [0; HEADER_LEN],
+                        have: 0,
+                    };
+                } else {
+                    // The cap check above bounds this allocation.
+                    self.partial = Partial::Payload {
+                        kind,
+                        payload: Vec::with_capacity(len as usize),
+                        need: len as usize,
+                    };
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn poison_with(&mut self, e: WireError) -> Result<(), WireError> {
+        self.poison = Some(e);
+        Err(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_bytes_roundtrip() {
+        for k in FrameKind::ALL {
+            assert_eq!(FrameKind::from_u8(k.as_u8()), Some(k));
+        }
+        assert_eq!(FrameKind::from_u8(0), None);
+        assert_eq!(FrameKind::from_u8(13), None);
+        assert_eq!(FrameKind::from_u8(0xFF), None);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let f = Frame::new(FrameKind::Submit, vec![1, 2, 3, 4, 5]);
+        let bytes = f.encode().unwrap();
+        assert_eq!(bytes.len(), f.wire_len());
+        let mut d = FrameDecoder::new(1024);
+        d.push(&bytes).unwrap();
+        assert_eq!(d.next_frame(), Some(f));
+        assert_eq!(d.next_frame(), None);
+        assert_eq!(d.partial_bytes(), 0);
+    }
+
+    #[test]
+    fn split_across_pushes() {
+        let f = Frame::new(FrameKind::Verdict, (0..100u8).collect());
+        let bytes = f.encode().unwrap();
+        for split in 1..bytes.len() {
+            let mut d = FrameDecoder::new(1024);
+            d.push(&bytes[..split]).unwrap();
+            d.push(&bytes[split..]).unwrap();
+            assert_eq!(d.next_frame().as_ref(), Some(&f), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn zero_length_and_coalesced_frames() {
+        let a = Frame::new(FrameKind::StatsReq, Vec::new());
+        let b = Frame::new(FrameKind::Goodbye, Vec::new());
+        let mut bytes = a.encode().unwrap();
+        bytes.extend(b.encode().unwrap());
+        let mut d = FrameDecoder::new(16);
+        d.push(&bytes).unwrap();
+        assert_eq!(d.pending_frames(), 2);
+        assert_eq!(d.next_frame(), Some(a));
+        assert_eq!(d.next_frame(), Some(b));
+    }
+
+    #[test]
+    fn oversize_rejected_from_header_alone() {
+        let mut d = FrameDecoder::new(8);
+        // Header declares 9 bytes: rejected before any payload arrives.
+        let hdr = [FrameKind::Hello.as_u8(), 0, 0, 0, 9];
+        assert_eq!(d.push(&hdr), Err(WireError::Oversize { len: 9, max: 8 }));
+        assert!(d.poisoned().is_some());
+        // Poisoned: same error forever.
+        assert_eq!(d.push(&[0]), Err(WireError::Oversize { len: 9, max: 8 }));
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        let mut d = FrameDecoder::new(8);
+        assert_eq!(d.push(&[0x7F]), Err(WireError::UnknownKind(0x7F)));
+    }
+
+    #[test]
+    fn frames_before_poison_survive() {
+        let good = Frame::new(FrameKind::Hello, vec![9]);
+        let mut bytes = good.encode().unwrap();
+        bytes.push(0xEE); // bad kind byte right after
+        let mut d = FrameDecoder::new(16);
+        assert!(d.push(&bytes).is_err());
+        assert_eq!(d.next_frame(), Some(good));
+    }
+}

@@ -1,0 +1,129 @@
+//! Golden-frame conformance for the ingress envelope: byte-exact
+//! fixtures for every frame kind. If any of these fail, the wire
+//! format drifted and deployed peers would stop interoperating — fix
+//! the code, not the fixture (or bump the protocol version).
+
+use tlc_net::wire::{Frame, FrameDecoder, FrameKind, HEADER_LEN};
+
+/// Every frame kind with a representative payload, against its exact
+/// wire bytes. The envelope is `kind:u8 | len:u32 BE | payload`.
+fn fixtures() -> Vec<(Frame, Vec<u8>)> {
+    vec![
+        (
+            Frame::new(FrameKind::Hello, vec![0xDE, 0xAD]),
+            vec![1, 0, 0, 0, 2, 0xDE, 0xAD],
+        ),
+        (
+            Frame::new(FrameKind::HelloAck, vec![0x01]),
+            vec![2, 0, 0, 0, 1, 0x01],
+        ),
+        (
+            Frame::new(FrameKind::Register, vec![9, 8, 7]),
+            vec![3, 0, 0, 0, 3, 9, 8, 7],
+        ),
+        (
+            Frame::new(FrameKind::Registered, Vec::new()),
+            vec![4, 0, 0, 0, 0],
+        ),
+        (
+            Frame::new(FrameKind::Submit, vec![0xFF; 4]),
+            vec![5, 0, 0, 0, 4, 0xFF, 0xFF, 0xFF, 0xFF],
+        ),
+        (
+            Frame::new(FrameKind::SubmitBatch, vec![1]),
+            vec![6, 0, 0, 0, 1, 1],
+        ),
+        (
+            Frame::new(FrameKind::Verdict, vec![0, 1, 2, 3, 4, 5]),
+            vec![7, 0, 0, 0, 6, 0, 1, 2, 3, 4, 5],
+        ),
+        (
+            Frame::new(FrameKind::StatsReq, Vec::new()),
+            vec![8, 0, 0, 0, 0],
+        ),
+        (
+            Frame::new(FrameKind::Stats, vec![42]),
+            vec![9, 0, 0, 0, 1, 42],
+        ),
+        (
+            Frame::new(FrameKind::Error, vec![5]),
+            vec![10, 0, 0, 0, 1, 5],
+        ),
+        (
+            Frame::new(FrameKind::Goodbye, Vec::new()),
+            vec![11, 0, 0, 0, 0],
+        ),
+        (
+            Frame::new(FrameKind::GoodbyeAck, Vec::new()),
+            vec![12, 0, 0, 0, 0],
+        ),
+    ]
+}
+
+#[test]
+fn every_kind_encodes_to_its_golden_bytes() {
+    for (frame, golden) in fixtures() {
+        let encoded = frame.encode().unwrap();
+        assert_eq!(encoded, golden, "encoding drifted for {:?}", frame.kind);
+    }
+}
+
+#[test]
+fn every_golden_fixture_decodes_back() {
+    for (frame, golden) in fixtures() {
+        let mut d = FrameDecoder::new(1024);
+        d.push(&golden).unwrap();
+        assert_eq!(d.next_frame(), Some(frame.clone()), "{:?}", frame.kind);
+        assert_eq!(d.next_frame(), None);
+        assert_eq!(d.partial_bytes(), 0);
+    }
+}
+
+#[test]
+fn kind_tag_bytes_are_pinned() {
+    // The numeric tags are wire format; reordering the enum must fail
+    // here, not in production.
+    let pinned: [(FrameKind, u8); 12] = [
+        (FrameKind::Hello, 1),
+        (FrameKind::HelloAck, 2),
+        (FrameKind::Register, 3),
+        (FrameKind::Registered, 4),
+        (FrameKind::Submit, 5),
+        (FrameKind::SubmitBatch, 6),
+        (FrameKind::Verdict, 7),
+        (FrameKind::StatsReq, 8),
+        (FrameKind::Stats, 9),
+        (FrameKind::Error, 10),
+        (FrameKind::Goodbye, 11),
+        (FrameKind::GoodbyeAck, 12),
+    ];
+    for (kind, tag) in pinned {
+        assert_eq!(kind.as_u8(), tag);
+        assert_eq!(FrameKind::from_u8(tag), Some(kind));
+    }
+    // 0 and 13 are unassigned and must stay invalid.
+    assert_eq!(FrameKind::from_u8(0), None);
+    assert_eq!(FrameKind::from_u8(13), None);
+}
+
+#[test]
+fn header_length_is_pinned() {
+    assert_eq!(HEADER_LEN, 5);
+    let f = Frame::new(FrameKind::Hello, vec![0; 7]);
+    assert_eq!(f.wire_len(), HEADER_LEN + 7);
+}
+
+#[test]
+fn concatenated_fixture_stream_decodes_in_order() {
+    let all = fixtures();
+    let mut stream = Vec::new();
+    for (_, golden) in &all {
+        stream.extend_from_slice(golden);
+    }
+    let mut d = FrameDecoder::new(1024);
+    d.push(&stream).unwrap();
+    for (frame, _) in &all {
+        assert_eq!(d.next_frame().as_ref(), Some(frame));
+    }
+    assert_eq!(d.next_frame(), None);
+}

@@ -1,0 +1,230 @@
+//! Adversarial decoder properties: the framing codec and the
+//! connection driver must return typed errors (never panic) and keep
+//! buffering bounded no matter how bytes are truncated, corrupted, or
+//! split across reads.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use tlc_net::ingress::{ConnDriver, DriverError};
+use tlc_net::wire::{Frame, FrameDecoder, FrameKind, WireError, HEADER_LEN};
+
+fn arb_kind() -> impl Strategy<Value = FrameKind> {
+    (1u8..=12).prop_map(|b| FrameKind::from_u8(b).unwrap())
+}
+
+fn arb_frame(max_payload: usize) -> impl Strategy<Value = Frame> {
+    (
+        arb_kind(),
+        proptest::collection::vec(0u8..=255, 0..=max_payload),
+    )
+        .prop_map(|(kind, payload)| Frame::new(kind, payload))
+}
+
+/// Splits `bytes` into chunks at cut points derived from `cuts`.
+fn chunked(bytes: &[u8], cuts: &[usize]) -> Vec<Vec<u8>> {
+    let mut points: Vec<usize> = cuts.iter().map(|i| i % (bytes.len() + 1)).collect();
+    points.push(0);
+    points.push(bytes.len());
+    points.sort_unstable();
+    points.dedup();
+    points
+        .windows(2)
+        .map(|w| bytes[w[0]..w[1]].to_vec())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any frame stream, split at arbitrary byte boundaries, decodes to
+    /// exactly the original frames — and partial buffering never
+    /// exceeds one frame's worth of bytes.
+    #[test]
+    fn split_across_reads_is_lossless(
+        frames in proptest::collection::vec(arb_frame(200), 1..10),
+        cuts in proptest::collection::vec(any::<usize>(), 0..20),
+    ) {
+        let max_payload = 256u32;
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend(f.encode().unwrap());
+        }
+        let mut d = FrameDecoder::new(max_payload);
+        let mut got = Vec::new();
+        for chunk in chunked(&stream, &cuts) {
+            d.push(&chunk).unwrap();
+            prop_assert!(d.partial_bytes() <= HEADER_LEN + max_payload as usize);
+            while let Some(f) = d.next_frame() {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(got, frames);
+    }
+
+    /// A length prefix over the cap is rejected from the header alone —
+    /// before any payload allocation — and poisons the decoder with a
+    /// typed error.
+    #[test]
+    fn oversized_length_prefix_rejected_before_payload(
+        kind in arb_kind(),
+        over in 1u32..1_000_000,
+        max in 1u32..4096,
+    ) {
+        let len = max.saturating_add(over);
+        let mut header = vec![kind.as_u8()];
+        header.extend(len.to_be_bytes());
+        let mut d = FrameDecoder::new(max);
+        let got = d.push(&header);
+        prop_assert_eq!(got, Err(WireError::Oversize { len, max }));
+        prop_assert!(d.partial_bytes() <= HEADER_LEN);
+        // Poisoned permanently: later pushes keep failing typed.
+        prop_assert!(d.push(&[0, 0]).is_err());
+    }
+
+    /// Arbitrary garbage never panics the decoder: every outcome is
+    /// either decoded frames or a typed error, with bounded buffering
+    /// throughout.
+    #[test]
+    fn garbage_never_panics_and_stays_bounded(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..300), 1..12),
+        max in 16u32..2048,
+    ) {
+        let mut d = FrameDecoder::new(max);
+        for chunk in &chunks {
+            let _ = d.push(chunk);
+            prop_assert!(d.partial_bytes() <= HEADER_LEN + max as usize);
+            while let Some(f) = d.next_frame() {
+                prop_assert!(f.payload.len() <= max as usize);
+            }
+            if d.poisoned().is_some() {
+                break;
+            }
+        }
+    }
+
+    /// Corrupting the kind byte of a valid stream yields a typed
+    /// UnknownKind error (13.. can never be a valid kind).
+    #[test]
+    fn corrupted_kind_byte_is_typed(
+        frame in arb_frame(64),
+        bad in 13u8..=255,
+    ) {
+        let mut bytes = frame.encode().unwrap();
+        bytes[0] = bad;
+        let mut d = FrameDecoder::new(256);
+        prop_assert_eq!(d.push(&bytes), Err(WireError::UnknownKind(bad)));
+        prop_assert_eq!(d.poisoned(), Some(WireError::UnknownKind(bad)));
+    }
+
+    /// A truncated stream (any strict prefix) never yields the final
+    /// frame and never errors: the decoder just waits for more bytes.
+    #[test]
+    fn truncation_waits_rather_than_errs(
+        frame in arb_frame(100),
+        cut in any::<usize>(),
+    ) {
+        let bytes = frame.encode().unwrap();
+        let cut = cut % bytes.len().max(1);
+        let mut d = FrameDecoder::new(256);
+        d.push(&bytes[..cut]).unwrap();
+        prop_assert_eq!(d.next_frame(), None);
+        prop_assert!(d.poisoned().is_none());
+        // Completing the stream completes the frame.
+        d.push(&bytes[cut..]).unwrap();
+        prop_assert_eq!(d.next_frame(), Some(frame));
+    }
+}
+
+/// An in-memory stream feeding pre-chunked data, for driving the
+/// connection state machine the way a socket would.
+struct ChunkStream {
+    rx: VecDeque<Vec<u8>>,
+    closed_after: bool,
+}
+
+impl Read for ChunkStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.rx.pop_front() {
+            Some(chunk) => {
+                let n = chunk.len().min(buf.len());
+                buf[..n].copy_from_slice(&chunk[..n]);
+                if n < chunk.len() {
+                    self.rx.push_front(chunk[n..].to_vec());
+                }
+                Ok(n)
+            }
+            None if self.closed_after => Ok(0),
+            None => Err(io::Error::new(io::ErrorKind::WouldBlock, "drained")),
+        }
+    }
+}
+
+impl Write for ChunkStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The connection driver surfaces decoder violations as typed
+    /// `DriverError::Wire` values and never panics, for arbitrary
+    /// chunkings of arbitrary bytes.
+    #[test]
+    fn conn_driver_is_total_over_garbage(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..200), 0..10),
+        closed in any::<bool>(),
+    ) {
+        let stream = ChunkStream { rx: chunks.into(), closed_after: closed };
+        let mut driver = ConnDriver::new(stream, 512);
+        let mut frames = Vec::new();
+        for _ in 0..50 {
+            match driver.poll_frames(8, &mut frames) {
+                Ok(()) => {}
+                Err(DriverError::Wire(_)) => break,
+                Err(DriverError::Io(k)) => {
+                    prop_assert_ne!(k, io::ErrorKind::WouldBlock);
+                    break;
+                }
+            }
+            prop_assert!(driver.partial_bytes() <= HEADER_LEN + 512);
+            if driver.at_eof() {
+                break;
+            }
+        }
+        for f in &frames {
+            prop_assert!(f.payload.len() <= 512);
+        }
+    }
+
+    /// Frames pushed through the driver in arbitrary socket-sized
+    /// chunks arrive intact and in order.
+    #[test]
+    fn conn_driver_reassembles_chunked_frames(
+        frames in proptest::collection::vec(arb_frame(150), 1..8),
+        cuts in proptest::collection::vec(any::<usize>(), 0..15),
+    ) {
+        let mut stream_bytes = Vec::new();
+        for f in &frames {
+            stream_bytes.extend(f.encode().unwrap());
+        }
+        let stream = ChunkStream {
+            rx: chunked(&stream_bytes, &cuts).into(),
+            closed_after: true,
+        };
+        let mut driver = ConnDriver::new(stream, 256);
+        let mut got = Vec::new();
+        while !driver.at_eof() {
+            driver.poll_frames(4, &mut got).unwrap();
+        }
+        driver.poll_frames(usize::MAX, &mut got).unwrap();
+        prop_assert_eq!(got, frames);
+    }
+}

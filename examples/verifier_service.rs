@@ -11,12 +11,23 @@
 //! ```sh
 //! cargo run --release --example verifier_service
 //! ```
+//!
+//! The same service is also reachable over TCP (`verify::remote`):
+//!
+//! ```sh
+//! # terminal 1 — the verifier listens for edge/operator submissions
+//! cargo run --release --example verifier_service -- --serve 127.0.0.1:7070
+//! # terminal 2 — an edge node streams its proofs to the verifier
+//! cargo run --release --example verifier_service -- --connect 127.0.0.1:7070
+//! ```
 
+use std::sync::atomic::AtomicBool;
 use tlc_core::messages::{PocMsg, NONCE_LEN};
 use tlc_core::plan::DataPlan;
 use tlc_core::protocol::{run_negotiation, Endpoint};
 use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
-use tlc_core::verify::service::VerifierService;
+use tlc_core::verify::remote::{IngressConfig, IngressServer, RemoteVerifier};
+use tlc_core::verify::service::{ServiceConfig, VerifierService};
 use tlc_core::verify::VerifyError;
 use tlc_crypto::{KeyPair, PublicKey};
 
@@ -79,7 +90,104 @@ fn nonce(id: u64, cycle: u64, side: u8) -> [u8; NONCE_LEN] {
     n
 }
 
+/// `--serve [addr]`: expose the sharded service on a TCP listener and
+/// verify whatever remote peers submit, until killed.
+fn serve(addr: &str) {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let server = IngressServer::bind(
+        addr,
+        ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        },
+        IngressConfig::default(),
+    )
+    .expect("bind ingress listener");
+    println!(
+        "verifier listening on {} ({} shard workers); Ctrl-C to stop",
+        server
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.to_string()),
+        workers
+    );
+    // The example has no signal handling; the process runs until killed.
+    let stop = AtomicBool::new(false);
+    server.run(&stop);
+}
+
+/// `--connect <addr>`: act as an edge node — negotiate proofs locally,
+/// stream them (plus one replay and one tampered proof) to a remote
+/// verifier, and report the verdicts it returns.
+fn connect(addr: &str) {
+    let plan = DataPlan::paper_default();
+    println!("building 2 relationships × 10 cycles…");
+    let rels: Vec<Relationship> = (0..2).map(|id| build_relationship(id, 10)).collect();
+
+    let mut client = RemoteVerifier::connect(addr, 0).expect("connect to verifier");
+    println!(
+        "connected to {} (in-flight window {})",
+        addr,
+        client.window()
+    );
+    let mut total = 0usize;
+    for r in &rels {
+        let rel = client
+            .register(plan, r.edge_pub.clone(), r.op_pub.clone())
+            .expect("register relationship");
+        // Hold the last proof back from the valid batch and tamper it,
+        // so its rejection exercises the signature path rather than the
+        // replay cache (which would fire first on a reused nonce pair).
+        let valid = &r.proofs[..r.proofs.len() - 1];
+        let (_, count) = client.submit_batch(rel, valid.iter()).expect("batch");
+        client.submit(rel, &r.proofs[0]).expect("replay submit");
+        let mut tampered = r.proofs[r.proofs.len() - 1].clone();
+        tampered.charge += 1;
+        client.submit(rel, &tampered).expect("tampered submit");
+        total += count + 2;
+    }
+    let results = client.collect_results().expect("collect verdicts");
+    let accepted = results.iter().filter(|r| r.result.is_ok()).count();
+    let replayed = results
+        .iter()
+        .filter(|r| r.result == Err(VerifyError::Replayed))
+        .count();
+    println!(
+        "submitted {} proofs -> {} accepted, {} rejected ({} replays, {} bad signatures)",
+        total,
+        accepted,
+        results.len() - accepted,
+        replayed,
+        results.len() - accepted - replayed,
+    );
+    let stats = client.stats().expect("server stats");
+    println!(
+        "server counters: {} submissions, {} verdicts, {} registers, {} pauses",
+        stats.submissions, stats.verdicts, stats.registers, stats.pauses
+    );
+    client.goodbye().expect("clean goodbye");
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--serve") => {
+            let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7070");
+            serve(addr);
+            return;
+        }
+        Some("--connect") => {
+            let addr = args.get(1).expect("--connect needs an address");
+            connect(addr);
+            return;
+        }
+        Some(other) => {
+            eprintln!("unknown flag {other}; running the in-process demo");
+        }
+        None => {}
+    }
     let plan = DataPlan::paper_default();
     let relationships = 4usize;
     let cycles = 25;
