@@ -3,7 +3,9 @@
 //! proof set, and checks the verdict sequences agree bit-for-bit.
 //! Exits nonzero on any divergence. Bounded iteration counts, no
 //! criterion baselines; scale with `TLC_BENCH_POCS` (proofs per
-//! relationship, default 40).
+//! relationship, default 40). Pass `--metrics` to dump the final
+//! ingress report in Prometheus text exposition format after the
+//! summary lines (for scraping CI runs into dashboards).
 
 use std::time::Instant;
 use tlc_core::messages::{PocMsg, NONCE_LEN};
@@ -74,6 +76,7 @@ fn build_rel(id: u64, cycles: usize) -> Rel {
 }
 
 fn main() {
+    let metrics = std::env::args().any(|a| a == "--metrics");
     let cycles: usize = std::env::var("TLC_BENCH_POCS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -152,8 +155,12 @@ fn main() {
         remote_rate * 3600.0
     );
     println!(
-        "ingress overhead: {:.1}% (pauses: {})",
+        "ingress overhead: {:.1}% (pauses: {}, sheds: {})",
         (local_rate / remote_rate - 1.0) * 100.0,
-        report.ingress.pauses
+        report.ingress.pauses,
+        report.ingress.shed_overload
     );
+    if metrics {
+        print!("{}", report.to_prometheus());
+    }
 }

@@ -17,6 +17,22 @@
 //!   API: `register` / `submit` / `submit_batch` / `collect_results`
 //!   with the same typed [`ServiceError`] / [`VerifyError`] surface.
 //!
+//! ## Overload ladder (DESIGN §11)
+//!
+//! Saturation climbs a [`ShedLevel`] ladder instead of flipping one
+//! latch: **Accept** → **DeferReads** (reads pause at
+//! `service_inflight_cap`) → **ShedSubmits** (new submits answered
+//! with a typed BUSY at `shed_submit_watermark`) → **ShedConnections**
+//! (new connections answered BUSY and dropped). Admission inside the
+//! ShedSubmits rung is a deficit-round-robin credit budget across
+//! registered relationships, so one flooding relationship starves its
+//! own lane, not its neighbors. A per-connection misbehavior score
+//! (replays, oversize bursts, window abuse) escalates to quarantine
+//! and, past a second threshold, a typed goodbye. Every shed is
+//! answered — overload is never a silent drop — and the client turns
+//! BUSY into seeded-jitter capped exponential backoff, surfacing
+//! [`ServiceError::Overloaded`] only when the retry budget is spent.
+//!
 //! ## Session shape
 //!
 //! ```text
@@ -47,21 +63,22 @@ use crate::plan::DataPlan;
 use crate::verify::service::{
     RelationshipId, ServiceConfig, ServiceError, ServiceReport, SubmissionResult, VerifierService,
 };
-use crate::verify::DEFAULT_REPLAY_CAPACITY;
-use std::collections::{HashMap, VecDeque};
+use crate::verify::{VerifyError, DEFAULT_REPLAY_CAPACITY};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tlc_net::ingress::{ConnDriver, DriverError};
+use tlc_net::rng::SimRng;
 use tlc_net::wire::{Frame, FrameDecoder, FrameKind, WireError, DEFAULT_MAX_PAYLOAD};
 
 pub mod codec;
 
 use codec::{
-    Fault, Hello, HelloAck, Register, Registered, StatsSnapshot, Submit, SubmitBatch, VerdictMsg,
-    MAGIC, PROTOCOL_VERSION,
+    BusyMsg, BusyScope, Fault, Hello, HelloAck, Register, Registered, StatsSnapshot, Submit,
+    SubmitBatch, VerdictMsg, MAGIC, PROTOCOL_VERSION,
 };
 
 /// Failures surfaced by the remote client (and, internally, the
@@ -137,6 +154,34 @@ pub struct IngressConfig {
     pub poll_sleep: Duration,
     /// Frame budget per connection per poll iteration.
     pub frames_per_poll: usize,
+    /// Outstanding watermark for the [`ShedLevel::ShedSubmits`] rung:
+    /// at or above it, new submits are answered with BUSY instead of
+    /// relayed. Must sit above `service_inflight_cap` for the ladder
+    /// to climb in order.
+    pub shed_submit_watermark: usize,
+    /// Outstanding watermark for [`ShedLevel::ShedConnections`]: at or
+    /// above it, new connections are answered BUSY and dropped.
+    pub shed_conn_watermark: usize,
+    /// Open-connection cap (accept-queue pressure proxy); at or above
+    /// it new connections are shed regardless of backlog.
+    pub max_conns: usize,
+    /// Base retry-after hint carried in BUSY frames, milliseconds.
+    pub retry_after_ms: u32,
+    /// Deficit-round-robin quantum: admission credits dealt to each
+    /// relationship lane per round while capacity is scarce.
+    pub lane_quantum: u32,
+    /// Multiplier on a connection's granted window giving its verdict
+    /// debt cap; submits beyond it are shed and scored as misbehavior.
+    pub debt_factor: u32,
+    /// Misbehavior score at which a connection is quarantined (reads
+    /// paused, submits shed) for `quarantine_polls` iterations.
+    pub quarantine_threshold: u32,
+    /// Misbehavior score at which a connection receives a typed
+    /// goodbye and closes.
+    pub goodbye_threshold: u32,
+    /// Poll iterations a quarantined connection stays paused before
+    /// its score decays.
+    pub quarantine_polls: u32,
 }
 
 impl Default for IngressConfig {
@@ -148,8 +193,35 @@ impl Default for IngressConfig {
             max_batch: 1024,
             poll_sleep: Duration::from_micros(200),
             frames_per_poll: 32,
+            shed_submit_watermark: 8192,
+            shed_conn_watermark: 16384,
+            max_conns: 1024,
+            retry_after_ms: 50,
+            lane_quantum: 64,
+            debt_factor: 4,
+            quarantine_threshold: 32,
+            goodbye_threshold: 128,
+            quarantine_polls: 256,
         }
     }
+}
+
+/// Rungs of the overload ladder, from healthy to hardest shedding.
+/// Ordered: a higher rung implies every lower rung's behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShedLevel {
+    /// Below every watermark: all work admitted.
+    Accept,
+    /// Service backlog reached `service_inflight_cap`: every
+    /// connection's reads pause until verdicts drain.
+    DeferReads,
+    /// Backlog reached `shed_submit_watermark`: new submits are
+    /// answered with BUSY (scope Submit).
+    ShedSubmits,
+    /// Backlog reached `shed_conn_watermark` (or `max_conns` open):
+    /// new connections are answered with BUSY (scope Connection) and
+    /// dropped.
+    ShedConnections,
 }
 
 /// Ingress-side counters, reported at shutdown and over STATS frames.
@@ -163,6 +235,45 @@ pub struct IngressReport {
     pub service: ServiceReport,
     /// Ingress counters accumulated over the server's lifetime.
     pub ingress: IngressStats,
+}
+
+impl IngressReport {
+    /// Renders every ingress counter plus the service totals and
+    /// per-shard breakdown in Prometheus text exposition format
+    /// (`ingress_throughput --metrics` prints this).
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        self.ingress.to_prometheus(&mut out);
+        let totals = [
+            ("accepted", self.service.accepted),
+            ("rejected", self.service.rejected),
+            ("replayed", self.service.replayed),
+            ("unclaimed_results", self.service.unclaimed_results as u64),
+        ];
+        for (name, v) in totals {
+            let _ = writeln!(out, "# TYPE tlc_service_{name}_total counter");
+            let _ = writeln!(out, "tlc_service_{name}_total {v}");
+        }
+        for s in &self.service.shards {
+            let _ = writeln!(
+                out,
+                "tlc_shard_accepted_total{{shard=\"{}\"}} {}",
+                s.shard, s.accepted
+            );
+            let _ = writeln!(
+                out,
+                "tlc_shard_rejected_total{{shard=\"{}\"}} {}",
+                s.shard, s.rejected
+            );
+            let _ = writeln!(
+                out,
+                "tlc_shard_relationships{{shard=\"{}\"}} {}",
+                s.shard, s.relationships
+            );
+        }
+        out
+    }
 }
 
 /// Connection phases of the ingress state machine.
@@ -186,11 +297,28 @@ struct Conn {
     window: u32,
     /// Peer sent GOODBYE: drain in-flight verdicts, ack, close.
     goodbye: bool,
+    /// Misbehavior score: replays, oversize bursts, window abuse.
+    /// Crossing `quarantine_threshold` quarantines the connection;
+    /// crossing `goodbye_threshold` closes it with a typed fault.
+    score: u32,
+    /// Poll iterations left in quarantine (0 = not quarantined).
+    quarantine: u32,
 }
 
 struct Route {
     conn_id: u64,
     client_tag: u64,
+}
+
+/// Per-relationship admission lane for deficit-round-robin fairness.
+#[derive(Debug, Default, Clone, Copy)]
+struct Lane {
+    /// Submissions from this relationship inside the service — the
+    /// lane's *deficit*, charged against its next credit share.
+    inflight: u32,
+    /// Admission credits left this tick; a submit needs one to pass
+    /// the [`ShedLevel::ShedSubmits`] rung.
+    credits: u32,
 }
 
 /// TCP front-end for a [`VerifierService`].
@@ -206,6 +334,12 @@ pub struct IngressServer {
     conns: Vec<Conn>,
     /// service tag -> originating connection + the tag it used.
     routes: HashMap<u64, Route>,
+    /// raw relationship id -> its admission lane.
+    lanes: HashMap<u64, Lane>,
+    /// Lane deal order (registration order); `rr_cursor` rotates the
+    /// start so remainder quanta spread fairly.
+    lane_order: Vec<u64>,
+    rr_cursor: usize,
     next_conn: u64,
     stats: IngressStats,
 }
@@ -225,9 +359,29 @@ impl IngressServer {
             config,
             conns: Vec::new(),
             routes: HashMap::new(),
+            lanes: HashMap::new(),
+            lane_order: Vec::new(),
+            rr_cursor: 0,
             next_conn: 0,
             stats: IngressStats::default(),
         })
+    }
+
+    /// Current rung of the overload ladder, from the service backlog.
+    /// (`max_conns` is a separate accept-time check — a full but
+    /// healthy connection table sheds new arrivals without touching
+    /// admission for the sessions already in.)
+    pub fn shed_level(&self) -> ShedLevel {
+        let backlog = self.service.outstanding();
+        if backlog >= self.config.shed_conn_watermark {
+            ShedLevel::ShedConnections
+        } else if backlog >= self.config.shed_submit_watermark {
+            ShedLevel::ShedSubmits
+        } else if backlog >= self.config.service_inflight_cap {
+            ShedLevel::DeferReads
+        } else {
+            ShedLevel::Accept
+        }
     }
 
     /// The bound address (useful after binding port 0).
@@ -240,6 +394,7 @@ impl IngressServer {
     /// ERROR/Shutdown frame (best-effort) before their sockets drop.
     pub fn run(mut self, stop: &AtomicBool) -> IngressReport {
         while !stop.load(Ordering::Relaxed) {
+            self.deal_credits();
             let mut activity = false;
             activity |= self.accept_new();
             activity |= self.poll_conns();
@@ -281,7 +436,29 @@ impl IngressServer {
         let mut any = false;
         loop {
             match self.listener.accept() {
-                Ok((stream, _peer)) => {
+                Ok((mut stream, _peer)) => {
+                    if self.shed_level() >= ShedLevel::ShedConnections
+                        || self.conns.len() >= self.config.max_conns.max(1)
+                    {
+                        // ShedConnections rung: answer with a typed
+                        // BUSY (blocking write of one tiny frame) and
+                        // drop, rather than resetting the peer with no
+                        // explanation. The longer hint reflects that a
+                        // whole-connection shed signals deeper trouble
+                        // than a single shed submit.
+                        self.stats.shed_connections += 1;
+                        let busy = BusyMsg {
+                            scope: BusyScope::Connection,
+                            retry_after_ms: self.config.retry_after_ms.saturating_mul(4),
+                            rel: 0,
+                            tag: 0,
+                        };
+                        if let Ok(bytes) = busy.to_frame().encode() {
+                            let _ = stream.write_all(&bytes);
+                        }
+                        any = true;
+                        continue;
+                    }
                     // Non-blocking and low-latency; failures here just
                     // leave the socket with default options.
                     let _ = stream.set_nonblocking(true);
@@ -295,6 +472,8 @@ impl IngressServer {
                         in_flight: 0,
                         window: self.config.window,
                         goodbye: false,
+                        score: 0,
+                        quarantine: 0,
                     });
                     self.stats.connections += 1;
                     any = true;
@@ -423,21 +602,117 @@ impl IngressServer {
             Ok(r) => r,
             Err(detail) => return self.protocol_fault(i, detail),
         };
+        // Capacity 0 means "server default", mirroring window 0 in
+        // HELLO. This is also hardening: the in-process API asserts a
+        // positive replay capacity, and wire input must never be able
+        // to trip an assert inside a worker shard.
+        let capacity = if reg.capacity == 0 {
+            DEFAULT_REPLAY_CAPACITY
+        } else {
+            reg.capacity as usize
+        };
         match self.service.register_with_capacity(
             reg.plan,
             reg.edge_key,
             reg.operator_key,
-            reg.capacity as usize,
+            capacity,
         ) {
             Ok(rel) => {
                 self.stats.registers += 1;
+                let raw = rel.raw();
+                if !self.lanes.contains_key(&raw) {
+                    // Seed the new lane with one quantum so a client
+                    // pipelining REGISTER+SUBMIT is not shed before
+                    // the next credit deal.
+                    self.lanes.insert(
+                        raw,
+                        Lane {
+                            inflight: 0,
+                            credits: self.config.lane_quantum.max(1),
+                        },
+                    );
+                    self.lane_order.push(raw);
+                }
                 let ack = Registered {
                     req: reg.req,
-                    rel: rel.raw(),
+                    rel: raw,
                 };
                 self.send(i, &ack.to_frame());
             }
             Err(e) => self.service_fault(i, e),
+        }
+    }
+
+    /// Deals the free admission pool (`shed_submit_watermark` minus the
+    /// service backlog) to relationship lanes, deficit-round-robin:
+    /// whole-quantum shares rotate across lanes, and a lane's unresolved
+    /// in-flight count is charged against its share. One flooding
+    /// relationship therefore exhausts only its own credits — thin lanes
+    /// keep their full share and their submits keep flowing.
+    fn deal_credits(&mut self) {
+        let n = self.lane_order.len();
+        if n == 0 {
+            return;
+        }
+        let pool = self
+            .config
+            .shed_submit_watermark
+            .saturating_sub(self.service.outstanding());
+        let quantum = (self.config.lane_quantum.max(1)) as usize;
+        let per_round = quantum.saturating_mul(n);
+        let full_rounds = pool / per_round.max(1);
+        let mut rem = pool % per_round.max(1);
+        let base = full_rounds.saturating_mul(quantum);
+        let mut shares = vec![base; n];
+        self.rr_cursor = (self.rr_cursor + 1) % n;
+        let mut i = self.rr_cursor;
+        while rem > 0 {
+            let give = quantum.min(rem);
+            shares[i] = shares[i].saturating_add(give);
+            rem -= give;
+            i = (i + 1) % n;
+        }
+        for (k, rel) in self.lane_order.iter().enumerate() {
+            if let Some(lane) = self.lanes.get_mut(rel) {
+                lane.credits = shares[k]
+                    .saturating_sub(lane.inflight as usize)
+                    .min(u32::MAX as usize) as u32;
+            }
+        }
+    }
+
+    /// Sheds one submission with a typed BUSY answer — the ladder's
+    /// guarantee that overload is never a silent drop. The shed proof
+    /// never reached the service (or its replay cache), so the client
+    /// can resubmit it verbatim after the delay.
+    fn shed_submit(&mut self, i: usize, rel: u64, tag: u64) {
+        self.stats.shed_overload += 1;
+        let busy = BusyMsg {
+            scope: BusyScope::Submit,
+            retry_after_ms: self.config.retry_after_ms,
+            rel,
+            tag,
+        };
+        self.send(i, &busy.to_frame());
+    }
+
+    /// Raises connection `i`'s misbehavior score and escalates:
+    /// quarantine at the first threshold, a typed goodbye at the
+    /// second.
+    fn bump_score(&mut self, i: usize, points: u32) {
+        let quarantine_at = self.config.quarantine_threshold.max(1);
+        let goodbye_at = self.config.goodbye_threshold.max(1);
+        let c = &mut self.conns[i];
+        c.score = c.score.saturating_add(points);
+        if c.score >= goodbye_at {
+            self.stats.misbehavior_closes += 1;
+            let frame = Fault::Protocol("misbehavior limit exceeded").to_frame();
+            let _ = c.driver.queue(&frame);
+            let _ = c.driver.flush();
+            c.phase = Phase::Closed;
+        } else if c.score >= quarantine_at && c.quarantine == 0 {
+            c.quarantine = self.config.quarantine_polls.max(1);
+            self.stats.quarantines += 1;
         }
     }
 
@@ -455,7 +730,12 @@ impl IngressServer {
             Err(detail) => return self.protocol_fault(i, detail),
         };
         if batch.pocs.len() as u64 > self.config.max_batch as u64 {
-            return self.protocol_fault(i, "batch exceeds server limit");
+            // An oversize burst is misbehavior, not a framing fault:
+            // answer with a typed error, score it, and let escalation
+            // (quarantine, then goodbye) close repeat offenders.
+            self.stats.protocol_errors += 1;
+            self.send(i, &Fault::Protocol("batch exceeds server limit").to_frame());
+            return self.bump_score(i, 8);
         }
         for (k, poc) in batch.pocs.iter().enumerate() {
             if self.conns[i].phase == Phase::Closed {
@@ -475,11 +755,38 @@ impl IngressServer {
             // cannot reach `submit` there either.
             Err(_) => return self.protocol_fault(i, "undecodable PoC payload"),
         };
+        // Admission ladder, checked before the service sees the proof:
+        // quarantine, per-conn verdict debt, the global ShedSubmits
+        // rung, then the relationship lane's DRR credit.
+        if self.conns[i].quarantine > 0 {
+            return self.shed_submit(i, rel_raw, client_tag);
+        }
+        let debt_cap = self.conns[i]
+            .window
+            .saturating_mul(self.config.debt_factor.max(1));
+        if self.conns[i].in_flight >= debt_cap {
+            // A client this deep past its granted window is ignoring
+            // flow control: shed and score.
+            self.shed_submit(i, rel_raw, client_tag);
+            return self.bump_score(i, 1);
+        }
+        if self.shed_level() >= ShedLevel::ShedSubmits {
+            return self.shed_submit(i, rel_raw, client_tag);
+        }
+        if let Some(lane) = self.lanes.get(&rel_raw) {
+            if lane.credits == 0 {
+                return self.shed_submit(i, rel_raw, client_tag);
+            }
+        }
         let rel = RelationshipId::from_raw(rel_raw);
         match self.service.submit(rel, poc) {
             Ok(service_tag) => {
                 self.stats.submissions += 1;
                 self.conns[i].in_flight += 1;
+                if let Some(lane) = self.lanes.get_mut(&rel_raw) {
+                    lane.credits = lane.credits.saturating_sub(1);
+                    lane.inflight = lane.inflight.saturating_add(1);
+                }
                 self.routes.insert(
                     service_tag,
                     Route {
@@ -505,6 +812,20 @@ impl IngressServer {
                 outstanding: outstanding as u32,
             },
             ServiceError::UnknownRelationship(rel) => Fault::UnknownRelationship(rel.raw()),
+            ServiceError::Overloaded { retry_after_ms } => {
+                // The in-process pipeline never sheds today; stay total
+                // and relay any future shed as BUSY, not a fault. The
+                // all-ones tag marks "no specific submission".
+                self.stats.shed_overload += 1;
+                let busy = BusyMsg {
+                    scope: BusyScope::Submit,
+                    retry_after_ms,
+                    rel: 0,
+                    tag: u64::MAX,
+                };
+                self.send(i, &busy.to_frame());
+                return;
+            }
         };
         self.send(i, &fault.to_frame());
     }
@@ -522,7 +843,12 @@ impl IngressServer {
             };
             match r.result {
                 Ok(_) => self.stats.accepted += 1,
-                Err(_) => self.stats.rejected += 1,
+                Err(_) => self.stats.rejected_malformed += 1,
+            }
+            // The service resolved this submission either way: return
+            // the lane's deficit.
+            if let Some(lane) = self.lanes.get_mut(&r.relationship.raw()) {
+                lane.inflight = lane.inflight.saturating_sub(1);
             }
             let Some(i) = self.conns.iter().position(|c| c.id == route.conn_id) else {
                 // Client disconnected mid-batch: the verdict is
@@ -535,6 +861,7 @@ impl IngressServer {
                 self.stats.orphaned_verdicts += 1;
                 continue;
             }
+            let replayed = matches!(r.result, Err(VerifyError::Replayed));
             let msg = VerdictMsg {
                 rel: r.relationship.raw(),
                 tag: route.client_tag,
@@ -543,7 +870,15 @@ impl IngressServer {
             };
             self.stats.verdicts += 1;
             self.send(i, &msg.to_frame());
-            self.maybe_finish_goodbye(i);
+            if replayed {
+                // Replays feed the misbehavior score: a client cycling
+                // old proofs burns service capacity for guaranteed
+                // rejections.
+                self.bump_score(i, 1);
+            }
+            if self.conns[i].phase != Phase::Closed {
+                self.maybe_finish_goodbye(i);
+            }
         }
         any
     }
@@ -557,13 +892,22 @@ impl IngressServer {
         }
     }
 
-    /// Pauses reads on connections over their window (or globally when
-    /// the service backlog is too deep); resumes the rest.
+    /// Pauses reads on connections over their window, in quarantine,
+    /// or globally when the ladder is at DeferReads or above; resumes
+    /// the rest. Quarantine sentences tick down here; at expiry the
+    /// score halves, so a reformed client recovers while a repeat
+    /// offender re-escalates.
     fn apply_backpressure(&mut self) {
-        let global = self.service.outstanding() >= self.config.service_inflight_cap;
+        let global = self.shed_level() >= ShedLevel::DeferReads;
         for conn in &mut self.conns {
+            if conn.quarantine > 0 {
+                conn.quarantine -= 1;
+                if conn.quarantine == 0 {
+                    conn.score /= 2;
+                }
+            }
             let over_window = conn.in_flight >= conn.window;
-            if global || over_window {
+            if global || over_window || conn.quarantine > 0 {
                 if !conn.paused() {
                     self.stats.pauses += 1;
                 }
@@ -642,11 +986,72 @@ impl IngressHandle {
 /// Read chunk for the blocking client.
 const CLIENT_READ_CHUNK: usize = 8 * 1024;
 
-/// Blocking TCP client mirroring the in-process [`VerifierService`]
-/// API. One instance is one session; it is not `Sync` — run one per
-/// thread (the soak test does exactly that).
-pub struct RemoteVerifier {
-    stream: TcpStream,
+/// Retry policy for overload (BUSY) handling in [`RemoteVerifier`]:
+/// capped exponential backoff with jitter from a seeded RNG, per
+/// tlc-lint's determinism rule (no ambient randomness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// First retry delay; doubles per attempt up to `cap`.
+    pub base: Duration,
+    /// Ceiling on any single delay.
+    pub cap: Duration,
+    /// Sheds tolerated per submission (or per connection attempt)
+    /// before [`ServiceError::Overloaded`] surfaces to the caller.
+    pub max_attempts: u32,
+    /// Seed for the jitter RNG.
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(500),
+            max_attempts: 10,
+            seed: 0x7E1C_0FF5,
+        }
+    }
+}
+
+/// Delay before retry number `attempt`: uniform in `[d/2, d]` where
+/// `d = min(cap, base << attempt)`, floored at the server's
+/// retry-after hint (itself capped). Half the delay is deterministic
+/// spacing, half is jitter so a fleet of shed clients decorrelates.
+fn backoff_delay(rng: &mut SimRng, cfg: &BackoffConfig, attempt: u32, hint_ms: u32) -> Duration {
+    let base = cfg.base.max(Duration::from_micros(100));
+    let cap = cfg.cap.max(base);
+    let capped = base.saturating_mul(1u32 << attempt.min(16)).min(cap);
+    let half = capped / 2;
+    let jitter_ns = half.as_nanos().min(u64::MAX as u128) as u64;
+    let jitter = Duration::from_nanos(rng.next_below(jitter_ns.saturating_add(1)));
+    let hint = Duration::from_millis(hint_ms as u64).min(cap);
+    (half + jitter).max(hint)
+}
+
+/// A submission awaiting its verdict, kept so a BUSY shed can be
+/// retried transparently with the same tag.
+struct Pending {
+    rel: u64,
+    tag: u64,
+    poc: Vec<u8>,
+    attempts: u32,
+}
+
+/// Blocking client mirroring the in-process [`VerifierService`] API.
+/// One instance is one session; it is not `Sync` — run one per thread
+/// (the soak test does exactly that). Generic over the transport so
+/// chaos tests can interpose a fault-injecting stream; `connect`
+/// produces the ordinary `TcpStream`-backed client.
+///
+/// Server sheds are handled transparently: a BUSY (scope Submit)
+/// moves that submission to a retry queue and it is re-sent — with
+/// its original tag — after capped, jittered backoff. Only when a
+/// submission exhausts [`BackoffConfig::max_attempts`] does
+/// [`ServiceError::Overloaded`] reach the caller. Shed-and-retried
+/// submissions re-enter at retry time, so per-relationship
+/// submission order is preserved only among never-shed proofs.
+pub struct RemoteVerifier<S = TcpStream> {
+    stream: S,
     decoder: FrameDecoder,
     /// Window granted by the server; `submit` drains verdicts once this
     /// many submissions are outstanding.
@@ -659,19 +1064,70 @@ pub struct RemoteVerifier {
     ready: VecDeque<SubmissionResult>,
     /// Relationships the server has confirmed, for the client-side
     /// `UnknownRelationship` mirror of the in-process API.
-    rels: std::collections::HashSet<u64>,
+    rels: HashSet<u64>,
     next_req: u32,
+    /// Submissions awaiting verdicts (bounded by the window), so a
+    /// BUSY shed can be retried without the caller resubmitting.
+    pending: HashMap<u64, Pending>,
+    /// Shed submissions queued for backoff-and-retry.
+    shed_q: VecDeque<Pending>,
+    backoff: BackoffConfig,
+    rng: SimRng,
+    shed_notices: u64,
+    retries: u64,
+    /// Latest retry-after hint from the server, milliseconds.
+    retry_hint_ms: u32,
 }
 
 impl RemoteVerifier {
-    /// Connects and performs the HELLO handshake. `window_hint` of 0
-    /// accepts the server's default window.
+    /// Connects and performs the HELLO handshake with the default
+    /// overload policy. `window_hint` of 0 accepts the server's
+    /// default window.
     pub fn connect(
         addr: impl ToSocketAddrs,
         window_hint: u32,
     ) -> Result<RemoteVerifier, RemoteError> {
-        let stream = TcpStream::connect(addr).map_err(|e| RemoteError::Io(e.kind()))?;
-        let _ = stream.set_nodelay(true);
+        Self::connect_with(addr, window_hint, BackoffConfig::default())
+    }
+
+    /// [`connect`](Self::connect) with an explicit overload policy. A
+    /// BUSY (scope Connection) answer — the server's ShedConnections
+    /// rung — is retried with backoff up to `backoff.max_attempts`
+    /// times before [`ServiceError::Overloaded`] surfaces.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        window_hint: u32,
+        backoff: BackoffConfig,
+    ) -> Result<RemoteVerifier, RemoteError> {
+        let mut rng = SimRng::new(backoff.seed).split("connect-jitter");
+        let mut attempt = 0u32;
+        loop {
+            let stream = TcpStream::connect(&addr).map_err(|e| RemoteError::Io(e.kind()))?;
+            let _ = stream.set_nodelay(true);
+            match RemoteVerifier::handshake(stream, window_hint, backoff) {
+                Err(RemoteError::Service(ServiceError::Overloaded { retry_after_ms }))
+                    if attempt < backoff.max_attempts =>
+                {
+                    std::thread::sleep(backoff_delay(&mut rng, &backoff, attempt, retry_after_ms));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+impl<S: Read + Write> RemoteVerifier<S> {
+    /// Performs the HELLO handshake over an already-connected
+    /// transport. A BUSY answer here means the server shed the whole
+    /// connection; it surfaces as [`ServiceError::Overloaded`] (this
+    /// entry point does not retry — [`RemoteVerifier::connect_with`]
+    /// wraps it with reconnection backoff).
+    pub fn handshake(
+        stream: S,
+        window_hint: u32,
+        backoff: BackoffConfig,
+    ) -> Result<RemoteVerifier<S>, RemoteError> {
         let mut client = RemoteVerifier {
             stream,
             decoder: FrameDecoder::new(DEFAULT_MAX_PAYLOAD),
@@ -680,8 +1136,15 @@ impl RemoteVerifier {
             outstanding: 0,
             next_tag: 0,
             ready: VecDeque::new(),
-            rels: std::collections::HashSet::new(),
+            rels: HashSet::new(),
             next_req: 0,
+            pending: HashMap::new(),
+            shed_q: VecDeque::new(),
+            backoff,
+            rng: SimRng::new(backoff.seed).split("retry-jitter"),
+            shed_notices: 0,
+            retries: 0,
+            retry_hint_ms: 0,
         };
         let hello = Hello {
             magic: MAGIC,
@@ -747,28 +1210,43 @@ impl RemoteVerifier {
     }
 
     /// Submits one proof; returns its tag, exactly like the in-process
-    /// `submit`. Blocks draining verdicts when the window is full.
+    /// `submit`. Blocks draining verdicts when the window is full, and
+    /// retries any previously shed submissions first.
     pub fn submit(&mut self, rel: RelationshipId, poc: &PocMsg) -> Result<u64, RemoteError> {
         if !self.rels.contains(&rel.raw()) {
             return Err(RemoteError::Service(ServiceError::UnknownRelationship(rel)));
         }
+        self.drain_sheds()?;
         while self.outstanding >= self.window as usize {
             self.pull_verdict()?;
         }
         let tag = self.next_tag;
+        let bytes = poc.encode();
         let msg = Submit {
             rel: rel.raw(),
             tag,
-            poc: poc.encode(),
+            poc: bytes.clone(),
         };
         self.send_frame(&msg.to_frame())?;
         self.next_tag += 1;
         self.outstanding += 1;
+        self.pending.insert(
+            tag,
+            Pending {
+                rel: rel.raw(),
+                tag,
+                poc: bytes,
+                attempts: 0,
+            },
+        );
         Ok(tag)
     }
 
     /// Submits a batch under one relationship; returns `(first_tag,
-    /// count)`. Chunked to respect the server's frame payload cap.
+    /// count)`. Chunked to respect both the server's frame payload cap
+    /// and the per-connection verdict window — a batch wider than the
+    /// window is split so it can never wedge against a paused server
+    /// that is waiting for this client to drain verdicts.
     pub fn submit_batch<'a>(
         &mut self,
         rel: RelationshipId,
@@ -784,9 +1262,12 @@ impl RemoteVerifier {
         // Stay well under the payload cap: the batch header plus
         // per-item length prefixes ride along.
         let budget = (self.max_payload as usize).saturating_sub(1024);
+        let max_items = (self.window as usize).max(1);
         for poc in pocs {
             let bytes = poc.encode();
-            if !chunk.is_empty() && chunk_bytes + bytes.len() + 4 > budget {
+            if !chunk.is_empty()
+                && (chunk_bytes + bytes.len() + 4 > budget || chunk.len() >= max_items)
+            {
                 self.send_batch_chunk(rel, &mut chunk, &mut chunk_bytes, &mut count)?;
             }
             chunk_bytes += bytes.len() + 4;
@@ -805,16 +1286,33 @@ impl RemoteVerifier {
         chunk_bytes: &mut usize,
         count: &mut usize,
     ) -> Result<(), RemoteError> {
-        while self.outstanding >= self.window as usize {
+        self.drain_sheds()?;
+        // Drain until the whole chunk fits in the window, not merely
+        // until one slot opens: the server pauses reads at the window,
+        // so sending past it would deadlock submit against verdicts.
+        let n = chunk.len();
+        while self.outstanding > 0 && self.outstanding + n > self.window as usize {
             self.pull_verdict()?;
         }
-        let n = chunk.len();
+        let first = self.next_tag;
         let msg = SubmitBatch {
             rel: rel.raw(),
-            first_tag: self.next_tag,
+            first_tag: first,
             pocs: std::mem::take(chunk),
         };
         self.send_frame(&msg.to_frame())?;
+        for (k, poc) in msg.pocs.into_iter().enumerate() {
+            let tag = first.wrapping_add(k as u64);
+            self.pending.insert(
+                tag,
+                Pending {
+                    rel: rel.raw(),
+                    tag,
+                    poc,
+                    attempts: 0,
+                },
+            );
+        }
         self.next_tag += n as u64;
         self.outstanding += n;
         *count += n;
@@ -824,7 +1322,9 @@ impl RemoteVerifier {
 
     /// Blocks until every submitted proof has a verdict and returns
     /// them (per relationship, in submission order — the service's own
-    /// guarantee, preserved by the ordered byte stream).
+    /// guarantee, preserved by the ordered byte stream; shed-and-
+    /// retried proofs re-enter at retry time, so under overload only
+    /// never-shed proofs keep that order).
     ///
     /// If the server goes away first, the same
     /// [`ServiceError::ResultsClosed`] the in-process API raises is
@@ -834,7 +1334,11 @@ impl RemoteVerifier {
         while let Some(r) = self.ready.pop_front() {
             out.push(r);
         }
-        while self.outstanding > 0 {
+        while self.outstanding > 0 || !self.shed_q.is_empty() {
+            self.drain_sheds()?;
+            if self.outstanding == 0 {
+                continue;
+            }
             match self.pull_verdict() {
                 Ok(()) => {
                     while let Some(r) = self.ready.pop_front() {
@@ -870,6 +1374,27 @@ impl RemoteVerifier {
         self.window
     }
 
+    /// BUSY (scope Submit) notices received from the server.
+    pub fn shed_notices(&self) -> u64 {
+        self.shed_notices
+    }
+
+    /// Transparent re-submissions performed after sheds.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Shed submissions still queued for retry.
+    pub fn shed_pending(&self) -> usize {
+        self.shed_q.len()
+    }
+
+    /// Shared access to the underlying transport (chaos tests read
+    /// fault-injection stats through this).
+    pub fn stream(&self) -> &S {
+        &self.stream
+    }
+
     /// Requests the server's ingress counters.
     pub fn stats(&mut self) -> Result<IngressStats, RemoteError> {
         self.send_frame(&Frame::new(FrameKind::StatsReq, Vec::new()))?;
@@ -881,8 +1406,10 @@ impl RemoteVerifier {
     }
 
     /// Ends the session: the server streams any remaining verdicts
-    /// (returned here), acks, and closes. Consumes the client.
+    /// (returned here), acks, and closes. Consumes the client. Shed
+    /// submissions are retried first so nothing is silently dropped.
     pub fn goodbye(mut self) -> Result<Vec<SubmissionResult>, RemoteError> {
+        self.drain_sheds()?;
         self.send_frame(&Frame::new(FrameKind::Goodbye, Vec::new()))?;
         let frame = self.read_non_verdict()?;
         if frame.kind != FrameKind::GoodbyeAck {
@@ -892,25 +1419,30 @@ impl RemoteVerifier {
         Ok(self.ready.drain(..).collect())
     }
 
-    /// Reads frames until one that is not a VERDICT arrives; verdicts
-    /// encountered on the way are buffered (and count against
-    /// `outstanding`). ERROR frames become typed errors.
+    /// Reads frames until one that is not a VERDICT or BUSY arrives;
+    /// verdicts encountered on the way are buffered (and count against
+    /// `outstanding`), sheds are queued for retry. ERROR frames become
+    /// typed errors.
     fn read_non_verdict(&mut self) -> Result<Frame, RemoteError> {
         loop {
             let frame = self.read_frame()?;
             match frame.kind {
                 FrameKind::Verdict => self.absorb_verdict(&frame.payload)?,
+                FrameKind::Busy => self.absorb_busy(&frame.payload)?,
                 FrameKind::Error => return Err(self.map_fault(&frame.payload)),
                 _ => return Ok(frame),
             }
         }
     }
 
-    /// Reads exactly one VERDICT into the ready buffer (ERRORs mapped).
+    /// Reads exactly one VERDICT into the ready buffer (ERRORs
+    /// mapped). A BUSY also counts as progress: it frees a window
+    /// slot by moving the shed submission to the retry queue.
     fn pull_verdict(&mut self) -> Result<(), RemoteError> {
         let frame = self.read_frame()?;
         match frame.kind {
             FrameKind::Verdict => self.absorb_verdict(&frame.payload),
+            FrameKind::Busy => self.absorb_busy(&frame.payload),
             FrameKind::Error => Err(self.map_fault(&frame.payload)),
             _ => Err(RemoteError::Protocol("expected VERDICT")),
         }
@@ -919,12 +1451,68 @@ impl RemoteVerifier {
     fn absorb_verdict(&mut self, payload: &[u8]) -> Result<(), RemoteError> {
         let v = VerdictMsg::decode(payload).map_err(RemoteError::Protocol)?;
         self.outstanding = self.outstanding.saturating_sub(1);
+        self.pending.remove(&v.tag);
         self.ready.push_back(SubmissionResult {
             relationship: RelationshipId::from_raw(v.rel),
             tag: v.tag,
             shard: v.shard as usize,
             result: v.result,
         });
+        Ok(())
+    }
+
+    /// Handles a BUSY frame: a Submit-scope shed moves that submission
+    /// to the retry queue (typed, never silent); a Connection-scope
+    /// shed is the server refusing this whole session, surfaced as
+    /// [`ServiceError::Overloaded`].
+    fn absorb_busy(&mut self, payload: &[u8]) -> Result<(), RemoteError> {
+        let busy = BusyMsg::decode(payload).map_err(RemoteError::Protocol)?;
+        self.retry_hint_ms = busy.retry_after_ms;
+        match busy.scope {
+            BusyScope::Submit => {
+                self.shed_notices += 1;
+                if let Some(p) = self.pending.remove(&busy.tag) {
+                    self.outstanding = self.outstanding.saturating_sub(1);
+                    self.shed_q.push_back(p);
+                }
+                Ok(())
+            }
+            BusyScope::Connection => Err(RemoteError::Service(ServiceError::Overloaded {
+                retry_after_ms: busy.retry_after_ms,
+            })),
+        }
+    }
+
+    /// Re-sends shed submissions after capped, jittered backoff,
+    /// reusing each one's original tag so caller-side correlation
+    /// holds. Surfaces [`ServiceError::Overloaded`] once a submission
+    /// exhausts its retry budget (the submission stays queued, so a
+    /// later call can still try again).
+    fn drain_sheds(&mut self) -> Result<(), RemoteError> {
+        while let Some(mut p) = self.shed_q.pop_front() {
+            if p.attempts >= self.backoff.max_attempts {
+                let hint = self.retry_hint_ms;
+                self.shed_q.push_front(p);
+                return Err(RemoteError::Service(ServiceError::Overloaded {
+                    retry_after_ms: hint,
+                }));
+            }
+            let delay = backoff_delay(&mut self.rng, &self.backoff, p.attempts, self.retry_hint_ms);
+            std::thread::sleep(delay);
+            p.attempts += 1;
+            self.retries += 1;
+            while self.outstanding >= self.window as usize {
+                self.pull_verdict()?;
+            }
+            let msg = Submit {
+                rel: p.rel,
+                tag: p.tag,
+                poc: p.poc.clone(),
+            };
+            self.send_frame(&msg.to_frame())?;
+            self.outstanding += 1;
+            self.pending.insert(p.tag, p);
+        }
         Ok(())
     }
 

@@ -16,10 +16,11 @@
 //! SUBMIT_BATCH rel:u64 | first_tag:u64 | count:u32 | count x (len:u32 | poc)
 //! VERDICT      rel:u64 | tag:u64 | shard:u32 | result (see below)
 //! STATS_REQ    (empty)
-//! STATS        11 x u64 counters
+//! STATS        16 x u64 counters
 //! ERROR        code:u8 | operands (see below)
 //! GOODBYE      (empty)
 //! GOODBYE_ACK  (empty)
+//! BUSY         scope:u8 | retry_after_ms:u32 | rel:u64 | tag:u64
 //! ```
 //!
 //! Verdict result encoding — code byte, then operands:
@@ -56,7 +57,10 @@ use tlc_net::wire::{Frame, FrameKind};
 pub const MAGIC: u32 = 0x544C_4356;
 
 /// Wire protocol version carried in HELLO / HELLO_ACK.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2 added the BUSY frame (typed load shedding) and widened STATS
+/// from 12 to 16 counters.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Known [`MessageError::Malformed`] detail strings, in interning
 /// order. Append-only: indexes are wire format.
@@ -134,6 +138,9 @@ pub const PROTOCOL_STRINGS: &[&str] = &[
     "truncated ERROR",
     "unknown error code",
     "bad plan in REGISTER",
+    "misbehavior limit exceeded",
+    "truncated BUSY",
+    "unknown BUSY scope",
 ];
 
 /// Fallback when a protocol-detail index is newer than this decoder.
@@ -226,7 +233,9 @@ impl HelloAck {
 pub struct Register {
     /// Client-chosen request id, echoed in REGISTERED.
     pub req: u32,
-    /// Replay-cache capacity for the relationship.
+    /// Replay-cache capacity for the relationship. `0` requests the
+    /// server's default capacity (the cache itself requires at least
+    /// one slot).
     pub capacity: u64,
     /// The negotiated data plan.
     pub plan: DataPlan,
@@ -647,8 +656,9 @@ pub struct StatsSnapshot {
     pub verdicts: u64,
     /// Verdicts that were `Ok`.
     pub accepted: u64,
-    /// Verdicts that were rejections.
-    pub rejected: u64,
+    /// Verdicts that were rejections for cause (bad signature, replay,
+    /// plan mismatch, …) — a malformed *proof*, never a shed.
+    pub rejected_malformed: u64,
     /// Verdicts whose client was already gone (discarded, counted).
     pub orphaned_verdicts: u64,
     /// Protocol violations observed (each closes its connection).
@@ -658,10 +668,21 @@ pub struct StatsSnapshot {
     pub pauses: u64,
     /// Submissions in flight inside the service at snapshot time.
     pub service_outstanding: u64,
+    /// Submissions shed by admission control with a BUSY frame. Every
+    /// shed is answered, so `shed_overload` equals the BUSY frames
+    /// (scope Submit) sent — never a silent drop.
+    pub shed_overload: u64,
+    /// Connections turned away at accept time with BUSY (scope
+    /// Connection).
+    pub shed_connections: u64,
+    /// Connections placed in quarantine by the misbehavior score.
+    pub quarantines: u64,
+    /// Connections closed for exceeding the misbehavior limit.
+    pub misbehavior_closes: u64,
 }
 
 impl StatsSnapshot {
-    const FIELDS: usize = 12;
+    const FIELDS: usize = 16;
 
     /// Encodes into a frame of the given kind (STATS).
     pub fn to_frame(&self, kind: FrameKind) -> Frame {
@@ -674,11 +695,15 @@ impl StatsSnapshot {
             self.submissions,
             self.verdicts,
             self.accepted,
-            self.rejected,
+            self.rejected_malformed,
             self.orphaned_verdicts,
             self.protocol_errors,
             self.pauses,
             self.service_outstanding,
+            self.shed_overload,
+            self.shed_connections,
+            self.quarantines,
+            self.misbehavior_closes,
         ] {
             b.put_u64(v);
         }
@@ -699,11 +724,108 @@ impl StatsSnapshot {
             submissions: b.get_u64(),
             verdicts: b.get_u64(),
             accepted: b.get_u64(),
-            rejected: b.get_u64(),
+            rejected_malformed: b.get_u64(),
             orphaned_verdicts: b.get_u64(),
             protocol_errors: b.get_u64(),
             pauses: b.get_u64(),
             service_outstanding: b.get_u64(),
+            shed_overload: b.get_u64(),
+            shed_connections: b.get_u64(),
+            quarantines: b.get_u64(),
+            misbehavior_closes: b.get_u64(),
+        })
+    }
+
+    /// Renders the counters in Prometheus text exposition format.
+    ///
+    /// Counter names are prefixed `tlc_ingress_`; the two point-in-time
+    /// values (`open_connections`, `service_outstanding`) are gauges.
+    pub fn to_prometheus(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let counters = [
+            ("connections_total", self.connections),
+            ("connections_closed_total", self.connections_closed),
+            ("registers_total", self.registers),
+            ("submissions_total", self.submissions),
+            ("verdicts_total", self.verdicts),
+            ("accepted_total", self.accepted),
+            ("rejected_malformed_total", self.rejected_malformed),
+            ("orphaned_verdicts_total", self.orphaned_verdicts),
+            ("protocol_errors_total", self.protocol_errors),
+            ("pauses_total", self.pauses),
+            ("shed_overload_total", self.shed_overload),
+            ("shed_connections_total", self.shed_connections),
+            ("quarantines_total", self.quarantines),
+            ("misbehavior_closes_total", self.misbehavior_closes),
+        ];
+        for (name, v) in counters {
+            let _ = writeln!(out, "# TYPE tlc_ingress_{name} counter");
+            let _ = writeln!(out, "tlc_ingress_{name} {v}");
+        }
+        let gauges = [
+            ("open_connections", self.open_connections),
+            ("service_outstanding", self.service_outstanding),
+        ];
+        for (name, v) in gauges {
+            let _ = writeln!(out, "# TYPE tlc_ingress_{name} gauge");
+            let _ = writeln!(out, "tlc_ingress_{name} {v}");
+        }
+    }
+}
+
+/// Whether a BUSY frame shed one submission or the whole connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BusyScope {
+    /// The connection itself was refused (sent at accept time, before
+    /// any HELLO exchange); reconnect after the delay.
+    Connection = 0,
+    /// One submission was shed; `rel`/`tag` identify it. Resubmitting
+    /// after the delay is safe — a shed proof never reached the
+    /// replay cache.
+    Submit = 1,
+}
+
+/// BUSY payload: typed load shedding — the overload answer that
+/// replaces a silent drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusyMsg {
+    /// What was shed.
+    pub scope: BusyScope,
+    /// Server's suggested backoff before retrying, in milliseconds.
+    pub retry_after_ms: u32,
+    /// Relationship of the shed submission (0 for Connection scope).
+    pub rel: u64,
+    /// Client tag of the shed submission (0 for Connection scope).
+    pub tag: u64,
+}
+
+impl BusyMsg {
+    /// Encodes into a BUSY frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut b = BytesMut::with_capacity(21);
+        b.put_u8(self.scope as u8);
+        b.put_u32(self.retry_after_ms);
+        b.put_u64(self.rel);
+        b.put_u64(self.tag);
+        Frame::new(FrameKind::Busy, b.to_vec())
+    }
+
+    /// Decodes a BUSY payload.
+    pub fn decode(payload: &[u8]) -> Result<BusyMsg, &'static str> {
+        let mut b = Bytes::copy_from_slice(payload);
+        if b.remaining() < 21 {
+            return Err("truncated BUSY");
+        }
+        let scope = match b.get_u8() {
+            0 => BusyScope::Connection,
+            1 => BusyScope::Submit,
+            _ => return Err("unknown BUSY scope"),
+        };
+        Ok(BusyMsg {
+            scope,
+            retry_after_ms: b.get_u32(),
+            rel: b.get_u64(),
+            tag: b.get_u64(),
         })
     }
 }
@@ -910,12 +1032,90 @@ mod tests {
         for s in PROTOCOL_STRINGS {
             assert_ne!(intern(PROTOCOL_STRINGS, s), u16::MAX);
         }
-        // ServiceError is a distinct surface; just confirm it still has
-        // exactly the three variants the Fault codes 0..=2 mirror.
+        // ServiceError is a distinct surface; Fault codes 0..=2 mirror
+        // the first three variants and BUSY frames carry Overloaded.
         let _exhaustive = |e: ServiceError| match e {
             ServiceError::ShardDown { .. }
             | ServiceError::ResultsClosed { .. }
-            | ServiceError::UnknownRelationship(_) => {}
+            | ServiceError::UnknownRelationship(_)
+            | ServiceError::Overloaded { .. } => {}
         };
+    }
+
+    #[test]
+    fn busy_round_trips_and_rejects_garbage() {
+        for msg in [
+            BusyMsg {
+                scope: BusyScope::Connection,
+                retry_after_ms: 200,
+                rel: 0,
+                tag: 0,
+            },
+            BusyMsg {
+                scope: BusyScope::Submit,
+                retry_after_ms: 50,
+                rel: 7,
+                tag: 0xDEAD_BEEF,
+            },
+        ] {
+            let frame = msg.to_frame();
+            assert_eq!(frame.kind, FrameKind::Busy);
+            assert_eq!(frame.payload.len(), 21);
+            assert_eq!(BusyMsg::decode(&frame.payload), Ok(msg));
+        }
+        assert_eq!(BusyMsg::decode(&[1, 0, 0]), Err("truncated BUSY"));
+        let mut bad = BusyMsg {
+            scope: BusyScope::Submit,
+            retry_after_ms: 1,
+            rel: 1,
+            tag: 1,
+        }
+        .to_frame()
+        .payload;
+        bad[0] = 9;
+        assert_eq!(BusyMsg::decode(&bad), Err("unknown BUSY scope"));
+    }
+
+    #[test]
+    fn stats_snapshot_round_trips_all_sixteen_fields() {
+        let s = StatsSnapshot {
+            connections: 1,
+            connections_closed: 2,
+            open_connections: 3,
+            registers: 4,
+            submissions: 5,
+            verdicts: 6,
+            accepted: 7,
+            rejected_malformed: 8,
+            orphaned_verdicts: 9,
+            protocol_errors: 10,
+            pauses: 11,
+            service_outstanding: 12,
+            shed_overload: 13,
+            shed_connections: 14,
+            quarantines: 15,
+            misbehavior_closes: 16,
+        };
+        let frame = s.to_frame(FrameKind::Stats);
+        assert_eq!(frame.payload.len(), 8 * 16);
+        assert_eq!(StatsSnapshot::decode(&frame.payload), Ok(s));
+        assert_eq!(
+            StatsSnapshot::decode(&frame.payload[..8 * 12]),
+            Err("truncated STATS")
+        );
+    }
+
+    #[test]
+    fn prometheus_dump_names_every_field() {
+        let s = StatsSnapshot {
+            shed_overload: 3,
+            ..StatsSnapshot::default()
+        };
+        let mut out = String::new();
+        s.to_prometheus(&mut out);
+        assert!(out.contains("tlc_ingress_shed_overload_total 3\n"));
+        assert!(out.contains("# TYPE tlc_ingress_open_connections gauge"));
+        // One TYPE line and one sample line per field.
+        assert_eq!(out.lines().count(), 2 * 16);
     }
 }

@@ -92,6 +92,15 @@ pub enum ServiceError {
     },
     /// The relationship id was never issued by [`VerifierService::register`].
     UnknownRelationship(RelationshipId),
+    /// The service (or the ingress admission control fronting it) is
+    /// saturated and shed the submission; retry after the carried hint.
+    /// The in-process pipeline never sheds — this variant is produced by
+    /// the remote path — but it lives here so every caller matches one
+    /// error surface.
+    Overloaded {
+        /// Suggested backoff before retrying, in milliseconds.
+        retry_after_ms: u32,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -106,6 +115,9 @@ impl std::fmt::Display for ServiceError {
             ),
             ServiceError::UnknownRelationship(rel) => {
                 write!(f, "relationship {rel:?} was never registered")
+            }
+            ServiceError::Overloaded { retry_after_ms } => {
+                write!(f, "service overloaded; retry after {retry_after_ms} ms")
             }
         }
     }

@@ -258,7 +258,7 @@ fn soak_remote_matches_in_process_bit_for_bit() {
         (n_clients * RELS_PER_CLIENT * 3) as u64
     );
     assert_eq!(
-        report.ingress.rejected,
+        report.ingress.rejected_malformed,
         (n_clients * RELS_PER_CLIENT * 2) as u64
     );
 }

@@ -59,7 +59,7 @@ fn hello_payload_golden() {
     assert_eq!(frame.kind, FrameKind::Hello);
     assert_eq!(
         frame.payload,
-        vec![0x54, 0x4C, 0x43, 0x56, 0, 1, 0, 0, 0, 7],
+        vec![0x54, 0x4C, 0x43, 0x56, 0, 2, 0, 0, 0, 7],
         "HELLO drifted: magic|version|window"
     );
     assert_eq!(Hello::decode(&frame.payload), Ok(h));
@@ -254,13 +254,37 @@ fn stats_payload_golden() {
     assert_eq!(frame.kind, FrameKind::Stats);
     assert_eq!(
         frame.payload.len(),
-        8 * 12,
+        8 * 16,
         "STATS field count is wire format"
     );
     assert_eq!(frame.payload[..8], [0, 0, 0, 0, 0, 0, 0, 1]);
     assert_eq!(frame.payload[4 * 8..5 * 8], [0, 0, 0, 0, 0, 0, 0, 2]);
-    assert_eq!(frame.payload[11 * 8..], [0, 0, 0, 0, 0, 0, 0, 3]);
+    assert_eq!(frame.payload[11 * 8..12 * 8], [0, 0, 0, 0, 0, 0, 0, 3]);
     assert_eq!(StatsSnapshot::decode(&frame.payload), Ok(s));
+}
+
+#[test]
+fn busy_payload_golden() {
+    use tlc_core::verify::remote::codec::{BusyMsg, BusyScope};
+    let b = BusyMsg {
+        scope: BusyScope::Submit,
+        retry_after_ms: 50,
+        rel: 2,
+        tag: 0x0304,
+    };
+    let frame = b.to_frame();
+    assert_eq!(frame.kind, FrameKind::Busy);
+    assert_eq!(
+        frame.payload,
+        vec![
+            1, // scope: Submit
+            0, 0, 0, 50, // retry_after_ms
+            0, 0, 0, 0, 0, 0, 0, 2, // rel
+            0, 0, 0, 0, 0, 0, 3, 4, // tag
+        ],
+        "BUSY grammar drifted: scope|retry_after_ms|rel|tag"
+    );
+    assert_eq!(BusyMsg::decode(&frame.payload), Ok(b));
 }
 
 #[test]

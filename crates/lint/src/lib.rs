@@ -50,6 +50,7 @@ pub const NO_PANIC_PATHS: &[&str] = &[
     "crates/core/src/verify/",
     "crates/net/src/wire.rs",
     "crates/net/src/ingress.rs",
+    "crates/net/src/chaos.rs",
 ];
 
 /// Crates that must carry `#![forbid(unsafe_code)]` in `src/lib.rs`.

@@ -31,12 +31,15 @@
 //! the network ingress for the standalone PoC verifier service:
 //!
 //! * [`wire`] — length-prefixed binary framing codec (payload-agnostic),
-//! * [`ingress`] — non-blocking, pausable per-connection frame driver.
+//! * [`ingress`] — non-blocking, pausable per-connection frame driver,
+//! * [`chaos`] — deterministic stream-fault injection (dribble, resets)
+//!   for soak-testing the ingress under hostile clients.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod chaos;
 pub mod event;
 pub mod fair;
 pub mod ingress;
@@ -51,6 +54,7 @@ pub mod time;
 pub mod wire;
 
 pub use channel::{ChannelStats, FaultSpec, FaultyChannel};
+pub use chaos::{plan_roles, ChaosRole, ChaosSpec, ChaosStats, ChaosStream};
 pub use event::EventQueue;
 pub use fair::{FairQueue, DRR_QUANTUM};
 pub use ingress::{ConnDriver, ConnStats, DriverError};

@@ -8,7 +8,7 @@
 //! frame := kind:u8 | len:u32 (big-endian) | payload[len]
 //! ```
 //!
-//! This module owns the *envelope* only — the eleven frame kinds, their
+//! This module owns the *envelope* only — the thirteen frame kinds, their
 //! tag bytes, and a streaming decoder with a hard payload cap enforced
 //! **before** any payload allocation. Payload grammars (what the bytes of
 //! a `REGISTER` or `VERDICT` mean) belong to the protocol layer in
@@ -66,11 +66,15 @@ pub enum FrameKind {
     Goodbye = 11,
     /// Server → client: all verdicts delivered; closing now.
     GoodbyeAck = 12,
+    /// Server → client: overload notice — the submission (or the whole
+    /// connection) was shed by admission control; retry after the
+    /// carried delay. Never a silent drop.
+    Busy = 13,
 }
 
 impl FrameKind {
     /// Every frame kind, in tag order (fixture tests iterate this).
-    pub const ALL: [FrameKind; 12] = [
+    pub const ALL: [FrameKind; 13] = [
         FrameKind::Hello,
         FrameKind::HelloAck,
         FrameKind::Register,
@@ -83,6 +87,7 @@ impl FrameKind {
         FrameKind::Error,
         FrameKind::Goodbye,
         FrameKind::GoodbyeAck,
+        FrameKind::Busy,
     ];
 
     /// The wire tag byte.
@@ -338,7 +343,7 @@ mod tests {
             assert_eq!(FrameKind::from_u8(k.as_u8()), Some(k));
         }
         assert_eq!(FrameKind::from_u8(0), None);
-        assert_eq!(FrameKind::from_u8(13), None);
+        assert_eq!(FrameKind::from_u8(14), None);
         assert_eq!(FrameKind::from_u8(0xFF), None);
     }
 

@@ -57,6 +57,10 @@ fn fixtures() -> Vec<(Frame, Vec<u8>)> {
             Frame::new(FrameKind::GoodbyeAck, Vec::new()),
             vec![12, 0, 0, 0, 0],
         ),
+        (
+            Frame::new(FrameKind::Busy, vec![1, 0, 0, 0, 50]),
+            vec![13, 0, 0, 0, 5, 1, 0, 0, 0, 50],
+        ),
     ]
 }
 
@@ -83,7 +87,7 @@ fn every_golden_fixture_decodes_back() {
 fn kind_tag_bytes_are_pinned() {
     // The numeric tags are wire format; reordering the enum must fail
     // here, not in production.
-    let pinned: [(FrameKind, u8); 12] = [
+    let pinned: [(FrameKind, u8); 13] = [
         (FrameKind::Hello, 1),
         (FrameKind::HelloAck, 2),
         (FrameKind::Register, 3),
@@ -96,14 +100,15 @@ fn kind_tag_bytes_are_pinned() {
         (FrameKind::Error, 10),
         (FrameKind::Goodbye, 11),
         (FrameKind::GoodbyeAck, 12),
+        (FrameKind::Busy, 13),
     ];
     for (kind, tag) in pinned {
         assert_eq!(kind.as_u8(), tag);
         assert_eq!(FrameKind::from_u8(tag), Some(kind));
     }
-    // 0 and 13 are unassigned and must stay invalid.
+    // 0 and 14 are unassigned and must stay invalid.
     assert_eq!(FrameKind::from_u8(0), None);
-    assert_eq!(FrameKind::from_u8(13), None);
+    assert_eq!(FrameKind::from_u8(14), None);
 }
 
 #[test]

@@ -10,7 +10,7 @@ use tlc_net::ingress::{ConnDriver, DriverError};
 use tlc_net::wire::{Frame, FrameDecoder, FrameKind, WireError, HEADER_LEN};
 
 fn arb_kind() -> impl Strategy<Value = FrameKind> {
-    (1u8..=12).prop_map(|b| FrameKind::from_u8(b).unwrap())
+    (1u8..=13).prop_map(|b| FrameKind::from_u8(b).unwrap())
 }
 
 fn arb_frame(max_payload: usize) -> impl Strategy<Value = Frame> {
@@ -105,11 +105,11 @@ proptest! {
     }
 
     /// Corrupting the kind byte of a valid stream yields a typed
-    /// UnknownKind error (13.. can never be a valid kind).
+    /// UnknownKind error (14.. can never be a valid kind).
     #[test]
     fn corrupted_kind_byte_is_typed(
         frame in arb_frame(64),
-        bad in 13u8..=255,
+        bad in 14u8..=255,
     ) {
         let mut bytes = frame.encode().unwrap();
         bytes[0] = bad;

@@ -167,6 +167,15 @@ fn connect(addr: &str) {
         "server counters: {} submissions, {} verdicts, {} registers, {} pauses",
         stats.submissions, stats.verdicts, stats.registers, stats.pauses
     );
+    println!(
+        "overload ladder: {} shed submits, {} shed connections, {} quarantines, {} misbehavior closes (client saw {} BUSYs, {} retries)",
+        stats.shed_overload,
+        stats.shed_connections,
+        stats.quarantines,
+        stats.misbehavior_closes,
+        client.shed_notices(),
+        client.retries(),
+    );
     client.goodbye().expect("clean goodbye");
 }
 
