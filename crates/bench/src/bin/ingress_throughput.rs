@@ -6,15 +6,36 @@
 //! relationship, default 40). Pass `--metrics` to dump the final
 //! ingress report in Prometheus text exposition format after the
 //! summary lines (for scraping CI runs into dashboards).
+//!
+//! # C100K mode
+//!
+//! With `--conns N` the binary switches to the connection-scale bench
+//! behind DESIGN.md §12: a child process (its own fd budget) holds `N`
+//! idle handshaken connections against the server, the full table is
+//! soaked idle for `--duration` seconds, then a foreground client
+//! measures PoCs/sec over the pre-generated proof set — sweeping shard
+//! counts 1..=`--shards` (powers of two). Results land in
+//! `BENCH_ingress.json` in the working directory:
+//!
+//! ```text
+//! ingress_throughput --backend epoll --conns 10000 --shards 4 --duration 3
+//! ```
+//!
+//! `--backend {poll,epoll}` selects the server loop in both modes
+//! (default: the `TLC_INGRESS_BACKEND` env, i.e. legacy poll).
 
-use std::time::Instant;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
 use tlc_core::messages::{PocMsg, NONCE_LEN};
 use tlc_core::plan::DataPlan;
 use tlc_core::protocol::{run_negotiation, Endpoint};
 use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
-use tlc_core::verify::remote::{IngressConfig, IngressServer, RemoteVerifier};
+use tlc_core::verify::remote::codec::{Hello, MAGIC, PROTOCOL_VERSION};
+use tlc_core::verify::remote::{IngressBackend, IngressConfig, IngressServer, RemoteVerifier};
 use tlc_core::verify::service::{ServiceConfig, VerifierService};
 use tlc_crypto::{KeyPair, PublicKey};
+use tlc_net::wire::{FrameDecoder, FrameKind};
 
 const RELATIONSHIPS: u64 = 4;
 
@@ -75,8 +96,57 @@ fn build_rel(id: u64, cycles: usize) -> Rel {
     }
 }
 
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
 fn main() {
-    let metrics = std::env::args().any(|a| a == "--metrics");
+    let args: Vec<String> = std::env::args().collect();
+
+    // Hidden child mode: hold idle connections and report.
+    if let Some(addr) = arg_value(&args, "--hold") {
+        let n: usize = arg_value(&args, "--hold-count")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        hold_child(addr.parse().expect("hold addr"), n);
+        return;
+    }
+
+    let metrics = args.iter().any(|a| a == "--metrics");
+    let backend = match arg_value(&args, "--backend").as_deref() {
+        Some("epoll") => Some(IngressBackend::Epoll),
+        Some("poll") => Some(IngressBackend::Poll),
+        Some(other) => {
+            eprintln!("unknown --backend {other} (want poll|epoll)");
+            std::process::exit(2);
+        }
+        None => None,
+    };
+
+    if let Some(conns) = arg_value(&args, "--conns").and_then(|v| v.parse::<usize>().ok()) {
+        let max_shards: usize = arg_value(&args, "--shards")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4)
+            .max(1);
+        let duration = Duration::from_secs_f64(
+            arg_value(&args, "--duration")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(3.0),
+        );
+        let backend = backend.unwrap_or(IngressBackend::Epoll);
+        c100k_bench(conns, max_shards, duration, backend);
+        return;
+    }
+
+    conformance_bench(metrics, backend);
+}
+
+// ── Conformance smoke (the original bench) ─────────────────────────────
+
+fn conformance_bench(metrics: bool, backend: Option<IngressBackend>) {
     let cycles: usize = std::env::var("TLC_BENCH_POCS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -107,13 +177,17 @@ fn main() {
     local.sort_by_key(|r| r.tag);
 
     // ── Over TCP ────────────────────────────────────────────────────────
+    let mut config = IngressConfig::default();
+    if let Some(b) = backend {
+        config.backend = b;
+    }
     let server = IngressServer::bind(
         ("127.0.0.1", 0),
         ServiceConfig {
             workers,
             ..ServiceConfig::default()
         },
-        IngressConfig::default(),
+        config,
     )
     .expect("bind");
     let handle = server.spawn().expect("spawn ingress");
@@ -162,5 +236,260 @@ fn main() {
     );
     if metrics {
         print!("{}", report.to_prometheus());
+    }
+}
+
+// ── C100K mode ─────────────────────────────────────────────────────────
+
+struct Run {
+    shards: usize,
+    held: usize,
+    pocs: usize,
+    elapsed: Duration,
+    connections: u64,
+    pool_exhausted: u64,
+}
+
+fn c100k_bench(conns: usize, max_shards: usize, duration: Duration, backend: IngressBackend) {
+    // Each held connection costs one server fd here plus one client fd
+    // in the child; lift our soft limit toward the hard cap for the
+    // server side (the child lifts its own).
+    let got = tlc_net::raise_nofile_limit((conns as u64).saturating_mul(2) + 1024).unwrap_or(0);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "C100K bench: backend={} conns={conns} shards<=1..{max_shards} \
+         duration={:.1}s host_cpus={host_cpus} nofile={got}",
+        backend.name(),
+        duration.as_secs_f64(),
+    );
+
+    let cycles: usize = std::env::var("TLC_BENCH_POCS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(40);
+    println!("building {RELATIONSHIPS} relationships × {cycles} cycles…");
+    let rels: Vec<Rel> = (0..RELATIONSHIPS).map(|id| build_rel(id, cycles)).collect();
+    let plan = DataPlan::paper_default();
+
+    let mut shard_counts = vec![1usize];
+    while let Some(&last) = shard_counts.last() {
+        if last * 2 > max_shards {
+            break;
+        }
+        shard_counts.push(last * 2);
+    }
+
+    let mut runs: Vec<Run> = Vec::new();
+    for &shards in &shard_counts {
+        let config = IngressConfig {
+            backend,
+            shards,
+            max_conns: conns + 1024,
+            ..IngressConfig::default()
+        };
+        let workers = host_cpus.min(4).max(shards);
+        let server = IngressServer::bind(
+            ("127.0.0.1", 0),
+            ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            },
+            config,
+        )
+        .expect("bind");
+        let addr = server.local_addr().expect("addr");
+        let handle = server.spawn().expect("spawn ingress");
+
+        // Child process holds the idle connection load.
+        let mut child = std::process::Command::new(std::env::current_exe().expect("exe"))
+            .arg("--hold")
+            .arg(addr.to_string())
+            .arg("--hold-count")
+            .arg(conns.to_string())
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn holder");
+        let mut child_out = BufReader::new(child.stdout.take().expect("child stdout"));
+        let mut line = String::new();
+        child_out.read_line(&mut line).expect("holder report");
+        let held: usize = line
+            .trim()
+            .strip_prefix("HELD ")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        println!("shards={shards}: holding {held}/{conns} idle connections");
+
+        // Idle soak: the whole point of the readiness backend is that
+        // a full-but-quiet table costs nothing. Sit on it for the
+        // requested duration before measuring.
+        std::thread::sleep(duration);
+
+        // Foreground throughput while the table is full. One pass over
+        // the pre-generated proof set (the replay cache forbids
+        // resubmission within a server's lifetime); scale the set with
+        // TLC_BENCH_POCS for longer measurements.
+        let mut client = RemoteVerifier::connect(addr, 0).expect("connect");
+        let start = Instant::now();
+        for r in &rels {
+            let rel = client
+                .register(plan, r.edge_pub.clone(), r.op_pub.clone())
+                .expect("register");
+            client.submit_batch(rel, r.proofs.iter()).expect("submit");
+        }
+        let verdicts = client.collect_results().expect("collect");
+        let elapsed = start.elapsed();
+        for v in &verdicts {
+            assert!(
+                v.result.is_ok(),
+                "unexpected rejection in C100K sweep: {:?}",
+                v.result
+            );
+        }
+        let pocs = verdicts.len();
+        let _ = client.goodbye();
+
+        // Tear down: holder first (so the server reaps cleanly), then
+        // the server.
+        drop(child.stdin.take());
+        let _ = child.wait();
+        let report = handle.shutdown().expect("report");
+        assert!(
+            report.ingress.connections >= held as u64,
+            "server saw fewer connections ({}) than were held ({held})",
+            report.ingress.connections,
+        );
+
+        let rate = pocs as f64 / elapsed.as_secs_f64();
+        println!(
+            "shards={shards}: {pocs} PoCs in {:.3} s -> {rate:.0}/s \
+             (held {held}, pool exhausted {})",
+            elapsed.as_secs_f64(),
+            report.pool.exhausted,
+        );
+        runs.push(Run {
+            shards,
+            held,
+            pocs,
+            elapsed,
+            connections: report.ingress.connections,
+            pool_exhausted: report.pool.exhausted,
+        });
+    }
+
+    write_json(conns, duration, backend, host_cpus, &runs);
+}
+
+/// Writes `BENCH_ingress.json` (hand-rolled: no serde in the tree).
+fn write_json(
+    conns: usize,
+    duration: Duration,
+    backend: IngressBackend,
+    host_cpus: usize,
+    runs: &[Run],
+) {
+    let rate = |r: &Run| -> f64 { r.pocs as f64 / r.elapsed.as_secs_f64().max(f64::MIN_POSITIVE) };
+    let base = runs.first().map(rate).unwrap_or(0.0);
+    let peak = runs.iter().map(rate).fold(0.0f64, f64::max);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"ingress_throughput\",\n");
+    out.push_str(&format!("  \"backend\": \"{}\",\n", backend.name()));
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&format!("  \"target_conns\": {conns},\n"));
+    out.push_str(&format!(
+        "  \"duration_secs\": {:.3},\n",
+        duration.as_secs_f64()
+    ));
+    out.push_str(&format!(
+        "  \"scaling_vs_one_shard\": {:.3},\n",
+        if base > 0.0 { peak / base } else { 0.0 }
+    ));
+    out.push_str("  \"runs\": [\n");
+    for (k, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"held_conns\": {}, \"server_connections\": {}, \
+             \"pocs\": {}, \"elapsed_secs\": {:.3}, \"pocs_per_sec\": {:.1}, \
+             \"pool_exhausted\": {}}}{}\n",
+            r.shards,
+            r.held,
+            r.connections,
+            r.pocs,
+            r.elapsed.as_secs_f64(),
+            rate(r),
+            r.pool_exhausted,
+            if k + 1 == runs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_ingress.json", &out).expect("write BENCH_ingress.json");
+    println!("wrote BENCH_ingress.json");
+}
+
+// ── Holder child ───────────────────────────────────────────────────────
+
+/// Opens `n` connections, completes the HELLO handshake on each, prints
+/// `HELD <n>` and then parks until stdin closes (parent teardown). Runs
+/// in a separate process so the held client fds come out of a separate
+/// RLIMIT_NOFILE budget from the server's.
+fn hold_child(addr: SocketAddr, n: usize) {
+    let _ = tlc_net::raise_nofile_limit((n as u64).saturating_mul(2) + 1024);
+    let threads = 8.min(n.max(1));
+    let per = n.div_ceil(threads);
+    let mut held: Vec<TcpStream> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let want = per.min(n.saturating_sub(t * per));
+            handles.push(s.spawn(move || {
+                let mut conns = Vec::with_capacity(want);
+                for _ in 0..want {
+                    match handshake(addr) {
+                        Some(stream) => conns.push(stream),
+                        None => break,
+                    }
+                }
+                conns
+            }));
+        }
+        for h in handles {
+            if let Ok(mut conns) = h.join() {
+                held.append(&mut conns);
+            }
+        }
+    });
+    println!("HELD {}", held.len());
+    let _ = std::io::stdout().flush();
+    // Park until the parent closes our stdin.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    drop(held);
+}
+
+/// One blocking connect + HELLO/HELLO_ACK exchange. `None` on any
+/// failure (the caller just holds fewer connections).
+fn handshake(addr: SocketAddr) -> Option<TcpStream> {
+    let mut stream = TcpStream::connect(addr).ok()?;
+    let hello = Hello {
+        magic: MAGIC,
+        version: PROTOCOL_VERSION,
+        window: 0,
+    };
+    let bytes = hello.to_frame().encode().ok()?;
+    stream.write_all(&bytes).ok()?;
+    let mut decoder = FrameDecoder::new(tlc_net::wire::DEFAULT_MAX_PAYLOAD);
+    let mut chunk = [0u8; 256];
+    loop {
+        if let Some(frame) = decoder.next_frame() {
+            return (frame.kind == FrameKind::HelloAck).then_some(stream);
+        }
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            return None;
+        }
+        decoder.push(&chunk[..n]).ok()?;
     }
 }

@@ -54,6 +54,24 @@
 //! `ChargeMismatch` operands) so a tampered PoC rejected over TCP is
 //! indistinguishable from one rejected in-process.
 //!
+//! ## Backends (DESIGN §12)
+//!
+//! Two server loops drive the same protocol core:
+//!
+//! * [`IngressBackend::Poll`] — the legacy tick loop: walk every
+//!   connection per 200 µs iteration. O(conns) per tick, trivially
+//!   portable, the conformance reference.
+//! * [`IngressBackend::Epoll`] — the readiness event loop
+//!   (`tlc_net::readiness`: epoll on Linux, poll(2) fallback):
+//!   `SO_REUSEPORT`-sharded acceptor/event threads, each owning its
+//!   slice of the connection table and its own verifier service shard,
+//!   reading into pooled buffers that the codec decodes zero-copy.
+//!
+//! Both backends dispatch into one [`IngressCore`], so the shed
+//! ladder, DRR lanes, misbehavior scoring, and every protocol handler
+//! are byte-identical — which the conformance suites prove by running
+//! under `TLC_INGRESS_BACKEND=epoll`.
+//!
 //! No wall-clock time is read anywhere here (tlc-lint's determinism
 //! rule): the poll loop paces itself with a fixed `thread::sleep` when
 //! idle, and all ordering comes from the sockets and channels.
@@ -70,15 +88,17 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use tlc_net::bufpool::PoolStats;
 use tlc_net::ingress::{ConnDriver, DriverError};
 use tlc_net::rng::SimRng;
 use tlc_net::wire::{Frame, FrameDecoder, FrameKind, WireError, DEFAULT_MAX_PAYLOAD};
 
 pub mod codec;
+mod event_loop;
 
 use codec::{
     BusyMsg, BusyScope, Fault, Hello, HelloAck, Register, Registered, StatsSnapshot, Submit,
-    SubmitBatch, VerdictMsg, MAGIC, PROTOCOL_VERSION,
+    SubmitBatch, SubmitBatchRef, SubmitRef, VerdictMsg, MAGIC, PROTOCOL_VERSION,
 };
 
 /// Failures surfaced by the remote client (and, internally, the
@@ -137,6 +157,55 @@ impl From<ServiceError> for RemoteError {
     }
 }
 
+/// Which server loop drives ingress I/O. Both run the identical
+/// protocol core; they differ only in how sockets are discovered to be
+/// ready and how many threads share the work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngressBackend {
+    /// Legacy tick loop: every connection polled each iteration.
+    /// Single-threaded, O(conns) per tick, fully portable — the
+    /// conformance reference.
+    Poll,
+    /// Readiness-driven event loop over `tlc_net::readiness` (epoll on
+    /// Linux, poll(2) elsewhere) with `SO_REUSEPORT` acceptor shards
+    /// and pooled zero-copy frame buffers. Falls back to [`Poll`]
+    /// semantics transparently where no readiness backend exists.
+    ///
+    /// [`Poll`]: IngressBackend::Poll
+    Epoll,
+}
+
+impl IngressBackend {
+    /// Reads `TLC_INGRESS_BACKEND` (`poll`/`legacy` or
+    /// `epoll`/`readiness`); unset or unrecognised means [`Poll`].
+    /// This is how the conformance and soak suites are parameterized
+    /// over both backends without code changes.
+    ///
+    /// [`Poll`]: IngressBackend::Poll
+    pub fn from_env() -> IngressBackend {
+        match std::env::var("TLC_INGRESS_BACKEND").as_deref() {
+            Ok("epoll") | Ok("readiness") => IngressBackend::Epoll,
+            _ => IngressBackend::Poll,
+        }
+    }
+
+    /// Stable name for logs and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            IngressBackend::Poll => "poll",
+            IngressBackend::Epoll => "epoll",
+        }
+    }
+}
+
+fn shards_from_env() -> usize {
+    std::env::var("TLC_INGRESS_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(1)
+        .max(1)
+}
+
 /// Tuning knobs for [`IngressServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IngressConfig {
@@ -182,6 +251,13 @@ pub struct IngressConfig {
     /// Poll iterations a quarantined connection stays paused before
     /// its score decays.
     pub quarantine_polls: u32,
+    /// Which server loop to run. Defaults from `TLC_INGRESS_BACKEND`.
+    pub backend: IngressBackend,
+    /// Acceptor/event shards for the [`IngressBackend::Epoll`] backend
+    /// (ignored by the legacy loop). Each shard owns a `SO_REUSEPORT`
+    /// listener, its slice of the connection table, and its own
+    /// verifier service pool. Defaults from `TLC_INGRESS_SHARDS`.
+    pub shards: usize,
 }
 
 impl Default for IngressConfig {
@@ -202,6 +278,8 @@ impl Default for IngressConfig {
             quarantine_threshold: 32,
             goodbye_threshold: 128,
             quarantine_polls: 256,
+            backend: IngressBackend::from_env(),
+            shards: shards_from_env(),
         }
     }
 }
@@ -235,6 +313,13 @@ pub struct IngressReport {
     pub service: ServiceReport,
     /// Ingress counters accumulated over the server's lifetime.
     pub ingress: IngressStats,
+    /// Read-buffer pool counters from the readiness backend, summed
+    /// across shards (all zero under the legacy loop, which does not
+    /// pool). `exhausted` counts deferred reads — wakeups where a
+    /// connection's read was postponed because every buffer was in
+    /// flight. These live outside [`IngressStats`] because the STATS
+    /// wire snapshot is a frozen 16-field format.
+    pub pool: PoolStats,
 }
 
 impl IngressReport {
@@ -245,6 +330,15 @@ impl IngressReport {
         use std::fmt::Write as _;
         let mut out = String::new();
         self.ingress.to_prometheus(&mut out);
+        let pool = [
+            ("bufpool_checkouts", self.pool.checkouts),
+            ("bufpool_exhausted", self.pool.exhausted),
+            ("bufpool_recycles", self.pool.recycles),
+        ];
+        for (name, v) in pool {
+            let _ = writeln!(out, "# TYPE tlc_ingress_{name}_total counter");
+            let _ = writeln!(out, "tlc_ingress_{name}_total {v}");
+        }
         let totals = [
             ("accepted", self.service.accepted),
             ("rejected", self.service.rejected),
@@ -321,14 +415,13 @@ struct Lane {
     credits: u32,
 }
 
-/// TCP front-end for a [`VerifierService`].
-///
-/// Single-threaded: [`run`](Self::run) owns the accept loop, every
-/// connection, and the service, so no locking is needed anywhere. Use
-/// [`spawn`](Self::spawn) to run it on a background thread with a stop
-/// handle.
-pub struct IngressServer {
-    listener: TcpListener,
+/// The protocol and admission engine shared by both backends: the
+/// connection table, verdict routes, DRR lanes, shed ladder, and every
+/// frame handler. The legacy tick loop drives one of these on one
+/// thread; the readiness event loop gives each `SO_REUSEPORT` shard
+/// its own instance (own service pool, own connection slice), so
+/// shed/DRR/misbehavior decisions stay shard-local and lock-free.
+struct IngressCore {
     service: VerifierService,
     config: IngressConfig,
     conns: Vec<Conn>,
@@ -342,20 +435,16 @@ pub struct IngressServer {
     rr_cursor: usize,
     next_conn: u64,
     stats: IngressStats,
+    /// Connections currently serving a quarantine sentence — lets the
+    /// event loop skip quarantine ticking entirely in the (typical)
+    /// case of zero quarantined peers.
+    quarantined: usize,
 }
 
-impl IngressServer {
-    /// Binds a listener and wraps a freshly spawned service.
-    pub fn bind(
-        addr: impl ToSocketAddrs,
-        service_config: ServiceConfig,
-        config: IngressConfig,
-    ) -> io::Result<IngressServer> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        Ok(IngressServer {
-            listener,
-            service: VerifierService::with_config(service_config),
+impl IngressCore {
+    fn new(service: VerifierService, config: IngressConfig) -> IngressCore {
+        IngressCore {
+            service,
             config,
             conns: Vec::new(),
             routes: HashMap::new(),
@@ -364,24 +453,81 @@ impl IngressServer {
             rr_cursor: 0,
             next_conn: 0,
             stats: IngressStats::default(),
+            quarantined: 0,
+        }
+    }
+}
+
+/// TCP front-end for a [`VerifierService`].
+///
+/// With the default [`IngressBackend::Poll`] backend this is
+/// single-threaded: [`run`](Self::run) owns the accept loop, every
+/// connection, and the service, so no locking is needed anywhere.
+/// Under [`IngressBackend::Epoll`] the run loop fans out into
+/// `config.shards` readiness-driven threads, each owning a disjoint
+/// shard of connections and its own service pool — still no shared
+/// locks. Use [`spawn`](Self::spawn) to run either on a background
+/// thread with a stop handle.
+pub struct IngressServer {
+    listener: TcpListener,
+    /// Kept so the epoll backend can build per-shard service pools with
+    /// the worker budget split across shards.
+    service_config: ServiceConfig,
+    /// Whether `listener` was bound with `SO_REUSEPORT` (epoll backend
+    /// on a supporting platform) — the precondition for extra shard
+    /// listeners sharing the address.
+    reuseport: bool,
+    core: IngressCore,
+}
+
+impl IngressServer {
+    /// Binds a listener and wraps a freshly spawned service.
+    ///
+    /// Under the epoll backend the listener is bound with
+    /// `SO_REUSEPORT` where the platform allows, so [`run`](Self::run)
+    /// can add shard listeners on the same address; where it doesn't,
+    /// the server degrades to one shard (and, with no readiness
+    /// backend at all, to the legacy loop) — never to an error.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        service_config: ServiceConfig,
+        config: IngressConfig,
+    ) -> io::Result<IngressServer> {
+        let mut reuseport = false;
+        let listener = match config.backend {
+            IngressBackend::Epoll => {
+                let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::InvalidInput, "no address to bind")
+                })?;
+                match tlc_net::try_bind_reuseport(resolved) {
+                    Some(l) => {
+                        reuseport = true;
+                        l
+                    }
+                    None => {
+                        let l = TcpListener::bind(resolved)?;
+                        l.set_nonblocking(true)?;
+                        l
+                    }
+                }
+            }
+            IngressBackend::Poll => {
+                let l = TcpListener::bind(addr)?;
+                l.set_nonblocking(true)?;
+                l
+            }
+        };
+        Ok(IngressServer {
+            listener,
+            service_config,
+            reuseport,
+            core: IngressCore::new(VerifierService::with_config(service_config), config),
         })
     }
 
     /// Current rung of the overload ladder, from the service backlog.
-    /// (`max_conns` is a separate accept-time check — a full but
-    /// healthy connection table sheds new arrivals without touching
-    /// admission for the sessions already in.)
     pub fn shed_level(&self) -> ShedLevel {
-        let backlog = self.service.outstanding();
-        if backlog >= self.config.shed_conn_watermark {
-            ShedLevel::ShedConnections
-        } else if backlog >= self.config.shed_submit_watermark {
-            ShedLevel::ShedSubmits
-        } else if backlog >= self.config.service_inflight_cap {
-            ShedLevel::DeferReads
-        } else {
-            ShedLevel::Accept
-        }
+        self.core.shed_level()
     }
 
     /// The bound address (useful after binding port 0).
@@ -389,33 +535,36 @@ impl IngressServer {
         self.listener.local_addr()
     }
 
-    /// Runs the poll loop until `stop` is set, then tears the service
-    /// down and returns the combined report. Open sessions receive an
-    /// ERROR/Shutdown frame (best-effort) before their sockets drop.
-    pub fn run(mut self, stop: &AtomicBool) -> IngressReport {
+    /// Runs the configured backend until `stop` is set, then tears the
+    /// service down and returns the combined report. Open sessions
+    /// receive an ERROR/Shutdown frame (best-effort) before their
+    /// sockets drop.
+    pub fn run(self, stop: &AtomicBool) -> IngressReport {
+        match self.core.config.backend {
+            IngressBackend::Poll => self.run_poll(stop),
+            IngressBackend::Epoll => event_loop::run(self, stop),
+        }
+    }
+
+    /// The legacy tick loop: one thread, O(conns) per iteration.
+    fn run_poll(mut self, stop: &AtomicBool) -> IngressReport {
         while !stop.load(Ordering::Relaxed) {
-            self.deal_credits();
+            self.core.deal_credits();
             let mut activity = false;
             activity |= self.accept_new();
-            activity |= self.poll_conns();
-            activity |= self.pump_verdicts();
-            self.apply_backpressure();
-            activity |= self.flush_and_reap();
+            activity |= self.core.poll_conns();
+            activity |= self.core.pump_verdicts();
+            self.core.apply_backpressure();
+            activity |= self.core.flush_and_reap();
             if !activity {
-                std::thread::sleep(self.config.poll_sleep);
+                std::thread::sleep(self.core.config.poll_sleep);
             }
         }
-        // Best-effort shutdown notice to every open session.
-        let bye = Fault::Shutdown.to_frame();
-        for conn in &mut self.conns {
-            if conn.phase == Phase::Ready {
-                let _ = conn.driver.queue(&bye);
-                let _ = conn.driver.flush();
-            }
-        }
+        let ingress = self.core.shutdown_notices();
         IngressReport {
-            service: self.service.finish(),
-            ingress: self.stats,
+            service: self.core.service.finish(),
+            ingress,
+            pool: PoolStats::default(),
         }
     }
 
@@ -436,46 +585,8 @@ impl IngressServer {
         let mut any = false;
         loop {
             match self.listener.accept() {
-                Ok((mut stream, _peer)) => {
-                    if self.shed_level() >= ShedLevel::ShedConnections
-                        || self.conns.len() >= self.config.max_conns.max(1)
-                    {
-                        // ShedConnections rung: answer with a typed
-                        // BUSY (blocking write of one tiny frame) and
-                        // drop, rather than resetting the peer with no
-                        // explanation. The longer hint reflects that a
-                        // whole-connection shed signals deeper trouble
-                        // than a single shed submit.
-                        self.stats.shed_connections += 1;
-                        let busy = BusyMsg {
-                            scope: BusyScope::Connection,
-                            retry_after_ms: self.config.retry_after_ms.saturating_mul(4),
-                            rel: 0,
-                            tag: 0,
-                        };
-                        if let Ok(bytes) = busy.to_frame().encode() {
-                            let _ = stream.write_all(&bytes);
-                        }
-                        any = true;
-                        continue;
-                    }
-                    // Non-blocking and low-latency; failures here just
-                    // leave the socket with default options.
-                    let _ = stream.set_nonblocking(true);
-                    let _ = stream.set_nodelay(true);
-                    let id = self.next_conn;
-                    self.next_conn += 1;
-                    self.conns.push(Conn {
-                        id,
-                        driver: ConnDriver::new(stream, self.config.max_payload),
-                        phase: Phase::AwaitHello,
-                        in_flight: 0,
-                        window: self.config.window,
-                        goodbye: false,
-                        score: 0,
-                        quarantine: 0,
-                    });
-                    self.stats.connections += 1;
+                Ok((stream, _peer)) => {
+                    self.core.admit(stream);
                     any = true;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -484,6 +595,87 @@ impl IngressServer {
             }
         }
         any
+    }
+}
+
+impl IngressCore {
+    /// See [`IngressServer::shed_level`]. (`max_conns` is a separate
+    /// accept-time check — a full but healthy connection table sheds
+    /// new arrivals without touching admission for the sessions
+    /// already in.)
+    fn shed_level(&self) -> ShedLevel {
+        let backlog = self.service.outstanding();
+        if backlog >= self.config.shed_conn_watermark {
+            ShedLevel::ShedConnections
+        } else if backlog >= self.config.shed_submit_watermark {
+            ShedLevel::ShedSubmits
+        } else if backlog >= self.config.service_inflight_cap {
+            ShedLevel::DeferReads
+        } else {
+            ShedLevel::Accept
+        }
+    }
+
+    /// Best-effort shutdown notice to every open session; returns the
+    /// final stats snapshot.
+    fn shutdown_notices(&mut self) -> IngressStats {
+        let bye = Fault::Shutdown.to_frame();
+        for conn in &mut self.conns {
+            if conn.phase == Phase::Ready {
+                let _ = conn.driver.queue(&bye);
+                let _ = conn.driver.flush();
+            }
+        }
+        self.stats
+    }
+
+    /// Admits (or sheds) one freshly accepted stream. Returns the new
+    /// connection's index in the table, or `None` when the arrival was
+    /// shed (typed BUSY answer) or rejected.
+    fn admit(&mut self, mut stream: TcpStream) -> Option<usize> {
+        if self.shed_level() >= ShedLevel::ShedConnections
+            || self.conns.len() >= self.config.max_conns.max(1)
+        {
+            // ShedConnections rung: answer with a typed BUSY (blocking
+            // write of one tiny frame) and drop, rather than resetting
+            // the peer with no explanation. The longer hint reflects
+            // that a whole-connection shed signals deeper trouble than
+            // a single shed submit.
+            self.stats.shed_connections += 1;
+            let busy = BusyMsg {
+                scope: BusyScope::Connection,
+                retry_after_ms: self.config.retry_after_ms.saturating_mul(4),
+                rel: 0,
+                tag: 0,
+            };
+            if let Ok(bytes) = busy.to_frame().encode() {
+                let _ = stream.write_all(&bytes);
+            }
+            return None;
+        }
+        // A socket stuck in blocking mode would stall the entire loop
+        // on its next read, so a stream whose mode cannot be set is
+        // rejected outright and counted — never admitted half-broken.
+        if stream.set_nonblocking(true).is_err() {
+            self.stats.rejected_malformed += 1;
+            return None;
+        }
+        // Low latency is best-effort; failure leaves default options.
+        let _ = stream.set_nodelay(true);
+        let id = self.next_conn;
+        self.next_conn += 1;
+        self.conns.push(Conn {
+            id,
+            driver: ConnDriver::new(stream, self.config.max_payload),
+            phase: Phase::AwaitHello,
+            in_flight: 0,
+            window: self.config.window,
+            goodbye: false,
+            score: 0,
+            quarantine: 0,
+        });
+        self.stats.connections += 1;
+        Some(self.conns.len() - 1)
     }
 
     /// Polls every connection for inbound frames and handles them.
@@ -513,7 +705,7 @@ impl IngressServer {
                 if self.conns[i].phase == Phase::Closed {
                     break;
                 }
-                self.handle_frame(i, frame);
+                self.handle_frame(i, frame.kind, &frame.payload);
             }
             // EOF with nothing left to send: reap.
             if self.conns[i].driver.at_eof() && self.conns[i].driver.outbox_bytes() == 0 {
@@ -541,13 +733,17 @@ impl IngressServer {
         }
     }
 
-    fn handle_frame(&mut self, i: usize, frame: Frame) {
-        match (self.conns[i].phase, frame.kind) {
-            (Phase::AwaitHello, FrameKind::Hello) => self.handle_hello(i, &frame.payload),
+    /// Dispatches one inbound frame. Takes the kind and a borrowed
+    /// payload so the readiness loop can hand in zero-copy views
+    /// ([`tlc_net::wire::FrameRef`]) straight out of a pooled buffer;
+    /// the legacy loop passes its owned frames by reference.
+    fn handle_frame(&mut self, i: usize, kind: FrameKind, payload: &[u8]) {
+        match (self.conns[i].phase, kind) {
+            (Phase::AwaitHello, FrameKind::Hello) => self.handle_hello(i, payload),
             (Phase::AwaitHello, _) => self.protocol_fault(i, "expected HELLO"),
-            (Phase::Ready, FrameKind::Register) => self.handle_register(i, &frame.payload),
-            (Phase::Ready, FrameKind::Submit) => self.handle_submit(i, &frame.payload),
-            (Phase::Ready, FrameKind::SubmitBatch) => self.handle_submit_batch(i, &frame.payload),
+            (Phase::Ready, FrameKind::Register) => self.handle_register(i, payload),
+            (Phase::Ready, FrameKind::Submit) => self.handle_submit(i, payload),
+            (Phase::Ready, FrameKind::SubmitBatch) => self.handle_submit_batch(i, payload),
             (Phase::Ready, FrameKind::StatsReq) => {
                 let snapshot = self.stats_snapshot();
                 self.send(i, &snapshot.to_frame(FrameKind::Stats));
@@ -713,19 +909,23 @@ impl IngressServer {
         } else if c.score >= quarantine_at && c.quarantine == 0 {
             c.quarantine = self.config.quarantine_polls.max(1);
             self.stats.quarantines += 1;
+            self.quarantined += 1;
         }
     }
 
     fn handle_submit(&mut self, i: usize, payload: &[u8]) {
-        let sub = match Submit::decode(payload) {
+        // Borrowed decode: the PoC bytes go straight from the frame
+        // payload (a pooled read buffer under the epoll backend) into
+        // the service without an intermediate copy.
+        let sub = match SubmitRef::decode(payload) {
             Ok(s) => s,
             Err(detail) => return self.protocol_fault(i, detail),
         };
-        self.relay_submission(i, sub.rel, sub.tag, &sub.poc);
+        self.relay_submission(i, sub.rel, sub.tag, sub.poc);
     }
 
     fn handle_submit_batch(&mut self, i: usize, payload: &[u8]) {
-        let batch = match SubmitBatch::decode(payload) {
+        let batch = match SubmitBatchRef::decode(payload) {
             Ok(b) => b,
             Err(detail) => return self.protocol_fault(i, detail),
         };
@@ -832,6 +1032,16 @@ impl IngressServer {
 
     /// Streams ready verdicts back to their connections.
     fn pump_verdicts(&mut self) -> bool {
+        let mut touched = Vec::new();
+        self.pump_verdicts_into(&mut touched)
+    }
+
+    /// [`pump_verdicts`](Self::pump_verdicts), additionally recording
+    /// the index of every connection that had a frame queued (or its
+    /// phase changed) so the readiness loop can refresh exactly those —
+    /// flush, re-arm write interest, reap — without an O(conns) sweep.
+    /// Indices may repeat and are only valid until the next removal.
+    fn pump_verdicts_into(&mut self, touched: &mut Vec<usize>) -> bool {
         let results = self.service.try_collect_results();
         let any = !results.is_empty();
         for r in results {
@@ -857,6 +1067,7 @@ impl IngressServer {
                 continue;
             };
             self.conns[i].in_flight = self.conns[i].in_flight.saturating_sub(1);
+            touched.push(i);
             if self.conns[i].phase == Phase::Closed {
                 self.stats.orphaned_verdicts += 1;
                 continue;
@@ -892,28 +1103,54 @@ impl IngressServer {
         }
     }
 
-    /// Pauses reads on connections over their window, in quarantine,
-    /// or globally when the ladder is at DeferReads or above; resumes
-    /// the rest. Quarantine sentences tick down here; at expiry the
-    /// score halves, so a reformed client recovers while a repeat
-    /// offender re-escalates.
-    fn apply_backpressure(&mut self) {
-        let global = self.shed_level() >= ShedLevel::DeferReads;
-        for conn in &mut self.conns {
+    /// Whether the ladder demands a global read pause.
+    fn global_defer(&self) -> bool {
+        self.shed_level() >= ShedLevel::DeferReads
+    }
+
+    /// Whether connection `i` should have reads paused right now, given
+    /// the (precomputed) global-defer verdict: over its verdict window,
+    /// in quarantine, or ladder-wide backpressure.
+    fn desired_pause(&self, i: usize, global: bool) -> bool {
+        let conn = &self.conns[i];
+        global || conn.in_flight >= conn.window || conn.quarantine > 0
+    }
+
+    /// Ticks every active quarantine sentence down by one; at expiry
+    /// the score halves, so a reformed client recovers while a repeat
+    /// offender re-escalates. Indices of freshly expired sentences are
+    /// appended to `expired` (the readiness loop re-arms exactly those).
+    fn tick_quarantines(&mut self, expired: &mut Vec<usize>) {
+        if self.quarantined == 0 {
+            return;
+        }
+        for (i, conn) in self.conns.iter_mut().enumerate() {
             if conn.quarantine > 0 {
                 conn.quarantine -= 1;
                 if conn.quarantine == 0 {
                     conn.score /= 2;
+                    self.quarantined -= 1;
+                    expired.push(i);
                 }
             }
-            let over_window = conn.in_flight >= conn.window;
-            if global || over_window || conn.quarantine > 0 {
-                if !conn.paused() {
+        }
+    }
+
+    /// Pauses reads on connections over their window, in quarantine,
+    /// or globally when the ladder is at DeferReads or above; resumes
+    /// the rest. Quarantine sentences tick down first.
+    fn apply_backpressure(&mut self) {
+        let mut expired = Vec::new();
+        self.tick_quarantines(&mut expired);
+        let global = self.global_defer();
+        for i in 0..self.conns.len() {
+            if self.desired_pause(i, global) {
+                if !self.conns[i].paused() {
                     self.stats.pauses += 1;
                 }
-                conn.driver.pause();
+                self.conns[i].driver.pause();
             } else {
-                conn.driver.resume();
+                self.conns[i].driver.resume();
             }
         }
     }
@@ -933,6 +1170,7 @@ impl IngressServer {
                 any = true;
             }
         }
+        let mut reaped_quarantined = 0usize;
         self.conns.retain(|c| {
             // Keep a closed conn alive while its farewell bytes are
             // still draining and the socket is healthy.
@@ -940,9 +1178,13 @@ impl IngressServer {
                 c.phase == Phase::Closed && (c.driver.outbox_bytes() == 0 || c.driver.at_eof());
             if done {
                 closed += 1;
+                if c.quarantine > 0 {
+                    reaped_quarantined += 1;
+                }
             }
             !done
         });
+        self.quarantined -= reaped_quarantined.min(self.quarantined);
         self.stats.connections_closed += closed;
         any
     }

@@ -350,24 +350,64 @@ impl Submit {
         Frame::new(FrameKind::Submit, b.to_vec())
     }
 
-    /// Decodes a SUBMIT payload.
+    /// Decodes a SUBMIT payload. Delegates to [`SubmitRef::decode`] so
+    /// the owned and borrowed paths can never disagree.
     pub fn decode(payload: &[u8]) -> Result<Submit, &'static str> {
-        let mut b = Bytes::copy_from_slice(payload);
-        if b.remaining() < 20 {
+        SubmitRef::decode(payload).map(|s| s.to_owned())
+    }
+}
+
+/// Borrowed view of a SUBMIT payload: identical grammar and error
+/// strings as [`Submit::decode`], but the PoC bytes stay in the input
+/// buffer — the readiness ingress relays them to the service without
+/// an intermediate copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubmitRef<'a> {
+    /// Relationship id from REGISTERED.
+    pub rel: u64,
+    /// Client-chosen correlation tag, echoed in the VERDICT.
+    pub tag: u64,
+    /// The PoC message bytes, borrowed from the frame payload.
+    pub poc: &'a [u8],
+}
+
+impl<'a> SubmitRef<'a> {
+    /// Decodes a SUBMIT payload without copying the PoC bytes.
+    pub fn decode(payload: &'a [u8]) -> Result<SubmitRef<'a>, &'static str> {
+        if payload.len() < 20 {
             return Err("truncated SUBMIT");
         }
-        let rel = b.get_u64();
-        let tag = b.get_u64();
-        let len = b.get_u32() as usize;
-        if b.remaining() != len {
+        let rel = be_u64(payload);
+        let tag = be_u64(&payload[8..]);
+        let len = be_u32(&payload[16..]) as usize;
+        if payload.len() - 20 != len {
             return Err("truncated SUBMIT");
         }
-        Ok(Submit {
+        Ok(SubmitRef {
             rel,
             tag,
-            poc: b.copy_to_bytes(len).to_vec(),
+            poc: &payload[20..],
         })
     }
+
+    /// Copies into an owned [`Submit`].
+    pub fn to_owned(self) -> Submit {
+        Submit {
+            rel: self.rel,
+            tag: self.tag,
+            poc: self.poc.to_vec(),
+        }
+    }
+}
+
+/// Big-endian u64 from the first 8 bytes. Callers length-check first.
+fn be_u64(b: &[u8]) -> u64 {
+    u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
+}
+
+/// Big-endian u32 from the first 4 bytes. Callers length-check first.
+fn be_u32(b: &[u8]) -> u32 {
+    u32::from_be_bytes([b[0], b[1], b[2], b[3]])
 }
 
 /// SUBMIT_BATCH payload: contiguously tagged proofs under one
@@ -397,40 +437,77 @@ impl SubmitBatch {
         Frame::new(FrameKind::SubmitBatch, b.to_vec())
     }
 
-    /// Decodes a SUBMIT_BATCH payload.
+    /// Decodes a SUBMIT_BATCH payload. Delegates to
+    /// [`SubmitBatchRef::decode`] so the owned and borrowed paths can
+    /// never disagree.
     pub fn decode(payload: &[u8]) -> Result<SubmitBatch, &'static str> {
-        let mut b = Bytes::copy_from_slice(payload);
-        if b.remaining() < 20 {
+        SubmitBatchRef::decode(payload).map(|b| b.to_owned())
+    }
+}
+
+/// Borrowed view of a SUBMIT_BATCH payload: identical grammar and
+/// error strings as [`SubmitBatch::decode`], with each PoC a slice of
+/// the frame payload instead of a copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmitBatchRef<'a> {
+    /// Relationship id from REGISTERED.
+    pub rel: u64,
+    /// Tag of the first proof; the k-th proof gets `first_tag + k`.
+    pub first_tag: u64,
+    /// Canonical PoC encodings, borrowed, in submission order.
+    pub pocs: Vec<&'a [u8]>,
+}
+
+impl<'a> SubmitBatchRef<'a> {
+    /// Decodes a SUBMIT_BATCH payload without copying any PoC bytes.
+    /// The full grammar is validated (including the trailing-bytes
+    /// check) before the caller sees the batch, so size-limit
+    /// enforcement downstream still happens strictly after decode —
+    /// the same order as the owned path always had.
+    pub fn decode(payload: &'a [u8]) -> Result<SubmitBatchRef<'a>, &'static str> {
+        if payload.len() < 20 {
             return Err("truncated SUBMIT_BATCH");
         }
-        let rel = b.get_u64();
-        let first_tag = b.get_u64();
-        let count = b.get_u32() as usize;
+        let rel = be_u64(payload);
+        let first_tag = be_u64(&payload[8..]);
+        let count = be_u32(&payload[16..]) as usize;
+        let mut rest = &payload[20..];
         // The frame length is already capped by the decoder, so `count`
         // cannot smuggle an over-allocation past this arithmetic: each
         // item needs at least its 4-byte length prefix.
-        if count > b.remaining() / 4 + 1 {
+        if count > rest.len() / 4 + 1 {
             return Err("truncated SUBMIT_BATCH");
         }
         let mut pocs = Vec::with_capacity(count);
         for _ in 0..count {
-            if b.remaining() < 4 {
+            if rest.len() < 4 {
                 return Err("truncated SUBMIT_BATCH");
             }
-            let len = b.get_u32() as usize;
-            if b.remaining() < len {
+            let len = be_u32(rest) as usize;
+            rest = &rest[4..];
+            if rest.len() < len {
                 return Err("truncated SUBMIT_BATCH");
             }
-            pocs.push(b.copy_to_bytes(len).to_vec());
+            pocs.push(&rest[..len]);
+            rest = &rest[len..];
         }
-        if b.has_remaining() {
+        if !rest.is_empty() {
             return Err("truncated SUBMIT_BATCH");
         }
-        Ok(SubmitBatch {
+        Ok(SubmitBatchRef {
             rel,
             first_tag,
             pocs,
         })
+    }
+
+    /// Copies into an owned [`SubmitBatch`].
+    pub fn to_owned(self) -> SubmitBatch {
+        SubmitBatch {
+            rel: self.rel,
+            first_tag: self.first_tag,
+            pocs: self.pocs.into_iter().map(|p| p.to_vec()).collect(),
+        }
     }
 }
 

@@ -1,0 +1,399 @@
+//! Backend-equivalence and resource-bound tests for the readiness
+//! (epoll/`SO_REUSEPORT`) ingress, DESIGN §12.
+//!
+//! `wire_conformance` and `soak_overload` already run against both
+//! backends via `TLC_INGRESS_BACKEND`; this suite pins the properties
+//! that only make sense when the backend is chosen *explicitly* in
+//! config rather than ambiently:
+//!
+//! * the epoll loop returns the same verdicts as the legacy poll loop
+//!   for the same proof set — accept and reject alike;
+//! * a multi-shard server (distinct `SO_REUSEPORT` listeners, one
+//!   connection table slice each) accounts every submission across
+//!   concurrent clients, and the merged report reconciles;
+//! * buffer-pool exhaustion defers reads instead of allocating
+//!   unboundedly or dropping connections: with more partial frames in
+//!   flight than pooled buffers, every connection still completes once
+//!   buffers recycle, and the report shows the deferrals;
+//! * a framing violation poisons only its own connection — the typed
+//!   `ERROR`/`Protocol` close, with neighbours unaffected.
+//!
+//! Tests construct `IngressConfig { backend, shards, .. }` directly so
+//! they hold regardless of the environment's backend selection.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use tlc_core::messages::{PocMsg, NONCE_LEN};
+use tlc_core::plan::DataPlan;
+use tlc_core::protocol::{run_negotiation, Endpoint};
+use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
+use tlc_core::verify::remote::codec::{Fault, Hello, HelloAck, MAGIC, PROTOCOL_VERSION};
+use tlc_core::verify::remote::{
+    IngressBackend, IngressConfig, IngressHandle, IngressServer, RemoteVerifier,
+};
+use tlc_core::verify::service::ServiceConfig;
+use tlc_crypto::KeyPair;
+use tlc_net::wire::{FrameDecoder, FrameKind, DEFAULT_MAX_PAYLOAD};
+
+// ---------------------------------------------------------------------
+// Material (seed range 60_000.. — disjoint from the other soak suites)
+// ---------------------------------------------------------------------
+
+fn negotiate(edge: &KeyPair, op: &KeyPair, plan: DataPlan, ne: u8, no: u8) -> PocMsg {
+    let mut e = Endpoint::new(
+        Role::Edge,
+        plan,
+        Knowledge {
+            role: Role::Edge,
+            own_truth: 1000,
+            inferred_peer_truth: 800,
+        },
+        Box::new(OptimalStrategy),
+        edge.private.clone(),
+        op.public.clone(),
+        [ne; NONCE_LEN],
+        32,
+    );
+    let mut o = Endpoint::new(
+        Role::Operator,
+        plan,
+        Knowledge {
+            role: Role::Operator,
+            own_truth: 800,
+            inferred_peer_truth: 1000,
+        },
+        Box::new(OptimalStrategy),
+        op.private.clone(),
+        edge.public.clone(),
+        [no; NONCE_LEN],
+        32,
+    );
+    run_negotiation(&mut o, &mut e).unwrap().0
+}
+
+struct Material {
+    edge: KeyPair,
+    op: KeyPair,
+    plan: DataPlan,
+    pocs: Vec<PocMsg>,
+}
+
+fn material(idx: u64, n: usize) -> Material {
+    let plan = DataPlan::paper_default();
+    let edge = KeyPair::generate_for_seed(1024, 60_000 + idx * 2).unwrap();
+    let op = KeyPair::generate_for_seed(1024, 60_001 + idx * 2).unwrap();
+    let base = (idx as u8).wrapping_mul(16).wrapping_add(7);
+    let pocs = (0..n)
+        .map(|k| {
+            let k = k as u8;
+            negotiate(
+                &edge,
+                &op,
+                plan,
+                base.wrapping_add(k.wrapping_mul(2)),
+                base.wrapping_add(k.wrapping_mul(2)).wrapping_add(1),
+            )
+        })
+        .collect();
+    Material {
+        edge,
+        op,
+        plan,
+        pocs,
+    }
+}
+
+fn spawn_backend(backend: IngressBackend, shards: usize, ingress: IngressConfig) -> IngressHandle {
+    IngressServer::bind(
+        ("127.0.0.1", 0),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+        IngressConfig {
+            backend,
+            shards,
+            ..ingress
+        },
+    )
+    .unwrap()
+    .spawn()
+    .unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Backend equivalence: same proofs, same verdicts
+// ---------------------------------------------------------------------
+
+/// Runs one client workload — good proofs plus a corrupted one — and
+/// returns every (tag, rendered result) pair.
+fn run_workload(handle: &IngressHandle, m: &Material, bad: &PocMsg) -> Vec<(u64, String)> {
+    let mut client = RemoteVerifier::connect(handle.addr(), 0).unwrap();
+    let rel = client
+        .register(m.plan, m.edge.public.clone(), m.op.public.clone())
+        .unwrap();
+    for poc in &m.pocs {
+        client.submit(rel, poc).unwrap();
+    }
+    client.submit(rel, bad).unwrap();
+    let mut out: Vec<(u64, String)> = client
+        .collect_results()
+        .unwrap()
+        .into_iter()
+        .map(|r| (r.tag, format!("{:?}", r.result)))
+        .collect();
+    client.goodbye().unwrap();
+    out.sort();
+    out
+}
+
+/// The epoll backend must be a drop-in: identical verdicts (accepts
+/// and the typed rejection for a cross-relationship proof) for the
+/// same submissions, in the same tag order.
+#[test]
+fn epoll_backend_matches_poll_verdicts() {
+    let m = material(0, 4);
+    // A proof from a different relationship: valid bytes, wrong keys —
+    // the service rejects it for cause, exercising the error path.
+    let stranger = material(1, 1);
+    let bad = &stranger.pocs[0];
+
+    let poll = spawn_backend(IngressBackend::Poll, 1, IngressConfig::default());
+    let poll_results = run_workload(&poll, &m, bad);
+    let poll_report = poll.shutdown().unwrap();
+
+    let epoll = spawn_backend(IngressBackend::Epoll, 1, IngressConfig::default());
+    let epoll_results = run_workload(&epoll, &m, bad);
+    let epoll_report = epoll.shutdown().unwrap();
+
+    assert_eq!(
+        poll_results, epoll_results,
+        "backends disagreed on verdicts"
+    );
+    // Both saw one rejection (the stranger's proof) and m.pocs accepts.
+    for report in [&poll_report, &epoll_report] {
+        assert_eq!(report.ingress.accepted, m.pocs.len() as u64);
+        assert_eq!(report.ingress.rejected_malformed, 1);
+        assert_eq!(report.ingress.submissions, m.pocs.len() as u64 + 1);
+    }
+    // The epoll backend actually pooled buffers for its reads.
+    if tlc_net::Readiness::available() {
+        assert!(epoll_report.pool.checkouts > 0, "epoll loop never pooled");
+        assert_eq!(epoll_report.pool.checkouts, epoll_report.pool.recycles);
+    }
+    assert_eq!(poll_report.pool.checkouts, 0, "legacy loop must not pool");
+}
+
+// ---------------------------------------------------------------------
+// Multi-shard soak: concurrent clients over SO_REUSEPORT listeners
+// ---------------------------------------------------------------------
+
+/// Several clients drive a two-shard epoll server concurrently; every
+/// proof draws an accept, and the merged report accounts connections,
+/// registrations, and submissions across shard-local counters.
+#[test]
+fn multi_shard_soak_accounts_every_submission() {
+    const CLIENTS: usize = 4;
+    const POCS_EACH: usize = 3;
+    let handle = spawn_backend(IngressBackend::Epoll, 2, IngressConfig::default());
+    let addr = handle.addr();
+
+    let mats: Vec<Material> = (10..10 + CLIENTS as u64)
+        .map(|i| material(i, POCS_EACH))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for m in &mats {
+            scope.spawn(move || {
+                let mut client = RemoteVerifier::connect(addr, 0).unwrap();
+                let rel = client
+                    .register(m.plan, m.edge.public.clone(), m.op.public.clone())
+                    .unwrap();
+                for poc in &m.pocs {
+                    client.submit(rel, poc).unwrap();
+                }
+                let results = client.collect_results().unwrap();
+                assert_eq!(results.len(), POCS_EACH);
+                for r in &results {
+                    assert!(r.result.is_ok(), "sharded verdict: {:?}", r.result);
+                }
+                client.goodbye().unwrap();
+            });
+        }
+    });
+
+    let report = handle.shutdown().unwrap();
+    let total = (CLIENTS * POCS_EACH) as u64;
+    assert_eq!(report.ingress.connections, CLIENTS as u64);
+    assert_eq!(report.ingress.registers, CLIENTS as u64);
+    assert_eq!(report.ingress.submissions, total);
+    assert_eq!(report.ingress.accepted, total);
+    assert_eq!(report.ingress.rejected_malformed, 0);
+    assert_eq!(report.ingress.protocol_errors, 0);
+    // Service-side accounting agrees with the wire-side tally.
+    assert_eq!(report.service.accepted, total);
+    assert_eq!(report.service.rejected, 0);
+}
+
+// ---------------------------------------------------------------------
+// Pool exhaustion: defer reads, never drop or balloon
+// ---------------------------------------------------------------------
+
+/// More partial frames in flight than pooled buffers: the shard must
+/// defer the overflow reads (counted in `pool.exhausted`) and finish
+/// every handshake once buffers recycle — no connection is dropped,
+/// no unpooled allocation papers over the shortage.
+#[test]
+#[cfg_attr(not(unix), ignore = "readiness backend is unix-only")]
+fn pool_exhaustion_defers_reads_without_losing_connections() {
+    if !tlc_net::Readiness::available() {
+        return;
+    }
+    // max_conns 128 clamps the pool to its 64-buffer floor; 96 partial
+    // HELLOs then oversubscribe the pool by 32.
+    const CONNS: usize = 96;
+    let handle = spawn_backend(
+        IngressBackend::Epoll,
+        1,
+        IngressConfig {
+            max_conns: 128,
+            shed_conn_watermark: usize::MAX,
+            ..IngressConfig::default()
+        },
+    );
+    let addr = handle.addr();
+
+    let hello = Hello {
+        magic: MAGIC,
+        version: PROTOCOL_VERSION,
+        window: 0,
+    }
+    .to_frame()
+    .encode()
+    .unwrap();
+    // Split inside the payload so the retained partial holds a buffer.
+    let cut = 7;
+
+    let mut streams: Vec<TcpStream> = (0..CONNS)
+        .map(|_| {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.set_nodelay(true).unwrap();
+            s.write_all(&hello[..cut]).unwrap();
+            s
+        })
+        .collect();
+    // Let every partial land: 64 buffers retained, 32 reads deferred.
+    std::thread::sleep(Duration::from_millis(300));
+    for s in &mut streams {
+        s.write_all(&hello[cut..]).unwrap();
+    }
+    // Every connection — deferred or not — must complete its HELLO.
+    for s in &mut streams {
+        let mut decoder = FrameDecoder::new(DEFAULT_MAX_PAYLOAD);
+        let ack = loop {
+            if let Some(f) = decoder.next_frame() {
+                break f;
+            }
+            let mut buf = [0u8; 256];
+            let n = s.read(&mut buf).unwrap();
+            assert!(n > 0, "server closed a deferred connection");
+            decoder.push(&buf[..n]).unwrap();
+        };
+        assert_eq!(ack.kind, FrameKind::HelloAck);
+        HelloAck::decode(&ack.payload).unwrap();
+    }
+    drop(streams);
+
+    let report = handle.shutdown().unwrap();
+    assert_eq!(report.ingress.connections, CONNS as u64);
+    assert!(
+        report.pool.exhausted > 0,
+        "pool never ran dry: the test lost its oversubscription"
+    );
+    // Every checkout was eventually returned — nothing leaked.
+    assert_eq!(report.pool.checkouts, report.pool.recycles);
+}
+
+// ---------------------------------------------------------------------
+// Decode poisoning: a framing violation closes only its connection
+// ---------------------------------------------------------------------
+
+/// A garbage kind byte mid-stream draws the typed `ERROR`/`Protocol`
+/// fault and a close on that connection alone; a neighbour connected
+/// to the same shard keeps its session, and the poisoned bytes never
+/// leak into a recycled buffer's next parse.
+#[test]
+#[cfg_attr(not(unix), ignore = "readiness backend is unix-only")]
+fn framing_violation_poisons_only_its_connection() {
+    if !tlc_net::Readiness::available() {
+        return;
+    }
+    let handle = spawn_backend(IngressBackend::Epoll, 1, IngressConfig::default());
+    let addr = handle.addr();
+    let m = material(30, 2);
+
+    // Neighbour: a healthy session opened first.
+    let mut good = RemoteVerifier::connect(addr, 0).unwrap();
+    let rel = good
+        .register(m.plan, m.edge.public.clone(), m.op.public.clone())
+        .unwrap();
+
+    // Offender: handshake, then a frame with an unknown kind byte.
+    let mut bad = TcpStream::connect(addr).unwrap();
+    bad.set_nodelay(true).unwrap();
+    bad.write_all(
+        &Hello {
+            magic: MAGIC,
+            version: PROTOCOL_VERSION,
+            window: 0,
+        }
+        .to_frame()
+        .encode()
+        .unwrap(),
+    )
+    .unwrap();
+    let mut decoder = FrameDecoder::new(DEFAULT_MAX_PAYLOAD);
+    let mut frames = Vec::new();
+    let mut buf = [0u8; 4096];
+    // 0xFF is no FrameKind; the bytes after it must be discarded with
+    // the buffer, not reinterpreted once the buffer is recycled.
+    bad.write_all(&[0xFF, 0, 0, 0, 4, 0xDE, 0xAD, 0xBE, 0xEF])
+        .unwrap();
+    loop {
+        match bad.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                if decoder.push(&buf[..n]).is_err() {
+                    break;
+                }
+                while let Some(f) = decoder.next_frame() {
+                    frames.push(f);
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    assert!(
+        frames.iter().any(|f| {
+            f.kind == FrameKind::Error
+                && matches!(Fault::decode(&f.payload), Ok(Fault::Protocol(_)))
+        }),
+        "offender saw no typed protocol fault: {frames:?}"
+    );
+
+    // The neighbour's session survived the other connection's close.
+    for poc in &m.pocs {
+        good.submit(rel, poc).unwrap();
+    }
+    let results = good.collect_results().unwrap();
+    assert_eq!(results.len(), m.pocs.len());
+    for r in &results {
+        assert!(r.result.is_ok(), "neighbour verdict: {:?}", r.result);
+    }
+    good.goodbye().unwrap();
+
+    let report = handle.shutdown().unwrap();
+    assert_eq!(report.ingress.protocol_errors, 1);
+    assert_eq!(report.ingress.accepted, m.pocs.len() as u64);
+}

@@ -95,6 +95,11 @@ impl<S> ConnDriver<S> {
         &self.stream
     }
 
+    #[cfg(test)]
+    fn stream_mut_for_tests(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
     /// Counters so far.
     pub fn stats(&self) -> ConnStats {
         self.stats
@@ -225,6 +230,62 @@ impl<S: Read + Write> ConnDriver<S> {
     /// [`poll_frames`](Self::poll_frames) under its budget).
     pub fn read_buffer_cap(&self) -> usize {
         HEADER_LEN + self.decoder.max_payload() as usize
+    }
+
+    /// One raw read appended to `buf` — the zero-copy path used by the
+    /// readiness event loop, which parses `buf` in place with
+    /// [`crate::wire::split_frame`] instead of pumping bytes through
+    /// the copying [`FrameDecoder`]. At most [`READ_CHUNK`] bytes per
+    /// call, never growing `buf` past its capacity (pooled buffers are
+    /// sized to hold any legal frame, so a full buffer means a complete
+    /// frame is parseable or the peer is over-cap).
+    ///
+    /// Returns the bytes appended. `Ok(0)` is either `WouldBlock`
+    /// (kernel has nothing) or EOF — distinguish with
+    /// [`at_eof`](Self::at_eof). Respects [`pause`](Self::pause) like
+    /// [`poll_frames`](Self::poll_frames) does.
+    pub fn read_step(&mut self, buf: &mut Vec<u8>) -> Result<usize, DriverError> {
+        if self.paused || self.eof {
+            return Ok(0);
+        }
+        let start = buf.len();
+        let room = buf.capacity().saturating_sub(start).min(READ_CHUNK);
+        if room == 0 {
+            return Ok(0);
+        }
+        // Zero-fill the landing zone so the read target is initialised;
+        // an 8 KiB memset is noise next to the syscall it precedes.
+        buf.resize(start + room, 0);
+        loop {
+            match self.stream.read(&mut buf[start..]) {
+                Ok(0) => {
+                    buf.truncate(start);
+                    self.eof = true;
+                    return Ok(0);
+                }
+                Ok(n) => {
+                    buf.truncate(start + n);
+                    self.stats.bytes_rx += n as u64;
+                    return Ok(n);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    buf.truncate(start);
+                    return Ok(0);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    buf.truncate(start);
+                    return Err(DriverError::Io(e.kind()));
+                }
+            }
+        }
+    }
+
+    /// Records `n` frames decoded outside the driver (the in-place
+    /// [`crate::wire::split_frame`] path), keeping
+    /// [`stats`](Self::stats) honest across both read paths.
+    pub fn note_frames_rx(&mut self, n: u64) {
+        self.stats.frames_rx += n;
     }
 }
 
@@ -363,6 +424,43 @@ mod tests {
         d.poll_frames(4, &mut got).unwrap();
         assert!(d.at_eof());
         assert!(got.is_empty());
+    }
+
+    #[test]
+    fn read_step_appends_and_respects_capacity() {
+        let mut s = MemStream::new();
+        let f = Frame::new(FrameKind::Submit, vec![5; 32]);
+        s.rx.push_back(f.encode().unwrap());
+        let mut d = ConnDriver::new(s, 1024);
+        let mut buf = Vec::with_capacity(64);
+        let n = d.read_step(&mut buf).unwrap();
+        assert_eq!(n, f.wire_len());
+        assert_eq!(buf.len(), f.wire_len());
+        let (view, used) = crate::wire::split_frame(&buf, 1024)
+            .unwrap()
+            .expect("frame");
+        assert_eq!(view.to_owned(), f);
+        assert_eq!(used, buf.len());
+
+        // Nothing pending: WouldBlock maps to 0 without EOF.
+        assert_eq!(d.read_step(&mut buf).unwrap(), 0);
+        assert!(!d.at_eof());
+
+        // A full buffer reads nothing (caller must parse/compact first).
+        let mut full = Vec::with_capacity(4);
+        full.extend_from_slice(&[0; 4]);
+        assert_eq!(d.read_step(&mut full).unwrap(), 0);
+
+        // Paused driver reads nothing.
+        d.pause();
+        let mut spare = Vec::with_capacity(16);
+        assert_eq!(d.read_step(&mut spare).unwrap(), 0);
+
+        // EOF is latched and distinguishable.
+        d.resume();
+        d.stream_mut_for_tests().closed = true;
+        assert_eq!(d.read_step(&mut spare).unwrap(), 0);
+        assert!(d.at_eof());
     }
 
     #[test]

@@ -333,6 +333,69 @@ impl FrameDecoder {
     }
 }
 
+/// A decoded frame *view*: the kind plus a payload slice borrowed from
+/// the read buffer it arrived in. The zero-copy twin of [`Frame`] —
+/// the readiness ingress parses pooled read buffers with
+/// [`split_frame`] and hands these borrows straight to the payload
+/// codec, so a PoC is never copied between socket and verifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameRef<'a> {
+    /// The frame type.
+    pub kind: FrameKind,
+    /// Payload bytes, borrowed from the caller's buffer.
+    pub payload: &'a [u8],
+}
+
+impl FrameRef<'_> {
+    /// Copies the view into an owned [`Frame`].
+    pub fn to_owned(self) -> Frame {
+        Frame::new(self.kind, self.payload.to_vec())
+    }
+}
+
+/// Attempts to split one frame off the front of `buf` without copying.
+///
+/// * `Ok(Some((frame, consumed)))` — a complete frame; `consumed` bytes
+///   (header + payload) belong to it and the caller advances past them.
+/// * `Ok(None)` — `buf` holds only a partial frame; read more bytes.
+/// * `Err(_)` — framing violation. Decision points match
+///   [`FrameDecoder::push`] byte-for-byte: a bad kind byte is rejected
+///   the moment it is visible (even with the length word missing), an
+///   over-cap length is rejected from the 5-byte header alone. The
+///   equivalence is property-tested in `tests/prop_wire.rs`.
+pub fn split_frame(
+    buf: &[u8],
+    max_payload: u32,
+) -> Result<Option<(FrameRef<'_>, usize)>, WireError> {
+    let Some(&kind_byte) = buf.first() else {
+        return Ok(None);
+    };
+    let Some(kind) = FrameKind::from_u8(kind_byte) else {
+        return Err(WireError::UnknownKind(kind_byte));
+    };
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]);
+    if len > max_payload {
+        return Err(WireError::Oversize {
+            len,
+            max: max_payload,
+        });
+    }
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    Ok(Some((
+        FrameRef {
+            kind,
+            payload: &buf[HEADER_LEN..total],
+        },
+        total,
+    )))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +462,47 @@ mod tests {
     fn unknown_kind_rejected() {
         let mut d = FrameDecoder::new(8);
         assert_eq!(d.push(&[0x7F]), Err(WireError::UnknownKind(0x7F)));
+    }
+
+    #[test]
+    fn split_frame_matches_decoder() {
+        // Complete frame: same bytes, same kind/payload, exact consume.
+        let f = Frame::new(FrameKind::Submit, (0..50u8).collect());
+        let mut bytes = f.encode().unwrap();
+        bytes.extend_from_slice(b"trailing");
+        let (view, used) = split_frame(&bytes, 1024).unwrap().expect("complete");
+        assert_eq!(view.kind, f.kind);
+        assert_eq!(view.payload, &f.payload[..]);
+        assert_eq!(used, f.wire_len());
+        assert_eq!(view.to_owned(), f);
+
+        // Every partial prefix: needs more bytes, never an error.
+        let whole = f.encode().unwrap();
+        for cut in 1..whole.len() {
+            assert_eq!(split_frame(&whole[..cut], 1024).unwrap(), None, "cut {cut}");
+        }
+
+        // Bad kind byte: rejected from the first byte, like the decoder.
+        assert_eq!(
+            split_frame(&[0xEE], 1024),
+            Err(WireError::UnknownKind(0xEE))
+        );
+
+        // Oversize: rejected from the header alone.
+        let hdr = [FrameKind::Hello.as_u8(), 0, 0, 0, 9];
+        assert_eq!(
+            split_frame(&hdr, 8),
+            Err(WireError::Oversize { len: 9, max: 8 })
+        );
+
+        // Empty and zero-length cases.
+        assert_eq!(split_frame(&[], 8).unwrap(), None);
+        let empty = Frame::new(FrameKind::StatsReq, Vec::new())
+            .encode()
+            .unwrap();
+        let (view, used) = split_frame(&empty, 8).unwrap().expect("zero-len frame");
+        assert_eq!(used, HEADER_LEN);
+        assert!(view.payload.is_empty());
     }
 
     #[test]

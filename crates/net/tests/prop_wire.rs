@@ -118,6 +118,81 @@ proptest! {
         prop_assert_eq!(d.poisoned(), Some(WireError::UnknownKind(bad)));
     }
 
+    /// The zero-copy `split_frame` view parser agrees with the
+    /// streaming `FrameDecoder` on arbitrary byte soup: same frames in
+    /// the same order, and an error exactly when (and what) the decoder
+    /// poisons with. This is the equivalence the readiness ingress
+    /// leans on to keep wire conformance while decoding in place.
+    #[test]
+    fn split_frame_agrees_with_decoder(
+        bytes in proptest::collection::vec(0u8..=255, 0..600),
+        max in 16u32..512,
+    ) {
+        // Reference: the streaming decoder over the whole input.
+        let mut d = FrameDecoder::new(max);
+        let decoder_err = d.push(&bytes).err();
+        let mut decoder_frames = Vec::new();
+        while let Some(f) = d.next_frame() {
+            decoder_frames.push(f);
+        }
+
+        // Subject: repeatedly split views off the front.
+        let mut view_frames = Vec::new();
+        let mut view_err = None;
+        let mut rest: &[u8] = &bytes;
+        loop {
+            match tlc_net::wire::split_frame(rest, max) {
+                Ok(Some((view, used))) => {
+                    view_frames.push(view.to_owned());
+                    rest = &rest[used..];
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    view_err = Some(e);
+                    break;
+                }
+            }
+        }
+
+        prop_assert_eq!(view_frames, decoder_frames);
+        // The decoder fail-fasts on a bad kind byte before the length
+        // word completes; split_frame sees the same byte first, so the
+        // verdicts line up exactly.
+        prop_assert_eq!(view_err, decoder_err);
+    }
+
+    /// Valid frame streams split anywhere: the view parser consumes
+    /// complete frames and reports "need more" (never an error) for the
+    /// partial tail, byte-for-byte matching what the decoder buffers.
+    #[test]
+    fn split_frame_handles_partial_tails(
+        frames in proptest::collection::vec(arb_frame(100), 1..6),
+        cut in any::<usize>(),
+    ) {
+        let max = 256u32;
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend(f.encode().unwrap());
+        }
+        let cut = cut % (stream.len() + 1);
+        let mut rest = &stream[..cut];
+        let mut whole = 0usize;
+        loop {
+            match tlc_net::wire::split_frame(rest, max) {
+                Ok(Some((view, used))) => {
+                    prop_assert_eq!(view.to_owned(), frames[whole].clone());
+                    whole += 1;
+                    rest = &rest[used..];
+                }
+                Ok(None) => break,
+                Err(e) => prop_assert!(false, "prefix errored: {e}"),
+            }
+        }
+        // The tail is smaller than one max frame — the bound that lets
+        // a single pooled buffer carry any partial.
+        prop_assert!(rest.len() < HEADER_LEN + max as usize);
+    }
+
     /// A truncated stream (any strict prefix) never yields the final
     /// frame and never errors: the decoder just waits for more bytes.
     #[test]
