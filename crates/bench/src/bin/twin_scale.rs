@@ -1,0 +1,210 @@
+//! Scale benchmark for the digital twin (DESIGN §13): runs the sharded
+//! event-wheel simulator across population tiers and records the
+//! numbers the million-session claim rests on — sessions/sec of
+//! simulated churn, wheel events/sec, settled cycles/sec, and the
+//! gap-accuracy-vs-scale curve (the aggregate legacy/TLC gap ratios
+//! must not drift as the population grows, since the gap is a property
+//! of the workload mix, not of how many sessions carry it).
+//!
+//! Results land in `BENCH_twin.json` in the working directory:
+//!
+//! ```text
+//! twin_scale                       # full sweep: 10k, 100k, 1M sessions
+//! twin_scale --tiers 10000         # CI smoke tier
+//! twin_scale --backend heap        # cross-check the legacy scheduler
+//! ```
+//!
+//! Exits nonzero if any tier leaks a stale event, under-populates, or
+//! drifts its gap ratio more than `GAP_DRIFT_TOL` from the first tier.
+
+use std::time::Instant;
+use tlc_sim::experiments::twin::tier_config;
+use tlc_sim::twin::{run_twin, NullSink};
+use tlc_sim::wheel::WheelBackend;
+
+/// Absolute drift in the aggregate gap ratio tolerated between the
+/// smallest tier and any larger one.
+const GAP_DRIFT_TOL: f64 = 0.02;
+
+struct TierRun {
+    sessions: usize,
+    shards: usize,
+    threads: usize,
+    created: u64,
+    peak_concurrent: u64,
+    events: u64,
+    cycles: u64,
+    handovers: u64,
+    elapsed_secs: f64,
+    legacy_ratio: f64,
+    tlc_ratio: f64,
+    digest: u64,
+}
+
+impl TierRun {
+    fn sessions_per_sec(&self) -> f64 {
+        self.created as f64 / self.elapsed_secs.max(f64::MIN_POSITIVE)
+    }
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.elapsed_secs.max(f64::MIN_POSITIVE)
+    }
+    fn cycles_per_sec(&self) -> f64 {
+        self.cycles as f64 / self.elapsed_secs.max(f64::MIN_POSITIVE)
+    }
+}
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let tiers: Vec<usize> = arg_value(&args, "--tiers")
+        .map(|v| {
+            v.split(',')
+                .map(|t| t.trim().parse().expect("--tiers wants integers"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![10_000, 100_000, 1_000_000]);
+    let seed: u64 = arg_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0x7717);
+    let backend = match arg_value(&args, "--backend").as_deref() {
+        Some("wheel") => WheelBackend::Wheel,
+        Some("heap") => WheelBackend::Heap,
+        Some(other) => {
+            eprintln!("unknown --backend {other} (want wheel|heap)");
+            std::process::exit(2);
+        }
+        None => WheelBackend::from_env(),
+    };
+    let out_path = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_twin.json".to_string());
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "twin_scale: backend={} seed={seed:#x} host_cpus={host_cpus} tiers={tiers:?}",
+        backend.name()
+    );
+
+    let mut runs: Vec<TierRun> = Vec::new();
+    let mut failures = 0u32;
+    for &sessions in &tiers {
+        let mut cfg = tier_config(sessions, seed);
+        cfg.backend = backend;
+        let start = Instant::now();
+        let r = run_twin(&cfg, &mut NullSink);
+        let elapsed = start.elapsed().as_secs_f64();
+
+        if r.stale_events != 0 {
+            eprintln!("tier {sessions}: {} stale events (want 0)", r.stale_events);
+            failures += 1;
+        }
+        if r.peak_concurrent < sessions as u64 {
+            eprintln!(
+                "tier {sessions}: peak concurrency {} never reached the target",
+                r.peak_concurrent
+            );
+            failures += 1;
+        }
+        let run = TierRun {
+            sessions,
+            shards: cfg.shards,
+            threads: cfg.threads,
+            created: r.sessions_created,
+            peak_concurrent: r.peak_concurrent,
+            events: r.events_fired,
+            cycles: r.cycles_settled,
+            handovers: r.handovers,
+            elapsed_secs: elapsed,
+            legacy_ratio: r.sweep.legacy_gap_ratio(),
+            tlc_ratio: r.sweep.tlc_gap_ratio(),
+            digest: r.digest,
+        };
+        println!(
+            "tier {sessions}: peak {} sessions, {} events in {elapsed:.2} s \
+             -> {:.0} events/s, {:.0} sessions/s, {:.0} cycles/s, \
+             legacy ε {:.2}% TLC ε {:.3}% (shards {}, threads {})",
+            run.peak_concurrent,
+            run.events,
+            run.events_per_sec(),
+            run.sessions_per_sec(),
+            run.cycles_per_sec(),
+            run.legacy_ratio * 100.0,
+            run.tlc_ratio * 100.0,
+            run.shards,
+            run.threads,
+        );
+        runs.push(run);
+    }
+
+    // Gap accuracy vs scale: the charging model's error must be a
+    // property of the traffic mix, stable across population tiers.
+    if let Some(base) = runs.first() {
+        for r in &runs[1..] {
+            let drift = (r.legacy_ratio - base.legacy_ratio).abs();
+            if drift > GAP_DRIFT_TOL {
+                eprintln!(
+                    "tier {}: legacy gap ratio drifted {drift:.4} from the {} tier",
+                    r.sessions, base.sessions
+                );
+                failures += 1;
+            }
+        }
+    }
+
+    write_json(&out_path, backend, seed, host_cpus, &runs);
+    if failures > 0 {
+        eprintln!("twin_scale: {failures} check(s) failed");
+        std::process::exit(1);
+    }
+}
+
+/// Writes the tier sweep as JSON (hand-rolled, like the other bench
+/// bins: the report shape is the contract, not a serde schema).
+fn write_json(path: &str, backend: WheelBackend, seed: u64, host_cpus: usize, runs: &[TierRun]) {
+    let base = runs.first();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"twin_scale\",\n");
+    out.push_str(&format!("  \"backend\": \"{}\",\n", backend.name()));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str("  \"tiers\": [\n");
+    for (k, r) in runs.iter().enumerate() {
+        let drift = base.map_or(0.0, |b| (r.legacy_ratio - b.legacy_ratio).abs());
+        out.push_str(&format!(
+            "    {{\"sessions\": {}, \"shards\": {}, \"threads\": {}, \
+             \"sessions_created\": {}, \"peak_concurrent\": {}, \
+             \"events\": {}, \"cycles\": {}, \"handovers\": {}, \
+             \"elapsed_secs\": {:.3}, \"sessions_per_sec\": {:.1}, \
+             \"events_per_sec\": {:.1}, \"cycles_per_sec\": {:.1}, \
+             \"legacy_gap_ratio\": {:.6}, \"tlc_gap_ratio\": {:.6}, \
+             \"gap_drift_vs_base\": {:.6}, \"digest\": {}}}{}\n",
+            r.sessions,
+            r.shards,
+            r.threads,
+            r.created,
+            r.peak_concurrent,
+            r.events,
+            r.cycles,
+            r.handovers,
+            r.elapsed_secs,
+            r.sessions_per_sec(),
+            r.events_per_sec(),
+            r.cycles_per_sec(),
+            r.legacy_ratio,
+            r.tlc_ratio,
+            drift,
+            r.digest,
+            if k + 1 == runs.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, &out).expect("write BENCH_twin.json");
+    println!("wrote {path}");
+}

@@ -53,6 +53,9 @@ pub const NO_PANIC_PATHS: &[&str] = &[
     "crates/net/src/chaos.rs",
     "crates/net/src/readiness.rs",
     "crates/net/src/bufpool.rs",
+    "crates/sim/src/wheel.rs",
+    "crates/sim/src/arena.rs",
+    "crates/sim/src/soa.rs",
 ];
 
 /// Crates that must carry `#![forbid(unsafe_code)]` in `src/lib.rs`.

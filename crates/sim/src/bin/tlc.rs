@@ -35,7 +35,7 @@ use tlc_net::rng::SimRng;
 use tlc_net::time::{SimDuration, SimTime};
 use tlc_sim::experiments::{
     ablation, dataset, fig03, fig04, fig12, fig13, fig14, fig15, fig16, fig17, fig18, generic,
-    mobility, robustness, strawman, sweep, table2, RunScale,
+    mobility, robustness, strawman, sweep, table2, twin, RunScale,
 };
 
 fn main() -> ExitCode {
@@ -81,7 +81,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: tlc <eval|experiment|negotiate|verify|keygen> [flags]\n\
   tlc eval [--full]\n\
-  tlc experiment <fig03|fig04|fig12|fig13|fig14|fig15|fig16|fig17|fig18|table2|dataset|generic|ablation|mobility|robustness|strawman> [--full]\n\
+  tlc experiment <fig03|fig04|fig12|fig13|fig14|fig15|fig16|fig17|fig18|table2|dataset|generic|ablation|mobility|robustness|strawman|twin> [--full]\n\
   tlc negotiate --sent BYTES --received BYTES [--c 0.5] [--strategy optimal|honest|random]\n\
                 [--loss 0.2] [--dup 0.05] [--reorder 0.05] [--seed N]   (lossy control plane)\n\
   tlc verify --poc HEX [--c 0.5]\n\
@@ -142,6 +142,7 @@ fn eval(scale: RunScale) {
     mobility::print(&mobility::run(scale));
     strawman::print(&strawman::run(scale));
     robustness::print(&robustness::run(scale));
+    twin::print(&twin::run(scale));
 }
 
 fn experiment(name: &str, scale: RunScale) -> ExitCode {
@@ -177,6 +178,7 @@ fn experiment(name: &str, scale: RunScale) -> ExitCode {
         "mobility" => mobility::print(&mobility::run(scale)),
         "robustness" => robustness::print(&robustness::run(scale)),
         "strawman" => strawman::print(&strawman::run(scale)),
+        "twin" => twin::print(&twin::run(scale)),
         other => {
             eprintln!("unknown experiment `{other}`");
             return ExitCode::FAILURE;

@@ -26,6 +26,7 @@ pub mod robustness;
 pub mod strawman;
 pub mod sweep;
 pub mod table2;
+pub mod twin;
 
 /// How big to run an experiment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

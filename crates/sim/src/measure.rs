@@ -206,6 +206,61 @@ pub fn evaluate(r: &ScenarioResult, plan: &DataPlan, seed: u64) -> Result<Compar
     compare_schemes(&cycle_records(r), plan, seed)
 }
 
+/// One settled charging cycle of a digital-twin session: the analytic
+/// counterpart of [`compare_schemes`] that the million-session twin
+/// prices per cycle without running the packet datapath or the signed
+/// negotiation (sampled cycles *do* run the real negotiation through
+/// the closed-loop sink — see `twin::SettlementSink`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TwinSettlement {
+    /// Ground-truth usage pair (x̂_e, x̂_o) for the cycle.
+    pub truth: UsagePair,
+    /// The pair both honest parties would claim from their monitors
+    /// (edge reads exactly; the operator's view trails by its RRC
+    /// COUNTER CHECK lag).
+    pub measured: UsagePair,
+    /// Plan-intended charge x̂ (Eq. 1 over the truth).
+    pub intended: u64,
+    /// What legacy gateway-CDR billing charges.
+    pub legacy_charge: u64,
+    /// What TLC with honest parties settles on (Eq. 1 over the
+    /// measured pair).
+    pub tlc_charge: u64,
+}
+
+impl TwinSettlement {
+    /// Legacy absolute gap Δ = |legacy − x̂|, bytes.
+    pub fn legacy_gap(&self) -> u64 {
+        legacy::absolute_gap(self.legacy_charge, self.intended)
+    }
+
+    /// TLC absolute gap, bytes.
+    pub fn tlc_gap(&self) -> u64 {
+        legacy::absolute_gap(self.tlc_charge, self.intended)
+    }
+}
+
+/// Prices one twin charging row (see `sim::soa::ChargeRow`) under
+/// legacy and TLC-honest charging.
+pub fn settle_twin_row(row: &crate::soa::ChargeRow, plan: &DataPlan) -> TwinSettlement {
+    let w = plan.loss_weight;
+    let truth = UsagePair {
+        edge: row.sent,
+        operator: row.delivered,
+    };
+    let measured = UsagePair {
+        edge: row.sent,
+        operator: row.delivered.saturating_sub(row.monitor_lag),
+    };
+    TwinSettlement {
+        truth,
+        measured,
+        intended: tlc_core::plan::charge_for(truth, w),
+        legacy_charge: legacy::legacy_charge(row.gateway, legacy::LegacyOperator::Honest),
+        tlc_charge: tlc_core::plan::charge_for(measured, w),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -299,5 +354,51 @@ mod tests {
         let eps = c.gap_ratio(c.legacy.charge);
         let delta = c.gap(c.legacy.charge);
         assert!((eps - delta as f64 / c.intended as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn twin_row_settles_like_compare_schemes() {
+        // A downlink row: gateway meters before air loss, so legacy
+        // overcharges; TLC trails truth only by the monitor lag.
+        let row = crate::soa::ChargeRow {
+            sent: 1_000_000,
+            delivered: 800_000,
+            gateway: 1_000_000,
+            lost_air: 150_000,
+            lost_congestion: 50_000,
+            lost_handover: 0,
+            monitor_lag: 10_000,
+            cycle_start_us: 0,
+        };
+        let plan = DataPlan::paper_default(); // c = 0.5
+        let s = settle_twin_row(&row, &plan);
+        assert_eq!(s.intended, 900_000);
+        assert_eq!(s.legacy_charge, 1_000_000);
+        assert_eq!(s.legacy_gap(), 100_000);
+        // Measured pair (1_000_000, 790_000) → 895_000 at c = 0.5.
+        assert_eq!(s.tlc_charge, 895_000);
+        assert_eq!(s.tlc_gap(), 5_000);
+        assert!(s.tlc_gap() < s.legacy_gap());
+    }
+
+    #[test]
+    fn twin_row_uplink_legacy_undercharges() {
+        // Uplink: gateway sits past the loss, metering delivered bytes.
+        let row = crate::soa::ChargeRow {
+            sent: 500_000,
+            delivered: 400_000,
+            gateway: 400_000,
+            lost_air: 100_000,
+            lost_congestion: 0,
+            lost_handover: 0,
+            monitor_lag: 0,
+            cycle_start_us: 0,
+        };
+        let s = settle_twin_row(&row, &DataPlan::paper_default());
+        assert_eq!(s.intended, 450_000);
+        assert!(s.legacy_charge < s.intended, "legacy undercharges uplink");
+        // With zero lag, honest TLC recovers the intended charge exactly.
+        assert_eq!(s.tlc_charge, s.intended);
+        assert_eq!(s.tlc_gap(), 0);
     }
 }

@@ -74,6 +74,46 @@ pub fn par_map_threads<T: Sync, R: Send>(
     indexed.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Deterministic in-place parallel map over mutable shard states: the
+/// digital twin's epoch barrier. Each item is visited exactly once by
+/// exactly one thread (contiguous chunks), results return in input
+/// order, and because every `f(i, item)` depends only on the item's
+/// own state, the output is byte-identical at any thread count —
+/// `threads = 1` runs the plain sequential loop the equivalence tests
+/// compare against.
+pub fn par_map_mut<T: Send, R: Send>(
+    threads: usize,
+    items: &mut [T],
+    f: impl Fn(usize, &mut T) -> R + Sync,
+) -> Vec<R> {
+    let n = items.len();
+    let threads = threads.max(1).min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, ch)| {
+                s.spawn(move || {
+                    ch.iter_mut()
+                        .enumerate()
+                        .map(|(k, t)| f(ci * chunk + k, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("twin shard worker panicked"));
+        }
+    });
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,6 +133,22 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map_threads(4, &empty, |x| *x).is_empty());
         assert_eq!(par_map_threads(4, &[7u32], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_in_place_and_orders_results() {
+        let expect_state: Vec<u64> = (0..23u64).map(|x| x + 100).collect();
+        let expect_out: Vec<(usize, u64)> = (0..23usize).map(|i| (i, i as u64)).collect();
+        for threads in [1, 2, 4, 16] {
+            let mut items: Vec<u64> = (0..23).collect();
+            let out = par_map_mut(threads, &mut items, |i, x| {
+                let before = *x;
+                *x += 100;
+                (i, before)
+            });
+            assert_eq!(items, expect_state, "threads = {threads}");
+            assert_eq!(out, expect_out, "threads = {threads}");
+        }
     }
 
     #[test]

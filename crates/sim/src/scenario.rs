@@ -62,6 +62,30 @@ impl AppKind {
         }
     }
 
+    /// The paper's mean application bitrate (Table 2), Mbps.
+    pub fn mean_rate_mbps(&self) -> f64 {
+        self.churn_profile().rate_bps as f64 / 1e6
+    }
+
+    /// The twin-scale churn profile for this app: the same Table 2
+    /// rate/direction the packet generators reproduce, expressed as
+    /// the aggregate model the million-session twin accrues from.
+    /// `WebcamUdpDownlink` is the Fig. 4 variant — the UDP webcam
+    /// stream pointed downlink.
+    pub fn churn_profile(&self) -> tlc_workloads::churn::SessionProfile {
+        use tlc_workloads::churn::{ProfileKind, SessionProfile};
+        match self {
+            AppKind::WebcamRtsp => SessionProfile::paper(ProfileKind::WebcamRtsp),
+            AppKind::WebcamUdp => SessionProfile::paper(ProfileKind::WebcamUdp),
+            AppKind::Vr => SessionProfile::paper(ProfileKind::Vr),
+            AppKind::Gaming => SessionProfile::paper(ProfileKind::Gaming),
+            AppKind::WebcamUdpDownlink => SessionProfile {
+                direction: Direction::Downlink,
+                ..SessionProfile::paper(ProfileKind::WebcamUdp)
+            },
+        }
+    }
+
     /// Instantiates the workload generator.
     pub fn make(&self, duration: SimDuration, rng: SimRng) -> Box<dyn Workload> {
         match self {
@@ -451,6 +475,20 @@ mod tests {
         assert_eq!(a.app.device_app_sent.bytes(), b.app.device_app_sent.bytes());
         assert_eq!(a.app.gateway_uplink.bytes(), b.app.gateway_uplink.bytes());
         assert_eq!(a.rrc_view_at_cycle_end, b.rrc_view_at_cycle_end);
+    }
+
+    #[test]
+    fn churn_profiles_mirror_app_table() {
+        for app in ALL_APPS {
+            let p = app.churn_profile();
+            assert_eq!(p.direction, app.direction(), "{app:?}");
+            assert!(p.rate_bps > 0);
+        }
+        // The Fig. 4 downlink webcam keeps the UDP rate, flipped.
+        let dl = AppKind::WebcamUdpDownlink.churn_profile();
+        assert_eq!(dl.rate_bps, AppKind::WebcamUdp.churn_profile().rate_bps);
+        assert_eq!(dl.direction, Direction::Downlink);
+        assert!((AppKind::Vr.mean_rate_mbps() - 9.0).abs() < 1e-9);
     }
 
     #[test]

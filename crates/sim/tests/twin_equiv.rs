@@ -1,0 +1,265 @@
+//! Equivalence guard and churn regressions for the digital twin.
+//!
+//! Three contracts, pinned hard:
+//!
+//! 1. **Backend equivalence** — the hierarchical timer wheel and the
+//!    legacy binary-heap scheduler produce byte-identical runs (same
+//!    digest, same gap sweep, same event count) for equal seeds, both
+//!    on random scheduler op streams and through whole twin runs.
+//! 2. **Thread invariance** — the epoch-barrier loop yields the same
+//!    digest at any worker thread count (shard count is a model
+//!    parameter; thread count must never be).
+//! 3. **Churn safety** — teardown mid-cycle settles the partial cycle
+//!    exactly once, handovers crossing a cycle boundary never
+//!    double-count gateway bytes, and a reused arena slot cannot be
+//!    reached through a stale `SessionId`.
+
+use proptest::prelude::*;
+use tlc_net::time::SimDuration;
+use tlc_sim::twin::{run_twin, NullSink, SettleCause, Settled, SettlementSink, TwinConfig};
+use tlc_sim::wheel::{Scheduler, Token, WheelBackend};
+use tlc_sim::{Arena, GapSweep};
+
+fn base(seed: u64) -> TwinConfig {
+    let mut cfg = TwinConfig::smoke(seed);
+    cfg.initial_sessions = 300;
+    cfg.duration = SimDuration::from_secs(8);
+    cfg
+}
+
+/// Collects every settlement the twin emits.
+#[derive(Default)]
+struct Collect(Vec<Settled>);
+
+impl SettlementSink for Collect {
+    fn settle(&mut self, s: &Settled) {
+        self.0.push(*s);
+    }
+}
+
+/// Fixed-seed golden digest: if this moves, the twin's event order,
+/// RNG consumption, or charging arithmetic changed — which breaks
+/// replayability of every recorded benchmark. Update deliberately.
+#[test]
+fn golden_digest_is_pinned() {
+    let r = run_twin(&base(2024), &mut NullSink);
+    assert_eq!(
+        r.digest, GOLDEN_DIGEST,
+        "twin digest moved: event order, RNG draws, or pricing changed"
+    );
+    assert_eq!(r.stale_events, 0);
+}
+
+const GOLDEN_DIGEST: u64 = 0xaf17_22ff_643f_2af5;
+
+#[test]
+fn wheel_and_heap_runs_are_byte_identical() {
+    for seed in [7u64, 8, 9] {
+        let mut w = base(seed);
+        w.backend = WheelBackend::Wheel;
+        let mut h = base(seed);
+        h.backend = WheelBackend::Heap;
+        let rw = run_twin(&w, &mut NullSink);
+        let rh = run_twin(&h, &mut NullSink);
+        assert_eq!(rw.digest, rh.digest, "seed {seed}");
+        assert_eq!(rw.events_fired, rh.events_fired, "seed {seed}");
+        assert_eq!(rw.sweep, rh.sweep, "seed {seed}");
+        assert_eq!(rw.handovers, rh.handovers, "seed {seed}");
+    }
+}
+
+#[test]
+fn thread_count_never_changes_the_run() {
+    let digests: Vec<u64> = [1usize, 2, 8]
+        .iter()
+        .map(|&threads| {
+            let mut cfg = base(11);
+            cfg.threads = threads;
+            run_twin(&cfg, &mut NullSink).digest
+        })
+        .collect();
+    assert_eq!(digests[0], digests[1]);
+    assert_eq!(digests[0], digests[2]);
+}
+
+/// Teardown mid-cycle: lifetimes far shorter than the charging cycle
+/// force every session to settle a partial cycle at teardown. The
+/// partial cycle must settle exactly once (settlement totals equal the
+/// aggregate sweep), no event may reach a freed slot, and arena slots
+/// must bound at peak concurrency rather than total admissions.
+#[test]
+fn teardown_mid_cycle_settles_once_and_reuses_slots() {
+    let mut cfg = base(21);
+    cfg.cycle = SimDuration::from_secs(30); // longer than the run
+    cfg.churn.mean_lifetime = SimDuration::from_secs(2);
+    cfg.duration = SimDuration::from_secs(12);
+    let mut sink = Collect::default();
+    let r = run_twin(&cfg, &mut sink);
+
+    assert!(r.sessions_retired > 0, "short lifetimes must retire");
+    assert_eq!(r.stale_events, 0, "an event reached a freed slot");
+    assert!(
+        sink.0.iter().any(|s| s.cause == SettleCause::Teardown),
+        "no teardown settlements recorded"
+    );
+    // Every settled byte settles exactly once: re-summing the sink's
+    // settlements must reproduce the aggregate sweep bit for bit.
+    let mut resum = GapSweep::default();
+    for s in &sink.0 {
+        resum.active_rows += 1;
+        resum.total_sent += s.settlement.truth.edge;
+        resum.total_delivered += s.settlement.truth.operator;
+        resum.total_gateway += s.settlement.legacy_charge;
+        resum.intended += s.settlement.intended;
+        resum.legacy_gap += s.settlement.legacy_gap();
+        resum.tlc_gap += s.settlement.tlc_gap();
+    }
+    assert_eq!(resum, r.sweep, "settlements double- or under-counted");
+    assert!(
+        r.peak_shard_slots * (cfg.shards as u64) < r.sessions_created,
+        "churn grew the arenas instead of reusing slots: peak {} × {} shards vs {} created",
+        r.peak_shard_slots,
+        cfg.shards,
+        r.sessions_created
+    );
+}
+
+/// Handovers crossing a cycle boundary: the flush claws back only
+/// bytes delivered *this* cycle (the clamp in `handover_flush`), so
+/// the truth pair stays ordered and gateway bytes are never counted
+/// into two cycles.
+#[test]
+fn handover_crossing_cycle_boundary_does_not_double_count() {
+    let mut cfg = base(22);
+    cfg.cycle = SimDuration::from_millis(1500); // many boundaries
+    cfg.churn.handovers_per_minute = 40.0; // ~one per 1.5 s
+    let mut sink = Collect::default();
+    let r = run_twin(&cfg, &mut sink);
+
+    assert!(r.handovers > 0, "handover config produced none");
+    for s in &sink.0 {
+        let t = s.settlement.truth;
+        assert!(
+            t.operator <= t.edge,
+            "delivered {} > sent {} — a flush clawed back bytes from a previous cycle",
+            t.operator,
+            t.edge
+        );
+        assert!(
+            s.settlement.measured.operator <= t.operator,
+            "monitor lag exceeded delivered"
+        );
+    }
+    // Gateway conservation: each gateway byte belongs to exactly one
+    // settled cycle.
+    let gw: u64 = sink.0.iter().map(|s| s.settlement.legacy_charge).sum();
+    assert_eq!(gw, r.sweep.total_gateway);
+}
+
+/// Slot reuse safety at the data-structure level: a stale `SessionId`
+/// (torn down, slot reused by a later arrival) must dereference to
+/// `None`, and a stale wheel token must not cancel the slot's new
+/// occupant.
+#[test]
+fn stale_ids_and_tokens_cannot_alias_reused_slots() {
+    let mut arena: Arena<&'static str> = Arena::new();
+    let a = arena.insert("first");
+    assert_eq!(arena.remove(a), Some("first"));
+    let b = arena.insert("second");
+    assert_eq!(b.index, a.index, "free list should reuse the slot");
+    assert_ne!(b.generation, a.generation);
+    assert_eq!(arena.get(a), None, "stale id resolved after reuse");
+    assert_eq!(arena.get(b), Some(&"second"));
+
+    let mut sched: Scheduler<u32> = Scheduler::new(WheelBackend::Wheel);
+    let t1 = sched.schedule(10, 1);
+    assert!(sched.cancel(t1));
+    let t2 = sched.schedule(10, 2);
+    assert!(!sched.cancel(t1), "stale token cancelled the reused slot");
+    assert_eq!(sched.pop_next(u64::MAX), Some((10, 1, 2)));
+    let _: Token = t2;
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized scheduler conformance: any interleaving of
+    /// schedule/cancel/pop must fire identically on both backends.
+    #[test]
+    fn prop_wheel_matches_heap(
+        seed in 1u64..5000,
+        ops in 50usize..400,
+    ) {
+        let run = |backend: WheelBackend| -> Vec<(u64, u64)> {
+            let mut s: Scheduler<u64> = Scheduler::new(backend);
+            let mut fired = Vec::new();
+            let mut tokens: Vec<Token> = Vec::new();
+            let mut x = seed;
+            let mut rng = move || {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x >> 16
+            };
+            let mut now = 0u64;
+            for op in 0..ops as u64 {
+                match rng() % 8 {
+                    0..=4 => {
+                        let delta = match rng() % 6 {
+                            0 => rng() % 16,
+                            1..=2 => rng() % 4096,
+                            3 => rng() % 1_000_000,
+                            4 => rng() % 400_000_000,
+                            _ => (1u64 << 32) + rng() % 4096,
+                        };
+                        tokens.push(s.schedule(now + delta, op));
+                    }
+                    5 => {
+                        if !tokens.is_empty() {
+                            let i = (rng() as usize) % tokens.len();
+                            s.cancel(tokens[i]);
+                        }
+                    }
+                    _ => {
+                        now += rng() % 3000;
+                        while let Some((t, _, p)) = s.pop_next(now) {
+                            fired.push((t, p));
+                        }
+                    }
+                }
+            }
+            while let Some((t, _, p)) = s.pop_next(u64::MAX) {
+                fired.push((t, p));
+            }
+            fired
+        };
+        let w = run(WheelBackend::Wheel);
+        let h = run(WheelBackend::Heap);
+        prop_assert_eq!(w, h);
+    }
+
+    /// Randomized twin invariance: small random configurations must
+    /// digest identically across backends and thread counts.
+    #[test]
+    fn prop_twin_backend_and_threads_invariant(
+        seed in 1u64..1000,
+        shards in 1usize..5,
+        sessions in 20usize..120,
+        threads in 2usize..5,
+    ) {
+        let mut cfg = TwinConfig::smoke(seed);
+        cfg.shards = shards;
+        cfg.initial_sessions = sessions;
+        cfg.duration = SimDuration::from_secs(4);
+        cfg.threads = 1;
+        cfg.backend = WheelBackend::Wheel;
+        let reference = run_twin(&cfg, &mut NullSink);
+
+        let mut heap = cfg.clone();
+        heap.backend = WheelBackend::Heap;
+        prop_assert_eq!(run_twin(&heap, &mut NullSink).digest, reference.digest);
+
+        let mut mt = cfg.clone();
+        mt.threads = threads;
+        prop_assert_eq!(run_twin(&mt, &mut NullSink).digest, reference.digest);
+        prop_assert_eq!(reference.stale_events, 0);
+    }
+}

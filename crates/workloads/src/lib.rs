@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod background;
+pub mod churn;
 pub mod gaming;
 pub mod retransmit;
 pub mod trace;
@@ -31,6 +32,7 @@ pub mod vr;
 pub mod webcam;
 
 pub use background::BackgroundTraffic;
+pub use churn::{Arrival, ChurnConfig, ChurnGen, ProfileKind, SessionProfile};
 pub use gaming::{GamingParams, GamingStream};
 pub use retransmit::RetransmittingSource;
 pub use trace::{PacketTrace, TraceRecord, TraceReplayer};
