@@ -256,11 +256,14 @@ impl RadioLink {
         loss: &RssDrivenLoss,
         fading: &mut Option<GilbertElliott>,
     ) {
-        while let Some((done, _)) = self.in_service {
-            if done > now {
+        while self
+            .in_service
+            .as_ref()
+            .is_some_and(|(done, _)| *done <= now)
+        {
+            let Some((done, pkt)) = self.in_service.take() else {
                 break;
-            }
-            let (done, pkt) = self.in_service.take().expect("checked");
+            };
             let rss = radio.rss_at(done);
             let faded = match fading {
                 Some(ge) => {
@@ -283,11 +286,11 @@ impl RadioLink {
     /// the true time).
     fn pop_delivered(&mut self, now: SimTime) -> Vec<(SimTime, Packet)> {
         let mut out = Vec::new();
-        while let Some((at, _)) = self.in_flight.front() {
-            if *at > now {
+        while self.in_flight.front().is_some_and(|(at, _)| *at <= now) {
+            let Some(item) = self.in_flight.pop_front() else {
                 break;
-            }
-            out.push(self.in_flight.pop_front().expect("checked"));
+            };
+            out.push(item);
         }
         out
     }

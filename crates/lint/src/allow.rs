@@ -70,12 +70,29 @@ pub fn parse(allow_path: &str, text: &str) -> (Vec<AllowEntry>, Vec<Finding>) {
             });
             continue;
         }
-        entries.push(AllowEntry {
+        let entry = AllowEntry {
             rule: fields[0].to_string(),
             path: fields[1].to_string(),
             item: fields[2].to_string(),
             line: line_no,
-        });
+        };
+        if let Some(first) = entries.iter().find(|e: &&AllowEntry| {
+            e.rule == entry.rule && e.path == entry.path && e.item == entry.item
+        }) {
+            findings.push(Finding {
+                rule: "allowlist",
+                path: allow_path.to_string(),
+                line: line_no,
+                col: 1,
+                item: entry.item.clone(),
+                message: format!(
+                    "duplicate entry `{} {} {}` (first on line {})",
+                    entry.rule, entry.path, entry.item, first.line
+                ),
+            });
+            continue;
+        }
+        entries.push(entry);
     }
     (entries, findings)
 }

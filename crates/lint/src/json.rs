@@ -1,0 +1,134 @@
+//! Machine-readable report output: `--json` for tooling, `--github`
+//! for GitHub Actions `::error` annotations.
+//!
+//! Hand-rolled serialization — findings are flat records and pulling a
+//! serde dependency into the lint binary for five fields per finding
+//! is not worth the build edge.
+
+use crate::rules::Finding;
+use crate::Report;
+
+/// JSON string escape per RFC 8259 (the subset our messages can hit).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"item\":\"{}\",\"message\":\"{}\"}}",
+        esc(f.rule),
+        esc(&f.path),
+        f.line,
+        f.col,
+        esc(&f.item),
+        esc(&f.message)
+    )
+}
+
+/// The whole report as a single JSON object:
+/// `{"clean":bool,"files_scanned":n,"findings":[…]}`.
+pub fn report_json(report: &Report) -> String {
+    let findings: Vec<String> = report.findings.iter().map(finding_json).collect();
+    format!(
+        "{{\"clean\":{},\"files_scanned\":{},\"findings\":[{}]}}",
+        report.is_clean(),
+        report.files_scanned,
+        findings.join(",")
+    )
+}
+
+/// GitHub Actions workflow-command escape for the message part:
+/// `%`, `\r`, `\n` are the command-data escapes.
+fn gha_data(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
+}
+
+/// GitHub Actions property escape (also escapes `:` and `,`).
+fn gha_prop(s: &str) -> String {
+    gha_data(s).replace(':', "%3A").replace(',', "%2C")
+}
+
+/// One `::error` annotation line per finding.
+pub fn github_annotations(report: &Report) -> String {
+    report
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "::error file={},line={},col={},title=tlc-lint {}::{}",
+                gha_prop(&f.path),
+                f.line,
+                f.col,
+                gha_prop(f.rule),
+                gha_data(&f.message)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> Report {
+        Report {
+            findings: vec![Finding {
+                rule: "charge-arith",
+                path: "crates/sim/src/soa.rs".to_string(),
+                line: 99,
+                col: 13,
+                item: "merge".to_string(),
+                message: "unchecked `+=` on \"total_sent\"\nsecond line".to_string(),
+            }],
+            files_scanned: 143,
+        }
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_newlines() {
+        let j = report_json(&report());
+        assert!(j.contains("\"files_scanned\":143"));
+        assert!(j.contains("\\\"total_sent\\\""));
+        assert!(j.contains("\\n"));
+        assert!(!j.contains('\n'), "single-line output");
+    }
+
+    #[test]
+    fn github_annotation_escapes_command_data() {
+        let a = github_annotations(&report());
+        assert!(a.starts_with("::error file=crates/sim/src/soa.rs,line=99,col=13"));
+        assert!(a.contains("%0A"), "newline escaped");
+        assert!(
+            !a.contains("\nsecond"),
+            "no raw newline inside one annotation"
+        );
+    }
+
+    #[test]
+    fn empty_report_is_clean_json() {
+        let r = Report {
+            findings: vec![],
+            files_scanned: 7,
+        };
+        assert_eq!(
+            report_json(&r),
+            "{\"clean\":true,\"files_scanned\":7,\"findings\":[]}"
+        );
+        assert_eq!(github_annotations(&r), "");
+    }
+}

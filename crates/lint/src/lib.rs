@@ -5,7 +5,7 @@
 //! invariants TLC's trust story rests on (§5.3 public verifiability
 //! means the verification code itself must be auditable).
 //!
-//! Five rules, all token-sequence based (see [`rules`]):
+//! Five per-file rules, all token-sequence based (see [`rules`]):
 //!
 //! 1. **safety-comment** — every `unsafe` block/fn carries an adjacent
 //!    `// SAFETY:` comment,
@@ -20,6 +20,24 @@
 //!    outside allowlisted modules (protects the byte-identical parallel
 //!    sweep guarantee of `tlc_sim::par`).
 //!
+//! Plus three *interprocedural* passes over the workspace call graph
+//! ([`graph`], DESIGN §9.1):
+//!
+//! 6. **transitive-no-panic** ([`nopanic`]) — may-panic propagated
+//!    backwards through resolved call edges, so a protocol root that
+//!    reaches `unwrap` five helpers deep is caught with the chain
+//!    named,
+//! 7. **lock-order** ([`locks`]) — held-lock sets propagated along
+//!    call edges; a cycle in the lock graph (potential deadlock) is
+//!    reported with one site per edge,
+//! 8. **charge-arith** ([`charge`]) — every raw `+ - *` / `+= -= *=`
+//!    and narrowing cast on a charging counter in the accounting files
+//!    must be saturating/checked, or carry an allowlist entry.
+//!
+//! Every `.rs` file is read and lexed exactly once per check
+//! ([`Workspace`]); the per-file rules, the crate-manifest checks, and
+//! the call-graph passes all share the same token streams.
+//!
 //! Grandfathered / invariant-true sites live in the checked allowlist
 //! `LINT_ALLOW` at the workspace root ([`allow`]); stale entries are
 //! themselves errors. Run with `cargo run -p tlc-lint -- check`.
@@ -28,11 +46,16 @@
 #![warn(missing_docs)]
 
 pub mod allow;
+pub mod charge;
+pub mod graph;
+pub mod json;
+pub mod locks;
+pub mod nopanic;
 pub mod rules;
 pub mod scan;
 
 use rules::{rules_for, Finding};
-use scan::ScannedFile;
+use scan::{FileKind, ScannedFile};
 use std::fs;
 use std::path::{Path, PathBuf};
 use syn::{Token, TokenKind};
@@ -72,6 +95,116 @@ pub const UNSAFE_EXEMPT_FILES: &[&str] = &["crates/net/src/readiness.rs"];
 
 /// Default allowlist file name at the workspace root.
 pub const ALLOWLIST_FILE: &str = "LINT_ALLOW";
+
+/// Files holding charging-counter accounting: the scope of the
+/// `charge-arith` audit (DESIGN §9.1). These are the places where a
+/// silent integer wrap *is* a charging bug.
+pub const CHARGE_PATHS: &[&str] = &[
+    "crates/sim/src/soa.rs",
+    "crates/sim/src/twin.rs",
+    "crates/net/src/stats.rs",
+    "crates/cell/src/counters.rs",
+    "crates/core/src/plan.rs",
+    "crates/core/src/legacy.rs",
+];
+
+/// Options for a workspace check.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckOptions {
+    /// Also propagate data-dependent panic sources (indexing and
+    /// unchecked integer arithmetic) in the transitive no-panic pass.
+    /// Off by default: the crypto limb kernels index by invariant in
+    /// every loop, so this mode is a periodic audit, not a gate.
+    pub strict_panics: bool,
+}
+
+/// Every source file of the workspace, read and lexed exactly once.
+/// The per-file rules, the crate-manifest checks, and the
+/// interprocedural passes all borrow the same [`ScannedFile`]s.
+pub struct Workspace {
+    /// Scanned files, sorted by workspace-relative path.
+    pub files: Vec<ScannedFile>,
+    /// Lexer failures, as findings under the `parse` meta-rule.
+    pub parse_errors: Vec<Finding>,
+}
+
+impl Workspace {
+    /// Builds a workspace from in-memory sources (fixture tests).
+    pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
+        let mut ws = Workspace {
+            files: Vec::new(),
+            parse_errors: Vec::new(),
+        };
+        for (rel, src) in sources {
+            ws.add(rel, src);
+        }
+        ws
+    }
+
+    /// Reads every `.rs` file under the workspace `root`.
+    pub fn load(root: &Path) -> std::io::Result<Workspace> {
+        let mut paths = Vec::new();
+        for top in ["crates", "examples", "tests"] {
+            collect_rs_files(&root.join(top), &mut paths)?;
+        }
+        let mut ws = Workspace {
+            files: Vec::new(),
+            parse_errors: Vec::new(),
+        };
+        for path in &paths {
+            let src = fs::read_to_string(path)?;
+            ws.add(&rel_path(root, path), &src);
+        }
+        Ok(ws)
+    }
+
+    fn add(&mut self, rel: &str, src: &str) {
+        match ScannedFile::parse(rel, src) {
+            Ok(f) => self.files.push(f),
+            Err(e) => self.parse_errors.push(Finding {
+                rule: "parse",
+                path: rel.to_string(),
+                line: e.line,
+                col: 1,
+                item: String::new(),
+                message: format!("lexer error: {}", e.message),
+            }),
+        }
+    }
+
+    /// The scanned file at a workspace-relative path, if present.
+    pub fn file(&self, rel: &str) -> Option<&ScannedFile> {
+        self.files.iter().find(|f| f.rel_path == rel)
+    }
+
+    /// Runs the per-file rules and the three interprocedural passes.
+    /// `allow` feeds the transitive pass's site suppression (a local
+    /// site excused under `no-panic` must not re-surface via every
+    /// caller); the allowlist is still applied to the *returned*
+    /// findings by the caller.
+    pub fn check(&self, allow: &[allow::AllowEntry], opts: CheckOptions) -> Vec<Finding> {
+        let mut findings = self.parse_errors.clone();
+        for file in &self.files {
+            for rule in rules_for(file, NO_PANIC_PATHS) {
+                findings.extend(rule(file));
+            }
+        }
+        let graph = graph::CallGraph::build(&self.files);
+        findings.extend(nopanic::check(
+            &graph,
+            NO_PANIC_PATHS,
+            allow,
+            opts.strict_panics,
+        ));
+        findings.extend(locks::check(&graph));
+        for file in &self.files {
+            if file.kind == FileKind::Src && CHARGE_PATHS.contains(&file.rel_path.as_str()) {
+                findings.extend(charge::check_file(file));
+            }
+        }
+        findings
+    }
+}
 
 /// Outcome of a workspace check.
 #[derive(Debug)]
@@ -214,34 +347,26 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .replace('\\', "/")
 }
 
-/// Runs the full workspace check rooted at `root`, applying the
-/// allowlist at `allow_path` (pass the default [`ALLOWLIST_FILE`] under
-/// `root` unless overridden).
-pub fn run_check(root: &Path, allow_path: &Path) -> std::io::Result<Report> {
-    let mut files = Vec::new();
-    for top in ["crates", "examples", "tests"] {
-        collect_rs_files(&root.join(top), &mut files)?;
-    }
-    let mut findings = Vec::new();
-    let files_scanned = files.len();
-    for path in &files {
-        let src = fs::read_to_string(path)?;
-        let rel = rel_path(root, path);
-        findings.extend(lint_source(&rel, &src));
-    }
+/// Lints a set of in-memory source files as one mini-workspace: the
+/// per-file rules plus the three interprocedural passes, no allowlist,
+/// no crate-manifest checks. This is what the cross-file fixture tests
+/// drive (e.g. a `NO_PANIC_PATHS` root reaching a panicking helper in
+/// a *different* fixture file).
+pub fn lint_sources(sources: &[(&str, &str)]) -> Vec<Finding> {
+    let ws = Workspace::from_sources(sources);
+    let mut findings = ws.check(&[], CheckOptions::default());
+    sort_findings(&mut findings);
+    findings
+}
 
-    // Crate-manifest half of the unsafe-scope rule.
+/// The crate-manifest half of the unsafe-scope rule, evaluated over the
+/// already-scanned workspace (no file is re-read).
+fn manifest_findings(ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let has = |rel: &str, want: &[&str]| ws.file(rel).is_some_and(|f| has_inner_attr(f, want));
     for krate in FORBID_UNSAFE_CRATES {
-        let lib = root.join("crates").join(krate).join("src/lib.rs");
         let rel = format!("crates/{krate}/src/lib.rs");
-        let missing = match fs::read_to_string(&lib) {
-            Ok(src) => match ScannedFile::parse(&rel, &src) {
-                Ok(f) => !has_inner_attr(&f, &["forbid", "unsafe_code"]),
-                Err(_) => true,
-            },
-            Err(_) => true,
-        };
-        if missing {
+        if !has(&rel, &["forbid", "unsafe_code"]) {
             findings.push(Finding {
                 rule: "unsafe-scope",
                 path: rel,
@@ -252,61 +377,73 @@ pub fn run_check(root: &Path, allow_path: &Path) -> std::io::Result<Report> {
             });
         }
     }
-    {
-        let rel = "crates/crypto/src/lib.rs".to_string();
-        let ok = fs::read_to_string(root.join(&rel))
-            .ok()
-            .and_then(|src| ScannedFile::parse(&rel, &src).ok())
-            .is_some_and(|f| has_inner_attr(&f, &["deny", "unsafe_op_in_unsafe_fn"]));
-        if !ok {
-            findings.push(Finding {
-                rule: "unsafe-scope",
-                path: rel,
-                line: 1,
-                col: 1,
-                item: String::new(),
-                message: "tlc-crypto must declare #![deny(unsafe_op_in_unsafe_fn)]".to_string(),
-            });
-        }
+    if !has(
+        "crates/crypto/src/lib.rs",
+        &["deny", "unsafe_op_in_unsafe_fn"],
+    ) {
+        findings.push(Finding {
+            rule: "unsafe-scope",
+            path: "crates/crypto/src/lib.rs".to_string(),
+            line: 1,
+            col: 1,
+            item: String::new(),
+            message: "tlc-crypto must declare #![deny(unsafe_op_in_unsafe_fn)]".to_string(),
+        });
     }
-    {
-        // tlc-net: `deny` (not `forbid`) so the readiness shim can be
-        // allow-listed per-module — but the deny must stay, or unsafe
-        // could creep into any module unnoticed.
-        let rel = "crates/net/src/lib.rs".to_string();
-        let ok = fs::read_to_string(root.join(&rel))
-            .ok()
-            .and_then(|src| ScannedFile::parse(&rel, &src).ok())
-            .is_some_and(|f| has_inner_attr(&f, &["deny", "unsafe_code"]));
-        if !ok {
-            findings.push(Finding {
-                rule: "unsafe-scope",
-                path: rel,
-                line: 1,
-                col: 1,
-                item: String::new(),
-                message: "tlc-net must declare #![deny(unsafe_code)] (readiness shim is the only allowed module)".to_string(),
-            });
-        }
+    // tlc-net: `deny` (not `forbid`) so the readiness shim can be
+    // allow-listed per-module — but the deny must stay, or unsafe
+    // could creep into any module unnoticed.
+    if !has("crates/net/src/lib.rs", &["deny", "unsafe_code"]) {
+        findings.push(Finding {
+            rule: "unsafe-scope",
+            path: "crates/net/src/lib.rs".to_string(),
+            line: 1,
+            col: 1,
+            item: String::new(),
+            message:
+                "tlc-net must declare #![deny(unsafe_code)] (readiness shim is the only allowed module)"
+                    .to_string(),
+        });
     }
+    findings
+}
 
-    // Allowlist.
-    let allow_rel = rel_path(root, allow_path);
-    let findings = match fs::read_to_string(allow_path) {
-        Ok(text) => {
-            let (entries, mut errs) = allow::parse(&allow_rel, &text);
-            let mut kept = allow::apply(&allow_rel, &entries, findings);
-            kept.append(&mut errs);
-            kept
-        }
-        // No allowlist file: nothing suppressed.
-        Err(_) => findings,
-    };
-
-    let mut findings = findings;
+fn sort_findings(findings: &mut [Finding]) {
     findings.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
     });
+}
+
+/// Runs the full workspace check rooted at `root`, applying the
+/// allowlist at `allow_path` (pass the default [`ALLOWLIST_FILE`] under
+/// `root` unless overridden).
+pub fn run_check(root: &Path, allow_path: &Path) -> std::io::Result<Report> {
+    run_check_opts(root, allow_path, CheckOptions::default())
+}
+
+/// [`run_check`] with explicit [`CheckOptions`].
+pub fn run_check_opts(
+    root: &Path,
+    allow_path: &Path,
+    opts: CheckOptions,
+) -> std::io::Result<Report> {
+    let ws = Workspace::load(root)?;
+    let files_scanned = ws.files.len() + ws.parse_errors.len();
+
+    // Allowlist entries are parsed up front: the transitive no-panic
+    // pass needs them to treat excused local sites as clean.
+    let allow_rel = rel_path(root, allow_path);
+    let (entries, mut allow_errs) = match fs::read_to_string(allow_path) {
+        Ok(text) => allow::parse(&allow_rel, &text),
+        Err(_) => (Vec::new(), Vec::new()),
+    };
+
+    let mut findings = ws.check(&entries, opts);
+    findings.extend(manifest_findings(&ws));
+
+    let mut findings = allow::apply(&allow_rel, &entries, findings);
+    findings.append(&mut allow_errs);
+    sort_findings(&mut findings);
     Ok(Report {
         findings,
         files_scanned,

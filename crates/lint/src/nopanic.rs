@@ -1,0 +1,425 @@
+//! Interprocedural pass: transitive no-panic over the call graph.
+//!
+//! The v1 `no-panic` rule matches panic tokens *inside* the protocol
+//! files ([`crate::NO_PANIC_PATHS`]). This pass closes the hole v1
+//! cannot see: a protocol function calling a helper two (or twenty)
+//! hops away that panics. May-panic facts are computed per function
+//! and propagated backwards along resolved call edges, so every
+//! function defined in a `NO_PANIC_PATHS` file is checked to arbitrary
+//! depth; a finding names the offending call chain.
+//!
+//! Source categories:
+//!
+//! * **abort-certain** — `panic!`/`unreachable!`/`todo!`/
+//!   `unimplemented!` and `.unwrap()`/`.expect()`. Propagated always.
+//! * **data-dependent** — slice/array indexing and unchecked
+//!   `+ - *` on integer-looking operands. These panic only for some
+//!   inputs, and the crypto limb kernels index-by-invariant in every
+//!   loop, so propagating them drowns the signal; they are collected
+//!   but only propagated under `--strict-panics` (the charge-arith
+//!   pass audits the sites where a wrap is a charging bug). See
+//!   DESIGN §9.1 for the envelope.
+//!
+//! Suppression: a local site inside function `f` of file `p` that an
+//! allowlist entry `no-panic p f` (or `*`) covers is treated as clean
+//! *before* propagation — callers of an invariant-true `expect` are
+//! not re-flagged, which is what keeps `LINT_ALLOW` tight.
+
+use crate::allow::AllowEntry;
+use crate::graph::CallGraph;
+use crate::rules::Finding;
+use crate::scan::ScannedFile;
+use syn::TokenKind;
+
+/// Macros whose expansion aborts.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// How a local site can panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicCat {
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Macro,
+    /// `.unwrap()` / `.expect(…)`.
+    UnwrapExpect,
+    /// `x[i]` slice/array indexing.
+    Index,
+    /// Unchecked `+ - *` on integer-looking operands.
+    Arith,
+}
+
+impl PanicCat {
+    fn propagated(self, strict: bool) -> bool {
+        match self {
+            PanicCat::Macro | PanicCat::UnwrapExpect => true,
+            PanicCat::Index | PanicCat::Arith => strict,
+        }
+    }
+}
+
+/// One may-panic site inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// Which source category.
+    pub cat: PanicCat,
+    /// 1-based line / column.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Short description (`.unwrap()`, `panic!`, `x[i]`, `+`).
+    pub desc: String,
+}
+
+/// Why a function may panic: a local site, or a call into a function
+/// that (transitively) may panic.
+#[derive(Debug, Clone)]
+enum Cause {
+    Local(PanicSite),
+    Via { callee: usize },
+}
+
+/// True when the significant token at `si` is a slice/array index
+/// opening bracket (`x[…`, `foo()[…`, `a[i][j]`). Attribute brackets
+/// (`#[…]`) and array literals (`= […]`, `([…])`) do not qualify:
+/// their `[` never follows an operand.
+pub fn is_index_at(file: &ScannedFile, si: usize) -> bool {
+    let t = file.sig_tok(si);
+    if !t.is_punct('[') || si == 0 {
+        return false;
+    }
+    let prev = file.sig_tok(si - 1);
+    match prev.kind {
+        TokenKind::Ident => !is_keyword(&prev.text),
+        TokenKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+        _ => false,
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "match"
+            | "return"
+            | "in"
+            | "as"
+            | "mut"
+            | "ref"
+            | "move"
+            | "break"
+            | "continue"
+            | "loop"
+            | "while"
+            | "for"
+            | "let"
+            | "fn"
+            | "where"
+            | "impl"
+            | "dyn"
+            | "unsafe"
+            | "const"
+            | "static"
+            | "type"
+            | "use"
+            | "pub"
+            | "crate"
+            | "super"
+            | "self"
+            | "Self"
+    )
+}
+
+/// Float-looking operand text: a literal with a decimal point or float
+/// suffix, or the `f32`/`f64` type idents that end an `as` cast.
+fn float_like(text: &str) -> bool {
+    text == "f32"
+        || text == "f64"
+        || (text.chars().next().is_some_and(|c| c.is_ascii_digit())
+            && (text.contains('.') || text.ends_with("f32") || text.ends_with("f64")))
+}
+
+/// True when the token at `si` is a binary `+`, `-` or `*` (or the
+/// operator half of `+=`, `-=`, `*=`) between integer-looking
+/// operands. Dereferences, unary minus, `->`, references and
+/// float-typed math do not qualify.
+pub fn is_unchecked_arith_at(file: &ScannedFile, si: usize) -> bool {
+    let t = file.sig_tok(si);
+    let op = match t.text.chars().next() {
+        Some(c @ ('+' | '-' | '*')) => c,
+        _ => return false,
+    };
+    if t.kind != TokenKind::Punct || si == 0 || si + 1 >= file.sig.len() {
+        return false;
+    }
+    let next = file.sig_tok(si + 1);
+    // `->` is a return arrow, not subtraction.
+    if op == '-' && next.is_punct('>') {
+        return false;
+    }
+    let prev = file.sig_tok(si - 1);
+    // Binary position: the left neighbour must be an operand end.
+    let prev_is_operand = match prev.kind {
+        TokenKind::Ident => !is_keyword(&prev.text),
+        TokenKind::Literal => true,
+        TokenKind::Punct => prev.is_punct(')') || prev.is_punct(']'),
+        _ => false,
+    };
+    if !prev_is_operand {
+        return false;
+    }
+    // Right neighbour: operand start — ident, literal, `(`, `*deref`,
+    // `&ref`, unary `-`, or `=` (compound assignment).
+    let next_is_operand = match next.kind {
+        TokenKind::Ident => !is_keyword(&next.text) || next.text == "self",
+        TokenKind::Literal => true,
+        TokenKind::Punct => {
+            next.is_punct('(')
+                || next.is_punct('*')
+                || next.is_punct('&')
+                || next.is_punct('-')
+                || next.is_punct('=')
+        }
+        _ => false,
+    };
+    if !next_is_operand {
+        return false;
+    }
+    // Float math never aborts; skip when either neighbour is visibly
+    // float (`x as f64 * rate`, `0.5 * y`).
+    if float_like(&prev.text) || float_like(&next.text) {
+        return false;
+    }
+    true
+}
+
+/// Collects the local may-panic sites of one function body, honouring
+/// the test mask.
+pub fn local_panic_sites(file: &ScannedFile, body: (usize, usize)) -> Vec<PanicSite> {
+    let mut out = Vec::new();
+    let (start, end) = body;
+    for si in start..=end.min(file.sig.len().saturating_sub(1)) {
+        if file.sig_in_test(si) {
+            continue;
+        }
+        let t = file.sig_tok(si);
+        if t.kind == TokenKind::Ident {
+            let next = file.sig.get(si + 1).map(|&r| &file.tokens[r]);
+            let prev_dot = si > 0 && file.sig_tok(si - 1).is_punct('.');
+            if PANIC_MACROS.contains(&t.text.as_str()) && next.is_some_and(|n| n.is_punct('!')) {
+                out.push(PanicSite {
+                    cat: PanicCat::Macro,
+                    line: t.line,
+                    col: t.col,
+                    desc: format!("{}!", t.text),
+                });
+            } else if (t.text == "unwrap" || t.text == "expect")
+                && prev_dot
+                && next.is_some_and(|n| n.is_punct('('))
+            {
+                out.push(PanicSite {
+                    cat: PanicCat::UnwrapExpect,
+                    line: t.line,
+                    col: t.col,
+                    desc: format!(".{}()", t.text),
+                });
+            }
+        } else if is_index_at(file, si) {
+            out.push(PanicSite {
+                cat: PanicCat::Index,
+                line: t.line,
+                col: t.col,
+                desc: "indexing".to_string(),
+            });
+        } else if is_unchecked_arith_at(file, si) {
+            out.push(PanicSite {
+                cat: PanicCat::Arith,
+                line: t.line,
+                col: t.col,
+                desc: format!("unchecked `{}`", t.text),
+            });
+        }
+    }
+    out
+}
+
+/// Whether an allowlist entry suppresses a local panic site inside
+/// `fn_name` of `path` (matched under the v1 `no-panic` rule or this
+/// pass's `transitive-no-panic`).
+fn site_allowed(allow: &[AllowEntry], path: &str, fn_name: &str, enclosing: &str) -> bool {
+    allow.iter().any(|e| {
+        (e.rule == "no-panic" || e.rule == "transitive-no-panic")
+            && e.path == path
+            && (e.item == "*" || e.item == fn_name || e.item == enclosing)
+    })
+}
+
+/// Runs the pass: findings for every `NO_PANIC_PATHS` function whose
+/// call chain reaches a panic site outside itself.
+pub fn check(
+    graph: &CallGraph<'_>,
+    roots_under: &[&str],
+    allow: &[AllowEntry],
+    strict: bool,
+) -> Vec<Finding> {
+    let n = graph.fns.len();
+    let is_root: Vec<bool> = (0..n)
+        .map(|id| {
+            let path = graph.fn_path(id);
+            roots_under.iter().any(|p| path.starts_with(p))
+                && !graph.fns[id].is_test
+                && graph.files[graph.fns[id].file].kind == crate::scan::FileKind::Src
+        })
+        .collect();
+
+    // Unsuppressed, propagation-eligible local cause per function.
+    let local: Vec<Option<PanicSite>> = (0..n)
+        .map(|id| {
+            let f = &graph.fns[id];
+            if f.is_test || graph.files[f.file].kind != crate::scan::FileKind::Src {
+                return None;
+            }
+            let file = &graph.files[f.file];
+            let body = f.body?;
+            local_panic_sites(file, body)
+                .into_iter()
+                .filter(|s| s.cat.propagated(strict))
+                .find(|s| {
+                    let enclosing = site_item(file, body, s);
+                    !site_allowed(allow, &file.rel_path, &f.name, &enclosing)
+                })
+        })
+        .collect();
+
+    // Memoized backwards propagation. Roots are opaque as callees —
+    // their own analysis reports deeper chains once, instead of every
+    // transitive caller repeating them.
+    let mut memo: Vec<Option<Option<Cause>>> = vec![None; n];
+    let mut on_stack = vec![false; n];
+    for id in 0..n {
+        may_panic(graph, &local, &is_root, &mut memo, &mut on_stack, id);
+    }
+
+    let mut findings = Vec::new();
+    for root in (0..n).filter(|&id| is_root[id]) {
+        for call in &graph.calls[root] {
+            // Local sites are v1's domain; this pass reports reaches
+            // *through calls* only.
+            let Some(&callee) = call.callees.iter().find(|&&c| {
+                !is_root[c]
+                    && graph.files[graph.fns[c].file].kind == crate::scan::FileKind::Src
+                    && cause_of(&memo, c).is_some()
+            }) else {
+                continue;
+            };
+            let chain = build_chain(graph, &memo, root, callee);
+            findings.push(Finding {
+                rule: "transitive-no-panic",
+                path: graph.fn_path(root).to_string(),
+                line: call.line,
+                col: call.col,
+                item: graph.fns[root].name.clone(),
+                message: chain,
+            });
+            break; // one finding per root function keeps reports readable
+        }
+    }
+    findings
+}
+
+fn cause_of(memo: &[Option<Option<Cause>>], id: usize) -> Option<&Cause> {
+    memo.get(id)
+        .and_then(|m| m.as_ref())
+        .and_then(|c| c.as_ref())
+}
+
+fn may_panic(
+    graph: &CallGraph<'_>,
+    local: &[Option<PanicSite>],
+    is_root: &[bool],
+    memo: &mut [Option<Option<Cause>>],
+    on_stack: &mut [bool],
+    id: usize,
+) -> bool {
+    if let Some(m) = &memo[id] {
+        return m.is_some();
+    }
+    if on_stack[id] {
+        // Recursion cycle: assume clean along this edge; any real
+        // panic in the cycle is found from the entry point.
+        return false;
+    }
+    on_stack[id] = true;
+    let mut cause: Option<Cause> = local[id].clone().map(Cause::Local);
+    if cause.is_none() {
+        'calls: for call in &graph.calls[id] {
+            for &callee in &call.callees {
+                if is_root[callee]
+                    || graph.files[graph.fns[callee].file].kind != crate::scan::FileKind::Src
+                {
+                    // Root fns are an opaque boundary (reported at that
+                    // root); test/bench-file fns are bogus resolutions.
+                    continue;
+                }
+                if may_panic(graph, local, is_root, memo, on_stack, callee) {
+                    cause = Some(Cause::Via { callee });
+                    break 'calls;
+                }
+            }
+        }
+    }
+    on_stack[id] = false;
+    let hit = cause.is_some();
+    memo[id] = Some(cause);
+    hit
+}
+
+/// Innermost named item at a panic site (what v1 findings key on).
+fn site_item(file: &ScannedFile, body: (usize, usize), site: &PanicSite) -> String {
+    for si in body.0..=body.1.min(file.sig.len().saturating_sub(1)) {
+        let t = file.sig_tok(si);
+        if t.line == site.line && t.col == site.col {
+            return file.sig_item(si).to_string();
+        }
+    }
+    String::new()
+}
+
+/// `root -> a -> b: .unwrap() at crates/x.rs:12` chain message.
+fn build_chain(
+    graph: &CallGraph<'_>,
+    memo: &[Option<Option<Cause>>],
+    root: usize,
+    first: usize,
+) -> String {
+    let mut labels = vec![graph.fn_label(root)];
+    let mut cur = first;
+    let mut hops = 0usize;
+    loop {
+        labels.push(graph.fn_label(cur));
+        hops += 1;
+        match cause_of(memo, cur) {
+            Some(Cause::Via { callee, .. }) => {
+                if hops > 12 {
+                    labels.push("…".to_string());
+                    return format!(
+                        "call chain may panic: {} (chain truncated)",
+                        labels.join(" -> ")
+                    );
+                }
+                cur = *callee;
+            }
+            Some(Cause::Local(site)) => {
+                return format!(
+                    "call chain may panic: {}; {} at {}:{}",
+                    labels.join(" -> "),
+                    site.desc,
+                    graph.fn_path(cur),
+                    site.line
+                );
+            }
+            None => {
+                // Unreachable by construction; keep a sane message.
+                return format!("call chain may panic: {}", labels.join(" -> "));
+            }
+        }
+    }
+}

@@ -1,10 +1,16 @@
-//! The five repo-specific lint rules.
+//! The five per-file repo-specific lint rules.
 //!
-//! Every rule is a pure function from a [`ScannedFile`] to findings;
-//! the workspace runner in `lib.rs` decides which files each rule sees
-//! and layers the allowlist on top. Rules match *token sequences* (via
-//! [`ScannedFile::sig`]), never raw text, so code inside strings,
-//! comments, or doc examples can not trip them.
+//! Every rule here is a pure function from a [`ScannedFile`] to
+//! findings; the workspace runner in `lib.rs` decides which files each
+//! rule sees and layers the allowlist on top. Rules match *token
+//! sequences* (via [`ScannedFile::sig`]), never raw text, so code
+//! inside strings, comments, or doc examples can not trip them.
+//!
+//! The three interprocedural passes (`transitive-no-panic`,
+//! `lock-order`, `charge-arith`) live in their own modules
+//! ([`crate::nopanic`], [`crate::locks`], [`crate::charge`]) because
+//! they see the whole workspace call graph, not one file; their rule
+//! ids are registered in [`RULES`] so the allowlist covers them.
 
 use crate::scan::{FileKind, ScannedFile};
 use syn::TokenKind;
@@ -13,7 +19,8 @@ use syn::TokenKind;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Rule identifier (`safety-comment`, `unsafe-scope`, `no-panic`,
-    /// `secret-hygiene`, `determinism`, or the meta rules `parse` and
+    /// `secret-hygiene`, `determinism`, `transitive-no-panic`,
+    /// `lock-order`, `charge-arith`, or the meta rules `parse` and
     /// `allowlist`).
     pub rule: &'static str,
     /// Workspace-relative path.
@@ -59,6 +66,18 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "determinism",
         "no wall-clock (Instant/SystemTime::now) or ambient randomness outside allowlisted modules",
+    ),
+    (
+        "transitive-no-panic",
+        "no call chain from a NO_PANIC_PATHS root reaches unwrap/expect/panic! anywhere in the workspace (call-graph propagation)",
+    ),
+    (
+        "lock-order",
+        "the workspace lock graph (Mutex/RwLock acquisition order, propagated along call edges) is cycle-free",
+    ),
+    (
+        "charge-arith",
+        "arithmetic on charging counters in the accounting files is saturating/checked; a silent wrap is a charging bug",
     ),
 ];
 

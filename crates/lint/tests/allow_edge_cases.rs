@@ -1,0 +1,124 @@
+//! Edge-case coverage for the LINT_ALLOW parser and the checked-apply
+//! semantics: wildcard items, stale-entry reporting, duplicate
+//! entries, malformed lines, and trailing-comment handling.
+
+use tlc_lint::allow::{apply, parse};
+use tlc_lint::rules::Finding;
+
+fn f(rule: &'static str, path: &str, item: &str) -> Finding {
+    Finding {
+        rule,
+        path: path.to_string(),
+        line: 7,
+        col: 3,
+        item: item.to_string(),
+        message: String::new(),
+    }
+}
+
+#[test]
+fn wildcard_item_covers_every_item_in_the_file_only() {
+    let (entries, errs) = parse("LINT_ALLOW", "determinism crates/a/src/x.rs *\n");
+    assert!(errs.is_empty(), "{errs:?}");
+    let kept = apply(
+        "LINT_ALLOW",
+        &entries,
+        vec![
+            f("determinism", "crates/a/src/x.rs", "foo"),
+            f("determinism", "crates/a/src/x.rs", "bar"),
+            // Same rule, different file: not covered.
+            f("determinism", "crates/a/src/y.rs", "foo"),
+            // Same file, different rule: not covered.
+            f("no-panic", "crates/a/src/x.rs", "foo"),
+        ],
+    );
+    let mut survived: Vec<(&str, &str)> = kept.iter().map(|k| (k.rule, k.path.as_str())).collect();
+    survived.sort_unstable();
+    assert_eq!(
+        survived,
+        [
+            ("determinism", "crates/a/src/y.rs"),
+            ("no-panic", "crates/a/src/x.rs"),
+        ],
+        "{kept:?}"
+    );
+}
+
+#[test]
+fn stale_entries_report_their_own_line_number() {
+    let text = "\n# header comment\nno-panic crates/a/src/x.rs live # fine\nno-panic crates/a/src/x.rs gone # obsolete\n";
+    let (entries, errs) = parse("LINT_ALLOW", text);
+    assert!(errs.is_empty(), "{errs:?}");
+    let kept = apply(
+        "LINT_ALLOW",
+        &entries,
+        vec![f("no-panic", "crates/a/src/x.rs", "live")],
+    );
+    assert_eq!(kept.len(), 1, "{kept:?}");
+    assert_eq!(kept[0].rule, "allowlist");
+    // `gone` sits on line 4 of the file, comments and blanks included.
+    assert_eq!(kept[0].line, 4);
+    assert!(kept[0].message.contains("stale"), "{}", kept[0].message);
+    assert!(kept[0].message.contains("gone"), "{}", kept[0].message);
+}
+
+#[test]
+fn duplicate_entries_are_reported_and_not_double_counted() {
+    let text = "no-panic crates/a/src/x.rs foo\nno-panic crates/a/src/x.rs foo # same again\n";
+    let (entries, errs) = parse("LINT_ALLOW", text);
+    // Only the first copy becomes an entry...
+    assert_eq!(entries.len(), 1);
+    // ...and the second is a finding pointing back at the first.
+    assert_eq!(errs.len(), 1, "{errs:?}");
+    assert_eq!(errs[0].rule, "allowlist");
+    assert_eq!(errs[0].line, 2);
+    assert!(errs[0].message.contains("duplicate"), "{}", errs[0].message);
+    assert!(
+        errs[0].message.contains("first on line 1"),
+        "{}",
+        errs[0].message
+    );
+    // The surviving entry still works — and produces exactly one
+    // stale report when unused, not two.
+    let kept = apply("LINT_ALLOW", &entries, vec![]);
+    assert_eq!(kept.len(), 1, "{kept:?}");
+}
+
+#[test]
+fn malformed_lines_are_findings_not_panics() {
+    let text = "no-panic crates/a/src/x.rs\nno-panic a b c d\nnot-a-rule crates/a/src/x.rs foo\n";
+    let (entries, errs) = parse("LINT_ALLOW", text);
+    assert!(entries.is_empty(), "{entries:?}");
+    assert_eq!(errs.len(), 3, "{errs:?}");
+    assert!(errs[0].message.contains("malformed"), "{}", errs[0].message);
+    assert!(errs[1].message.contains("malformed"), "{}", errs[1].message);
+    assert!(
+        errs[2].message.contains("unknown rule"),
+        "{}",
+        errs[2].message
+    );
+    assert_eq!(
+        errs.iter().map(|e| e.line).collect::<Vec<_>>(),
+        [1, 2, 3],
+        "each malformed line is pinpointed"
+    );
+}
+
+#[test]
+fn trailing_comments_and_comment_only_lines_are_ignored() {
+    let text = "# full-line comment\n   # indented comment\nno-panic crates/a/src/x.rs foo # trailing # nested hash\n\n";
+    let (entries, errs) = parse("LINT_ALLOW", text);
+    assert!(errs.is_empty(), "{errs:?}");
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].item, "foo");
+    assert_eq!(entries[0].line, 3);
+}
+
+#[test]
+fn interprocedural_rule_ids_are_valid_allowlist_rules() {
+    // The v2 passes must be suppressible through the same mechanism.
+    let text = "transitive-no-panic crates/a/src/x.rs root\nlock-order crates/a/src/x.rs forward\ncharge-arith crates/a/src/x.rs record\n";
+    let (entries, errs) = parse("LINT_ALLOW", text);
+    assert!(errs.is_empty(), "{errs:?}");
+    assert_eq!(entries.len(), 3);
+}

@@ -1,0 +1,23 @@
+//! Fixture: arithmetic on charging counters. `record` wraps silently
+//! on overflow — exactly the class of bug the charge-arith audit
+//! exists to catch; `record_ok` is the accepted saturating form, and
+//! `lossy` narrows a 64-bit counter through an `as` cast.
+
+pub struct Counters {
+    pub sent: u64,
+    pub delivered: u64,
+}
+
+impl Counters {
+    pub fn record(&mut self, n: u64) {
+        self.sent += n;
+    }
+
+    pub fn record_ok(&mut self, n: u64) {
+        self.delivered = self.delivered.saturating_add(n);
+    }
+
+    pub fn lossy(&self) -> u32 {
+        self.sent as u32
+    }
+}

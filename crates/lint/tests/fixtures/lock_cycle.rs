@@ -1,0 +1,30 @@
+//! Fixture: an a->b / b->a lock-order cycle. `forward` holds `a` and
+//! picks up `b` *interprocedurally* (through `bump_b`); `backward`
+//! nests them directly in the opposite order. Neither path alone is a
+//! bug — together they can deadlock.
+
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+impl Shared {
+    pub fn forward(&self) {
+        let ga = self.a.lock().unwrap();
+        self.bump_b();
+        drop(ga);
+    }
+
+    fn bump_b(&self) {
+        let gb = self.b.lock().unwrap();
+        let _ = gb;
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *gb + *ga
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: a no-panic root that reaches a panic only via a two-hop
+//! call chain. This file itself contains no panic token, so the v1
+//! per-file `no-panic` rule sees nothing here; only the transitive
+//! pass can connect it to `helper_deep`'s `.expect()`.
+
+use super::fixture_helper::helper_mid;
+
+pub fn verify_frame(buf: &[u8]) -> usize {
+    helper_mid(buf)
+}

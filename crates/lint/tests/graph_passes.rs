@@ -1,0 +1,146 @@
+//! Fixture tests for the three interprocedural passes (DESIGN §9.1):
+//! transitive no-panic propagation, lock-order cycle detection, and
+//! the charge-arithmetic audit. Each test also pins down what the v1
+//! per-file rules could *not* see, so the value of the call-graph
+//! layer stays demonstrated, not assumed.
+
+use tlc_lint::rules::Finding;
+use tlc_lint::{lint_source, lint_sources};
+
+fn by_rule<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings.iter().filter(|f| f.rule == rule).collect()
+}
+
+#[test]
+fn two_hop_panic_chain_is_invisible_to_the_per_file_rule() {
+    // The root file contains no panic token at all, so the v1
+    // direct-token `no-panic` rule must find nothing in it — the panic
+    // lives two calls away in a file outside the no-panic scope.
+    let root = include_str!("fixtures/nopanic_chain_root.rs");
+    let findings = lint_source("crates/core/src/verify/fixture_root.rs", root);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn two_hop_panic_chain_is_caught_transitively_with_the_chain_named() {
+    let root = include_str!("fixtures/nopanic_chain_root.rs");
+    let helper = include_str!("fixtures/nopanic_chain_helper.rs");
+    let findings = lint_sources(&[
+        ("crates/core/src/verify/fixture_root.rs", root),
+        ("crates/core/src/fixture_helper.rs", helper),
+    ]);
+    let hits = by_rule(&findings, "transitive-no-panic");
+    assert_eq!(hits.len(), 1, "{findings:?}");
+    let f = hits[0];
+    // The finding lands on the root (the fn that owes the guarantee)...
+    assert_eq!(f.path, "crates/core/src/verify/fixture_root.rs");
+    assert_eq!(f.item, "verify_frame");
+    // ...and names the full chain plus the offending site.
+    assert!(
+        f.message
+            .contains("verify_frame -> helper_mid -> helper_deep"),
+        "chain not named: {}",
+        f.message
+    );
+    assert!(
+        f.message.contains("crates/core/src/fixture_helper.rs"),
+        "panic site file not named: {}",
+        f.message
+    );
+    // Nothing else fires: the helper file is outside the per-file
+    // no-panic scope by design.
+    assert_eq!(findings.len(), 1, "{findings:?}");
+}
+
+#[test]
+fn helper_alone_outside_the_scope_stays_clean() {
+    // Without a no-panic root reaching it, the panicking helper is not
+    // a finding — the guarantee attaches to roots, not helpers.
+    let helper = include_str!("fixtures/nopanic_chain_helper.rs");
+    let findings = lint_sources(&[("crates/core/src/fixture_helper.rs", helper)]);
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn opposite_order_lock_acquisition_is_a_cycle() {
+    // `forward` holds a and takes b through a call; `backward` nests
+    // b then a directly. The pass must stitch both edge kinds into one
+    // reported cycle.
+    let src = include_str!("fixtures/lock_cycle.rs");
+    let findings = lint_sources(&[("crates/net/src/fixture_locks.rs", src)]);
+    let hits = by_rule(&findings, "lock-order");
+    assert!(!hits.is_empty(), "{findings:?}");
+    let msg = &hits[0].message;
+    assert!(
+        msg.contains("Shared.a") && msg.contains("Shared.b"),
+        "cycle locks not named: {msg}"
+    );
+    assert_eq!(
+        findings.len(),
+        hits.len(),
+        "only lock-order fires: {findings:?}"
+    );
+}
+
+#[test]
+fn consistent_lock_order_is_clean() {
+    let src = r#"
+use std::sync::Mutex;
+
+pub struct Shared {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+impl Shared {
+    pub fn both(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn both_again(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga * *gb
+    }
+}
+"#;
+    let findings = lint_sources(&[("crates/net/src/fixture_locks.rs", src)]);
+    assert!(by_rule(&findings, "lock-order").is_empty(), "{findings:?}");
+}
+
+#[test]
+fn unchecked_arithmetic_on_charge_counters_is_flagged() {
+    // The fixture poses as a CHARGE_PATHS file; its raw `+=` and its
+    // narrowing `as u32` must both fire, while the saturating form in
+    // `record_ok` stays clean.
+    let src = include_str!("fixtures/charge_overflow.rs");
+    let findings = lint_sources(&[("crates/sim/src/soa.rs", src)]);
+    let hits = by_rule(&findings, "charge-arith");
+    assert_eq!(hits.len(), 2, "{findings:?}");
+    assert_eq!(hits[0].item, "record");
+    assert!(
+        hits[0].message.contains("`+=`") && hits[0].message.contains("sent"),
+        "{}",
+        hits[0].message
+    );
+    assert_eq!(hits[1].item, "lossy");
+    assert!(hits[1].message.contains("u32"), "{}", hits[1].message);
+    assert!(
+        !findings.iter().any(|f| f.item == "record_ok"),
+        "saturating form must not fire: {findings:?}"
+    );
+}
+
+#[test]
+fn charge_audit_is_scoped_to_charge_paths() {
+    // The same source outside CHARGE_PATHS is not audited: raw `+=`
+    // on a non-charging struct is ordinary arithmetic.
+    let src = include_str!("fixtures/charge_overflow.rs");
+    let findings = lint_sources(&[("crates/net/src/fixture_counters.rs", src)]);
+    assert!(
+        by_rule(&findings, "charge-arith").is_empty(),
+        "{findings:?}"
+    );
+}

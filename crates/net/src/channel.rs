@@ -205,11 +205,14 @@ impl FaultyChannel {
     /// Drains every frame due at or before `now`, in delivery order.
     pub fn poll(&mut self, now: SimTime) -> Vec<Vec<u8>> {
         let mut out = Vec::new();
-        while let Some(Reverse((t, _, _))) = self.in_flight.peek() {
-            if *t > now.as_micros() {
+        while self
+            .in_flight
+            .peek()
+            .is_some_and(|Reverse((t, _, _))| *t <= now.as_micros())
+        {
+            let Some(Reverse((_, _, payload))) = self.in_flight.pop() else {
                 break;
-            }
-            let Reverse((_, _, payload)) = self.in_flight.pop().expect("peeked");
+            };
             self.stats.delivered += 1;
             out.push(payload);
         }

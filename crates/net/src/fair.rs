@@ -36,16 +36,19 @@ struct Band {
 
 impl Band {
     fn flow_mut(&mut self, flow: FlowId) -> &mut FlowQueue {
-        if let Some(i) = self.flows.iter().position(|f| f.flow == flow) {
-            return &mut self.flows[i];
-        }
-        self.flows.push(FlowQueue {
-            flow,
-            packets: VecDeque::new(),
-            bytes: 0,
-            deficit: 0,
-        });
-        self.flows.last_mut().expect("just pushed")
+        let i = match self.flows.iter().position(|f| f.flow == flow) {
+            Some(i) => i,
+            None => {
+                self.flows.push(FlowQueue {
+                    flow,
+                    packets: VecDeque::new(),
+                    bytes: 0,
+                    deficit: 0,
+                });
+                self.flows.len() - 1
+            }
+        };
+        &mut self.flows[i]
     }
 
     fn is_empty(&self) -> bool {
@@ -75,12 +78,18 @@ impl Band {
                 self.cursor %= self.flows.len();
                 continue;
             }
-            let head_size = f.packets.front().expect("nonempty").size;
+            let Some(head_size) = f.packets.front().map(|p| p.size) else {
+                // Non-empty was checked above; defensive rather than
+                // panicking on a protocol-reachable path.
+                continue;
+            };
             if f.deficit >= head_size {
                 f.deficit -= head_size;
-                let pkt = f.packets.pop_front().expect("nonempty");
-                f.bytes -= pkt.size as u64;
-                return Some(pkt);
+                if let Some(pkt) = f.packets.pop_front() {
+                    f.bytes -= pkt.size as u64;
+                    return Some(pkt);
+                }
+                continue;
             }
             // Not enough credit: top up and move on.
             f.deficit = f.deficit.saturating_add(DRR_QUANTUM);
@@ -160,7 +169,11 @@ impl FairQueue {
                 .filter(|f| !f.packets.is_empty())
                 .max_by_key(|f| f.bytes)
             {
-                let victim = f.packets.pop_back().expect("nonempty");
+                let Some(victim) = f.packets.pop_back() else {
+                    // Filtered non-empty above; defensive rather than
+                    // panicking on a protocol-reachable path.
+                    continue;
+                };
                 f.bytes -= victim.size as u64;
                 self.used_bytes -= victim.size as u64;
                 self.stats.dropped_pkts += 1;

@@ -99,11 +99,10 @@ impl Link {
     /// Finishes transmissions whose serialization ends at or before `now`,
     /// chaining back-to-back service.
     fn complete_service_until(&mut self, now: SimTime) {
-        while let Some((end, _)) = self.in_service {
-            if end > now {
+        while self.in_service.as_ref().is_some_and(|(end, _)| *end <= now) {
+            let Some((end, pkt)) = self.in_service.take() else {
                 break;
-            }
-            let (end, pkt) = self.in_service.take().expect("checked above");
+            };
             self.in_flight.push_back((end + self.params.latency, pkt));
             self.maybe_start(end);
         }
@@ -129,11 +128,10 @@ impl Link {
     pub fn poll_timed(&mut self, now: SimTime) -> Vec<(SimTime, Packet)> {
         self.complete_service_until(now);
         let mut out = Vec::new();
-        while let Some((deliver_at, _)) = self.in_flight.front() {
-            if *deliver_at > now {
+        while self.in_flight.front().is_some_and(|(t, _)| *t <= now) {
+            let Some((at, pkt)) = self.in_flight.pop_front() else {
                 break;
-            }
-            let (at, pkt) = self.in_flight.pop_front().expect("checked above");
+            };
             self.stats.delivered_pkts += 1;
             self.stats.delivered_bytes += pkt.size as u64;
             out.push((at, pkt));

@@ -23,10 +23,11 @@ impl ByteCounter {
         Self::default()
     }
 
-    /// Records one packet of `size` bytes.
+    /// Records one packet of `size` bytes. Saturating: a wrapped
+    /// vantage counter would fabricate a charging gap out of thin air.
     pub fn record(&mut self, size: u32) {
-        self.packets += 1;
-        self.bytes += size as u64;
+        self.packets = self.packets.saturating_add(1);
+        self.bytes = self.bytes.saturating_add(size as u64);
     }
 
     /// Difference vs. an earlier snapshot (saturating).
@@ -62,7 +63,7 @@ impl UsageSeries {
         if idx >= self.buckets.len() {
             self.buckets.resize(idx + 1, 0);
         }
-        self.buckets[idx] += bytes;
+        self.buckets[idx] = self.buckets[idx].saturating_add(bytes);
     }
 
     /// Total bytes across all buckets.

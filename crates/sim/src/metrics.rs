@@ -37,8 +37,10 @@ impl Cdf {
 
     fn sort(&mut self) {
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            // total_cmp is total over all f64 (NaN included), so a
+            // sample that slipped past the push-time finiteness assert
+            // can never abort a sort deep inside a protocol call chain.
+            self.samples.sort_by(|a, b| a.total_cmp(b));
             self.sorted = true;
         }
     }

@@ -91,14 +91,15 @@ impl GapSweep {
     }
 
     /// Folds another sweep (shard merge, done in shard order).
+    /// Saturating: a wrapped aggregate would *be* a charging gap.
     pub fn merge(&mut self, other: &GapSweep) {
-        self.active_rows += other.active_rows;
-        self.total_sent += other.total_sent;
-        self.total_delivered += other.total_delivered;
-        self.total_gateway += other.total_gateway;
-        self.intended += other.intended;
-        self.legacy_gap += other.legacy_gap;
-        self.tlc_gap += other.tlc_gap;
+        self.active_rows = self.active_rows.saturating_add(other.active_rows);
+        self.total_sent = self.total_sent.saturating_add(other.total_sent);
+        self.total_delivered = self.total_delivered.saturating_add(other.total_delivered);
+        self.total_gateway = self.total_gateway.saturating_add(other.total_gateway);
+        self.intended = self.intended.saturating_add(other.intended);
+        self.legacy_gap = self.legacy_gap.saturating_add(other.legacy_gap);
+        self.tlc_gap = self.tlc_gap.saturating_add(other.tlc_gap);
     }
 }
 
@@ -186,11 +187,11 @@ impl ChargeColumns {
         congestion: u64,
         gateway_before_loss: bool,
     ) {
-        let lost = (air + congestion).min(sent);
-        let delivered = sent - lost;
+        let lost = air.saturating_add(congestion).min(sent);
+        let delivered = sent.saturating_sub(lost);
         let add = |v: &mut Vec<u64>, d: u64| {
             if let Some(x) = v.get_mut(row) {
-                *x += d;
+                *x = x.saturating_add(d);
             }
         };
         add(&mut self.sent, sent);
@@ -214,9 +215,9 @@ impl ChargeColumns {
             return 0;
         };
         let clawed = bytes.min(*d);
-        *d -= clawed;
+        *d = d.saturating_sub(clawed);
         if let Some(x) = self.lost_handover.get_mut(row) {
-            *x += clawed;
+            *x = x.saturating_add(clawed);
         }
         clawed
     }
@@ -261,13 +262,15 @@ impl ChargeColumns {
             let gateway = self.gateway[i];
             let lag = self.monitor_lag[i];
             let (intended, legacy_gap, tlc_gap) = price_row(sent, delivered, gateway, lag, w);
-            out.active_rows += 1;
-            out.total_sent += sent;
-            out.total_delivered += delivered;
-            out.total_gateway += gateway;
-            out.intended += intended;
-            out.legacy_gap += legacy_gap;
-            out.tlc_gap += tlc_gap;
+            out.merge(&GapSweep {
+                active_rows: 1,
+                total_sent: sent,
+                total_delivered: delivered,
+                total_gateway: gateway,
+                intended,
+                legacy_gap,
+                tlc_gap,
+            });
         }
         out
     }

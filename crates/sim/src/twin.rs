@@ -357,13 +357,17 @@ impl Shard {
             if sampled {
                 self.sampled_n += 1;
             }
-            self.sweep.active_rows += 1;
-            self.sweep.total_sent += r.sent;
-            self.sweep.total_delivered += r.delivered;
-            self.sweep.total_gateway += r.gateway;
-            self.sweep.intended += settlement.intended;
-            self.sweep.legacy_gap += settlement.legacy_gap();
-            self.sweep.tlc_gap += settlement.tlc_gap();
+            // Saturating fold (charge-arith): a wrapped tally here would
+            // misstate the very gap the twin exists to measure.
+            self.sweep.merge(&GapSweep {
+                active_rows: 1,
+                total_sent: r.sent,
+                total_delivered: r.delivered,
+                total_gateway: r.gateway,
+                intended: settlement.intended,
+                legacy_gap: settlement.legacy_gap(),
+                tlc_gap: settlement.tlc_gap(),
+            });
             self.outbox.push(Settled {
                 shard: self.index,
                 row: id.index,
@@ -407,7 +411,7 @@ impl Shard {
         let delivered_rate = sent.saturating_sub(air).saturating_sub(congested);
         let lag = (delivered_rate as f64 * s.rng.range_f64(0.0, 0.05)) as u64;
         let row = id.index as usize;
-        self.offered += sent;
+        self.offered = self.offered.saturating_add(sent);
         self.cols.accrue(row, sent, air, congested, gw_before);
         self.cols.set_monitor_lag(row, lag);
         let tok = self.sched.schedule(now_us + tick_us, Event::Tick(id));

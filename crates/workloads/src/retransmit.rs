@@ -85,26 +85,28 @@ impl<W: Workload> Workload for RetransmittingSource<W> {
         // Merge the inner stream with the retransmission heap by time.
         let retx_at = self.pending.peek().map(|Reverse((t, _, _, _))| *t);
         let inner_at = self.upcoming.as_ref().map(|e| e.at);
-        match (inner_at, retx_at) {
-            (Some(ia), ra) if ra.is_none() || ia <= ra.expect("checked") => {
-                let e = self.upcoming.take().expect("checked");
-                self.upcoming = self.inner.next();
-                self.originals += 1;
-                if self.rng.chance(self.retx_probability) {
-                    let id = self.next_tiebreak;
-                    self.next_tiebreak += 1;
-                    self.pending
-                        .push(Reverse((e.at + self.rto, id, e.size, e.frame)));
-                }
-                Some(e)
+        let inner_first = match (inner_at, retx_at) {
+            (Some(_), None) => true,
+            (Some(ia), Some(ra)) => ia <= ra,
+            (None, _) => false,
+        };
+        if inner_first {
+            let e = self.upcoming.take()?;
+            self.upcoming = self.inner.next();
+            self.originals += 1;
+            if self.rng.chance(self.retx_probability) {
+                let id = self.next_tiebreak;
+                self.next_tiebreak += 1;
+                self.pending
+                    .push(Reverse((e.at + self.rto, id, e.size, e.frame)));
             }
-            (_, Some(_)) => {
-                let Reverse((t, _, size, frame)) = self.pending.pop().expect("checked");
-                self.retransmissions += 1;
-                Some(Emission { at: t, size, frame })
-            }
-            // Inner stream done, no pending copies.
-            (_, None) => None,
+            Some(e)
+        } else {
+            // Inner stream done (or later) — drain the retransmission
+            // heap; an empty heap means the whole stream is done.
+            let Reverse((t, _, size, frame)) = self.pending.pop()?;
+            self.retransmissions += 1;
+            Some(Emission { at: t, size, frame })
         }
     }
 
