@@ -211,7 +211,9 @@ fn main() {
     println!("  \"service_pocs_per_sec\": {{");
     for (i, (w, per_sec)) in scaling.iter().enumerate() {
         let comma = if i + 1 == scaling.len() { "" } else { "," };
-        println!("    \"{w}_workers\": {per_sec:.0}{comma}");
+        println!(
+            "    \"{w}_workers\": {{ \"pocs_per_sec\": {per_sec:.0}, \"host_cpus\": {host_cpus} }}{comma}"
+        );
     }
     println!("  }}");
     println!("}}");

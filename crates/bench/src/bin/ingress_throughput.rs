@@ -411,7 +411,8 @@ fn write_json(
     out.push_str("  \"runs\": [\n");
     for (k, r) in runs.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"shards\": {}, \"held_conns\": {}, \"server_connections\": {}, \
+            "    {{\"host_cpus\": {host_cpus}, \
+             \"shards\": {}, \"held_conns\": {}, \"server_connections\": {}, \
              \"pocs\": {}, \"elapsed_secs\": {:.3}, \"pocs_per_sec\": {:.1}, \
              \"pool_exhausted\": {}}}{}\n",
             r.shards,

@@ -178,7 +178,8 @@ fn write_json(path: &str, backend: WheelBackend, seed: u64, host_cpus: usize, ru
     for (k, r) in runs.iter().enumerate() {
         let drift = base.map_or(0.0, |b| (r.legacy_ratio - b.legacy_ratio).abs());
         out.push_str(&format!(
-            "    {{\"sessions\": {}, \"shards\": {}, \"threads\": {}, \
+            "    {{\"host_cpus\": {host_cpus}, \
+             \"sessions\": {}, \"shards\": {}, \"threads\": {}, \
              \"sessions_created\": {}, \"peak_concurrent\": {}, \
              \"events\": {}, \"cycles\": {}, \"handovers\": {}, \
              \"elapsed_secs\": {:.3}, \"sessions_per_sec\": {:.1}, \

@@ -68,6 +68,14 @@ impl LossWeight {
     pub fn scale(&self, v: u64) -> u64 {
         ((v as u128 * self.numer as u128 + (self.denom / 2) as u128) / self.denom as u128) as u64
     }
+
+    /// Exact `⌊c·v⌋` (round down). Settlement splits use the floor form
+    /// so the *remainder* side of a split can be assigned exactly
+    /// (`v − scale_floor(v)`), making three-party conservation hold by
+    /// construction instead of by rounding luck.
+    pub fn scale_floor(&self, v: u64) -> u64 {
+        ((v as u128 * self.numer as u128) / self.denom as u128) as u64
+    }
 }
 
 fn gcd(mut a: u32, mut b: u32) -> u32 {
@@ -183,6 +191,19 @@ mod tests {
         assert_eq!(LossWeight::ONE.scale(1_000_000), 1_000_000);
         assert_eq!(LossWeight::half().scale(1000), 500);
         assert_eq!(LossWeight::half().scale(1001), 501); // round half up
+    }
+
+    #[test]
+    fn scale_floor_never_exceeds_scale_and_splits_exactly() {
+        let c = LossWeight::new(1, 3);
+        for v in [0u64, 1, 2, 3, 999, 1000, u64::MAX] {
+            let f = c.scale_floor(v);
+            assert!(f <= c.scale(v));
+            // The remainder side of a floor split reconstructs v exactly.
+            assert_eq!(f + (v - f), v);
+        }
+        assert_eq!(c.scale_floor(1000), 333);
+        assert_eq!(LossWeight::half().scale_floor(1001), 500); // floor, not half-up
     }
 
     #[test]

@@ -97,8 +97,9 @@ pub mod codec;
 mod event_loop;
 
 use codec::{
-    BusyMsg, BusyScope, Fault, Hello, HelloAck, Register, Registered, StatsSnapshot, Submit,
-    SubmitBatch, SubmitBatchRef, SubmitRef, VerdictMsg, MAGIC, PROTOCOL_VERSION,
+    BusyMsg, BusyScope, Fault, Hello, HelloAck, Register, Registered, SettleMsg, SettleResult,
+    SettleVerdictMsg, StatsSnapshot, Submit, SubmitBatch, SubmitBatchRef, SubmitRef, VerdictMsg,
+    MAGIC, PROTOCOL_VERSION,
 };
 
 /// Failures surfaced by the remote client (and, internally, the
@@ -748,6 +749,7 @@ impl IngressCore {
                 let snapshot = self.stats_snapshot();
                 self.send(i, &snapshot.to_frame(FrameKind::Stats));
             }
+            (Phase::Ready, FrameKind::Settle) => self.handle_settle(i, payload),
             (Phase::Ready, FrameKind::Goodbye) => {
                 self.conns[i].goodbye = true;
                 self.maybe_finish_goodbye(i);
@@ -791,6 +793,29 @@ impl IngressCore {
             max_payload: self.config.max_payload,
         };
         self.send(i, &ack.to_frame());
+    }
+
+    /// Audits a three-party roaming settlement record: replays the
+    /// conservation law `home + visited + vendor == charged` and
+    /// answers with a SETTLE_VERDICT (DESIGN §14). The audit is
+    /// stateless — a split either conserves the charged volume or it
+    /// does not — so it costs no crypto and never touches the service.
+    fn handle_settle(&mut self, i: usize, payload: &[u8]) {
+        let settle = match SettleMsg::decode(payload) {
+            Ok(s) => s,
+            Err(detail) => return self.protocol_fault(i, detail),
+        };
+        let result = if settle.split.total() == settle.charged {
+            SettleResult::Conserved
+        } else {
+            SettleResult::SplitMismatch
+        };
+        let verdict = SettleVerdictMsg {
+            rel: settle.rel,
+            tag: settle.tag,
+            result,
+        };
+        self.send(i, &verdict.to_frame());
     }
 
     fn handle_register(&mut self, i: usize, payload: &[u8]) {
@@ -1645,6 +1670,42 @@ impl<S: Read + Write> RemoteVerifier<S> {
             return Err(RemoteError::Protocol("expected STATS"));
         }
         StatsSnapshot::decode(&frame.payload).map_err(RemoteError::Protocol)
+    }
+
+    /// Submits a three-party roaming settlement record for the
+    /// server's conservation audit and returns its verdict. Verdicts
+    /// and sheds arriving while waiting are absorbed as usual.
+    pub fn settle(
+        &mut self,
+        rel: RelationshipId,
+        serving: crate::roaming::Serving,
+        charged: u64,
+        split: crate::roaming::SettlementSplit,
+    ) -> Result<SettleResult, RemoteError> {
+        if !self.rels.contains(&rel.raw()) {
+            return Err(RemoteError::Service(ServiceError::UnknownRelationship(rel)));
+        }
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let msg = SettleMsg {
+            rel: rel.raw(),
+            tag,
+            serving,
+            charged,
+            split,
+        };
+        self.send_frame(&msg.to_frame())?;
+        let frame = self.read_non_verdict()?;
+        if frame.kind != FrameKind::SettleVerdict {
+            return Err(RemoteError::Protocol("expected SETTLE_VERDICT"));
+        }
+        let v = SettleVerdictMsg::decode(&frame.payload).map_err(RemoteError::Protocol)?;
+        if v.tag != tag {
+            return Err(RemoteError::Protocol(
+                "SETTLE_VERDICT for a different request",
+            ));
+        }
+        Ok(v.result)
     }
 
     /// Ends the session: the server streams any remaining verdicts

@@ -21,6 +21,8 @@
 //! GOODBYE      (empty)
 //! GOODBYE_ACK  (empty)
 //! BUSY         scope:u8 | retry_after_ms:u32 | rel:u64 | tag:u64
+//! SETTLE       rel:u64 | tag:u64 | serving:u8 | charged:u64 | home:u64 | visited:u64 | vendor:u64
+//! SETTLE_VERDICT rel:u64 | tag:u64 | result:u8
 //! ```
 //!
 //! Verdict result encoding — code byte, then operands:
@@ -47,6 +49,7 @@
 
 use crate::messages::{get_plan, put_plan, MessageError};
 use crate::plan::DataPlan;
+use crate::roaming::{Serving, SettlementSplit};
 use crate::verify::{Verdict, VerifyError};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use tlc_crypto::encoding::{decode_public_key, encode_public_key};
@@ -59,8 +62,9 @@ pub const MAGIC: u32 = 0x544C_4356;
 /// Wire protocol version carried in HELLO / HELLO_ACK.
 ///
 /// v2 added the BUSY frame (typed load shedding) and widened STATS
-/// from 12 to 16 counters.
-pub const PROTOCOL_VERSION: u16 = 2;
+/// from 12 to 16 counters. v3 added the SETTLE / SETTLE_VERDICT pair
+/// (three-party roaming settlement audit).
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Known [`MessageError::Malformed`] detail strings, in interning
 /// order. Append-only: indexes are wire format.
@@ -141,6 +145,11 @@ pub const PROTOCOL_STRINGS: &[&str] = &[
     "misbehavior limit exceeded",
     "truncated BUSY",
     "unknown BUSY scope",
+    "truncated SETTLE",
+    "unknown serving code",
+    "truncated SETTLE_VERDICT",
+    "unknown settlement result",
+    "settlement split mismatch",
 ];
 
 /// Fallback when a protocol-detail index is newer than this decoder.
@@ -907,6 +916,109 @@ impl BusyMsg {
     }
 }
 
+/// SETTLE payload: a three-party roaming settlement record submitted
+/// for conservation audit (DESIGN §14). The server replays the
+/// conservation law `home + visited + vendor == charged` and answers
+/// with a SETTLE_VERDICT; a split that fails the law is the roaming
+/// analogue of a charge that does not replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SettleMsg {
+    /// Relationship id from REGISTERED.
+    pub rel: u64,
+    /// Client-chosen correlation tag, echoed in the SETTLE_VERDICT.
+    pub tag: u64,
+    /// Which operator served the settled volume.
+    pub serving: Serving,
+    /// The negotiated charging volume being split.
+    pub charged: u64,
+    /// The proposed three-party split.
+    pub split: SettlementSplit,
+}
+
+impl SettleMsg {
+    /// Encodes into a SETTLE frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut b = BytesMut::with_capacity(49);
+        b.put_u64(self.rel);
+        b.put_u64(self.tag);
+        b.put_u8(self.serving.code());
+        b.put_u64(self.charged);
+        b.put_u64(self.split.home);
+        b.put_u64(self.split.visited);
+        b.put_u64(self.split.vendor);
+        Frame::new(FrameKind::Settle, b.to_vec())
+    }
+
+    /// Decodes a SETTLE payload.
+    pub fn decode(payload: &[u8]) -> Result<SettleMsg, &'static str> {
+        if payload.len() != 49 {
+            return Err("truncated SETTLE");
+        }
+        let mut b = Bytes::copy_from_slice(payload);
+        let rel = b.get_u64();
+        let tag = b.get_u64();
+        let serving = Serving::from_code(b.get_u8()).ok_or("unknown serving code")?;
+        Ok(SettleMsg {
+            rel,
+            tag,
+            serving,
+            charged: b.get_u64(),
+            split: SettlementSplit {
+                home: b.get_u64(),
+                visited: b.get_u64(),
+                vendor: b.get_u64(),
+            },
+        })
+    }
+}
+
+/// What the server concluded about a submitted settlement split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SettleResult {
+    /// `home + visited + vendor == charged`: the split conserves.
+    Conserved = 0,
+    /// The split does not sum to the charged volume.
+    SplitMismatch = 1,
+}
+
+/// SETTLE_VERDICT payload: the conservation audit's answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SettleVerdictMsg {
+    /// Relationship the settlement was submitted under.
+    pub rel: u64,
+    /// The client's correlation tag.
+    pub tag: u64,
+    /// The audit result.
+    pub result: SettleResult,
+}
+
+impl SettleVerdictMsg {
+    /// Encodes into a SETTLE_VERDICT frame.
+    pub fn to_frame(&self) -> Frame {
+        let mut b = BytesMut::with_capacity(17);
+        b.put_u64(self.rel);
+        b.put_u64(self.tag);
+        b.put_u8(self.result as u8);
+        Frame::new(FrameKind::SettleVerdict, b.to_vec())
+    }
+
+    /// Decodes a SETTLE_VERDICT payload.
+    pub fn decode(payload: &[u8]) -> Result<SettleVerdictMsg, &'static str> {
+        if payload.len() != 17 {
+            return Err("truncated SETTLE_VERDICT");
+        }
+        let mut b = Bytes::copy_from_slice(payload);
+        let rel = b.get_u64();
+        let tag = b.get_u64();
+        let result = match b.get_u8() {
+            0 => SettleResult::Conserved,
+            1 => SettleResult::SplitMismatch,
+            _ => return Err("unknown settlement result"),
+        };
+        Ok(SettleVerdictMsg { rel, tag, result })
+    }
+}
+
 /// ERROR payload: session- and service-level failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fault {
@@ -1151,6 +1263,95 @@ mod tests {
         .payload;
         bad[0] = 9;
         assert_eq!(BusyMsg::decode(&bad), Err("unknown BUSY scope"));
+    }
+
+    #[test]
+    fn settle_round_trips_and_rejects_garbage() {
+        for msg in [
+            SettleMsg {
+                rel: 7,
+                tag: 99,
+                serving: Serving::Home,
+                charged: 1000,
+                split: SettlementSplit {
+                    home: 800,
+                    visited: 0,
+                    vendor: 200,
+                },
+            },
+            SettleMsg {
+                rel: u64::MAX,
+                tag: 0,
+                serving: Serving::Visited,
+                charged: u64::MAX,
+                split: SettlementSplit {
+                    home: 1,
+                    visited: 2,
+                    vendor: 3,
+                },
+            },
+        ] {
+            let frame = msg.to_frame();
+            assert_eq!(frame.kind, FrameKind::Settle);
+            assert_eq!(frame.payload.len(), 49);
+            assert_eq!(SettleMsg::decode(&frame.payload), Ok(msg));
+        }
+        // Truncation at every prefix length.
+        let whole = SettleMsg {
+            rel: 1,
+            tag: 2,
+            serving: Serving::Home,
+            charged: 3,
+            split: SettlementSplit::ZERO,
+        }
+        .to_frame()
+        .payload;
+        for cut in 0..whole.len() {
+            assert_eq!(
+                SettleMsg::decode(&whole[..cut]),
+                Err("truncated SETTLE"),
+                "cut {cut}"
+            );
+        }
+        // Trailing bytes are a truncation-class violation too.
+        let mut long = whole.clone();
+        long.push(0);
+        assert_eq!(SettleMsg::decode(&long), Err("truncated SETTLE"));
+        // Unknown serving code.
+        let mut bad = whole;
+        bad[16] = 2;
+        assert_eq!(SettleMsg::decode(&bad), Err("unknown serving code"));
+    }
+
+    #[test]
+    fn settle_verdict_round_trips_and_rejects_garbage() {
+        for result in [SettleResult::Conserved, SettleResult::SplitMismatch] {
+            let msg = SettleVerdictMsg {
+                rel: 5,
+                tag: 77,
+                result,
+            };
+            let frame = msg.to_frame();
+            assert_eq!(frame.kind, FrameKind::SettleVerdict);
+            assert_eq!(frame.payload.len(), 17);
+            assert_eq!(SettleVerdictMsg::decode(&frame.payload), Ok(msg));
+        }
+        assert_eq!(
+            SettleVerdictMsg::decode(&[0; 5]),
+            Err("truncated SETTLE_VERDICT")
+        );
+        let mut bad = SettleVerdictMsg {
+            rel: 1,
+            tag: 1,
+            result: SettleResult::Conserved,
+        }
+        .to_frame()
+        .payload;
+        bad[16] = 7;
+        assert_eq!(
+            SettleVerdictMsg::decode(&bad),
+            Err("unknown settlement result")
+        );
     }
 
     #[test]

@@ -1,0 +1,289 @@
+//! Adversarial decoder properties for the roaming settlement grammar
+//! (SETTLE / SETTLE_VERDICT, DESIGN §14), plus version-skew handling:
+//! a PROTOCOL_VERSION 2 peer — the pre-settlement protocol — must be
+//! turned away with a typed `BadVersion` on both sides of the wire.
+
+use proptest::prelude::*;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use tlc_core::roaming::{Serving, SettlementSplit};
+use tlc_core::verify::remote::codec::{
+    Fault, Hello, HelloAck, SettleMsg, SettleResult, SettleVerdictMsg, MAGIC, PROTOCOL_VERSION,
+};
+use tlc_core::verify::remote::{IngressConfig, IngressServer, RemoteError, RemoteVerifier};
+use tlc_core::verify::service::ServiceConfig;
+use tlc_net::wire::{Frame, FrameDecoder, FrameKind};
+
+fn arb_settle() -> impl Strategy<Value = SettleMsg> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        0u8..2,
+        any::<u64>(),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |(rel, tag, serving, charged, (home, visited, vendor))| SettleMsg {
+                rel,
+                tag,
+                serving: if serving == 0 {
+                    Serving::Home
+                } else {
+                    Serving::Visited
+                },
+                charged,
+                split: SettlementSplit {
+                    home,
+                    visited,
+                    vendor,
+                },
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// SETTLE roundtrips bit-for-bit, and the frame kind and grammar
+    /// length are pinned (49 B — the wire contract the twin's outbox
+    /// and the verifier ingress both assume).
+    #[test]
+    fn prop_settle_roundtrips(msg in arb_settle()) {
+        let frame = msg.to_frame();
+        prop_assert_eq!(frame.kind, FrameKind::Settle);
+        prop_assert_eq!(frame.payload.len(), 49);
+        prop_assert_eq!(SettleMsg::decode(&frame.payload), Ok(msg));
+    }
+
+    /// Any payload that is not exactly grammar-length draws a typed
+    /// truncation error — never a panic, never a partial decode.
+    #[test]
+    fn prop_settle_truncation_is_typed(
+        msg in arb_settle(),
+        cut in 0usize..49,
+        pad in proptest::collection::vec(0u8..=255, 1..32),
+    ) {
+        let full = msg.to_frame().payload;
+        prop_assert_eq!(SettleMsg::decode(&full[..cut]), Err("truncated SETTLE"));
+        let mut over = full.clone();
+        over.extend(&pad);
+        prop_assert_eq!(SettleMsg::decode(&over), Err("truncated SETTLE"));
+    }
+
+    /// A poisoned serving code (anything ≥ 2) is rejected typed, no
+    /// matter what the rest of the payload says.
+    #[test]
+    fn prop_settle_poisoned_serving_code(
+        msg in arb_settle(),
+        bad in 2u8..=255,
+    ) {
+        let mut payload = msg.to_frame().payload;
+        payload[16] = bad; // rel(8) | tag(8) | serving
+        prop_assert_eq!(SettleMsg::decode(&payload), Err("unknown serving code"));
+    }
+
+    /// SETTLE_VERDICT: roundtrip, grammar length, truncation, and a
+    /// poisoned result code — the full adversarial sweep for the
+    /// 17-byte verdict grammar.
+    #[test]
+    fn prop_settle_verdict_adversarial(
+        rel in any::<u64>(),
+        tag in any::<u64>(),
+        conserved in any::<bool>(),
+        cut in 0usize..17,
+        bad in 2u8..=255,
+    ) {
+        let msg = SettleVerdictMsg {
+            rel,
+            tag,
+            result: if conserved {
+                SettleResult::Conserved
+            } else {
+                SettleResult::SplitMismatch
+            },
+        };
+        let frame = msg.to_frame();
+        prop_assert_eq!(frame.kind, FrameKind::SettleVerdict);
+        prop_assert_eq!(frame.payload.len(), 17);
+        prop_assert_eq!(SettleVerdictMsg::decode(&frame.payload), Ok(msg));
+        prop_assert_eq!(
+            SettleVerdictMsg::decode(&frame.payload[..cut]),
+            Err("truncated SETTLE_VERDICT")
+        );
+        let mut poisoned = frame.payload.clone();
+        poisoned[16] = bad;
+        prop_assert_eq!(
+            SettleVerdictMsg::decode(&poisoned),
+            Err("unknown settlement result")
+        );
+    }
+
+    /// Arbitrary garbage never decodes as a settlement — only an exact
+    /// re-encode of the decoded value can be valid (the grammar has no
+    /// slack bytes for an attacker to hide state in).
+    #[test]
+    fn prop_settle_garbage_is_total(
+        bytes in proptest::collection::vec(0u8..=255, 0..120),
+    ) {
+        if let Ok(msg) = SettleMsg::decode(&bytes) {
+            prop_assert_eq!(msg.to_frame().payload, bytes);
+        }
+        if let Ok(msg) = SettleVerdictMsg::decode(&bytes) {
+            prop_assert_eq!(msg.to_frame().payload, bytes);
+        }
+    }
+}
+
+/// Reads exactly one frame off a raw socket.
+fn read_frame(stream: &mut TcpStream) -> Option<Frame> {
+    let mut decoder = FrameDecoder::new(1 << 20);
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = stream.read(&mut buf).ok()?;
+        if n == 0 {
+            return None;
+        }
+        decoder.push(&buf[..n]).ok()?;
+        if let Some(f) = decoder.next_frame() {
+            return Some(f);
+        }
+    }
+}
+
+/// A peer speaking protocol version 2 (or any other non-current
+/// version) opens with HELLO{v} and must get back a typed ERROR frame
+/// carrying `Fault::BadVersion{server: 3}`, then a close — never a
+/// HELLO_ACK that would let a pre-settlement peer submit splits it
+/// cannot encode.
+#[test]
+fn v2_peer_is_rejected_with_bad_version() {
+    let server = IngressServer::bind(
+        ("127.0.0.1", 0),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+        IngressConfig::default(),
+    )
+    .unwrap();
+    let handle = server.spawn().unwrap();
+    for skewed in [0u16, 1, 2, 4, u16::MAX] {
+        let mut raw = TcpStream::connect(handle.addr()).unwrap();
+        let hello = Hello {
+            magic: MAGIC,
+            version: skewed,
+            window: 0,
+        };
+        raw.write_all(&hello.to_frame().encode().unwrap()).unwrap();
+        let frame = read_frame(&mut raw).expect("expected an ERROR frame before close");
+        assert_eq!(frame.kind, FrameKind::Error, "version {skewed}");
+        assert_eq!(
+            Fault::decode(&frame.payload),
+            Ok(Fault::BadVersion {
+                server: PROTOCOL_VERSION
+            }),
+            "version {skewed}"
+        );
+        // The server closes after the fault; no second frame arrives.
+        assert!(read_frame(&mut raw).is_none(), "version {skewed}");
+    }
+    handle.shutdown().unwrap();
+}
+
+/// End-to-end over a real socket: the client's `settle()` and the
+/// server's conservation audit agree on the wire grammar. A split
+/// produced by the agreement arithmetic is judged `Conserved`; a
+/// tampered split draws `SplitMismatch`; a settlement under a
+/// relationship this session never registered is refused before any
+/// bytes leave the client.
+#[test]
+fn settle_round_trips_over_a_real_socket() {
+    use tlc_core::plan::DataPlan;
+    use tlc_core::roaming::RoamingAgreement;
+    use tlc_core::verify::service::ServiceError;
+    use tlc_crypto::KeyPair;
+
+    let server = IngressServer::bind(
+        ("127.0.0.1", 0),
+        ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+        IngressConfig::default(),
+    )
+    .unwrap();
+    let handle = server.spawn().unwrap();
+    let plan = DataPlan::paper_default();
+    let edge = KeyPair::generate_for_seed(1024, 9400).unwrap();
+    let op = KeyPair::generate_for_seed(1024, 9401).unwrap();
+    let mut client = RemoteVerifier::connect(handle.addr(), 0).unwrap();
+    let rel = client
+        .register(plan, edge.public.clone(), op.public.clone())
+        .unwrap();
+
+    let ag = RoamingAgreement::paper_default();
+    let charged = 1_234_567u64;
+    let split = ag.split_volume(charged, Serving::Visited);
+    assert_eq!(split.total(), charged);
+    assert_eq!(
+        client
+            .settle(rel, Serving::Visited, charged, split)
+            .unwrap(),
+        SettleResult::Conserved
+    );
+
+    let mut broken = split;
+    broken.vendor += 1;
+    assert_eq!(
+        client
+            .settle(rel, Serving::Visited, charged, broken)
+            .unwrap(),
+        SettleResult::SplitMismatch
+    );
+
+    // A relationship this session never registered: refused typed,
+    // before any SETTLE frame is emitted.
+    let stranger = RemoteVerifier::connect(handle.addr(), 0).unwrap();
+    drop(stranger);
+    let mut other = RemoteVerifier::connect(handle.addr(), 0).unwrap();
+    let got = other.settle(rel, Serving::Home, charged, split).err();
+    assert!(matches!(
+        got,
+        Some(RemoteError::Service(ServiceError::UnknownRelationship(_)))
+    ));
+
+    client.goodbye().unwrap();
+    handle.shutdown().unwrap();
+}
+
+/// The mirror-image skew: a *server* still speaking version 2 answers
+/// our HELLO with HELLO_ACK{version: 2}; the client must refuse the
+/// session with `RemoteError::BadVersion{server: 2}` rather than
+/// proceed and have its SETTLE frames land on a peer that cannot
+/// parse them.
+#[test]
+fn client_refuses_a_v2_server() {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let hello = read_frame(&mut stream).expect("client must open with HELLO");
+        assert_eq!(hello.kind, FrameKind::Hello);
+        assert_eq!(
+            Hello::decode(&hello.payload).map(|h| h.version),
+            Ok(PROTOCOL_VERSION)
+        );
+        let ack = HelloAck {
+            version: 2,
+            window: 1,
+            max_payload: 1 << 20,
+        };
+        stream.write_all(&ack.to_frame().encode().unwrap()).unwrap();
+    });
+    let got = RemoteVerifier::connect(addr, 0).err();
+    assert!(
+        matches!(got, Some(RemoteError::BadVersion { server: 2 })),
+        "expected BadVersion {{server: 2}}, got {got:?}"
+    );
+    fake.join().unwrap();
+}

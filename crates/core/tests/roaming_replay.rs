@@ -1,0 +1,192 @@
+//! Cross-operator replay scoping (DESIGN §14).
+//!
+//! A roaming subscriber's edge vendor holds *two* verification
+//! relationships — one with the home operator, one with the visited
+//! operator. A proof-of-charging settled through either relationship
+//! must not be creditable again through the other: the roaming
+//! verifier shares one replay window across both, and — like the
+//! single-relationship verifier — checks it *before* any
+//! cryptography, so the resubmission is rejected as `Replayed`
+//! rather than merely failing its signature check.
+
+use tlc_core::plan::DataPlan;
+use tlc_core::protocol::{run_negotiation, Endpoint};
+use tlc_core::roaming::{RoamingVerifier, Serving};
+use tlc_core::strategy::{Knowledge, OptimalStrategy, Role};
+use tlc_core::verify::{Verifier, VerifyError};
+use tlc_core::PocMsg;
+use tlc_crypto::KeyPair;
+
+/// Negotiates one PoC between the edge and the given operator key,
+/// with caller-chosen clear nonces (distinct nonces → distinct replay
+/// cache keys).
+fn negotiate(plan: &DataPlan, edge: &KeyPair, op: &KeyPair, ne: u8, no: u8) -> PocMsg {
+    let mut e = Endpoint::new(
+        Role::Edge,
+        *plan,
+        Knowledge {
+            role: Role::Edge,
+            own_truth: 1000,
+            inferred_peer_truth: 800,
+        },
+        Box::new(OptimalStrategy),
+        edge.private.clone(),
+        op.public.clone(),
+        [ne; 16],
+        32,
+    );
+    let mut o = Endpoint::new(
+        Role::Operator,
+        *plan,
+        Knowledge {
+            role: Role::Operator,
+            own_truth: 800,
+            inferred_peer_truth: 1000,
+        },
+        Box::new(OptimalStrategy),
+        op.private.clone(),
+        edge.public.clone(),
+        [no; 16],
+        32,
+    );
+    run_negotiation(&mut o, &mut e).unwrap().0
+}
+
+struct Fixture {
+    plan: DataPlan,
+    edge: KeyPair,
+    home_op: KeyPair,
+    visited_op: KeyPair,
+}
+
+impl Fixture {
+    fn new() -> Self {
+        let plan = DataPlan::paper_default();
+        Fixture {
+            plan,
+            edge: KeyPair::generate_for_seed(1024, 41).unwrap(),
+            home_op: KeyPair::generate_for_seed(1024, 42).unwrap(),
+            visited_op: KeyPair::generate_for_seed(1024, 43).unwrap(),
+        }
+    }
+
+    fn roaming_verifier(&self) -> RoamingVerifier {
+        RoamingVerifier::new(
+            Verifier::new(
+                self.plan,
+                self.edge.public.clone(),
+                self.home_op.public.clone(),
+            ),
+            Verifier::new(
+                self.plan,
+                self.edge.public.clone(),
+                self.visited_op.public.clone(),
+            ),
+        )
+    }
+}
+
+#[test]
+fn home_settled_proof_replays_through_visited_relationship() {
+    let f = Fixture::new();
+    let mut rv = f.roaming_verifier();
+    let poc = negotiate(&f.plan, &f.edge, &f.home_op, 0x11, 0x22);
+
+    // First submission through the home relationship settles cleanly.
+    let v = rv.verify(Serving::Home, &poc).unwrap();
+    assert_eq!(v.charge, 900);
+    assert_eq!(rv.home().accepted(), 1);
+
+    // Resubmitting the *same* proof through the visited relationship
+    // must be rejected as a replay — not as a bad signature — because
+    // the shared window is checked before any crypto runs.
+    assert_eq!(
+        rv.verify(Serving::Visited, &poc),
+        Err(VerifyError::Replayed)
+    );
+    assert_eq!(rv.cross_rejected(), 1);
+    // The visited relationship's own verifier never even saw it.
+    assert_eq!(rv.visited().accepted(), 0);
+    assert_eq!(rv.visited().rejected(), 0);
+}
+
+#[test]
+fn visited_settled_proof_replays_through_home_relationship() {
+    let f = Fixture::new();
+    let mut rv = f.roaming_verifier();
+    let poc = negotiate(&f.plan, &f.edge, &f.visited_op, 0x33, 0x44);
+
+    rv.verify(Serving::Visited, &poc).unwrap();
+    assert_eq!(rv.verify(Serving::Home, &poc), Err(VerifyError::Replayed));
+    assert_eq!(rv.cross_rejected(), 1);
+    assert_eq!(rv.home().accepted(), 0);
+}
+
+#[test]
+fn distinct_proofs_settle_through_both_relationships() {
+    let f = Fixture::new();
+    let mut rv = f.roaming_verifier();
+    let home_poc = negotiate(&f.plan, &f.edge, &f.home_op, 0x55, 0x66);
+    let visited_poc = negotiate(&f.plan, &f.edge, &f.visited_op, 0x77, 0x88);
+
+    rv.verify(Serving::Home, &home_poc).unwrap();
+    rv.verify(Serving::Visited, &visited_poc).unwrap();
+    assert_eq!(rv.cross_rejected(), 0);
+    assert_eq!(rv.replay_window_len(), 2);
+    assert_eq!(rv.home().accepted(), 1);
+    assert_eq!(rv.visited().accepted(), 1);
+
+    // Same-relationship replays still trip too, of course.
+    assert_eq!(
+        rv.verify(Serving::Home, &home_poc),
+        Err(VerifyError::Replayed)
+    );
+}
+
+#[test]
+fn rejected_proofs_do_not_poison_the_shared_window() {
+    let f = Fixture::new();
+    let mut rv = f.roaming_verifier();
+    // Negotiated against the *home* operator, but submitted through
+    // the visited relationship first: fresh nonces, so the shared
+    // window passes and the signature check rejects it.
+    let poc = negotiate(&f.plan, &f.edge, &f.home_op, 0x99, 0xAA);
+    assert!(matches!(
+        rv.verify(Serving::Visited, &poc),
+        Err(VerifyError::Signature(_))
+    ));
+    assert_eq!(rv.replay_window_len(), 0, "rejects must not be remembered");
+
+    // The legitimate submission through the right relationship still
+    // succeeds afterwards.
+    rv.verify(Serving::Home, &poc).unwrap();
+    assert_eq!(rv.replay_window_len(), 1);
+}
+
+#[test]
+fn shared_window_is_fifo_bounded() {
+    let f = Fixture::new();
+    let mut rv = RoamingVerifier::with_capacity(
+        Verifier::new(f.plan, f.edge.public.clone(), f.home_op.public.clone()),
+        Verifier::new(f.plan, f.edge.public.clone(), f.visited_op.public.clone()),
+        2,
+    );
+    let a = negotiate(&f.plan, &f.edge, &f.home_op, 1, 2);
+    let b = negotiate(&f.plan, &f.edge, &f.visited_op, 3, 4);
+    let c = negotiate(&f.plan, &f.edge, &f.home_op, 5, 6);
+
+    rv.verify(Serving::Home, &a).unwrap();
+    rv.verify(Serving::Visited, &b).unwrap();
+    assert_eq!(rv.replay_window_len(), 2);
+    assert_eq!(rv.verify(Serving::Visited, &a), Err(VerifyError::Replayed));
+
+    // A third acceptance evicts the oldest shared entry (a).
+    rv.verify(Serving::Home, &c).unwrap();
+    assert_eq!(rv.replay_window_len(), 2);
+    assert_eq!(rv.verify(Serving::Home, &b), Err(VerifyError::Replayed));
+    // `a` aged out of the shared retention window: the documented
+    // bound of a finite cache, but note its *home* verifier still
+    // remembers it (per-relationship windows are larger here).
+    assert_eq!(rv.verify(Serving::Home, &a), Err(VerifyError::Replayed));
+    assert_eq!(rv.cross_rejected(), 2);
+}

@@ -59,7 +59,7 @@ fn hello_payload_golden() {
     assert_eq!(frame.kind, FrameKind::Hello);
     assert_eq!(
         frame.payload,
-        vec![0x54, 0x4C, 0x43, 0x56, 0, 2, 0, 0, 0, 7],
+        vec![0x54, 0x4C, 0x43, 0x56, 0, 3, 0, 0, 0, 7],
         "HELLO drifted: magic|version|window"
     );
     assert_eq!(Hello::decode(&frame.payload), Ok(h));

@@ -49,6 +49,11 @@ pub const COUNTER_FIELDS: &[&str] = &[
     "buckets",
     // Twin offered-load tally
     "offered",
+    // Roaming three-party settlement (SettlementSplit / RoamingSweep)
+    "charged",
+    "home",
+    "visited",
+    "vendor",
 ];
 
 /// Integer types a counter must never be truncated into.

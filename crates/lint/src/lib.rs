@@ -69,6 +69,7 @@ pub const NO_PANIC_PATHS: &[&str] = &[
     "crates/crypto/src/",
     "crates/core/src/messages.rs",
     "crates/core/src/protocol.rs",
+    "crates/core/src/roaming.rs",
     "crates/core/src/session.rs",
     "crates/core/src/verify/",
     "crates/net/src/wire.rs",
@@ -106,6 +107,7 @@ pub const CHARGE_PATHS: &[&str] = &[
     "crates/cell/src/counters.rs",
     "crates/core/src/plan.rs",
     "crates/core/src/legacy.rs",
+    "crates/core/src/roaming.rs",
 ];
 
 /// Options for a workspace check.

@@ -8,7 +8,7 @@
 //! frame := kind:u8 | len:u32 (big-endian) | payload[len]
 //! ```
 //!
-//! This module owns the *envelope* only — the thirteen frame kinds, their
+//! This module owns the *envelope* only — the fifteen frame kinds, their
 //! tag bytes, and a streaming decoder with a hard payload cap enforced
 //! **before** any payload allocation. Payload grammars (what the bytes of
 //! a `REGISTER` or `VERDICT` mean) belong to the protocol layer in
@@ -70,11 +70,16 @@ pub enum FrameKind {
     /// connection) was shed by admission control; retry after the
     /// carried delay. Never a silent drop.
     Busy = 13,
+    /// Client → server: a three-party roaming settlement record
+    /// (home/visited/vendor split of a charged volume) for audit.
+    Settle = 14,
+    /// Server → client: the settlement's conservation verdict.
+    SettleVerdict = 15,
 }
 
 impl FrameKind {
     /// Every frame kind, in tag order (fixture tests iterate this).
-    pub const ALL: [FrameKind; 13] = [
+    pub const ALL: [FrameKind; 15] = [
         FrameKind::Hello,
         FrameKind::HelloAck,
         FrameKind::Register,
@@ -88,6 +93,8 @@ impl FrameKind {
         FrameKind::Goodbye,
         FrameKind::GoodbyeAck,
         FrameKind::Busy,
+        FrameKind::Settle,
+        FrameKind::SettleVerdict,
     ];
 
     /// The wire tag byte.
@@ -406,7 +413,7 @@ mod tests {
             assert_eq!(FrameKind::from_u8(k.as_u8()), Some(k));
         }
         assert_eq!(FrameKind::from_u8(0), None);
-        assert_eq!(FrameKind::from_u8(14), None);
+        assert_eq!(FrameKind::from_u8(16), None);
         assert_eq!(FrameKind::from_u8(0xFF), None);
     }
 

@@ -61,6 +61,47 @@ fn fixtures() -> Vec<(Frame, Vec<u8>)> {
             Frame::new(FrameKind::Busy, vec![1, 0, 0, 0, 50]),
             vec![13, 0, 0, 0, 5, 1, 0, 0, 0, 50],
         ),
+        (
+            // SETTLE: rel=1 | tag=2 | serving=1 | charged=9 | home=3 |
+            // visited=2 | vendor=4 — the 49-byte settlement grammar.
+            Frame::new(FrameKind::Settle, {
+                let mut p = Vec::new();
+                p.extend(1u64.to_be_bytes());
+                p.extend(2u64.to_be_bytes());
+                p.push(1);
+                for v in [9u64, 3, 2, 4] {
+                    p.extend(v.to_be_bytes());
+                }
+                p
+            }),
+            {
+                let mut g = vec![14, 0, 0, 0, 49];
+                g.extend(1u64.to_be_bytes());
+                g.extend(2u64.to_be_bytes());
+                g.push(1);
+                for v in [9u64, 3, 2, 4] {
+                    g.extend(v.to_be_bytes());
+                }
+                g
+            },
+        ),
+        (
+            // SETTLE_VERDICT: rel=1 | tag=2 | result=0 (conserved).
+            Frame::new(FrameKind::SettleVerdict, {
+                let mut p = Vec::new();
+                p.extend(1u64.to_be_bytes());
+                p.extend(2u64.to_be_bytes());
+                p.push(0);
+                p
+            }),
+            {
+                let mut g = vec![15, 0, 0, 0, 17];
+                g.extend(1u64.to_be_bytes());
+                g.extend(2u64.to_be_bytes());
+                g.push(0);
+                g
+            },
+        ),
     ]
 }
 
@@ -87,7 +128,7 @@ fn every_golden_fixture_decodes_back() {
 fn kind_tag_bytes_are_pinned() {
     // The numeric tags are wire format; reordering the enum must fail
     // here, not in production.
-    let pinned: [(FrameKind, u8); 13] = [
+    let pinned: [(FrameKind, u8); 15] = [
         (FrameKind::Hello, 1),
         (FrameKind::HelloAck, 2),
         (FrameKind::Register, 3),
@@ -101,14 +142,16 @@ fn kind_tag_bytes_are_pinned() {
         (FrameKind::Goodbye, 11),
         (FrameKind::GoodbyeAck, 12),
         (FrameKind::Busy, 13),
+        (FrameKind::Settle, 14),
+        (FrameKind::SettleVerdict, 15),
     ];
     for (kind, tag) in pinned {
         assert_eq!(kind.as_u8(), tag);
         assert_eq!(FrameKind::from_u8(tag), Some(kind));
     }
-    // 0 and 14 are unassigned and must stay invalid.
+    // 0 and 16 are unassigned and must stay invalid.
     assert_eq!(FrameKind::from_u8(0), None);
-    assert_eq!(FrameKind::from_u8(14), None);
+    assert_eq!(FrameKind::from_u8(16), None);
 }
 
 #[test]

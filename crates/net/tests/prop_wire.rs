@@ -10,7 +10,7 @@ use tlc_net::ingress::{ConnDriver, DriverError};
 use tlc_net::wire::{Frame, FrameDecoder, FrameKind, WireError, HEADER_LEN};
 
 fn arb_kind() -> impl Strategy<Value = FrameKind> {
-    (1u8..=13).prop_map(|b| FrameKind::from_u8(b).unwrap())
+    (1u8..=15).prop_map(|b| FrameKind::from_u8(b).unwrap())
 }
 
 fn arb_frame(max_payload: usize) -> impl Strategy<Value = Frame> {
@@ -105,11 +105,11 @@ proptest! {
     }
 
     /// Corrupting the kind byte of a valid stream yields a typed
-    /// UnknownKind error (14.. can never be a valid kind).
+    /// UnknownKind error (16.. can never be a valid kind).
     #[test]
     fn corrupted_kind_byte_is_typed(
         frame in arb_frame(64),
-        bad in 14u8..=255,
+        bad in 16u8..=255,
     ) {
         let mut bytes = frame.encode().unwrap();
         bytes[0] = bad;
@@ -191,6 +191,88 @@ proptest! {
         // The tail is smaller than one max frame — the bound that lets
         // a single pooled buffer carry any partial.
         prop_assert!(rest.len() < HEADER_LEN + max as usize);
+    }
+
+    /// The settlement frames introduced for the roaming plane
+    /// (SETTLE = 14, SETTLE_VERDICT = 15) ride the same framing as
+    /// every other kind: hand-assembled grammar-length payloads
+    /// (49 B / 17 B) reassemble across arbitrary read splits with
+    /// their kinds intact.
+    #[test]
+    fn settle_frames_survive_adversarial_chunking(
+        rel in any::<u64>(),
+        tag in any::<u64>(),
+        serving in 0u8..2,
+        volumes in proptest::collection::vec(any::<u64>(), 4),
+        result in 0u8..2,
+        cuts in proptest::collection::vec(any::<usize>(), 0..12),
+    ) {
+        // SETTLE grammar: rel | tag | serving | charged | home |
+        // visited | vendor — 49 bytes.
+        let mut settle = Vec::with_capacity(49);
+        settle.extend(rel.to_be_bytes());
+        settle.extend(tag.to_be_bytes());
+        settle.push(serving);
+        for v in &volumes {
+            settle.extend(v.to_be_bytes());
+        }
+        // SETTLE_VERDICT grammar: rel | tag | result — 17 bytes.
+        let mut verdict = Vec::with_capacity(17);
+        verdict.extend(rel.to_be_bytes());
+        verdict.extend(tag.to_be_bytes());
+        verdict.push(result);
+        let frames = vec![
+            Frame::new(FrameKind::Settle, settle),
+            Frame::new(FrameKind::SettleVerdict, verdict),
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend(f.encode().unwrap());
+        }
+        let mut d = FrameDecoder::new(256);
+        let mut got = Vec::new();
+        for chunk in chunked(&stream, &cuts) {
+            d.push(&chunk).unwrap();
+            while let Some(f) = d.next_frame() {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(got[0].kind, FrameKind::Settle);
+        prop_assert_eq!(got[0].payload.len(), 49);
+        prop_assert_eq!(got[1].kind, FrameKind::SettleVerdict);
+        prop_assert_eq!(got[1].payload.len(), 17);
+        prop_assert_eq!(got, frames);
+    }
+
+    /// Adversarial settle frames at the framing layer: any strict
+    /// prefix of a SETTLE frame waits rather than errs, and an
+    /// oversize length prefix under a settle kind byte poisons the
+    /// decoder before any payload is buffered.
+    #[test]
+    fn settle_truncation_waits_and_oversize_poisons(
+        payload in proptest::collection::vec(0u8..=255, 49),
+        cut in any::<usize>(),
+        over in 1u32..1_000_000,
+        max in 1u32..4096,
+    ) {
+        let frame = Frame::new(FrameKind::Settle, payload);
+        let bytes = frame.encode().unwrap();
+        let cut = cut % bytes.len();
+        let mut d = FrameDecoder::new(256);
+        d.push(&bytes[..cut]).unwrap();
+        prop_assert_eq!(d.next_frame(), None);
+        prop_assert!(d.poisoned().is_none());
+        d.push(&bytes[cut..]).unwrap();
+        prop_assert_eq!(d.next_frame(), Some(frame));
+
+        // Oversize settle-verdict length prefix: typed rejection from
+        // the header alone, decoder poisoned for good.
+        let len = max.saturating_add(over);
+        let mut header = vec![FrameKind::SettleVerdict.as_u8()];
+        header.extend(len.to_be_bytes());
+        let mut d = FrameDecoder::new(max);
+        prop_assert_eq!(d.push(&header), Err(WireError::Oversize { len, max }));
+        prop_assert!(d.push(&[0]).is_err());
     }
 
     /// A truncated stream (any strict prefix) never yields the final

@@ -4,7 +4,7 @@
 //! tlc eval [--full]                 regenerate every paper table/figure
 //! tlc experiment <name> [--full]    one experiment (fig03..fig18, table2,
 //!                                   dataset, generic, ablation, mobility,
-//!                                   strawman)
+//!                                   roaming, strawman, twin)
 //! tlc negotiate --sent B --received B [--c F] [--strategy optimal|honest|random]
 //!               [--loss P] [--dup P] [--reorder P] [--seed N]
 //!                                   price one cycle, print the PoC (hex);
@@ -35,7 +35,7 @@ use tlc_net::rng::SimRng;
 use tlc_net::time::{SimDuration, SimTime};
 use tlc_sim::experiments::{
     ablation, dataset, fig03, fig04, fig12, fig13, fig14, fig15, fig16, fig17, fig18, generic,
-    mobility, robustness, strawman, sweep, table2, twin, RunScale,
+    mobility, roaming, robustness, strawman, sweep, table2, twin, RunScale,
 };
 
 fn main() -> ExitCode {
@@ -81,7 +81,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage: tlc <eval|experiment|negotiate|verify|keygen> [flags]\n\
   tlc eval [--full]\n\
-  tlc experiment <fig03|fig04|fig12|fig13|fig14|fig15|fig16|fig17|fig18|table2|dataset|generic|ablation|mobility|robustness|strawman|twin> [--full]\n\
+  tlc experiment <fig03|fig04|fig12|fig13|fig14|fig15|fig16|fig17|fig18|table2|dataset|generic|ablation|mobility|roaming|robustness|strawman|twin> [--full]\n\
   tlc negotiate --sent BYTES --received BYTES [--c 0.5] [--strategy optimal|honest|random]\n\
                 [--loss 0.2] [--dup 0.05] [--reorder 0.05] [--seed N]   (lossy control plane)\n\
   tlc verify --poc HEX [--c 0.5]\n\
@@ -143,6 +143,7 @@ fn eval(scale: RunScale) {
     strawman::print(&strawman::run(scale));
     robustness::print(&robustness::run(scale));
     twin::print(&twin::run(scale));
+    roaming::print(&roaming::run(scale));
 }
 
 fn experiment(name: &str, scale: RunScale) -> ExitCode {
@@ -179,6 +180,7 @@ fn experiment(name: &str, scale: RunScale) -> ExitCode {
         "robustness" => robustness::print(&robustness::run(scale)),
         "strawman" => strawman::print(&strawman::run(scale)),
         "twin" => twin::print(&twin::run(scale)),
+        "roaming" => roaming::print(&roaming::run(scale)),
         other => {
             eprintln!("unknown experiment `{other}`");
             return ExitCode::FAILURE;

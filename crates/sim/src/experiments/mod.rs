@@ -22,6 +22,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod generic;
 pub mod mobility;
+pub mod roaming;
 pub mod robustness;
 pub mod strawman;
 pub mod sweep;

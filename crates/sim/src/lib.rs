@@ -47,5 +47,8 @@ pub use scenario::{
     APP_FLOW, BG_FLOW,
 };
 pub use soa::{ChargeColumns, ChargeRow, GapSweep};
-pub use twin::{run_twin, NullSink, Settled, SettlementSink, TwinConfig, TwinReport};
+pub use twin::{
+    run_twin, NullSink, RoamingSweep, RoamingTwinConfig, Settled, SettlementSink, TwinConfig,
+    TwinReport,
+};
 pub use wheel::{Scheduler, Token, WheelBackend};

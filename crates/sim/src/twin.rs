@@ -37,9 +37,10 @@
 
 use crate::arena::{Arena, SessionId};
 use crate::par::par_map_mut;
-use crate::soa::{ChargeColumns, GapSweep};
+use crate::soa::{ChargeColumns, ChargeRow, GapSweep};
 use crate::wheel::{Scheduler, Token, WheelBackend};
-use tlc_core::plan::DataPlan;
+use tlc_core::plan::{DataPlan, UsagePair};
+use tlc_core::roaming::{reconcile_bonded, LinkCdr, RoamingAgreement, Segment, Serving};
 use tlc_net::packet::Direction;
 use tlc_net::rng::SimRng;
 use tlc_net::time::SimDuration;
@@ -80,6 +81,38 @@ pub struct TwinConfig {
     /// Aggregate cell capacity in bytes per epoch before congestion
     /// loss starts to bite (the cross-shard coupling knob).
     pub cell_capacity_bytes_per_epoch: u64,
+    /// Three-party roaming plane (DESIGN §14). `None` keeps the twin
+    /// byte-identical to a pre-roaming run: no extra RNG draws, no
+    /// extra events, and the digest folds nothing new.
+    pub roaming: Option<RoamingTwinConfig>,
+}
+
+/// Roaming-plane configuration for a twin run.
+#[derive(Clone, Debug)]
+pub struct RoamingTwinConfig {
+    /// The commercial agreement cycles settle under.
+    pub agreement: RoamingAgreement,
+    /// Fraction of admitted sessions that roam (and so hand over
+    /// between operators mid-cycle).
+    pub roamer_fraction: f64,
+    /// Fraction of admitted sessions that bond multiple links.
+    pub bonded_fraction: f64,
+    /// Mean gap between a roamer's operator handovers (each actual
+    /// gap is jittered per session, up to 2x).
+    pub operator_handover_gap: SimDuration,
+}
+
+impl RoamingTwinConfig {
+    /// Evaluation defaults: the paper-default agreement, 30 % roamers,
+    /// 20 % bonded devices, ~3 s between operator handovers.
+    pub fn paper_default() -> Self {
+        RoamingTwinConfig {
+            agreement: RoamingAgreement::paper_default(),
+            roamer_fraction: 0.3,
+            bonded_fraction: 0.2,
+            operator_handover_gap: SimDuration::from_secs(3),
+        }
+    }
 }
 
 impl TwinConfig {
@@ -99,6 +132,7 @@ impl TwinConfig {
             plan: DataPlan::paper_default(),
             sample_rate: 0.0,
             cell_capacity_bytes_per_epoch: u64::MAX,
+            roaming: None,
         }
     }
 }
@@ -172,10 +206,63 @@ pub struct TwinReport {
     /// Peak arena slots in any one shard (bounds memory; churn must
     /// reuse slots, not grow this).
     pub peak_shard_slots: u64,
+    /// True when the run had a roaming plane configured (folds the
+    /// roaming counters into the digest).
+    pub roaming_enabled: bool,
+    /// Three-party settlement aggregates (all zero when roaming is
+    /// disabled).
+    pub roaming: RoamingSweep,
     /// Order-sensitive digest of the run: byte-identical runs — any
     /// thread count, either scheduler backend — produce the same
     /// value.
     pub digest: u64,
+}
+
+/// Aggregate three-party settlement accounting over every settled
+/// cycle of a roaming-enabled run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoamingSweep {
+    /// Sessions admitted as roamers (operator handovers scheduled).
+    pub roamers_admitted: u64,
+    /// Sessions admitted with bonded multi-link devices.
+    pub bonded_admitted: u64,
+    /// Operator (home↔visited) handovers executed.
+    pub operator_handovers: u64,
+    /// Cycles settled through the three-party agreement.
+    pub cycles_settled: u64,
+    /// Σ charged volume across all settled segments.
+    pub charged: u64,
+    /// Σ home-operator retained volume.
+    pub home: u64,
+    /// Σ visited-operator wholesale volume.
+    pub visited: u64,
+    /// Σ edge-vendor revenue-share volume.
+    pub vendor: u64,
+    /// Bonded cycles reconciled from per-link CDRs.
+    pub bonded_cycles: u64,
+    /// Σ reconciled bonded charge (exact sum of per-link charges).
+    pub bonded_link_charged: u64,
+}
+
+impl RoamingSweep {
+    /// Folds another sweep (shard merge, done in shard order).
+    /// Saturating: a wrapped settlement tally would *be* a gap.
+    pub fn merge(&mut self, other: &RoamingSweep) {
+        self.roamers_admitted = self.roamers_admitted.saturating_add(other.roamers_admitted);
+        self.bonded_admitted = self.bonded_admitted.saturating_add(other.bonded_admitted);
+        self.operator_handovers = self
+            .operator_handovers
+            .saturating_add(other.operator_handovers);
+        self.cycles_settled = self.cycles_settled.saturating_add(other.cycles_settled);
+        self.charged = self.charged.saturating_add(other.charged);
+        self.home = self.home.saturating_add(other.home);
+        self.visited = self.visited.saturating_add(other.visited);
+        self.vendor = self.vendor.saturating_add(other.vendor);
+        self.bonded_cycles = self.bonded_cycles.saturating_add(other.bonded_cycles);
+        self.bonded_link_charged = self
+            .bonded_link_charged
+            .saturating_add(other.bonded_link_charged);
+    }
 }
 
 impl TwinReport {
@@ -199,6 +286,21 @@ impl TwinReport {
         fold(self.sweep.intended);
         fold(self.sweep.legacy_gap);
         fold(self.sweep.tlc_gap);
+        // Roaming counters only fold when the plane was configured, so
+        // non-roaming runs keep their pre-roaming golden digests.
+        if self.roaming_enabled {
+            fold(0x524F_414D); // "ROAM" discriminator
+            fold(self.roaming.roamers_admitted);
+            fold(self.roaming.bonded_admitted);
+            fold(self.roaming.operator_handovers);
+            fold(self.roaming.cycles_settled);
+            fold(self.roaming.charged);
+            fold(self.roaming.home);
+            fold(self.roaming.visited);
+            fold(self.roaming.vendor);
+            fold(self.roaming.bonded_cycles);
+            fold(self.roaming.bonded_link_charged);
+        }
         self.digest = h;
     }
 }
@@ -214,6 +316,8 @@ enum Event {
     CycleEnd(SessionId),
     /// Flush a session's in-flight bytes (mobility).
     Handover(SessionId),
+    /// Hand a roamer over between operators (flush + serving flip).
+    OperatorHandover(SessionId),
     /// Tear the session down.
     Teardown(SessionId),
 }
@@ -227,7 +331,13 @@ struct Session {
     tick_tok: Token,
     cycle_tok: Token,
     handover_tok: Token,
+    op_handover_tok: Token,
     teardown_tok: Token,
+    /// Operator currently carrying the session's traffic (always
+    /// `Home` unless the roaming plane flips it).
+    serving: Serving,
+    /// True for bonded multi-link devices (roaming plane only).
+    bonded: bool,
     /// Per-session loss stream, split off the shard stream at admit
     /// time so event interleaving can't perturb other sessions.
     rng: SimRng,
@@ -239,6 +349,9 @@ struct Shard {
     sched: Scheduler<Event>,
     arena: Arena<Session>,
     cols: ChargeColumns,
+    /// Per-operator counter shard: bytes carried while the *visited*
+    /// operator served. Unused (never grown) when roaming is off.
+    cols_visited: ChargeColumns,
     churn: ChurnGen,
     /// Congestion-loss fraction for the current epoch, set at the
     /// barrier from the *previous* epoch's global offered load.
@@ -261,6 +374,8 @@ struct Shard {
     sampled_n: u64,
     peak_slots: u64,
     sweep: GapSweep,
+    rsweep: RoamingSweep,
+    roaming: Option<RoamingTwinConfig>,
     /// Settlements produced this epoch, drained at the barrier.
     outbox: Vec<Settled>,
 }
@@ -274,6 +389,7 @@ impl Shard {
             sched: Scheduler::with_capacity(cfg.backend, 1024),
             arena: Arena::with_capacity(1024),
             cols: ChargeColumns::with_capacity(1024),
+            cols_visited: ChargeColumns::new(),
             churn: ChurnGen::new(cfg.churn, root.split(&label("churn"))),
             congestion: 0.0,
             offered: 0,
@@ -291,6 +407,8 @@ impl Shard {
             sampled_n: 0,
             peak_slots: 0,
             sweep: GapSweep::default(),
+            rsweep: RoamingSweep::default(),
+            roaming: cfg.roaming.clone(),
             outbox: Vec::new(),
         }
     }
@@ -308,7 +426,10 @@ impl Shard {
             tick_tok: Token::NONE,
             cycle_tok: Token::NONE,
             handover_tok: Token::NONE,
+            op_handover_tok: Token::NONE,
             teardown_tok: Token::NONE,
+            serving: Serving::Home,
+            bonded: false,
             rng,
         });
         self.created += 1;
@@ -316,17 +437,45 @@ impl Shard {
         let row = id.index as usize;
         self.cols.ensure_row(row);
         self.cols.start_cycle(row, now_us);
+        if self.roaming.is_some() {
+            self.cols_visited.ensure_row(row);
+            self.cols_visited.start_cycle(row, now_us);
+        }
 
         // Stagger the first tick by a per-session phase so a million
         // sessions don't all land on the same wheel slot.
         let tick_us = self.tick.as_micros().max(1);
         let cycle_us = self.cycle.as_micros().max(tick_us);
-        let (phase, ho_gap) = {
+        let (phase, ho_gap, op_ho_in) = {
             let Some(s) = self.arena.get_mut(id) else {
                 return;
             };
-            (s.rng.next_below(tick_us), self.churn.next_handover_gap())
+            let phase = s.rng.next_below(tick_us);
+            let ho_gap = self.churn.next_handover_gap();
+            // Roaming draws happen only when the plane is configured,
+            // so a disabled run's RNG streams are byte-identical to a
+            // pre-roaming build.
+            let op_ho_in = match &self.roaming {
+                Some(rc) => {
+                    let roamer = s.rng.chance(rc.roamer_fraction);
+                    s.bonded = s.rng.chance(rc.bonded_fraction);
+                    if roamer {
+                        let gap_us = rc.operator_handover_gap.as_micros().max(1);
+                        Some(gap_us + s.rng.next_below(gap_us))
+                    } else {
+                        None
+                    }
+                }
+                None => None,
+            };
+            (phase, ho_gap, op_ho_in)
         };
+        if op_ho_in.is_some() {
+            self.rsweep.roamers_admitted = self.rsweep.roamers_admitted.saturating_add(1);
+        }
+        if self.arena.get(id).map(|s| s.bonded).unwrap_or(false) {
+            self.rsweep.bonded_admitted = self.rsweep.bonded_admitted.saturating_add(1);
+        }
         let tick_tok = self.sched.schedule(now_us + 1 + phase, Event::Tick(id));
         let cycle_tok = self.sched.schedule(now_us + cycle_us, Event::CycleEnd(id));
         let teardown_tok = self
@@ -338,16 +487,27 @@ impl Shard {
                 .schedule(now_us + gap.as_micros().max(1), Event::Handover(id)),
             None => Token::NONE,
         };
+        let op_handover_tok = match op_ho_in {
+            Some(gap) => self
+                .sched
+                .schedule(now_us + gap, Event::OperatorHandover(id)),
+            None => Token::NONE,
+        };
         if let Some(s) = self.arena.get_mut(id) {
             s.tick_tok = tick_tok;
             s.cycle_tok = cycle_tok;
             s.teardown_tok = teardown_tok;
             s.handover_tok = handover_tok;
+            s.op_handover_tok = op_handover_tok;
         }
     }
 
     /// Settles the session's current cycle and restarts the row.
     fn settle(&mut self, id: SessionId, now_us: u64, cause: SettleCause) {
+        if self.roaming.is_some() {
+            self.settle_roaming(id, now_us, cause);
+            return;
+        }
         let row = id.index as usize;
         let r = self.cols.row(row);
         if r.sent > 0 || r.gateway > 0 {
@@ -381,6 +541,77 @@ impl Shard {
         self.cols.start_cycle(row, now_us);
     }
 
+    /// Roaming-plane settlement: combine the per-operator rows for the
+    /// gap sweep, price each operator's segment through the three-party
+    /// agreement, and reconcile bonded devices' per-link CDRs.
+    fn settle_roaming(&mut self, id: SessionId, now_us: u64, cause: SettleCause) {
+        let Some(rc) = self.roaming.as_ref() else {
+            return;
+        };
+        let agreement = rc.agreement;
+        let row = id.index as usize;
+        let rh = self.cols.row(row);
+        let rv = self.cols_visited.row(row);
+        let combined = combine_rows(&rh, &rv);
+        if combined.sent > 0 || combined.gateway > 0 {
+            let settlement = settle_twin_row(&combined, &self.plan);
+            let sampled = self.sample_rate > 0.0 && self.sample_rng.chance(self.sample_rate);
+            self.settled_n += 1;
+            if sampled {
+                self.sampled_n += 1;
+            }
+            self.sweep.merge(&GapSweep {
+                active_rows: 1,
+                total_sent: combined.sent,
+                total_delivered: combined.delivered,
+                total_gateway: combined.gateway,
+                intended: settlement.intended,
+                legacy_gap: settlement.legacy_gap(),
+                tlc_gap: settlement.tlc_gap(),
+            });
+            // One segment per operator that carried traffic, priced on
+            // the honest measured pair (edge reads exactly, operator
+            // view trails by that operator's monitor lag).
+            let mut segments: Vec<Segment> = Vec::with_capacity(2);
+            for (serving, r) in [(Serving::Home, &rh), (Serving::Visited, &rv)] {
+                if r.sent > 0 || r.gateway > 0 {
+                    segments.push(Segment {
+                        serving,
+                        claims: UsagePair {
+                            edge: r.sent,
+                            operator: r.delivered.saturating_sub(r.monitor_lag),
+                        },
+                    });
+                }
+            }
+            let rs = agreement.settle(&segments);
+            self.rsweep.cycles_settled = self.rsweep.cycles_settled.saturating_add(1);
+            self.rsweep.charged = self.rsweep.charged.saturating_add(rs.charged);
+            self.rsweep.home = self.rsweep.home.saturating_add(rs.split.home);
+            self.rsweep.visited = self.rsweep.visited.saturating_add(rs.split.visited);
+            self.rsweep.vendor = self.rsweep.vendor.saturating_add(rs.split.vendor);
+            if self.arena.get(id).map(|s| s.bonded).unwrap_or(false) && combined.sent > 0 {
+                let links = bonded_links(&combined);
+                let rec = reconcile_bonded(&links, self.plan.loss_weight);
+                self.rsweep.bonded_cycles = self.rsweep.bonded_cycles.saturating_add(1);
+                self.rsweep.bonded_link_charged =
+                    self.rsweep.bonded_link_charged.saturating_add(rec.charged);
+            }
+            self.outbox.push(Settled {
+                shard: self.index,
+                row: id.index,
+                at_us: now_us,
+                cause,
+                settlement,
+                sampled,
+            });
+        }
+        self.cols.clear_row(row);
+        self.cols.start_cycle(row, now_us);
+        self.cols_visited.clear_row(row);
+        self.cols_visited.start_cycle(row, now_us);
+    }
+
     /// Runs one accounting tick for a live session.
     fn run_tick(&mut self, id: SessionId, now_us: u64) {
         let tick_us = self.tick.as_micros().max(1);
@@ -390,6 +621,7 @@ impl Shard {
             return;
         };
         let p = s.profile;
+        let serving = s.serving;
         // Mean bytes per tick, jittered ±p.jitter around the mean.
         let mean = p.rate_bps as f64 / 8.0 * (tick_us as f64 / 1e6);
         let jit = s.rng.range_f64(1.0 - p.jitter, 1.0 + p.jitter);
@@ -412,8 +644,14 @@ impl Shard {
         let lag = (delivered_rate as f64 * s.rng.range_f64(0.0, 0.05)) as u64;
         let row = id.index as usize;
         self.offered = self.offered.saturating_add(sent);
-        self.cols.accrue(row, sent, air, congested, gw_before);
-        self.cols.set_monitor_lag(row, lag);
+        // Counters accrue on whichever operator currently serves; with
+        // roaming off that is always `cols` (the home bank).
+        let cols = match serving {
+            Serving::Home => &mut self.cols,
+            Serving::Visited => &mut self.cols_visited,
+        };
+        cols.accrue(row, sent, air, congested, gw_before);
+        cols.set_monitor_lag(row, lag);
         let tok = self.sched.schedule(now_us + tick_us, Event::Tick(id));
         if let Some(s) = self.arena.get_mut(id) {
             s.tick_tok = tok;
@@ -423,7 +661,7 @@ impl Shard {
     /// Executes a handover: claw back in-flight bytes, reschedule.
     fn run_handover(&mut self, id: SessionId, now_us: u64) {
         let tick_us = self.tick.as_micros().max(1);
-        let (flush, gap) = {
+        let (flush, gap, serving) = {
             let Some(s) = self.arena.get_mut(id) else {
                 self.stale += 1;
                 return;
@@ -431,10 +669,14 @@ impl Shard {
             // The cell flushes up to ~half a tick of in-flight bytes.
             let rate = s.profile.rate_bps as f64 / 8.0 * (tick_us as f64 / 1e6);
             let flush = (rate * s.rng.range_f64(0.1, 0.5)) as u64;
-            (flush, self.churn.next_handover_gap())
+            (flush, self.churn.next_handover_gap(), s.serving)
         };
         self.handovers += 1;
-        self.cols.handover_flush(id.index as usize, flush);
+        let cols = match serving {
+            Serving::Home => &mut self.cols,
+            Serving::Visited => &mut self.cols_visited,
+        };
+        cols.handover_flush(id.index as usize, flush);
         let tok = match gap {
             Some(g) => self
                 .sched
@@ -443,6 +685,44 @@ impl Shard {
         };
         if let Some(s) = self.arena.get_mut(id) {
             s.handover_tok = tok;
+        }
+    }
+
+    /// Hands a roamer over between operators: flush in-flight bytes on
+    /// the operator being left (same link-layer mobility loss as an
+    /// intra-operator handover), flip the serving side, reschedule.
+    fn run_operator_handover(&mut self, id: SessionId, now_us: u64) {
+        let Some(rc) = self.roaming.as_ref() else {
+            self.stale += 1;
+            return;
+        };
+        let base_gap_us = rc.operator_handover_gap.as_micros().max(1);
+        let tick_us = self.tick.as_micros().max(1);
+        let (flush, leaving, gap_us) = {
+            let Some(s) = self.arena.get_mut(id) else {
+                self.stale += 1;
+                return;
+            };
+            let rate = s.profile.rate_bps as f64 / 8.0 * (tick_us as f64 / 1e6);
+            let flush = (rate * s.rng.range_f64(0.1, 0.5)) as u64;
+            let leaving = s.serving;
+            s.serving = match leaving {
+                Serving::Home => Serving::Visited,
+                Serving::Visited => Serving::Home,
+            };
+            (flush, leaving, base_gap_us + s.rng.next_below(base_gap_us))
+        };
+        self.rsweep.operator_handovers = self.rsweep.operator_handovers.saturating_add(1);
+        let cols = match leaving {
+            Serving::Home => &mut self.cols,
+            Serving::Visited => &mut self.cols_visited,
+        };
+        cols.handover_flush(id.index as usize, flush);
+        let tok = self
+            .sched
+            .schedule(now_us + gap_us, Event::OperatorHandover(id));
+        if let Some(s) = self.arena.get_mut(id) {
+            s.op_handover_tok = tok;
         }
     }
 
@@ -457,10 +737,14 @@ impl Shard {
         self.sched.cancel(s.tick_tok);
         self.sched.cancel(s.cycle_tok);
         self.sched.cancel(s.handover_tok);
+        self.sched.cancel(s.op_handover_tok);
         // teardown_tok is the event being fired; cancelling is a no-op
         // but harmless on the heap backend's tombstone path.
         self.sched.cancel(s.teardown_tok);
         self.cols.clear_row(id.index as usize);
+        if self.roaming.is_some() {
+            self.cols_visited.clear_row(id.index as usize);
+        }
         self.retired += 1;
     }
 
@@ -491,6 +775,7 @@ impl Shard {
                     }
                 }
                 Event::Handover(id) => self.run_handover(id, tick),
+                Event::OperatorHandover(id) => self.run_operator_handover(id, tick),
                 Event::Teardown(id) => self.run_teardown(id, tick),
             }
         }
@@ -503,6 +788,51 @@ impl Shard {
             self.settle(id, now_us, SettleCause::RunEnd);
         }
     }
+}
+
+/// Sums the per-operator rows into one session-level row (the gap
+/// sweep and the sink see the whole cycle, not per-operator slices).
+fn combine_rows(home: &ChargeRow, visited: &ChargeRow) -> ChargeRow {
+    ChargeRow {
+        sent: home.sent.saturating_add(visited.sent),
+        delivered: home.delivered.saturating_add(visited.delivered),
+        gateway: home.gateway.saturating_add(visited.gateway),
+        lost_air: home.lost_air.saturating_add(visited.lost_air),
+        lost_congestion: home.lost_congestion.saturating_add(visited.lost_congestion),
+        lost_handover: home.lost_handover.saturating_add(visited.lost_handover),
+        monitor_lag: home.monitor_lag.saturating_add(visited.monitor_lag),
+        cycle_start_us: home.cycle_start_us.min(visited.cycle_start_us),
+    }
+}
+
+/// Derives a bonded device's per-link CDRs from its cycle row: a
+/// low-RTT primary carrying ~2/3 of the volume and a high-RTT, lossier
+/// secondary with the remainder. Deterministic (no RNG), and the link
+/// volumes partition the row exactly, so
+/// `Σ per-link edge claims == session volume` by construction.
+fn bonded_links(r: &ChargeRow) -> [LinkCdr; 2] {
+    let e_secondary = r.sent / 3;
+    let e_primary = r.sent.saturating_sub(e_secondary);
+    let o_secondary = r.delivered / 3;
+    let o_primary = r.delivered.saturating_sub(o_secondary);
+    [
+        LinkCdr {
+            claims: UsagePair {
+                edge: e_primary,
+                operator: o_primary,
+            },
+            rtt_us: 15_000,
+            loss_bp: 150,
+        },
+        LinkCdr {
+            claims: UsagePair {
+                edge: e_secondary,
+                operator: o_secondary,
+            },
+            rtt_us: 45_000,
+            loss_bp: 800,
+        },
+    ]
 }
 
 /// Runs the twin, feeding settled cycles to `sink`.
@@ -574,10 +904,12 @@ pub fn run_twin(cfg: &TwinConfig, sink: &mut dyn SettlementSink) -> TwinReport {
         report.cycles_settled += sh.settled_n;
         report.cycles_sampled += sh.sampled_n;
         report.sweep.merge(&sh.sweep);
+        report.roaming.merge(&sh.rsweep);
         report.peak_shard_slots = report.peak_shard_slots.max(sh.peak_slots);
         report.final_concurrent += sh.arena.len() as u64;
     }
     report.peak_concurrent = peak;
+    report.roaming_enabled = cfg.roaming.is_some();
     report.finish();
     report
 }
@@ -668,6 +1000,65 @@ mod tests {
         assert_eq!(sink.total, r.cycles_settled);
         assert_eq!(sink.sampled, r.cycles_sampled);
         assert!(sink.sampled > 0 && sink.sampled < sink.total);
+    }
+
+    fn roaming_cfg(seed: u64) -> TwinConfig {
+        let mut cfg = small(seed);
+        cfg.roaming = Some(RoamingTwinConfig::paper_default());
+        cfg
+    }
+
+    #[test]
+    fn roaming_twin_conserves_three_party_charges() {
+        let r = run_twin(&roaming_cfg(7), &mut NullSink);
+        assert!(r.roaming_enabled);
+        assert!(r.roaming.roamers_admitted > 0, "no roamers admitted");
+        assert!(r.roaming.bonded_admitted > 0, "no bonded devices");
+        assert!(r.roaming.operator_handovers > 0, "no operator handovers");
+        assert!(r.roaming.cycles_settled > 0);
+        assert!(r.roaming.visited > 0, "visited operator never earned");
+        // The conservation law: every cycle splits exactly, and the
+        // sums are saturating-but-unsaturated at this scale.
+        assert_eq!(
+            r.roaming
+                .home
+                .saturating_add(r.roaming.visited)
+                .saturating_add(r.roaming.vendor),
+            r.roaming.charged,
+            "home + visited + vendor must equal the charged volume"
+        );
+        assert!(r.roaming.bonded_cycles > 0);
+        assert!(r.roaming.bonded_link_charged > 0);
+    }
+
+    #[test]
+    fn roaming_twin_is_backend_and_thread_invariant() {
+        let mut wheel1 = roaming_cfg(8);
+        wheel1.backend = WheelBackend::Wheel;
+        wheel1.threads = 1;
+        let mut heap4 = roaming_cfg(8);
+        heap4.backend = WheelBackend::Heap;
+        heap4.threads = 4;
+        let ra = run_twin(&wheel1, &mut NullSink);
+        let rb = run_twin(&heap4, &mut NullSink);
+        assert_eq!(
+            ra.digest, rb.digest,
+            "backend/threads changed a roaming run"
+        );
+        assert_eq!(ra.roaming, rb.roaming);
+        assert_eq!(ra.sweep, rb.sweep);
+    }
+
+    #[test]
+    fn disabling_roaming_leaves_the_run_untouched() {
+        // A roaming config whose knobs are all zero still takes the
+        // roaming settlement path; only `None` preserves the original
+        // event and RNG schedule. Verify `None` matches `None`.
+        let ra = run_twin(&small(9), &mut NullSink);
+        let rb = run_twin(&small(9), &mut NullSink);
+        assert_eq!(ra.digest, rb.digest);
+        assert!(!ra.roaming_enabled);
+        assert_eq!(ra.roaming, RoamingSweep::default());
     }
 
     #[test]

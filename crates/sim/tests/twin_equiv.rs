@@ -16,7 +16,9 @@
 
 use proptest::prelude::*;
 use tlc_net::time::SimDuration;
-use tlc_sim::twin::{run_twin, NullSink, SettleCause, Settled, SettlementSink, TwinConfig};
+use tlc_sim::twin::{
+    run_twin, NullSink, RoamingTwinConfig, SettleCause, Settled, SettlementSink, TwinConfig,
+};
 use tlc_sim::wheel::{Scheduler, Token, WheelBackend};
 use tlc_sim::{Arena, GapSweep};
 
@@ -24,6 +26,12 @@ fn base(seed: u64) -> TwinConfig {
     let mut cfg = TwinConfig::smoke(seed);
     cfg.initial_sessions = 300;
     cfg.duration = SimDuration::from_secs(8);
+    cfg
+}
+
+fn roaming_base(seed: u64) -> TwinConfig {
+    let mut cfg = base(seed);
+    cfg.roaming = Some(RoamingTwinConfig::paper_default());
     cfg
 }
 
@@ -51,6 +59,51 @@ fn golden_digest_is_pinned() {
 }
 
 const GOLDEN_DIGEST: u64 = 0xaf17_22ff_643f_2af5;
+
+/// Same contract for a roaming-enabled run: the roaming plane's RNG
+/// draws, operator-handover schedule, and three-party settlement
+/// counters are all folded into this digest, so any drift in the
+/// roaming event order or split arithmetic moves it.
+#[test]
+fn roaming_golden_digest_is_pinned() {
+    let r = run_twin(&roaming_base(2024), &mut NullSink);
+    assert_eq!(
+        r.digest, ROAMING_GOLDEN_DIGEST,
+        "roaming twin digest moved: roaming event order, RNG draws, or split arithmetic changed"
+    );
+    assert_eq!(r.stale_events, 0);
+    // And the non-roaming golden must be wholly unaffected by the
+    // roaming code existing: re-assert it next to its sibling.
+    assert_eq!(run_twin(&base(2024), &mut NullSink).digest, GOLDEN_DIGEST);
+}
+
+const ROAMING_GOLDEN_DIGEST: u64 = 0x74a1_54a2_1fe8_5c31;
+
+/// Backend and thread invariance for a roaming-enabled run, against
+/// the pinned golden (wheel↔heap byte-identical, 1/2/8 threads).
+#[test]
+fn roaming_run_is_backend_and_thread_invariant() {
+    for backend in [WheelBackend::Wheel, WheelBackend::Heap] {
+        for threads in [1usize, 2, 8] {
+            let mut cfg = roaming_base(2024);
+            cfg.backend = backend;
+            cfg.threads = threads;
+            let r = run_twin(&cfg, &mut NullSink);
+            assert_eq!(
+                r.digest, ROAMING_GOLDEN_DIGEST,
+                "{backend:?} × {threads} threads diverged"
+            );
+            assert_eq!(
+                r.roaming
+                    .home
+                    .saturating_add(r.roaming.visited)
+                    .saturating_add(r.roaming.vendor),
+                r.roaming.charged,
+                "{backend:?} × {threads} threads broke conservation"
+            );
+        }
+    }
+}
 
 #[test]
 fn wheel_and_heap_runs_are_byte_identical() {
